@@ -1,0 +1,48 @@
+// Cold-start updates (Section 4.1.1): the paper also measures eager
+// updates "beginning with zero examples" — the hardest regime for Hazy,
+// since an untrained model drifts violently and the water window is wide.
+// Paper: Hazy still wins by 111x (Forest), 60x (DBLife), 22x (Citeseer)
+// over the naive main-memory strategy.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+
+using namespace hazy;
+using namespace hazy::bench;
+
+int main() {
+  double scale = BenchScale();
+  auto corpora = MakeAllCorpora(scale);
+  const size_t measure = 3000;  // the paper measures 3k updates
+
+  std::printf("== Cold start (zero warm-up): eager updates/s, scale %.3f ==\n\n",
+              scale);
+  TablePrinter table({"Data", "Naive-MM", "Hazy-MM", "speedup"});
+  for (const auto& corpus : corpora) {
+    double rates[2];
+    const core::Architecture archs[] = {core::Architecture::kNaiveMM,
+                                        core::Architecture::kHazyMM};
+    for (int a = 0; a < 2; ++a) {
+      auto h = ViewHarness::Create(archs[a], BenchOptions(corpus, core::Mode::kEager),
+                                   corpus);
+      rates[a] = h->MeasureUpdateRate(corpus, measure, 0);
+      std::fprintf(stderr, "[cold] %s %s: %s updates/s (reorgs=%llu)\n",
+                   corpus.name.c_str(), a == 0 ? "naive" : "hazy",
+                   FormatRate(rates[a]).c_str(),
+                   static_cast<unsigned long long>(h->view()->stats().reorgs));
+    }
+    table.AddRow({corpus.name, FormatRate(rates[0]), FormatRate(rates[1]),
+                  StrFormat("%.0fx", rates[1] / std::max(1e-9, rates[0]))});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper: starting from zero examples Hazy still wins 111x (FC), 60x (DB)\n"
+      "and 22x (CS) over naive-MM. Shape check: Hazy ahead even in the worst\n"
+      "(cold) regime on the larger corpora. The multiple grows with corpus\n"
+      "size — naive pays O(N) per update forever while Hazy's window shrinks\n"
+      "as the model warms — so the paper's 22-111x needs the full 124k-721k\n"
+      "entity corpora (try HAZY_BENCH_SCALE=0.1).\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Monotone vs non-monotone water lines (Appendix B.3): the non-monotone
+// two-round variant can shrink the window between reorganizations, at the
+// cost of breaking the monotonicity assumption behind Lemma 3.2. The paper
+// reports the cost difference is small; we measure window sizes and eager
+// update rates for both on the same stream.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "core/hazy_mm.h"
+
+using namespace hazy;
+using namespace hazy::bench;
+
+int main() {
+  double scale = BenchScale();
+  BenchCorpus corpus = MakeForest(scale);
+  const size_t warm = BenchWarmSteps();
+  const size_t measure = std::max<size_t>(2000, static_cast<size_t>(2000 * scale));
+  std::vector<ml::LabeledExample> warm_set = MakeWarmSet(corpus, warm);
+
+  std::printf("== Ablation: monotone vs non-monotone water lines "
+              "(FC-like, scale %.3f) ==\n\n", scale);
+  TablePrinter table({"Variant", "Updates/s", "Window tuples", "Reorgs"});
+  for (bool monotone : {true, false}) {
+    core::ViewOptions opts = BenchOptions(corpus, core::Mode::kEager);
+    opts.monotone_water = monotone;
+    auto h = ViewHarness::Create(core::Architecture::kHazyMM, opts, corpus);
+    HAZY_CHECK_OK(h->view()->WarmModel(warm_set));
+    *h->view()->mutable_stats() = core::ViewStats{};
+    double rate = h->MeasureUpdateRate(corpus, measure, warm);
+    const auto& st = h->view()->stats();
+    table.AddRow({monotone ? "monotone (Eq. 2)" : "non-monotone (B.3)",
+                  FormatRate(rate),
+                  StrFormat("%llu", static_cast<unsigned long long>(st.window_tuples)),
+                  StrFormat("%llu", static_cast<unsigned long long>(st.reorgs))});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper: \"the cost differences between the two incremental steps is\n"
+      "small\". The non-monotone variant touches fewer tuples per step but\n"
+      "loses the competitive-ratio guarantee (B.3 shows no bound is possible\n"
+      "without monotonicity).\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Shared plumbing for the per-figure benchmark binaries: scaled dataset
+// construction, view setup (with per-run pager files), warm-up streams, and
+// paper-style table printing.
+//
+// Every binary accepts the environment variable HAZY_BENCH_SCALE (default
+// 0.01): the fraction of the paper's dataset sizes to generate. The paper's
+// absolute numbers were measured on 2009-era hardware at full scale; these
+// harnesses reproduce the *shape* (who wins, by what factor) at a scale
+// that runs in CI time. See EXPERIMENTS.md.
+
+#ifndef HAZY_BENCH_BENCH_UTIL_H_
+#define HAZY_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/view_factory.h"
+#include "data/synthetic.h"
+#include "features/feature_function.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+namespace hazy::bench {
+
+/// Scale factor from $HAZY_BENCH_SCALE (default 0.01).
+double BenchScale();
+
+/// Warm-up length in SGD steps from $HAZY_BENCH_WARM (default 12000, the paper's warm-up).
+/// The paper measures with a "warm" model; at a warm model the per-update
+/// drift is small, the water window is ~1% of the corpus (Fig 13), and the
+/// incremental step is cheap. Warm-up is model-only (WarmModel), so it is
+/// fast for every architecture.
+size_t BenchWarmSteps();
+
+/// A prepared benchmark corpus: entities plus a labeled update stream.
+struct BenchCorpus {
+  std::string name;
+  std::vector<core::Entity> entities;
+  std::vector<ml::LabeledExample> stream;  // training-example arrivals
+  double holder_p = ml::kInf;
+  uint64_t data_bytes = 0;  // approximate serialized size
+};
+
+/// Dense corpus from explicit options (ℓ2-normalized features).
+BenchCorpus MakeDense(std::string name, const data::DenseCorpusOptions& opts);
+
+/// Forest-like dense corpus (Figure 3 row 1).
+BenchCorpus MakeForest(double scale, uint64_t seed = 11);
+/// DBLife-like sparse titles corpus (Figure 3 row 2).
+BenchCorpus MakeDBLife(double scale, uint64_t seed = 12);
+/// Citeseer-like sparse abstracts corpus (Figure 3 row 3).
+BenchCorpus MakeCiteseer(double scale, uint64_t seed = 13);
+
+/// All three, in the paper's order.
+std::vector<BenchCorpus> MakeAllCorpora(double scale);
+
+/// A warm-up stream of `n` examples cycled from the corpus stream.
+std::vector<ml::LabeledExample> MakeWarmSet(const BenchCorpus& corpus, size_t n);
+
+/// Owns the storage stack (pager file + buffer pool) plus one view.
+class ViewHarness {
+ public:
+  /// Builds and bulk-loads a view of the given architecture.
+  static std::unique_ptr<ViewHarness> Create(core::Architecture arch,
+                                             core::ViewOptions options,
+                                             const BenchCorpus& corpus,
+                                             size_t pool_pages = 8192);
+  ~ViewHarness();
+
+  core::ClassificationView* view() { return view_.get(); }
+  storage::BufferPool* pool() { return pool_.get(); }
+
+  /// Feeds `n` examples from the corpus stream (cycling), e.g. the paper's
+  /// 12k-example warm-up.
+  void Warm(const BenchCorpus& corpus, size_t n);
+
+  /// Updates/second over `n` examples starting at stream offset `offset`.
+  double MeasureUpdateRate(const BenchCorpus& corpus, size_t n, size_t offset);
+
+  /// All-Members-count queries/second over `n` repetitions.
+  double MeasureAllMembersRate(size_t n);
+
+  /// Single-entity reads/second over `n` uniform random reads.
+  double MeasureReadRate(const BenchCorpus& corpus, size_t n, uint64_t seed);
+
+ private:
+  ViewHarness() = default;
+  std::string path_;
+  std::unique_ptr<storage::Pager> pager_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<core::ClassificationView> view_;
+};
+
+/// Default view options for a corpus (mode, Hölder norm, warm-model SGD).
+core::ViewOptions BenchOptions(const BenchCorpus& corpus, core::Mode mode);
+
+/// Prints "name: value" rows with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf helper: formats a rate like the paper's tables ("2.8k", "0.2").
+std::string FormatRate(double per_second);
+
+}  // namespace hazy::bench
+
+#endif  // HAZY_BENCH_BENCH_UTIL_H_

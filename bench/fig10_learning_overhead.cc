@@ -1,0 +1,109 @@
+// Figure 10 (Appendix C.1): learning-quality and overhead comparison —
+// a batch solver run to convergence (the SVMLight stand-in; see DESIGN.md
+// substitutions) vs a single-pass SGD over raw in-memory arrays ("File")
+// vs the same SGD driven through a Hazy classification view with eager
+// per-example maintenance ("Hazy insert"), plus the bulk-loading variant
+// the paper mentions dropped Forest classification to 44.63s. 90/10 split.
+//
+// Paper values:
+//   MAGIC:  SVMLight P/R 74.4/63.4 (9.4s)   | SGD 74.1/62.3, File 0.3s, Hazy 0.7s
+//   ADULT:  SVMLight P/R 86.7/92.7 (11.4s)  | SGD 85.9/92.9, File 0.7s, Hazy 1.1s
+//   FOREST: SVMLight P/R 75.1/77.0 (256.7m) | SGD 71.3/80.0, File 52.9s, Hazy 17.3m
+//
+// Shape: SGD matches the batch solver's P/R at a fraction of the time;
+// the eager view adds a constant-factor overhead over raw files
+// (insert-at-a-time being the worst case, bulk loading the fix).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "ml/batch_solver.h"
+#include "ml/metrics.h"
+
+using namespace hazy;
+using namespace hazy::bench;
+
+namespace {
+
+std::string PrMetric(const ml::BinaryMetrics& m) {
+  return StrFormat("%.1f/%.1f", 100.0 * m.Precision(), 100.0 * m.Recall());
+}
+
+}  // namespace
+
+int main() {
+  double scale = std::max(0.05, BenchScale());
+  struct Dataset {
+    const char* name;
+    data::DenseCorpusOptions opts;
+  } datasets[] = {
+      {"MAGIC", data::MagicLike(scale)},
+      {"ADULT", data::AdultLike(scale)},
+      {"FOREST", data::ForestLike(scale)},
+  };
+
+  std::printf("== Figure 10: batch solver vs SGD vs Hazy view (scale %.3f) ==\n\n",
+              scale);
+  TablePrinter table({"Data set", "Batch P/R", "Batch time", "SGD P/R", "File time",
+                      "Hazy insert", "Hazy bulk"});
+
+  for (const auto& ds : datasets) {
+    BenchCorpus corpus = MakeDense(ds.name, ds.opts);
+    size_t train_n = corpus.stream.size() * 9 / 10;
+    std::vector<ml::LabeledExample> train(corpus.stream.begin(),
+                                          corpus.stream.begin() +
+                                              static_cast<long>(train_n));
+    std::vector<ml::LabeledExample> test(corpus.stream.begin() +
+                                             static_cast<long>(train_n),
+                                         corpus.stream.end());
+
+    // Batch solver to convergence (SVMLight stand-in).
+    Timer batch_timer;
+    ml::BatchSolverOptions bopts;
+    bopts.eta0 = 0.5;
+    bopts.lambda = 5e-3;
+    ml::BatchSolver solver(bopts);
+    ml::BatchResult batch = solver.Train(train);
+    double batch_secs = batch_timer.ElapsedSeconds();
+
+    // Single-pass SGD over raw arrays ("File").
+    Timer file_timer;
+    ml::SgdOptions sopts;
+    sopts.eta0 = 0.5;
+    sopts.lambda = 5e-3;
+    ml::SgdTrainer trainer(sopts);
+    ml::LinearModel sgd_model;
+    for (const auto& ex : train) trainer.AddExample(&sgd_model, ex);
+    double file_secs = file_timer.ElapsedSeconds();
+
+    // The same stream through an eager Hazy-MM classification view: every
+    // example is an insert-at-a-time Update that also maintains the view.
+    core::ViewOptions vopts = BenchOptions(corpus, core::Mode::kEager);
+    auto h = ViewHarness::Create(core::Architecture::kHazyMM, vopts, corpus);
+    Timer hazy_timer;
+    for (const auto& ex : train) HAZY_CHECK_OK(h->view()->Update(ex));
+    double hazy_secs = hazy_timer.ElapsedSeconds();
+
+    // Bulk-loading variant: train the model first, then classify the corpus
+    // once (the paper's 44.63s Forest run).
+    auto h2 = ViewHarness::Create(core::Architecture::kHazyMM, vopts, corpus);
+    Timer bulk_timer;
+    HAZY_CHECK_OK(h2->view()->WarmModel(train));
+    double bulk_secs = bulk_timer.ElapsedSeconds();
+
+    table.AddRow({ds.name, PrMetric(ml::Evaluate(batch.model, test)),
+                  StrFormat("%.2fs (%d ep)", batch_secs, batch.epochs),
+                  PrMetric(ml::Evaluate(sgd_model, test)),
+                  StrFormat("%.3fs", file_secs), StrFormat("%.2fs", hazy_secs),
+                  StrFormat("%.2fs", bulk_secs)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: the batch tool needs many epochs while one SGD pass\n"
+      "matches its P/R; eager insert-at-a-time view maintenance costs a\n"
+      "constant factor over raw files (17.3min vs 52.9s on Forest), and bulk\n"
+      "loading closes most of that gap (44.63s).\n");
+  return 0;
+}

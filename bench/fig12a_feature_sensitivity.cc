@@ -1,0 +1,92 @@
+// Figure 12(A): feature-length sensitivity — lazy All Members rate as the
+// feature dimensionality grows from 300 to 1500 via random Fourier
+// features (Appendix B.5.3). Hazy excels here because above high water /
+// below low water it answers from stored eps and "avoids dot-products
+// which have become more costly".
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "ml/rff.h"
+
+using namespace hazy;
+using namespace hazy::bench;
+
+int main() {
+  double scale = BenchScale();
+  const size_t n = std::max<size_t>(1000, static_cast<size_t>(50000 * scale));
+
+  // Base dense corpus, then lift it through a random feature map.
+  data::DenseCorpusOptions base_opts;
+  base_opts.num_entities = n;
+  base_opts.dim = 10;
+  base_opts.separation = 3.0;
+  base_opts.seed = 21;
+  auto base = data::GenerateDenseCorpus(base_opts);
+
+  std::printf("== Figure 12(A): lazy All Members vs feature length "
+              "(random features, %zu entities) ==\n\n", n);
+
+  struct Tech {
+    const char* label;
+    core::Architecture arch;
+  };
+  const Tech techs[] = {
+      {"Naive-OD", core::Architecture::kNaiveOD},
+      {"Naive-MM", core::Architecture::kNaiveMM},
+      {"Hazy-OD", core::Architecture::kHazyOD},
+      {"Hazy-MM", core::Architecture::kHazyMM},
+  };
+
+  TablePrinter table({"Feature len", "Naive-OD", "Naive-MM", "Hazy-OD", "Hazy-MM"});
+  for (uint32_t dim : {300u, 600u, 900u, 1200u, 1500u}) {
+    ml::RandomFourierFeatures rff(base_opts.dim, dim, ml::KernelKind::kRbf, 0.3,
+                                  1000 + dim);
+    BenchCorpus corpus;
+    corpus.name = StrFormat("rff-%u", dim);
+    corpus.holder_p = 2.0;
+    for (const auto& p : base) {
+      corpus.entities.push_back({p.id, rff.Transform(p.features)});
+    }
+    std::vector<ml::LabeledExample> examples;
+    for (size_t i = 0; i < base.size(); ++i) {
+      examples.push_back(ml::LabeledExample{base[i].id, corpus.entities[i].features,
+                                            base[i].klass == 0 ? 1 : -1});
+    }
+    corpus.stream = data::ShuffledStream(std::move(examples), 77);
+    corpus.data_bytes = 0;
+    for (const auto& e : corpus.entities) corpus.data_bytes += e.features.ApproxBytes();
+
+    std::vector<std::string> row{StrFormat("%u", dim)};
+    std::vector<ml::LabeledExample> warm_set = MakeWarmSet(corpus, BenchWarmSteps());
+    for (const auto& tech : techs) {
+      size_t pool_pages =
+          std::max<size_t>(512, corpus.data_bytes / storage::kPageSize / 4);
+      core::ViewOptions opts = BenchOptions(corpus, core::Mode::kLazy);
+      auto h = ViewHarness::Create(tech.arch, opts, corpus, pool_pages);
+      HAZY_CHECK_OK(h->view()->WarmModel(warm_set));
+      // Dribble a few lazy updates, then measure count-scan rate.
+      Timer timer;
+      const size_t queries = 10;
+      size_t off = 100;
+      for (size_t q = 0; q < queries; ++q) {
+        HAZY_CHECK_OK(h->view()->Update(corpus.stream[off++ % corpus.stream.size()]));
+        auto c = h->view()->AllMembersCount(1);
+        HAZY_CHECK(c.ok()) << c.status().ToString();
+      }
+      double rate = static_cast<double>(queries) / timer.ElapsedSeconds();
+      row.push_back(FormatRate(rate));
+      std::fprintf(stderr, "[fig12a] dim=%u %s: %s scans/s\n", dim, tech.label,
+                   FormatRate(rate).c_str());
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: naive rates decay ~1/dim (every scan re-does every dot\n"
+      "product); Hazy's decay is much flatter since certain tuples skip the\n"
+      "dot product entirely; MM > OD throughout.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 13: number of tuples between low and high water vs number of
+// updates, on Forest-like (A) and DBLife-like (B) corpora with a warm
+// model. The paper's observation: in steady state only ~1% of tuples sit
+// inside the window — the structural fact that makes the incremental step
+// cheap. (Their plots show the window staying far below the corpus size
+// line; reorganizations reset it.)
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "core/hazy_mm.h"
+
+using namespace hazy;
+using namespace hazy::bench;
+
+namespace {
+
+void Trace(const char* label, BenchCorpus corpus, size_t updates, size_t sample_every) {
+  const size_t warm = BenchWarmSteps();
+  std::vector<ml::LabeledExample> warm_set = MakeWarmSet(corpus, warm);
+  auto h = ViewHarness::Create(core::Architecture::kHazyMM,
+                               BenchOptions(corpus, core::Mode::kEager), corpus);
+  HAZY_CHECK_OK(h->view()->WarmModel(warm_set));
+  auto* mm = static_cast<core::HazyMMView*>(h->view());
+
+  std::printf("-- %s: %zu entities --\n", label, corpus.entities.size());
+  std::printf("%-10s %-12s %-10s %-8s\n", "#updates", "window", "frac", "reorgs");
+  size_t peak = 0;
+  double frac_sum = 0.0;
+  size_t samples = 0;
+  for (size_t i = 1; i <= updates; ++i) {
+    HAZY_CHECK_OK(h->view()->Update(corpus.stream[(warm + i) % corpus.stream.size()]));
+    size_t win = mm->WindowSize();
+    peak = std::max(peak, win);
+    if (i % sample_every == 0) {
+      double frac = static_cast<double>(win) /
+                    static_cast<double>(corpus.entities.size());
+      frac_sum += frac;
+      ++samples;
+      std::printf("%-10zu %-12zu %-10.4f %-8llu\n", i, win, frac,
+                  static_cast<unsigned long long>(h->view()->stats().reorgs));
+    }
+  }
+  std::printf("peak window %zu (%.2f%% of corpus), mean sampled fraction %.2f%%\n\n",
+              peak, 100.0 * static_cast<double>(peak) /
+                        static_cast<double>(corpus.entities.size()),
+              100.0 * frac_sum / static_cast<double>(std::max<size_t>(1, samples)));
+}
+
+}  // namespace
+
+int main() {
+  double scale = BenchScale();
+  std::printf("== Figure 13: tuples between low and high water vs updates "
+              "(scale %.3f) ==\n\n", scale);
+  Trace("(A) Forest-like", MakeForest(scale), 2000, 100);
+  Trace("(B) DBLife-like", MakeDBLife(scale), 2000, 100);
+  std::printf(
+      "Paper shape: after a 12k-example warm-up, the steady-state window is a\n"
+      "small fraction of the corpus (~1%% on both Forest and DBLife), far below\n"
+      "the entity-count line in their plots.\n");
+  return 0;
+}

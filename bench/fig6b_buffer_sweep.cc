@@ -1,0 +1,98 @@
+// Figure 6(B): Single-entity read rate of the hybrid vs buffer size
+// (0.5%-100% of entities) for three models whose water window holds ~1%,
+// ~10% and ~50% of the tuples (the paper's S1/S10/S50). The paper's curve:
+// once the buffer covers the window, reads approach Hazy-MM rates; below
+// that, disk accesses pull the rate toward Hazy-OD.
+
+#include <cstdio>
+#include <iterator>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "core/hybrid.h"
+
+using namespace hazy;
+using namespace hazy::bench;
+
+namespace {
+
+// Drives lazy updates (never reorganizing) until the stored-eps window
+// holds at least `target_frac` of the corpus.
+void GrowWindowTo(core::ClassificationView* view, const BenchCorpus& corpus,
+                  double target_frac) {
+  auto* hybrid = static_cast<core::HybridView*>(view);
+  size_t i = 0;
+  const size_t n = corpus.entities.size();
+  while (i < 200000) {
+    HAZY_CHECK_OK(view->Update(corpus.stream[i % corpus.stream.size()]));
+    ++i;
+    const auto& w = hybrid->water();
+    // Estimate window occupancy by sampling stored eps via the eps-map is
+    // internal; instead scan entity eps through the public model: use the
+    // water width against the corpus eps spread sampled every 32 updates.
+    if (i % 32 != 0) continue;
+    size_t in_window = 0;
+    for (const auto& e : corpus.entities) {
+      double eps = w.stored_model().Eps(e.features);
+      if (w.InWindow(eps)) ++in_window;
+    }
+    if (static_cast<double>(in_window) >= target_frac * static_cast<double>(n)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  double scale = BenchScale();
+  BenchCorpus corpus = MakeCiteseer(scale);
+  const size_t reads = 20000;
+
+  std::printf("== Figure 6(B): hybrid read rate vs buffer size (CS-like, scale %.3f) ==\n\n",
+              scale);
+
+  const double buffer_pcts[] = {0.5, 1, 5, 10, 20, 50, 100};
+  const double window_fracs[] = {0.01, 0.10, 0.50};
+  // Shorter warm-ups leave a hotter learning rate, so the window can be
+  // grown to the S10/S50 targets in a reasonable number of updates.
+  const size_t warm_steps[] = {BenchWarmSteps(), 4000, 400};
+  const char* series_names[] = {"S1", "S10", "S50"};
+
+  TablePrinter table({"Buffer %", "S1 (reads/s)", "S10 (reads/s)", "S50 (reads/s)"});
+  std::vector<std::vector<std::string>> rows;
+  for (double pct : buffer_pcts) {
+    rows.push_back({StrFormat("%.1f", pct)});
+  }
+
+  for (size_t s = 0; s < 3; ++s) {
+    std::vector<ml::LabeledExample> warm_set = MakeWarmSet(corpus, warm_steps[s]);
+    for (size_t b = 0; b < std::size(buffer_pcts); ++b) {
+      core::ViewOptions opts = BenchOptions(corpus, core::Mode::kLazy);
+      opts.strategy = core::StrategyKind::kNever;  // hold the window fixed
+      opts.hybrid_buffer_capacity = static_cast<size_t>(
+          buffer_pcts[b] / 100.0 * static_cast<double>(corpus.entities.size()));
+      // A small pool so window reads that miss the buffer really page.
+      auto h = ViewHarness::Create(core::Architecture::kHybrid, opts, corpus, 128);
+      HAZY_CHECK_OK(h->view()->WarmModel(warm_set));
+      GrowWindowTo(h->view(), corpus, window_fracs[s]);
+      double rate = h->MeasureReadRate(corpus, reads, 7);
+      rows[b].push_back(FormatRate(rate));
+      const auto& st = h->view()->stats();
+      std::fprintf(stderr,
+                   "[fig6b] %s buffer %.1f%%: %s reads/s (bounds=%llu buf=%llu "
+                   "store=%llu)\n",
+                   series_names[s], buffer_pcts[b], FormatRate(rate).c_str(),
+                   static_cast<unsigned long long>(st.reads_by_bounds),
+                   static_cast<unsigned long long>(st.reads_by_buffer),
+                   static_cast<unsigned long long>(st.reads_from_store));
+    }
+  }
+  for (auto& r : rows) table.AddRow(std::move(r));
+  table.Print();
+  std::printf(
+      "\nPaper shape: S1 saturates almost immediately (window fits tiny buffers);\n"
+      "S10 jumps once buffer >= ~10%%; S50 needs ~50%%. Below saturation the\n"
+      "rate sits near Hazy-OD; above it, near Hazy-MM.\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// google-benchmark microbenchmarks for the hot paths of the core and ML
+// layers: dot products, classification, SGD steps, water-line advances,
+// entity-record codecs, and the Hazy-MM incremental update.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/entity_record.h"
+#include "core/hazy_mm.h"
+#include "core/view_factory.h"
+#include "data/synthetic.h"
+#include "ml/sgd.h"
+
+using namespace hazy;
+
+namespace {
+
+ml::FeatureVector DenseVec(uint32_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(dim);
+  for (auto& x : v) x = rng.Gaussian();
+  return ml::FeatureVector::Dense(std::move(v));
+}
+
+ml::FeatureVector SparseVec(uint32_t dim, uint32_t nnz, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> idx;
+  std::vector<double> val;
+  uint32_t step = dim / (nnz + 1);
+  for (uint32_t i = 0; i < nnz; ++i) {
+    idx.push_back(i * step + static_cast<uint32_t>(rng.Uniform(step)));
+    val.push_back(rng.Gaussian());
+  }
+  return ml::FeatureVector::Sparse(std::move(idx), std::move(val), dim);
+}
+
+void BM_DotDense(benchmark::State& state) {
+  uint32_t dim = static_cast<uint32_t>(state.range(0));
+  auto x = DenseVec(dim, 1);
+  std::vector<double> w(dim, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.Dot(w));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DotDense)->Arg(54)->Arg(300)->Arg(1500);
+
+void BM_DotSparse(benchmark::State& state) {
+  uint32_t nnz = static_cast<uint32_t>(state.range(0));
+  auto x = SparseVec(680000, nnz, 2);
+  std::vector<double> w(680000, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.Dot(w));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DotSparse)->Arg(7)->Arg(60)->Arg(500);
+
+void BM_SgdStep(benchmark::State& state) {
+  auto x = DenseVec(54, 3);
+  ml::SgdTrainer trainer;
+  ml::LinearModel model;
+  int y = 1;
+  for (auto _ : state) {
+    trainer.Step(&model, x, y);
+    y = -y;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SgdStep);
+
+void BM_WaterLineAdvance(benchmark::State& state) {
+  core::WaterLineTracker tracker(2.0, true);
+  tracker.SetM(5.0);
+  ml::LinearModel stored;
+  stored.w.assign(54, 0.1);
+  tracker.Reorganize(stored);
+  ml::LinearModel cur = stored;
+  Rng rng(5);
+  for (auto _ : state) {
+    cur.w[rng.Uniform(54)] += 1e-6;
+    tracker.Advance(cur);
+    benchmark::DoNotOptimize(tracker.high_water());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WaterLineAdvance);
+
+void BM_EntityRecordCodec(benchmark::State& state) {
+  core::EntityRecord rec;
+  rec.id = 42;
+  rec.eps = 0.25;
+  rec.label = 1;
+  rec.features = SparseVec(680000, 60, 7);
+  std::string buf;
+  for (auto _ : state) {
+    core::EncodeEntityRecord(rec, &buf);
+    auto decoded = core::DecodeEntityRecord(buf);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EntityRecordCodec);
+
+void BM_HazyMMUpdate(benchmark::State& state) {
+  data::DenseCorpusOptions opts;
+  opts.num_entities = static_cast<size_t>(state.range(0));
+  opts.dim = 54;
+  opts.seed = 9;
+  auto pts = data::GenerateDenseCorpus(opts);
+  auto examples = data::ToBinary(pts, 0);
+  std::vector<core::Entity> entities;
+  for (const auto& ex : examples) entities.push_back({ex.id, ex.features});
+
+  core::ViewOptions vopts;
+  vopts.mode = core::Mode::kEager;
+  vopts.holder_p = 2.0;
+  vopts.sgd.eta0 = 0.02;
+  auto view = core::MakeView(core::Architecture::kHazyMM, vopts, nullptr);
+  if (!view.ok() || !(*view)->BulkLoad(entities).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  if (!(*view)
+           ->WarmModel(std::vector<ml::LabeledExample>(examples.begin(),
+                                                       examples.begin() + 200))
+           .ok()) {
+    state.SkipWithError("warm failed");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    if (!(*view)->Update(examples[i++ % examples.size()]).ok()) {
+      state.SkipWithError("update failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HazyMMUpdate)->Arg(2000)->Arg(10000);
+
+void BM_SingleEntityReadMM(benchmark::State& state) {
+  data::DenseCorpusOptions opts;
+  opts.num_entities = 10000;
+  opts.dim = 54;
+  opts.seed = 10;
+  auto pts = data::GenerateDenseCorpus(opts);
+  std::vector<core::Entity> entities;
+  for (const auto& p : pts) entities.push_back({p.id, p.features});
+  core::ViewOptions vopts;
+  vopts.mode = core::Mode::kEager;
+  vopts.holder_p = 2.0;
+  auto view = core::MakeView(core::Architecture::kHazyMM, vopts, nullptr);
+  if (!view.ok() || !(*view)->BulkLoad(entities).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  Rng rng(11);
+  for (auto _ : state) {
+    int64_t id = entities[rng.Uniform(entities.size())].id;
+    benchmark::DoNotOptimize((*view)->SingleEntityRead(id));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SingleEntityReadMM);
+
+}  // namespace
+
+BENCHMARK_MAIN();

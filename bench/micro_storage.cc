@@ -1,0 +1,177 @@
+// google-benchmark microbenchmarks for the storage substrate: slotted-page
+// inserts, heap append/get/patch, B+-tree insert/seek, and buffer-pool
+// fetch hit/miss paths.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include "common/random.h"
+#include "storage/bptree.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/pager.h"
+
+using namespace hazy;
+using namespace hazy::storage;
+
+namespace {
+
+struct Stack {
+  std::string path;
+  Pager pager;
+  std::unique_ptr<BufferPool> pool;
+
+  explicit Stack(size_t frames) {
+    path = TempFilePath("micro");
+    HAZY_CHECK_OK(pager.Open(path));
+    pool = std::make_unique<BufferPool>(&pager, frames);
+  }
+  ~Stack() {
+    pager.Close().ok();
+    ::unlink(path.c_str());
+  }
+};
+
+void BM_SlottedPageInsert(benchmark::State& state) {
+  char buf[kPageSize];
+  SlottedPage page(buf);
+  std::string rec(100, 'x');
+  for (auto _ : state) {
+    page.Init();
+    for (int i = 0; i < 70; ++i) {
+      benchmark::DoNotOptimize(page.Insert(rec));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 70);
+}
+BENCHMARK(BM_SlottedPageInsert);
+
+void BM_HeapAppend(benchmark::State& state) {
+  Stack stack(1024);
+  HeapFile heap(stack.pool.get());
+  HAZY_CHECK_OK(heap.Create());
+  std::string rec(static_cast<size_t>(state.range(0)), 'r');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heap.Append(rec));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HeapAppend)->Arg(128)->Arg(1024);
+
+void BM_HeapGet(benchmark::State& state) {
+  Stack stack(1024);
+  HeapFile heap(stack.pool.get());
+  HAZY_CHECK_OK(heap.Create());
+  std::vector<Rid> rids;
+  std::string rec(512, 'g');
+  for (int i = 0; i < 5000; ++i) {
+    auto rid = heap.Append(rec);
+    HAZY_CHECK(rid.ok());
+    rids.push_back(*rid);
+  }
+  Rng rng(1);
+  std::string out;
+  for (auto _ : state) {
+    HAZY_CHECK_OK(heap.Get(rids[rng.Uniform(rids.size())], &out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapGet);
+
+void BM_HeapPatch(benchmark::State& state) {
+  Stack stack(1024);
+  HeapFile heap(stack.pool.get());
+  HAZY_CHECK_OK(heap.Create());
+  std::vector<Rid> rids;
+  std::string rec(256, 'p');
+  for (int i = 0; i < 5000; ++i) {
+    auto rid = heap.Append(rec);
+    HAZY_CHECK(rid.ok());
+    rids.push_back(*rid);
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    HAZY_CHECK_OK(heap.Patch(rids[rng.Uniform(rids.size())],
+                             [](char* p, size_t) { p[0] ^= 1; }));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapPatch);
+
+void BM_BtreeInsert(benchmark::State& state) {
+  Stack stack(4096);
+  BPlusTree tree(stack.pool.get());
+  HAZY_CHECK_OK(tree.Create());
+  Rng rng(3);
+  uint64_t tie = 0;
+  for (auto _ : state) {
+    HAZY_CHECK_OK(tree.Insert({rng.Gaussian(), tie++}, tie));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BtreeInsert);
+
+void BM_BtreeSeekScan(benchmark::State& state) {
+  Stack stack(4096);
+  BPlusTree tree(stack.pool.get());
+  HAZY_CHECK_OK(tree.Create());
+  std::vector<std::pair<BtKey, uint64_t>> entries;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    entries.push_back({{static_cast<double>(i) * 0.001, i}, i});
+  }
+  HAZY_CHECK_OK(tree.BulkLoad(entries));
+  Rng rng(4);
+  const int scan_len = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    double start = rng.UniformDouble(0.0, 90.0);
+    auto it = tree.SeekGE({start, 0});
+    HAZY_CHECK(it.ok());
+    for (int i = 0; i < scan_len && it->Valid(); ++i) {
+      benchmark::DoNotOptimize(it->value());
+      HAZY_CHECK_OK(it->Next());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * scan_len);
+}
+BENCHMARK(BM_BtreeSeekScan)->Arg(10)->Arg(1000);
+
+void BM_BufferPoolFetchHit(benchmark::State& state) {
+  Stack stack(256);
+  std::vector<uint32_t> pids;
+  for (int i = 0; i < 64; ++i) {
+    auto h = stack.pool->New();
+    HAZY_CHECK(h.ok());
+    pids.push_back(h->page_id());
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    auto h = stack.pool->Fetch(pids[rng.Uniform(pids.size())]);
+    benchmark::DoNotOptimize(h->data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolFetchHit);
+
+void BM_BufferPoolFetchMiss(benchmark::State& state) {
+  Stack stack(64);  // pool far smaller than the page set: every fetch pages
+  std::vector<uint32_t> pids;
+  for (int i = 0; i < 4096; ++i) {
+    auto h = stack.pool->New();
+    HAZY_CHECK(h.ok());
+    pids.push_back(h->page_id());
+  }
+  Rng rng(6);
+  for (auto _ : state) {
+    auto h = stack.pool->Fetch(pids[rng.Uniform(pids.size())]);
+    benchmark::DoNotOptimize(h->data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolFetchMiss);
+
+}  // namespace
+
+BENCHMARK_MAIN();

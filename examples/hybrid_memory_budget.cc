@@ -1,0 +1,103 @@
+// hybrid_memory_budget: the Section 3.5.2 scenario — a corpus too large to
+// pin in RAM, served by the hybrid architecture under an explicit memory
+// budget. Shows the Figure 8 read path in action: how many reads were
+// answered by the ε-map water test alone, how many by the buffer, and how
+// many had to touch disk, as the buffer budget grows.
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "core/hybrid.h"
+#include "core/view_factory.h"
+#include "data/synthetic.h"
+#include "features/feature_function.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+using namespace hazy;
+
+int main() {
+  // Citeseer-like abstracts: big feature payloads per entity.
+  data::TextCorpusOptions opts;
+  opts.num_entities = 8000;
+  opts.vocab_size = 12000;
+  opts.doc_len_mean = 60;
+  opts.seed = 3;
+  auto docs = data::GenerateTextCorpus(opts);
+  features::TfBagOfWords featurizer;
+  auto featurized = data::Featurize(docs, &featurizer);
+  if (!featurized.ok()) return 1;
+
+  std::vector<core::Entity> entities;
+  uint64_t data_bytes = 0;
+  for (const auto& ex : *featurized) {
+    entities.push_back(core::Entity{ex.id, ex.features});
+    data_bytes += ex.features.ApproxBytes();
+  }
+  auto stream = data::ShuffledStream(*featurized, 17);
+
+  std::printf("corpus: %zu entities, ~%s of feature data\n\n", entities.size(),
+              HumanBytes(data_bytes).c_str());
+
+  for (double budget_pct : {0.5, 5.0, 25.0}) {
+    storage::Pager pager;
+    std::string path = storage::TempFilePath("hybrid_example");
+    if (!pager.Open(path).ok()) return 1;
+    // Tiny page cache: this corpus does NOT fit in memory by construction.
+    storage::BufferPool pool(&pager, 128);
+
+    core::ViewOptions vopts;
+    vopts.mode = core::Mode::kLazy;
+    vopts.holder_p = ml::kInf;
+    vopts.sgd.lambda = 1e-2;
+    vopts.hybrid_buffer_capacity = static_cast<size_t>(
+        budget_pct / 100.0 * static_cast<double>(entities.size()));
+    auto view = core::MakeView(core::Architecture::kHybrid, vopts, &pool);
+    if (!view.ok() || !(*view)->BulkLoad(entities).ok()) return 1;
+    auto* hybrid = static_cast<core::HybridView*>(view->get());
+
+    // Partially warm the model (a portal that is still actively learning),
+    // then stream a little live feedback to open the window.
+    std::vector<ml::LabeledExample> warm;
+    for (size_t i = 0; i < 4000; ++i) warm.push_back(stream[i % stream.size()]);
+    if (!(*view)->WarmModel(warm).ok()) return 1;
+    for (int i = 0; i < 12; ++i) {
+      if (!(*view)->Update(stream[static_cast<size_t>(i)]).ok()) return 1;
+    }
+
+    // A click storm: 20k random single-entity reads.
+    Rng rng(42);
+    Timer timer;
+    for (int i = 0; i < 20000; ++i) {
+      int64_t id = entities[rng.Uniform(entities.size())].id;
+      auto label = (*view)->SingleEntityRead(id);
+      if (!label.ok()) return 1;
+    }
+    double rate = 20000.0 / timer.ElapsedSeconds();
+
+    const auto& st = (*view)->stats();
+    std::printf("budget %5.1f%% of entities (%s eps-map + %s buffer):\n",
+                budget_pct, HumanBytes(hybrid->EpsMapBytes()).c_str(),
+                HumanBytes(hybrid->BufferBytes()).c_str());
+    std::printf("  %.1fk reads/s | answered by water bounds %5.1f%%, by buffer "
+                "%5.1f%%, from disk %5.1f%%\n\n",
+                rate / 1000.0,
+                100.0 * static_cast<double>(st.reads_by_bounds) /
+                    static_cast<double>(st.single_reads),
+                100.0 * static_cast<double>(st.reads_by_buffer) /
+                    static_cast<double>(st.single_reads),
+                100.0 * static_cast<double>(st.reads_from_store) /
+                    static_cast<double>(st.single_reads));
+    pager.Close().ok();
+    ::unlink(path.c_str());
+  }
+
+  std::printf("The eps-map's water test answers every read outside the window\n"
+              "with zero I/O, and a buffer that covers the window absorbs the\n"
+              "rest — the Section 3.5.2 observation that makes the hybrid work.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// sql_shell: a tiny interactive SQL shell over the Hazy engine. Pipe SQL
+// into it or type interactively:
+//
+//   $ ./sql_shell
+//   hazy> CREATE TABLE Papers (id INT PRIMARY KEY, title TEXT);
+//   hazy> CREATE CLASSIFICATION VIEW ... ;
+//   hazy> SELECT COUNT(*) FROM Labeled_Papers WHERE class = 'DB';
+//
+// Statements end with ';'. '\q' quits, '\d' lists tables and views.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "engine/database.h"
+#include "sql/executor.h"
+
+using hazy::engine::Database;
+using hazy::sql::Executor;
+
+int main() {
+  Database db;
+  if (!db.Open().ok()) {
+    std::fprintf(stderr, "failed to open database\n");
+    return 1;
+  }
+  Executor exec(&db);
+
+  std::printf("hazy sql shell — statements end with ';', \\q quits, \\d lists.\n");
+  std::string buffer;
+  std::string line;
+  bool interactive = isatty(0);
+  while (true) {
+    if (interactive) {
+      std::printf(buffer.empty() ? "hazy> " : "  ...> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    if (buffer.empty() && line == "\\q") break;
+    if (buffer.empty() && line == "\\d") {
+      std::printf("tables:\n");
+      for (const auto& t : db.catalog()->TableNames()) {
+        std::printf("  %s\n", t.c_str());
+      }
+      std::printf("classification views:\n");
+      for (const auto& v : db.ViewNames()) {
+        std::printf("  %s\n", v.c_str());
+      }
+      continue;
+    }
+    buffer += line;
+    buffer.push_back('\n');
+    // Execute when the statement terminator arrives.
+    auto pos = buffer.find(';');
+    if (pos == std::string::npos) continue;
+    std::string stmt = buffer.substr(0, pos + 1);
+    buffer.clear();
+    if (!interactive) std::printf("hazy> %s\n", stmt.c_str());
+    auto rs = exec.Execute(stmt);
+    if (!rs.ok()) {
+      std::printf("error: %s\n", rs.status().ToString().c_str());
+    } else {
+      std::printf("%s\n", rs->ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Minimal leveled logging + check macros (Arrow/Google style).
+
+#ifndef HAZY_COMMON_LOGGING_H_
+#define HAZY_COMMON_LOGGING_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hazy {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hazy
+
+#define HAZY_LOG(level) \
+  ::hazy::internal::LogMessage(::hazy::LogLevel::k##level, __FILE__, __LINE__)
+
+// Invariant checks: abort with a message when violated. Used for programmer
+// errors (not data errors, which surface as Status).
+#define HAZY_CHECK(cond)                                              \
+  if (!(cond))                                                        \
+  ::hazy::internal::LogMessage(::hazy::LogLevel::kFatal, __FILE__, __LINE__) \
+      << "Check failed: " #cond " "
+
+#define HAZY_CHECK_OK(expr)                                            \
+  do {                                                                 \
+    ::hazy::Status _st = (expr);                                       \
+    HAZY_CHECK(_st.ok()) << _st.ToString();                            \
+  } while (0)
+
+#define HAZY_DCHECK(cond) assert(cond)
+
+#endif  // HAZY_COMMON_LOGGING_H_

@@ -1,0 +1,167 @@
+// Status / StatusOr error-handling primitives in the RocksDB/Arrow idiom.
+//
+// The library does not throw exceptions: every fallible operation returns a
+// Status (or a StatusOr<T> when it also produces a value). Callers either
+// handle the error or propagate it with HAZY_RETURN_NOT_OK / HAZY_ASSIGN_OR_RETURN.
+
+#ifndef HAZY_COMMON_STATUS_H_
+#define HAZY_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hazy {
+
+/// Error category for a failed operation.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIOError = 5,
+  kCorruption = 6,
+  kNotSupported = 7,
+  kResourceExhausted = 8,
+  kInternal = 9,
+  kAborted = 10,
+};
+
+/// Returns a human-readable name for a status code, e.g. "NotFound".
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: a code plus an optional message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (the
+/// message is only allocated on error paths).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Modeled on arrow::Result / absl::StatusOr. Access the value with
+/// ValueOrDie() only after checking ok(); prefer HAZY_ASSIGN_OR_RETURN.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok());
+  }
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(rep_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `alt` if this holds an error.
+  T ValueOr(T alt) const {
+    if (ok()) return std::get<T>(rep_);
+    return alt;
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Propagates a non-OK Status to the caller.
+#define HAZY_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::hazy::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define HAZY_CONCAT_IMPL(a, b) a##b
+#define HAZY_CONCAT(a, b) HAZY_CONCAT_IMPL(a, b)
+
+// Evaluates a StatusOr expression; on error returns the Status, otherwise
+// binds the value to `lhs`.
+#define HAZY_ASSIGN_OR_RETURN(lhs, expr)                          \
+  HAZY_ASSIGN_OR_RETURN_IMPL(HAZY_CONCAT(_sor_, __LINE__), lhs, expr)
+
+#define HAZY_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie();
+
+}  // namespace hazy
+
+#endif  // HAZY_COMMON_STATUS_H_

@@ -1,0 +1,39 @@
+// Small string helpers shared by the SQL front end, feature functions, and
+// benchmark table printers.
+
+#ifndef HAZY_COMMON_STRINGS_H_
+#define HAZY_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hazy {
+
+/// Splits on a single-character delimiter; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing (locale-independent).
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count, e.g. "1.3GB", "5.4MB".
+std::string HumanBytes(uint64_t bytes);
+
+/// Human-readable count, e.g. "721k", "1.3M".
+std::string HumanCount(uint64_t n);
+
+}  // namespace hazy
+
+#endif  // HAZY_COMMON_STRINGS_H_

@@ -1,0 +1,50 @@
+// Fixed-size worker pool used by the scale-up experiment (Figure 11(B)) and
+// by concurrent-read stress tests.
+
+#ifndef HAZY_COMMON_THREAD_POOL_H_
+#define HAZY_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hazy {
+
+/// \brief A simple fixed-size thread pool with a FIFO task queue.
+///
+/// Tasks are std::function<void()>. Wait() blocks until the queue drains and
+/// all in-flight tasks finish; the destructor joins all workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace hazy
+
+#endif  // HAZY_COMMON_THREAD_POOL_H_

@@ -1,0 +1,11 @@
+#include "common/timer.h"
+
+namespace hazy {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace hazy

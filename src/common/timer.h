@@ -1,0 +1,32 @@
+// Wall-clock timing helpers. Skiing's cost accounting (Section 3.2.1 of the
+// paper) is driven by measured seconds, so the engines time their own steps.
+
+#ifndef HAZY_COMMON_TIMER_H_
+#define HAZY_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hazy {
+
+/// Monotonic nanosecond timestamp.
+int64_t NowNanos();
+
+/// \brief Stopwatch measuring elapsed wall time since construction or Reset().
+class Timer {
+ public:
+  Timer() { Reset(); }
+
+  void Reset() { start_ = NowNanos(); }
+
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) * 1e-9; }
+  double ElapsedMillis() const { return static_cast<double>(ElapsedNanos()) * 1e-6; }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace hazy
+
+#endif  // HAZY_COMMON_TIMER_H_

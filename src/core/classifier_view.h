@@ -1,0 +1,155 @@
+// The classification-view abstraction (paper Section 2): a view
+// V(id, class) over a set of entities, maintained under a stream of
+// training-example updates. All five architectures the paper evaluates
+// implement this interface:
+//
+//   NaiveMMView   main-memory,  relabel everything (naive)    [naive MM]
+//   HazyMMView    main-memory,  water window + Skiing         [hazy MM]
+//   NaiveODView   on-disk,      relabel everything (naive)    [naive OD]
+//   HazyODView    on-disk,      clustered H + B+-tree window  [hazy OD]
+//   HybridView    on-disk + ε-map + bounded buffer            [hybrid]
+//
+// Each can run eager (labels materialized after every update) or lazy
+// (labels computed at read time) — the three operations of Section 2.2:
+// Update, Single Entity read, All Members.
+
+#ifndef HAZY_CORE_CLASSIFIER_VIEW_H_
+#define HAZY_CORE_CLASSIFIER_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/skiing.h"
+#include "ml/model.h"
+#include "ml/sgd.h"
+#include "ml/vector.h"
+
+namespace hazy::core {
+
+/// An entity to classify: id plus feature vector (the In(id, f) relation).
+struct Entity {
+  int64_t id = 0;
+  ml::FeatureVector features;
+};
+
+/// Eager vs lazy maintenance (Section 2.2).
+enum class Mode { kEager, kLazy };
+
+/// How Skiing's costs are accounted: measured wall time (what the paper's
+/// deployment does) or deterministic tuple counts (for reproducible tests).
+enum class CostModel { kMeasuredTime, kTupleCount };
+
+/// \brief Configuration shared by all view architectures.
+struct ViewOptions {
+  Mode mode = Mode::kEager;
+  ml::SgdOptions sgd;
+  /// Norm p for the model-delta bound; q = HolderConjugate(p) for M.
+  /// Text with ℓ1-normalized features uses p = inf (q = 1); dense ℓ2 data
+  /// uses p = q = 2 (Section 3.2.2 "Choosing the Norm").
+  double holder_p = ml::kInf;
+  /// Monotone water lines (Eq. 2) or the non-monotone two-round variant
+  /// (Appendix B.3; eager mode only — see bounds.h).
+  bool monotone_water = true;
+  StrategyKind strategy = StrategyKind::kSkiing;
+  double alpha = 1.0;
+  int periodic_period = 100;
+  CostModel cost_model = CostModel::kMeasuredTime;
+  /// Hybrid only: max entities resident in the in-memory buffer.
+  size_t hybrid_buffer_capacity = 1024;
+};
+
+/// \brief Counters every view maintains (benchmarks report these).
+struct ViewStats {
+  uint64_t updates = 0;
+  uint64_t reorgs = 0;
+  uint64_t incremental_steps = 0;
+  uint64_t window_tuples = 0;      ///< tuples inspected inside water windows
+  uint64_t tuples_scanned = 0;     ///< tuples touched by full scans
+  uint64_t label_flips = 0;
+  uint64_t single_reads = 0;
+  uint64_t reads_by_bounds = 0;    ///< answered by the ε-map/water test alone
+  uint64_t reads_by_buffer = 0;    ///< hybrid: answered from the buffer
+  uint64_t reads_from_store = 0;   ///< had to touch the backing store
+  uint64_t all_members_queries = 0;
+  double total_update_seconds = 0.0;
+  double total_reorg_seconds = 0.0;
+  double last_reorg_cost = 0.0;    ///< S in the Skiing accounting
+};
+
+/// \brief Abstract classification view.
+class ClassificationView {
+ public:
+  virtual ~ClassificationView() = default;
+
+  /// Populates the view with its entity set (the In relation). Called once.
+  virtual Status BulkLoad(const std::vector<Entity>& entities) = 0;
+
+  /// Type-(1) dynamic data: a new entity arrives; classify and store it.
+  virtual Status AddEntity(const Entity& entity) = 0;
+
+  /// Type-(2) dynamic data: a new training example arrives; fold it into
+  /// the model and maintain the view per the architecture's policy.
+  virtual Status Update(const ml::LabeledExample& example) = 0;
+
+  /// Bulk-trains the model on `examples` without per-update view
+  /// maintenance, then re-syncs the view state to the final model. This is
+  /// the paper's warm-up protocol ("the experiment begins with a partially
+  /// trained (warm) model (after 12k training examples)", Section 4.1.1).
+  virtual Status WarmModel(const std::vector<ml::LabeledExample>& examples) = 0;
+
+  /// Label of one entity under the current model.
+  virtual StatusOr<int> SingleEntityRead(int64_t id) = 0;
+
+  /// All entity ids currently labeled `label`.
+  virtual StatusOr<std::vector<int64_t>> AllMembers(int label) = 0;
+
+  /// Count of entities currently labeled `label` (the Fig 4(B) query).
+  virtual StatusOr<uint64_t> AllMembersCount(int label) = 0;
+
+  /// The current model (reflects every Update so far).
+  virtual const ml::LinearModel& model() const = 0;
+
+  virtual const ViewStats& stats() const = 0;
+  virtual ViewStats* mutable_stats() = 0;
+
+  /// Approximate resident main-memory footprint in bytes.
+  virtual size_t MemoryBytes() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// \brief Shared trainer/model/stats plumbing for the concrete views.
+class ViewBase : public ClassificationView {
+ public:
+  explicit ViewBase(ViewOptions options)
+      : options_(options), trainer_(options.sgd) {}
+
+  const ml::LinearModel& model() const override { return model_; }
+  const ViewStats& stats() const override { return stats_; }
+  ViewStats* mutable_stats() override { return &stats_; }
+
+  Status WarmModel(const std::vector<ml::LabeledExample>& examples) override {
+    for (const auto& ex : examples) TrainStep(ex);
+    return SyncToModel();
+  }
+
+ protected:
+  /// Makes the view's materialized state consistent with the current model
+  /// (a full reclassify or reorganization, depending on architecture).
+  virtual Status SyncToModel() = 0;
+  /// Folds a training example into the model (identical across all
+  /// architectures, so equivalent update streams yield identical models).
+  void TrainStep(const ml::LabeledExample& ex) { trainer_.AddExample(&model_, ex); }
+
+  ViewOptions options_;
+  ml::LinearModel model_;
+  ml::SgdTrainer trainer_;
+  ViewStats stats_;
+};
+
+}  // namespace hazy::core
+
+#endif  // HAZY_CORE_CLASSIFIER_VIEW_H_

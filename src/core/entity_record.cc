@@ -1,0 +1,59 @@
+#include "core/entity_record.h"
+
+#include "common/logging.h"
+#include "storage/coding.h"
+
+namespace hazy::core {
+
+using storage::DecodeDouble;
+using storage::DecodeFixed32;
+using storage::DecodeFixed64;
+using storage::EncodeDouble;
+using storage::EncodeFixed32;
+using storage::PutDouble;
+using storage::PutFixed32;
+using storage::PutFixed64;
+
+void EncodeEntityRecord(const EntityRecord& rec, std::string* out) {
+  out->clear();
+  PutFixed64(out, static_cast<uint64_t>(rec.id));
+  PutDouble(out, rec.eps);
+  PutFixed32(out, static_cast<uint32_t>(rec.label));
+  rec.features.EncodeTo(out);
+}
+
+StatusOr<EntityRecord> DecodeEntityRecord(std::string_view data) {
+  if (data.size() < kEntityHeaderSize) {
+    return Status::Corruption("entity record truncated");
+  }
+  EntityRecord rec;
+  rec.id = static_cast<int64_t>(DecodeFixed64(data.data() + kEntityIdOffset));
+  rec.eps = DecodeDouble(data.data() + kEntityEpsOffset);
+  rec.label = static_cast<int32_t>(DecodeFixed32(data.data() + kEntityLabelOffset));
+  std::string_view rest = data.substr(kEntityHeaderSize);
+  HAZY_ASSIGN_OR_RETURN(rec.features, ml::FeatureVector::DecodeFrom(&rest));
+  return rec;
+}
+
+StatusOr<EntityHeader> DecodeEntityHeader(std::string_view data) {
+  if (data.size() < kEntityHeaderSize) {
+    return Status::Corruption("entity record truncated");
+  }
+  EntityHeader h;
+  h.id = static_cast<int64_t>(DecodeFixed64(data.data() + kEntityIdOffset));
+  h.eps = DecodeDouble(data.data() + kEntityEpsOffset);
+  h.label = static_cast<int32_t>(DecodeFixed32(data.data() + kEntityLabelOffset));
+  return h;
+}
+
+void PatchLabel(char* head, size_t head_size, int32_t label) {
+  HAZY_CHECK(head_size >= kEntityHeaderSize) << "patch head too small";
+  EncodeFixed32(head + kEntityLabelOffset, static_cast<uint32_t>(label));
+}
+
+void PatchEps(char* head, size_t head_size, double eps) {
+  HAZY_CHECK(head_size >= kEntityHeaderSize) << "patch head too small";
+  EncodeDouble(head + kEntityEpsOffset, eps);
+}
+
+}  // namespace hazy::core

@@ -1,0 +1,59 @@
+// On-disk layout of one entity tuple in the Hazy scratch table H(s):
+// (id, eps, label, feature vector) — paper Section 3.2 "H(s)(id, f, eps)".
+//
+// The 20-byte fixed header lives at the start of the record (inside the
+// inline head even for overflow records), so the incremental step can patch
+// label/eps in place without rewriting the feature payload.
+
+#ifndef HAZY_CORE_ENTITY_RECORD_H_
+#define HAZY_CORE_ENTITY_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "ml/vector.h"
+
+namespace hazy::core {
+
+/// Decoded entity record.
+struct EntityRecord {
+  int64_t id = 0;
+  double eps = 0.0;   ///< w(s)·f − b(s) under the *stored* model
+  int32_t label = 1;  ///< materialized class in {-1, +1}
+  ml::FeatureVector features;
+};
+
+/// Byte offsets of the fixed header fields.
+inline constexpr size_t kEntityIdOffset = 0;
+inline constexpr size_t kEntityEpsOffset = 8;
+inline constexpr size_t kEntityLabelOffset = 16;
+inline constexpr size_t kEntityHeaderSize = 20;
+
+/// Serializes a record (header + features).
+void EncodeEntityRecord(const EntityRecord& rec, std::string* out);
+
+/// Parses a full record.
+StatusOr<EntityRecord> DecodeEntityRecord(std::string_view data);
+
+/// Header-only view, cheap enough for label scans that skip the features.
+struct EntityHeader {
+  int64_t id = 0;
+  double eps = 0.0;
+  int32_t label = 1;
+};
+
+/// Parses just the fixed header.
+StatusOr<EntityHeader> DecodeEntityHeader(std::string_view data);
+
+/// Patches the label field inside a record's leading bytes (as handed out
+/// by HeapFile::Patch).
+void PatchLabel(char* head, size_t head_size, int32_t label);
+
+/// Patches the eps field likewise.
+void PatchEps(char* head, size_t head_size, double eps);
+
+}  // namespace hazy::core
+
+#endif  // HAZY_CORE_ENTITY_RECORD_H_

@@ -1,0 +1,123 @@
+#include "core/hybrid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace hazy::core {
+
+void HybridView::OnReorganized(const std::vector<EntityRecord>& sorted,
+                               const std::vector<storage::Rid>& rids) {
+  (void)rids;
+  eps_map_.clear();
+  eps_map_.reserve(sorted.size());
+  for (const auto& rec : sorted) eps_map_[rec.id] = rec.eps;
+
+  // Refill the buffer with the B entities nearest the hyperplane. `sorted`
+  // is in eps order, so expand outward from the sign crossover.
+  buffer_.clear();
+  if (buffer_capacity_ == 0 || sorted.empty()) return;
+  auto cross = std::lower_bound(
+      sorted.begin(), sorted.end(), 0.0,
+      [](const EntityRecord& r, double v) { return r.eps < v; });
+  size_t hi = static_cast<size_t>(cross - sorted.begin());  // first eps >= 0
+  size_t lo = hi;  // elements below are (lo-1), (lo-2), ...
+  while (buffer_.size() < buffer_capacity_ && (lo > 0 || hi < sorted.size())) {
+    bool take_hi;
+    if (lo == 0) {
+      take_hi = true;
+    } else if (hi >= sorted.size()) {
+      take_hi = false;
+    } else {
+      take_hi = std::fabs(sorted[hi].eps) <= std::fabs(sorted[lo - 1].eps);
+    }
+    const EntityRecord& rec = take_hi ? sorted[hi++] : sorted[--lo];
+    buffer_.emplace(rec.id, BufferedEntity{rec.features, rec.label});
+  }
+}
+
+void HybridView::OnEntityAppended(const EntityRecord& rec, storage::Rid rid) {
+  (void)rid;
+  eps_map_[rec.id] = rec.eps;
+  if (buffer_.size() < buffer_capacity_) {
+    buffer_.emplace(rec.id, BufferedEntity{rec.features, rec.label});
+  }
+}
+
+StatusOr<int> HybridView::ReclassifyWindowTuple(int64_t id, storage::Rid rid) {
+  auto it = buffer_.find(id);
+  if (it != buffer_.end()) {
+    int label = model_.Classify(it->second.features);
+    if (label != it->second.label) ++stats_.label_flips;
+    it->second.label = label;
+    return label;
+  }
+  return HazyODView::ReclassifyWindowTuple(id, rid);
+}
+
+StatusOr<int> HybridView::ClassifyTuple(int64_t id, storage::Rid rid) {
+  auto it = buffer_.find(id);
+  if (it != buffer_.end()) return model_.Classify(it->second.features);
+  return HazyODView::ClassifyTuple(id, rid);
+}
+
+StatusOr<int> HybridView::ReadWindowLabel(int64_t id, storage::Rid rid) {
+  auto it = buffer_.find(id);
+  if (it != buffer_.end()) return it->second.label;
+  return HazyODView::ReadWindowLabel(id, rid);
+}
+
+StatusOr<int> HybridView::SingleEntityRead(int64_t id) {
+  // Figure 8's lookup algorithm.
+  ++stats_.single_reads;
+  auto eit = eps_map_.find(id);
+  if (eit == eps_map_.end()) {
+    return Status::NotFound(StrFormat("no entity %lld", static_cast<long long>(id)));
+  }
+  const double eps = eit->second;
+  if (water_.CertainPositive(eps)) {
+    ++stats_.reads_by_bounds;
+    return 1;
+  }
+  if (water_.CertainNegative(eps)) {
+    ++stats_.reads_by_bounds;
+    return -1;
+  }
+  auto bit = buffer_.find(id);
+  if (bit != buffer_.end()) {
+    ++stats_.reads_by_buffer;
+    if (options_.mode == Mode::kEager) return bit->second.label;
+    return model_.Classify(bit->second.features);
+  }
+  ++stats_.reads_from_store;
+  HAZY_ASSIGN_OR_RETURN(storage::Rid rid, id_index_.Get(id));
+  std::string buf;
+  HAZY_RETURN_NOT_OK(heap_->Get(rid, &buf));
+  if (options_.mode == Mode::kEager) {
+    HAZY_ASSIGN_OR_RETURN(EntityHeader h, DecodeEntityHeader(buf));
+    return h.label;
+  }
+  HAZY_ASSIGN_OR_RETURN(EntityRecord rec, DecodeEntityRecord(buf));
+  return model_.Classify(rec.features);
+}
+
+size_t HybridView::EpsMapBytes() const {
+  // id (8) + eps (8) + bucket/node overhead of the hash map.
+  return eps_map_.size() * (sizeof(int64_t) + sizeof(double) + 2 * sizeof(void*)) +
+         eps_map_.bucket_count() * sizeof(void*);
+}
+
+size_t HybridView::BufferBytes() const {
+  size_t b = 0;
+  for (const auto& [id, e] : buffer_) {
+    b += sizeof(int64_t) + sizeof(int) + e.features.ApproxBytes() + 2 * sizeof(void*);
+  }
+  return b;
+}
+
+size_t HybridView::MemoryBytes() const {
+  return EpsMapBytes() + BufferBytes() + HazyODView::MemoryBytes();
+}
+
+}  // namespace hazy::core

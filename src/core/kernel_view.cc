@@ -1,0 +1,118 @@
+#include "core/kernel_view.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "common/timer.h"
+
+namespace hazy::core {
+
+Status KernelClassificationView::BulkLoad(const std::vector<Entity>& entities) {
+  rows_.clear();
+  index_.clear();
+  rows_.reserve(entities.size());
+  for (const auto& e : entities) {
+    if (index_.count(e.id) > 0) {
+      return Status::AlreadyExists(StrFormat("duplicate entity id %lld",
+                                             static_cast<long long>(e.id)));
+    }
+    index_[e.id] = rows_.size();
+    rows_.push_back(Row{e.id, 0.0, 1, e.features});
+  }
+  Reorganize();
+  stats_.reorgs = 0;
+  stats_.total_reorg_seconds = 0.0;
+  return Status::OK();
+}
+
+void KernelClassificationView::Reorganize() {
+  Timer timer;
+  for (auto& r : rows_) {
+    r.eps = model_.Eps(r.features);
+    r.label = ml::SignOf(r.eps);
+  }
+  std::sort(rows_.begin(), rows_.end(), [](const Row& a, const Row& b) {
+    if (a.eps != b.eps) return a.eps < b.eps;
+    return a.id < b.id;
+  });
+  index_.clear();
+  index_.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) index_[rows_[i].id] = i;
+  drift_ = 0.0;
+  strategy_->OnReorganize();
+  ++stats_.reorgs;
+  double elapsed = timer.ElapsedSeconds();
+  stats_.total_reorg_seconds += elapsed;
+  reorg_cost_ = options_.cost_model == CostModel::kMeasuredTime
+                    ? elapsed
+                    : static_cast<double>(rows_.size());
+  stats_.last_reorg_cost = reorg_cost_;
+}
+
+size_t KernelClassificationView::LowerBound(double x) const {
+  size_t lo = 0, hi = rows_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (rows_[mid].eps < x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t KernelClassificationView::WindowSize() const {
+  return LowerBound(drift_) - LowerBound(-drift_);
+}
+
+size_t KernelClassificationView::IncrementalStep() {
+  // Window: stored eps in [-drift, +drift). Outside it the B.5.2 bound
+  // |eps_now - eps_stored| <= drift pins the sign.
+  size_t count = 0;
+  for (size_t i = LowerBound(-drift_); i < rows_.size() && rows_[i].eps < drift_; ++i) {
+    Row& r = rows_[i];
+    int label = model_.Classify(r.features);
+    if (label != r.label) ++stats_.label_flips;
+    r.label = label;
+    ++count;
+  }
+  stats_.window_tuples += count;
+  ++stats_.incremental_steps;
+  return count;
+}
+
+Status KernelClassificationView::Update(const ml::LabeledExample& example) {
+  Timer timer;
+  drift_ += trainer_.Step(&model_, example.features, example.label);
+  if (strategy_->ShouldReorganize(reorg_cost_)) {
+    Reorganize();
+  } else {
+    Timer inc;
+    size_t n = IncrementalStep();
+    strategy_->OnIncrementalCost(options_.cost_model == CostModel::kMeasuredTime
+                                     ? inc.ElapsedSeconds()
+                                     : static_cast<double>(n));
+  }
+  ++stats_.updates;
+  stats_.total_update_seconds += timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+StatusOr<int> KernelClassificationView::SingleEntityRead(int64_t id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return Status::NotFound(StrFormat("no entity %lld", static_cast<long long>(id)));
+  }
+  return rows_[it->second].label;
+}
+
+StatusOr<uint64_t> KernelClassificationView::AllMembersCount(int label) const {
+  uint64_t n = 0;
+  for (const auto& r : rows_) {
+    if (r.label == label) ++n;
+  }
+  return n;
+}
+
+}  // namespace hazy::core

@@ -1,0 +1,91 @@
+// Kernel classification view (paper B.5.2): the same incremental
+// maintenance machinery applied to a support-vector expansion model.
+//
+// "The same intuition still holds: if w + δ = w', then observe that all
+//  the above kernels K(s_i, x) ∈ [0, 1] hence the maximum difference is
+//  the ℓ1 norm of δ. Then, we can apply exactly the same algorithm."
+//
+// Concretely: entities are clustered by their stored decision value
+// eps = c_s(x); after coefficient drift with cumulative ℓ1 movement D the
+// water lines are simply [−D, +D) around the stored values, and only
+// tuples inside can have flipped. Skiing decides when to re-cluster,
+// exactly as in the linear case. Eager main-memory architecture.
+
+#ifndef HAZY_CORE_KERNEL_VIEW_H_
+#define HAZY_CORE_KERNEL_VIEW_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/classifier_view.h"
+#include "core/skiing.h"
+#include "ml/kernel_model.h"
+
+namespace hazy::core {
+
+/// \brief Configuration for KernelClassificationView.
+struct KernelViewOptions {
+  ml::KernelSgdOptions sgd;
+  StrategyKind strategy = StrategyKind::kSkiing;
+  double alpha = 1.0;
+  CostModel cost_model = CostModel::kMeasuredTime;
+};
+
+/// \brief Eager in-memory kernel classification view.
+class KernelClassificationView {
+ public:
+  explicit KernelClassificationView(KernelViewOptions options)
+      : options_(options),
+        trainer_(options.sgd),
+        strategy_(MakeStrategy(options.strategy, options.alpha)) {}
+
+  /// Populates the view with its entity set.
+  Status BulkLoad(const std::vector<Entity>& entities);
+
+  /// Folds a training example into the kernel model and maintains labels.
+  Status Update(const ml::LabeledExample& example);
+
+  /// Label of one entity under the current model.
+  StatusOr<int> SingleEntityRead(int64_t id) const;
+
+  /// Count of entities currently labeled `label`.
+  StatusOr<uint64_t> AllMembersCount(int label) const;
+
+  const ml::KernelModel& model() const { return model_; }
+  const ViewStats& stats() const { return stats_; }
+  ViewStats* mutable_stats() { return &stats_; }
+
+  /// Cumulative ℓ1 coefficient drift since the last reorganization — the
+  /// half-width of the kernel water window.
+  double drift() const { return drift_; }
+
+  /// Tuples currently inside the window [−drift, +drift).
+  size_t WindowSize() const;
+
+ private:
+  struct Row {
+    int64_t id;
+    double eps;  // under the stored model (the clustering key)
+    int label;
+    ml::FeatureVector features;
+  };
+
+  void Reorganize();
+  size_t LowerBound(double x) const;
+  size_t IncrementalStep();
+
+  KernelViewOptions options_;
+  ml::KernelModel model_;
+  ml::KernelSgdTrainer trainer_;
+  std::unique_ptr<MaintenanceStrategy> strategy_;
+  ViewStats stats_;
+  std::vector<Row> rows_;
+  std::unordered_map<int64_t, size_t> index_;
+  double drift_ = 0.0;   // cumulative l1 coefficient movement since reorg
+  double reorg_cost_ = 0.0;
+};
+
+}  // namespace hazy::core
+
+#endif  // HAZY_CORE_KERNEL_VIEW_H_

@@ -1,0 +1,91 @@
+#include "core/multiclass_view.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace hazy::core {
+
+MulticlassView::MulticlassView(int num_classes, Architecture arch, ViewOptions options,
+                               storage::BufferPool* pool) {
+  HAZY_CHECK(num_classes >= 2) << "multiclass needs at least two classes";
+  views_.reserve(static_cast<size_t>(num_classes));
+  for (int k = 0; k < num_classes; ++k) {
+    auto view = MakeView(arch, options, pool);
+    if (!view.ok()) {
+      init_status_ = view.status();
+      return;
+    }
+    views_.push_back(std::move(*view));
+  }
+}
+
+Status MulticlassView::BulkLoad(const std::vector<Entity>& entities) {
+  HAZY_RETURN_NOT_OK(init_status_);
+  for (auto& v : views_) HAZY_RETURN_NOT_OK(v->BulkLoad(entities));
+  features_.reserve(entities.size());
+  for (const auto& e : entities) features_.emplace(e.id, e.features);
+  return Status::OK();
+}
+
+Status MulticlassView::Update(const ml::MulticlassExample& example) {
+  HAZY_RETURN_NOT_OK(init_status_);
+  if (example.klass < 0 || example.klass >= num_classes()) {
+    return Status::InvalidArgument(StrFormat("class %d out of range", example.klass));
+  }
+  for (int k = 0; k < num_classes(); ++k) {
+    ml::LabeledExample bin;
+    bin.id = example.id;
+    bin.features = example.features;
+    bin.label = (k == example.klass) ? 1 : -1;
+    HAZY_RETURN_NOT_OK(views_[static_cast<size_t>(k)]->Update(bin));
+  }
+  return Status::OK();
+}
+
+Status MulticlassView::WarmModel(const std::vector<ml::MulticlassExample>& examples) {
+  HAZY_RETURN_NOT_OK(init_status_);
+  for (int k = 0; k < num_classes(); ++k) {
+    std::vector<ml::LabeledExample> binary;
+    binary.reserve(examples.size());
+    for (const auto& ex : examples) {
+      binary.push_back(
+          ml::LabeledExample{ex.id, ex.features, ex.klass == k ? 1 : -1});
+    }
+    HAZY_RETURN_NOT_OK(views_[static_cast<size_t>(k)]->WarmModel(binary));
+  }
+  return Status::OK();
+}
+
+int MulticlassView::Classify(const ml::FeatureVector& features) const {
+  int best = 0;
+  double best_eps = views_[0]->model().Eps(features);
+  for (int k = 1; k < num_classes(); ++k) {
+    double e = views_[static_cast<size_t>(k)]->model().Eps(features);
+    if (e > best_eps) {
+      best_eps = e;
+      best = k;
+    }
+  }
+  return best;
+}
+
+StatusOr<int> MulticlassView::PredictClass(int64_t id) const {
+  auto it = features_.find(id);
+  if (it == features_.end()) {
+    return Status::NotFound(StrFormat("no entity %lld", static_cast<long long>(id)));
+  }
+  return Classify(it->second);
+}
+
+StatusOr<uint64_t> MulticlassView::ClassCount(int klass) const {
+  if (klass < 0 || klass >= num_classes()) {
+    return Status::InvalidArgument(StrFormat("class %d out of range", klass));
+  }
+  uint64_t n = 0;
+  for (const auto& [id, f] : features_) {
+    if (Classify(f) == klass) ++n;
+  }
+  return n;
+}
+
+}  // namespace hazy::core

@@ -1,0 +1,62 @@
+// Multiclass classification views (paper B.5.4 and Appendix C.3): a
+// sequential one-versus-all ensemble of binary classification views, one
+// per label, each maintained with the same Hazy machinery. An arriving
+// multiclass training example becomes K binary updates.
+
+#ifndef HAZY_CORE_MULTICLASS_VIEW_H_
+#define HAZY_CORE_MULTICLASS_VIEW_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/classifier_view.h"
+#include "core/view_factory.h"
+#include "ml/multiclass.h"
+
+namespace hazy::core {
+
+/// \brief One-vs-all multiclass view over any binary architecture.
+class MulticlassView {
+ public:
+  /// \param num_classes number of labels (>= 2)
+  /// \param arch        binary architecture for each per-class view
+  /// \param options     per-view options (mode, strategy, ...)
+  /// \param pool        buffer pool for on-disk architectures
+  MulticlassView(int num_classes, Architecture arch, ViewOptions options,
+                 storage::BufferPool* pool);
+
+  /// Populates all per-class views (and the feature cache used to resolve
+  /// argmax predictions).
+  Status BulkLoad(const std::vector<Entity>& entities);
+
+  /// Folds a multiclass example into all K binary views (one-vs-all).
+  Status Update(const ml::MulticlassExample& example);
+
+  /// Bulk-trains all K binary models without per-update maintenance, then
+  /// re-syncs each view (the binary WarmModel applied one-vs-all).
+  Status WarmModel(const std::vector<ml::MulticlassExample>& examples);
+
+  /// Predicted class of a feature vector: argmax_k eps_k.
+  int Classify(const ml::FeatureVector& features) const;
+
+  /// Predicted class of a stored entity.
+  StatusOr<int> PredictClass(int64_t id) const;
+
+  /// Count of entities whose argmax class is `klass` (full scan).
+  StatusOr<uint64_t> ClassCount(int klass) const;
+
+  int num_classes() const { return static_cast<int>(views_.size()); }
+  const ClassificationView& view(int klass) const { return *views_[static_cast<size_t>(klass)]; }
+
+  Status status() const { return init_status_; }
+
+ private:
+  std::vector<std::unique_ptr<ClassificationView>> views_;
+  std::unordered_map<int64_t, ml::FeatureVector> features_;
+  Status init_status_;
+};
+
+}  // namespace hazy::core
+
+#endif  // HAZY_CORE_MULTICLASS_VIEW_H_

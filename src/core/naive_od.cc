@@ -1,0 +1,132 @@
+#include "core/naive_od.h"
+
+#include "common/strings.h"
+#include "common/timer.h"
+
+namespace hazy::core {
+
+Status NaiveODView::BulkLoad(const std::vector<Entity>& entities) {
+  HAZY_RETURN_NOT_OK(heap_.Create());
+  id_index_.Reserve(entities.size());
+  std::string buf;
+  for (const auto& e : entities) {
+    if (e.id < 0) return Status::InvalidArgument("entity ids must be non-negative");
+    if (id_index_.Contains(e.id)) {
+      return Status::AlreadyExists(StrFormat("duplicate entity id %lld",
+                                             static_cast<long long>(e.id)));
+    }
+    EntityRecord rec;
+    rec.id = e.id;
+    rec.eps = model_.Eps(e.features);
+    rec.label = ml::SignOf(rec.eps);
+    rec.features = e.features;
+    EncodeEntityRecord(rec, &buf);
+    HAZY_ASSIGN_OR_RETURN(storage::Rid rid, heap_.Append(buf));
+    id_index_.Put(e.id, rid);
+    ++num_rows_;
+  }
+  return Status::OK();
+}
+
+Status NaiveODView::AddEntity(const Entity& entity) {
+  if (entity.id < 0) return Status::InvalidArgument("entity ids must be non-negative");
+  if (id_index_.Contains(entity.id)) {
+    return Status::AlreadyExists(StrFormat("duplicate entity id %lld",
+                                           static_cast<long long>(entity.id)));
+  }
+  EntityRecord rec;
+  rec.id = entity.id;
+  rec.eps = model_.Eps(entity.features);
+  rec.label = ml::SignOf(rec.eps);
+  rec.features = entity.features;
+  std::string buf;
+  EncodeEntityRecord(rec, &buf);
+  HAZY_ASSIGN_OR_RETURN(storage::Rid rid, heap_.Append(buf));
+  id_index_.Put(entity.id, rid);
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status NaiveODView::ReclassifyAll() {
+  Status inner;
+  Status s = heap_.Scan([&](storage::Rid rid, std::string_view bytes) {
+    auto rec = DecodeEntityRecord(bytes);
+    if (!rec.ok()) {
+      inner = rec.status();
+      return false;
+    }
+    int label = model_.Classify(rec->features);
+    ++stats_.tuples_scanned;
+    if (label != rec->label) {
+      ++stats_.label_flips;
+      inner = heap_.Patch(rid, [&](char* head, size_t size) {
+        PatchLabel(head, size, label);
+      });
+      if (!inner.ok()) return false;
+    }
+    return true;
+  });
+  HAZY_RETURN_NOT_OK(inner);
+  return s;
+}
+
+Status NaiveODView::Update(const ml::LabeledExample& example) {
+  Timer timer;
+  TrainStep(example);
+  if (options_.mode == Mode::kEager) {
+    HAZY_RETURN_NOT_OK(ReclassifyAll());
+  }
+  ++stats_.updates;
+  stats_.total_update_seconds += timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+StatusOr<int> NaiveODView::SingleEntityRead(int64_t id) {
+  ++stats_.single_reads;
+  HAZY_ASSIGN_OR_RETURN(storage::Rid rid, id_index_.Get(id));
+  std::string buf;
+  HAZY_RETURN_NOT_OK(heap_.Get(rid, &buf));
+  ++stats_.reads_from_store;
+  if (options_.mode == Mode::kEager) {
+    HAZY_ASSIGN_OR_RETURN(EntityHeader h, DecodeEntityHeader(buf));
+    return h.label;
+  }
+  HAZY_ASSIGN_OR_RETURN(EntityRecord rec, DecodeEntityRecord(buf));
+  return model_.Classify(rec.features);
+}
+
+StatusOr<std::vector<int64_t>> NaiveODView::AllMembers(int label) {
+  ++stats_.all_members_queries;
+  std::vector<int64_t> out;
+  Status inner;
+  HAZY_RETURN_NOT_OK(heap_.Scan([&](storage::Rid, std::string_view bytes) {
+    ++stats_.tuples_scanned;
+    if (options_.mode == Mode::kEager) {
+      auto h = DecodeEntityHeader(bytes);
+      if (!h.ok()) {
+        inner = h.status();
+        return false;
+      }
+      if (h->label == label) out.push_back(h->id);
+    } else {
+      auto rec = DecodeEntityRecord(bytes);
+      if (!rec.ok()) {
+        inner = rec.status();
+        return false;
+      }
+      if (model_.Classify(rec->features) == label) out.push_back(rec->id);
+    }
+    return true;
+  }));
+  HAZY_RETURN_NOT_OK(inner);
+  return out;
+}
+
+StatusOr<uint64_t> NaiveODView::AllMembersCount(int label) {
+  HAZY_ASSIGN_OR_RETURN(std::vector<int64_t> members, AllMembers(label));
+  return static_cast<uint64_t>(members.size());
+}
+
+size_t NaiveODView::MemoryBytes() const { return id_index_.ApproxBytes(); }
+
+}  // namespace hazy::core

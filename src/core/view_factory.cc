@@ -1,0 +1,60 @@
+#include "core/view_factory.h"
+
+#include "core/hazy_mm.h"
+#include "core/hazy_od.h"
+#include "core/hybrid.h"
+#include "core/naive_mm.h"
+#include "core/naive_od.h"
+
+namespace hazy::core {
+
+const char* ArchitectureToString(Architecture arch) {
+  switch (arch) {
+    case Architecture::kNaiveMM:
+      return "naive-mm";
+    case Architecture::kHazyMM:
+      return "hazy-mm";
+    case Architecture::kNaiveOD:
+      return "naive-od";
+    case Architecture::kHazyOD:
+      return "hazy-od";
+    case Architecture::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+StatusOr<std::unique_ptr<ClassificationView>> MakeView(Architecture arch,
+                                                       ViewOptions options,
+                                                       storage::BufferPool* pool) {
+  if (!options.monotone_water && options.mode == Mode::kLazy) {
+    // The non-monotone two-round water lines (Appendix B.3) are only sound
+    // when every round relabels its window, i.e. in eager mode.
+    return Status::InvalidArgument(
+        "non-monotone water lines require eager maintenance");
+  }
+  switch (arch) {
+    case Architecture::kNaiveMM:
+      return std::unique_ptr<ClassificationView>(new NaiveMMView(options));
+    case Architecture::kHazyMM:
+      return std::unique_ptr<ClassificationView>(new HazyMMView(options));
+    case Architecture::kNaiveOD:
+      if (pool == nullptr) {
+        return Status::InvalidArgument("naive-od requires a buffer pool");
+      }
+      return std::unique_ptr<ClassificationView>(new NaiveODView(options, pool));
+    case Architecture::kHazyOD:
+      if (pool == nullptr) {
+        return Status::InvalidArgument("hazy-od requires a buffer pool");
+      }
+      return std::unique_ptr<ClassificationView>(new HazyODView(options, pool));
+    case Architecture::kHybrid:
+      if (pool == nullptr) {
+        return Status::InvalidArgument("hybrid requires a buffer pool");
+      }
+      return std::unique_ptr<ClassificationView>(new HybridView(options, pool));
+  }
+  return Status::InvalidArgument("unknown architecture");
+}
+
+}  // namespace hazy::core

@@ -1,0 +1,33 @@
+// Constructs any of the five architectures behind the common
+// ClassificationView interface — the matrix of techniques in Figure 4.
+
+#ifndef HAZY_CORE_VIEW_FACTORY_H_
+#define HAZY_CORE_VIEW_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/classifier_view.h"
+#include "storage/buffer_pool.h"
+
+namespace hazy::core {
+
+/// The five architectures evaluated in the paper.
+enum class Architecture { kNaiveMM, kHazyMM, kNaiveOD, kHazyOD, kHybrid };
+
+const char* ArchitectureToString(Architecture arch);
+
+/// All architectures, in the order the paper's tables list them.
+inline constexpr Architecture kAllArchitectures[] = {
+    Architecture::kNaiveOD, Architecture::kHazyOD, Architecture::kHybrid,
+    Architecture::kNaiveMM, Architecture::kHazyMM};
+
+/// Builds a view. `pool` is required for the on-disk and hybrid
+/// architectures and ignored by the main-memory ones.
+StatusOr<std::unique_ptr<ClassificationView>> MakeView(Architecture arch,
+                                                       ViewOptions options,
+                                                       storage::BufferPool* pool);
+
+}  // namespace hazy::core
+
+#endif  // HAZY_CORE_VIEW_FACTORY_H_

@@ -1,0 +1,183 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace hazy::data {
+
+std::vector<Document> GenerateTextCorpus(const TextCorpusOptions& options) {
+  HAZY_CHECK(options.vocab_size > 2 * options.topic_words_per_class)
+      << "vocabulary must be larger than the topic pools";
+  Rng rng(options.seed);
+  const uint32_t background = options.vocab_size - 2 * options.topic_words_per_class;
+  ZipfSampler zipf(background, options.zipf_s);
+
+  std::vector<Document> docs;
+  docs.reserve(options.num_entities);
+  for (size_t i = 0; i < options.num_entities; ++i) {
+    Document d;
+    d.id = static_cast<int64_t>(i);
+    int true_label = rng.Bernoulli(0.5) ? 1 : -1;
+    d.label = rng.Bernoulli(options.label_noise) ? -true_label : true_label;
+
+    double len_mean = static_cast<double>(options.doc_len_mean);
+    size_t len = static_cast<size_t>(
+        std::max(1.0, std::round(rng.Gaussian(len_mean, len_mean / 3.0))));
+    d.text.reserve(len * 8);
+    for (size_t w = 0; w < len; ++w) {
+      uint32_t word_id;
+      if (rng.Bernoulli(options.topic_fraction)) {
+        uint32_t t = static_cast<uint32_t>(rng.Uniform(options.topic_words_per_class));
+        // Topic pools occupy [0, T) for +1 and [T, 2T) for -1.
+        word_id = (true_label > 0) ? t : options.topic_words_per_class + t;
+      } else {
+        word_id = 2 * options.topic_words_per_class +
+                  static_cast<uint32_t>(zipf.Sample(&rng));
+      }
+      if (w > 0) d.text.push_back(' ');
+      d.text += StrFormat("w%u", word_id);
+    }
+    docs.push_back(std::move(d));
+  }
+  return docs;
+}
+
+std::vector<DensePoint> GenerateDenseCorpus(const DenseCorpusOptions& options) {
+  HAZY_CHECK(options.num_classes >= 2) << "need at least two classes";
+  Rng rng(options.seed);
+
+  // Class means: random unit directions scaled by separation/2. For the
+  // binary case the means are antipodal so `separation` is the actual
+  // distance between them (random directions could land arbitrarily close).
+  std::vector<std::vector<double>> means(static_cast<size_t>(options.num_classes));
+  for (size_t k = 0; k < means.size(); ++k) {
+    auto& mu = means[k];
+    if (options.num_classes == 2 && k == 1) {
+      mu = means[0];
+      for (auto& m : mu) m = -m;
+      continue;
+    }
+    mu.resize(options.dim);
+    double norm = 0.0;
+    for (auto& m : mu) {
+      m = rng.Gaussian();
+      norm += m * m;
+    }
+    norm = std::sqrt(std::max(norm, 1e-12));
+    for (auto& m : mu) m = m / norm * (options.separation / 2.0);
+  }
+
+  std::vector<DensePoint> points;
+  points.reserve(options.num_entities);
+  for (size_t i = 0; i < options.num_entities; ++i) {
+    DensePoint p;
+    p.id = static_cast<int64_t>(i);
+    int true_class = static_cast<int>(rng.Uniform(static_cast<uint64_t>(options.num_classes)));
+    p.klass = rng.Bernoulli(options.label_noise)
+                  ? static_cast<int>(rng.Uniform(static_cast<uint64_t>(options.num_classes)))
+                  : true_class;
+    std::vector<double> x(options.dim);
+    const auto& mu = means[static_cast<size_t>(true_class)];
+    for (uint32_t j = 0; j < options.dim; ++j) x[j] = mu[j] + rng.Gaussian();
+    p.features = ml::FeatureVector::Dense(std::move(x));
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+StatusOr<std::vector<ml::LabeledExample>> Featurize(
+    const std::vector<Document>& docs, features::FeatureFunction* fn) {
+  std::vector<std::string> corpus;
+  corpus.reserve(docs.size());
+  for (const auto& d : docs) corpus.push_back(d.text);
+  HAZY_RETURN_NOT_OK(fn->ComputeStats(corpus));
+
+  std::vector<ml::LabeledExample> out;
+  out.reserve(docs.size());
+  for (const auto& d : docs) {
+    HAZY_ASSIGN_OR_RETURN(ml::FeatureVector f, fn->ComputeFeature(d.text));
+    out.push_back(ml::LabeledExample{d.id, std::move(f), d.label});
+  }
+  return out;
+}
+
+std::vector<ml::LabeledExample> ToBinary(const std::vector<DensePoint>& points,
+                                         int positive_class) {
+  std::vector<ml::LabeledExample> out;
+  out.reserve(points.size());
+  for (const auto& p : points) {
+    out.push_back(
+        ml::LabeledExample{p.id, p.features, p.klass == positive_class ? 1 : -1});
+  }
+  return out;
+}
+
+std::vector<ml::MulticlassExample> ToMulticlass(const std::vector<DensePoint>& points) {
+  std::vector<ml::MulticlassExample> out;
+  out.reserve(points.size());
+  for (const auto& p : points) {
+    out.push_back(ml::MulticlassExample{p.id, p.features, p.klass});
+  }
+  return out;
+}
+
+namespace {
+size_t Scaled(size_t full, double scale, size_t floor_at) {
+  return std::max(floor_at, static_cast<size_t>(static_cast<double>(full) * scale));
+}
+}  // namespace
+
+DenseCorpusOptions ForestLike(double scale, uint64_t seed) {
+  DenseCorpusOptions o;
+  o.num_entities = Scaled(582000, scale, 1000);
+  o.dim = 54;
+  o.num_classes = 2;
+  o.separation = 1.6;
+  o.seed = seed;
+  return o;
+}
+
+TextCorpusOptions DBLifeLike(double scale, uint64_t seed) {
+  TextCorpusOptions o;
+  o.num_entities = Scaled(124000, scale, 1000);
+  o.vocab_size = static_cast<uint32_t>(Scaled(41000, scale, 4000));
+  o.topic_words_per_class = 150;
+  o.doc_len_mean = 7;  // titles: |F| != 0 is 7 in Figure 3
+  o.topic_fraction = 0.4;
+  o.seed = seed;
+  return o;
+}
+
+TextCorpusOptions CiteseerLike(double scale, uint64_t seed) {
+  TextCorpusOptions o;
+  o.num_entities = Scaled(721000, scale, 1000);
+  o.vocab_size = static_cast<uint32_t>(Scaled(682000, scale, 8000));
+  o.topic_words_per_class = 400;
+  o.doc_len_mean = 60;  // abstracts: |F| != 0 is 60 in Figure 3
+  o.topic_fraction = 0.3;
+  o.seed = seed;
+  return o;
+}
+
+DenseCorpusOptions MagicLike(double scale, uint64_t seed) {
+  DenseCorpusOptions o;
+  o.num_entities = Scaled(19020, scale, 1000);
+  o.dim = 10;
+  o.separation = 1.2;
+  o.seed = seed;
+  return o;
+}
+
+DenseCorpusOptions AdultLike(double scale, uint64_t seed) {
+  DenseCorpusOptions o;
+  o.num_entities = Scaled(48842, scale, 1000);
+  o.dim = 14;
+  o.separation = 1.4;
+  o.seed = seed;
+  return o;
+}
+
+}  // namespace hazy::data

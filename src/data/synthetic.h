@@ -1,0 +1,111 @@
+// Synthetic corpus generators standing in for the paper's datasets
+// (Figure 3: Forest, DBLife, Citeseer — plus MAGIC/ADULT for Fig 10).
+// See DESIGN.md "Substitutions": Hazy's performance depends on corpus shape
+// (entity count, dimensionality, sparsity, separability), which these
+// generators expose as parameters, not on the underlying strings.
+
+#ifndef HAZY_DATA_SYNTHETIC_H_
+#define HAZY_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "features/feature_function.h"
+#include "ml/multiclass.h"
+#include "ml/vector.h"
+
+namespace hazy::data {
+
+/// One text entity: id, raw text, and its ground-truth label.
+struct Document {
+  int64_t id = 0;
+  std::string text;
+  int label = 1;  // {-1, +1}
+};
+
+/// \brief Parameters for the Zipf-vocabulary text generator.
+///
+/// Documents mix class-specific "topic" words with a Zipf-distributed
+/// background vocabulary; topic_fraction controls separability (and thus
+/// how wide Hazy's water window is in the steady state).
+struct TextCorpusOptions {
+  size_t num_entities = 10000;
+  uint32_t vocab_size = 20000;
+  uint32_t topic_words_per_class = 200;
+  double topic_fraction = 0.35;
+  size_t doc_len_mean = 10;
+  double zipf_s = 1.1;
+  double label_noise = 0.02;
+  uint64_t seed = 1;
+};
+
+/// Generates a labeled text corpus.
+std::vector<Document> GenerateTextCorpus(const TextCorpusOptions& options);
+
+/// One dense entity with a multiclass ground-truth label.
+struct DensePoint {
+  int64_t id = 0;
+  ml::FeatureVector features;
+  int klass = 0;
+};
+
+/// \brief Parameters for the Gaussian-mixture dense generator (Forest-like).
+struct DenseCorpusOptions {
+  size_t num_entities = 10000;
+  uint32_t dim = 54;
+  int num_classes = 2;
+  /// Distance between class means (in units of the within-class stddev).
+  double separation = 2.0;
+  double label_noise = 0.02;
+  uint64_t seed = 1;
+};
+
+/// Generates a labeled dense corpus.
+std::vector<DensePoint> GenerateDenseCorpus(const DenseCorpusOptions& options);
+
+/// Runs a feature function over a text corpus: first a ComputeStats pass,
+/// then ComputeFeature per document.
+StatusOr<std::vector<ml::LabeledExample>> Featurize(
+    const std::vector<Document>& docs, features::FeatureFunction* fn);
+
+/// Binary examples from a dense corpus: label +1 for `positive_class`.
+std::vector<ml::LabeledExample> ToBinary(const std::vector<DensePoint>& points,
+                                         int positive_class);
+
+/// Multiclass examples from a dense corpus.
+std::vector<ml::MulticlassExample> ToMulticlass(const std::vector<DensePoint>& points);
+
+/// Deterministically shuffles examples into a training-arrival stream.
+template <typename T>
+std::vector<T> ShuffledStream(std::vector<T> items, uint64_t seed) {
+  Rng rng(seed);
+  rng.Shuffle(&items);
+  return items;
+}
+
+// ---------------------------------------------------------------------------
+// Dataset profiles (paper Figure 3), scaled by a size factor so benchmarks
+// finish in CI time. scale=1.0 reproduces the paper's entity counts.
+// ---------------------------------------------------------------------------
+
+/// Forest: 582k entities, 54 dense features.
+DenseCorpusOptions ForestLike(double scale, uint64_t seed = 11);
+
+/// DBLife: 124k entities, 41k-word vocabulary, ~7 non-zeros (titles).
+TextCorpusOptions DBLifeLike(double scale, uint64_t seed = 12);
+
+/// Citeseer: 721k entities, 682k-word vocabulary, ~60 non-zeros (abstracts).
+TextCorpusOptions CiteseerLike(double scale, uint64_t seed = 13);
+
+/// MAGIC-like (UCI): 19k entities, 10 dense features.
+DenseCorpusOptions MagicLike(double scale, uint64_t seed = 14);
+
+/// ADULT-like (UCI): 48k entities, 14 dense features.
+DenseCorpusOptions AdultLike(double scale, uint64_t seed = 15);
+
+}  // namespace hazy::data
+
+#endif  // HAZY_DATA_SYNTHETIC_H_

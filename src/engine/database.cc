@@ -1,0 +1,352 @@
+#include "engine/database.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "ml/model_selection.h"
+
+namespace hazy::engine {
+
+using storage::Row;
+using storage::Value;
+
+StatusOr<std::string> ManagedView::LabelOf(int64_t id) {
+  HAZY_ASSIGN_OR_RETURN(int sign, view_->SingleEntityRead(id));
+  return LabelString(sign);
+}
+
+StatusOr<std::vector<int64_t>> ManagedView::MembersOf(const std::string& label) {
+  HAZY_ASSIGN_OR_RETURN(int sign, LabelSign(label));
+  return view_->AllMembers(sign);
+}
+
+StatusOr<uint64_t> ManagedView::CountOf(const std::string& label) {
+  HAZY_ASSIGN_OR_RETURN(int sign, LabelSign(label));
+  return view_->AllMembersCount(sign);
+}
+
+StatusOr<int> ManagedView::LabelSign(const std::string& label) const {
+  if (EqualsIgnoreCase(label, labels_[0])) return 1;
+  if (EqualsIgnoreCase(label, labels_[1])) return -1;
+  return Status::InvalidArgument(StrFormat("'%s' is not a label of view %s",
+                                           label.c_str(), def_.view_name.c_str()));
+}
+
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
+
+Database::~Database() {
+  if (pager_ && pager_->is_open()) pager_->Close().ok();
+  if (owns_temp_file_ && !path_.empty()) ::unlink(path_.c_str());
+}
+
+Status Database::Open() {
+  if (pager_) return Status::InvalidArgument("database already open");
+  path_ = options_.path;
+  if (path_.empty()) {
+    path_ = storage::TempFilePath("db");
+    owns_temp_file_ = true;
+  }
+  pager_ = std::make_unique<storage::Pager>();
+  HAZY_RETURN_NOT_OK(pager_->Open(path_));
+  pool_ = std::make_unique<storage::BufferPool>(pager_.get(), options_.buffer_pool_pages);
+  catalog_ = std::make_unique<storage::Catalog>(pool_.get());
+  return Status::OK();
+}
+
+StatusOr<std::string> Database::EntityDocument(const ManagedView& mv,
+                                               const Row& row) const {
+  HAZY_ASSIGN_OR_RETURN(storage::Table * table,
+                        catalog_->GetTable(mv.def_.entity_table));
+  const storage::Schema& schema = table->schema();
+  std::string doc;
+  auto append_col = [&](size_t idx) {
+    const Value& v = row[idx];
+    if (std::holds_alternative<std::string>(v)) {
+      if (!doc.empty()) doc.push_back(' ');
+      doc += std::get<std::string>(v);
+    } else if (std::holds_alternative<double>(v)) {
+      if (!doc.empty()) doc.push_back(' ');
+      doc += StrFormat("%.17g", std::get<double>(v));
+    } else if (std::holds_alternative<int64_t>(v)) {
+      if (!doc.empty()) doc.push_back(' ');
+      doc += StrFormat("%lld", static_cast<long long>(std::get<int64_t>(v)));
+    }
+  };
+  if (mv.def_.entity_text_columns.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      if (schema.column(i).type == storage::ColumnType::kText) append_col(i);
+    }
+  } else {
+    for (const auto& name : mv.def_.entity_text_columns) {
+      HAZY_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(name));
+      append_col(idx);
+    }
+  }
+  return doc;
+}
+
+StatusOr<std::unique_ptr<core::ClassificationView>> Database::BuildCoreView(
+    const ClassificationViewDef& def) const {
+  core::ViewOptions vopts = options_.view_defaults;
+  vopts.mode = def.mode;
+  vopts.sgd.loss = def.method;
+  return core::MakeView(def.architecture, vopts, pool_.get());
+}
+
+StatusOr<ManagedView*> Database::CreateClassificationView(
+    const ClassificationViewDef& def) {
+  if (HasView(def.view_name) || catalog_->HasTable(def.view_name)) {
+    return Status::AlreadyExists(
+        StrFormat("'%s' already exists", def.view_name.c_str()));
+  }
+  HAZY_ASSIGN_OR_RETURN(storage::Table * entities,
+                        catalog_->GetTable(def.entity_table));
+  HAZY_ASSIGN_OR_RETURN(storage::Table * label_table,
+                        catalog_->GetTable(def.label_table));
+  HAZY_ASSIGN_OR_RETURN(storage::Table * examples,
+                        catalog_->GetTable(def.example_table));
+  HAZY_ASSIGN_OR_RETURN(size_t entity_key_idx,
+                        entities->schema().IndexOf(def.entity_key));
+  HAZY_ASSIGN_OR_RETURN(size_t label_col_idx,
+                        label_table->schema().IndexOf(def.label_column));
+  // Validate the example schema up front (the trigger bodies re-resolve).
+  HAZY_RETURN_NOT_OK(examples->schema().IndexOf(def.example_key).status());
+  HAZY_RETURN_NOT_OK(examples->schema().IndexOf(def.example_label).status());
+
+  auto mv = std::make_unique<ManagedView>();
+  mv->def_ = def;
+  mv->db_ = this;
+
+  // Enumerate the label vocabulary (binary views: exactly two labels).
+  HAZY_RETURN_NOT_OK(label_table->Scan([&](const Row& row) {
+    const Value& v = row[label_col_idx];
+    if (std::holds_alternative<std::string>(v)) {
+      mv->labels_.push_back(std::get<std::string>(v));
+    }
+    return true;
+  }));
+  if (mv->labels_.size() != 2) {
+    return Status::InvalidArgument(
+        StrFormat("view %s: binary classification views need exactly 2 labels, "
+                  "found %zu (use core::MulticlassView for more)",
+                  def.view_name.c_str(), mv->labels_.size()));
+  }
+
+  HAZY_ASSIGN_OR_RETURN(mv->feature_fn_, features::MakeFeatureFunction(def.feature_function));
+
+  // Pass 1 (computeStats): corpus statistics over all entities.
+  std::vector<std::string> corpus;
+  std::vector<int64_t> ids;
+  Status inner;
+  HAZY_RETURN_NOT_OK(entities->Scan([&](const Row& row) {
+    const Value& kv = row[entity_key_idx];
+    if (!std::holds_alternative<int64_t>(kv)) {
+      inner = Status::InvalidArgument("entity key must be INT");
+      return false;
+    }
+    auto doc = EntityDocument(*mv, row);
+    if (!doc.ok()) {
+      inner = doc.status();
+      return false;
+    }
+    ids.push_back(std::get<int64_t>(kv));
+    corpus.push_back(std::move(*doc));
+    return true;
+  }));
+  HAZY_RETURN_NOT_OK(inner);
+  HAZY_RETURN_NOT_OK(mv->feature_fn_->ComputeStats(corpus));
+
+  // Pass 2 (computeFeature): build the entity set.
+  std::vector<core::Entity> ents;
+  ents.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    HAZY_ASSIGN_OR_RETURN(ml::FeatureVector f, mv->feature_fn_->ComputeFeature(corpus[i]));
+    ents.push_back(core::Entity{ids[i], std::move(f)});
+  }
+
+  HAZY_ASSIGN_OR_RETURN(mv->view_, BuildCoreView(def));
+  HAZY_RETURN_NOT_OK(mv->view_->BulkLoad(ents));
+
+  // Replay any pre-existing training examples, then arm the triggers.
+  ManagedView* raw = mv.get();
+  HAZY_RETURN_NOT_OK(examples->Scan([&](const Row& row) {
+    inner = OnExampleInsert(raw, row);
+    return inner.ok();
+  }));
+  HAZY_RETURN_NOT_OK(inner);
+
+  entities->AddInsertTrigger([this, raw](const Row& row) {
+    return OnEntityInsert(raw, row);
+  });
+  entities->AddUpdateTrigger([this, raw](const Row& old_row, const Row& new_row) {
+    return OnEntityUpdate(raw, old_row, new_row);
+  });
+  examples->AddInsertTrigger([this, raw](const Row& row) {
+    return OnExampleInsert(raw, row);
+  });
+  examples->AddDeleteTrigger([this, raw](const Row& row) {
+    return OnExampleDelete(raw, row);
+  });
+  examples->AddUpdateTrigger([this, raw](const Row& old_row, const Row& new_row) {
+    return OnExampleUpdate(raw, old_row, new_row);
+  });
+
+  views_.push_back(std::move(mv));
+  return raw;
+}
+
+Status Database::OnEntityInsert(ManagedView* mv, const Row& row) {
+  HAZY_ASSIGN_OR_RETURN(storage::Table * entities,
+                        catalog_->GetTable(mv->def_.entity_table));
+  HAZY_ASSIGN_OR_RETURN(size_t key_idx, entities->schema().IndexOf(mv->def_.entity_key));
+  const Value& kv = row[key_idx];
+  if (!std::holds_alternative<int64_t>(kv)) {
+    return Status::InvalidArgument("entity key must be INT");
+  }
+  HAZY_ASSIGN_OR_RETURN(std::string doc, EntityDocument(*mv, row));
+  HAZY_RETURN_NOT_OK(mv->feature_fn_->ComputeStatsInc(doc));
+  HAZY_ASSIGN_OR_RETURN(ml::FeatureVector f, mv->feature_fn_->ComputeFeature(doc));
+  return mv->view_->AddEntity(core::Entity{std::get<int64_t>(kv), std::move(f)});
+}
+
+Status Database::OnExampleInsert(ManagedView* mv, const Row& row) {
+  HAZY_ASSIGN_OR_RETURN(storage::Table * examples,
+                        catalog_->GetTable(mv->def_.example_table));
+  HAZY_ASSIGN_OR_RETURN(size_t key_idx, examples->schema().IndexOf(mv->def_.example_key));
+  HAZY_ASSIGN_OR_RETURN(size_t label_idx,
+                        examples->schema().IndexOf(mv->def_.example_label));
+  const Value& kv = row[key_idx];
+  const Value& lv = row[label_idx];
+  if (!std::holds_alternative<int64_t>(kv) || !std::holds_alternative<std::string>(lv)) {
+    return Status::InvalidArgument("example rows must be (INT id, TEXT label)");
+  }
+  int64_t id = std::get<int64_t>(kv);
+  HAZY_ASSIGN_OR_RETURN(int sign, mv->LabelSign(std::get<std::string>(lv)));
+
+  // The example references an entity: featurize its current tuple.
+  HAZY_ASSIGN_OR_RETURN(storage::Table * entities,
+                        catalog_->GetTable(mv->def_.entity_table));
+  HAZY_ASSIGN_OR_RETURN(Row entity_row, entities->GetByKey(id));
+  HAZY_ASSIGN_OR_RETURN(std::string doc, EntityDocument(*mv, entity_row));
+  HAZY_ASSIGN_OR_RETURN(ml::FeatureVector f, mv->feature_fn_->ComputeFeature(doc));
+
+  mv->example_log_.emplace_back(id, sign);
+  return mv->view_->Update(ml::LabeledExample{id, std::move(f), sign});
+}
+
+Status Database::OnExampleDelete(ManagedView* mv, const Row& row) {
+  HAZY_ASSIGN_OR_RETURN(storage::Table * examples,
+                        catalog_->GetTable(mv->def_.example_table));
+  HAZY_ASSIGN_OR_RETURN(size_t key_idx, examples->schema().IndexOf(mv->def_.example_key));
+  const Value& kv = row[key_idx];
+  if (!std::holds_alternative<int64_t>(kv)) {
+    return Status::InvalidArgument("example key must be INT");
+  }
+  int64_t id = std::get<int64_t>(kv);
+  auto it = std::find_if(mv->example_log_.begin(), mv->example_log_.end(),
+                         [&](const auto& p) { return p.first == id; });
+  if (it != mv->example_log_.end()) mv->example_log_.erase(it);
+  // Paper footnote 2: deletions retrain the model from scratch.
+  return RebuildFromScratch(mv);
+}
+
+Status Database::OnEntityUpdate(ManagedView* mv, const Row& old_row,
+                                const Row& new_row) {
+  (void)old_row;
+  (void)new_row;
+  // An entity's tuple (hence its features) changed: conservatively rebuild
+  // the view, like the paper's non-incremental handling of mutations that
+  // the incremental algorithms do not cover.
+  return RebuildFromScratch(mv);
+}
+
+Status Database::OnExampleUpdate(ManagedView* mv, const Row& old_row,
+                                 const Row& new_row) {
+  HAZY_ASSIGN_OR_RETURN(storage::Table * examples,
+                        catalog_->GetTable(mv->def_.example_table));
+  HAZY_ASSIGN_OR_RETURN(size_t key_idx, examples->schema().IndexOf(mv->def_.example_key));
+  HAZY_ASSIGN_OR_RETURN(size_t label_idx,
+                        examples->schema().IndexOf(mv->def_.example_label));
+  const Value& kv = new_row[key_idx];
+  const Value& lv = new_row[label_idx];
+  if (!std::holds_alternative<int64_t>(kv) || !std::holds_alternative<std::string>(lv)) {
+    return Status::InvalidArgument("example rows must be (INT id, TEXT label)");
+  }
+  const Value& old_lv = old_row[label_idx];
+  if (std::holds_alternative<std::string>(old_lv) &&
+      EqualsIgnoreCase(std::get<std::string>(old_lv), std::get<std::string>(lv))) {
+    return Status::OK();  // label unchanged: nothing to retrain
+  }
+  int64_t id = std::get<int64_t>(kv);
+  HAZY_ASSIGN_OR_RETURN(int sign, mv->LabelSign(std::get<std::string>(lv)));
+  for (auto& entry : mv->example_log_) {
+    if (entry.first == id) entry.second = sign;
+  }
+  // Footnote 2: "Hazy supports deletion and change of labels by retraining
+  // the model from scratch, i.e., not incrementally."
+  return RebuildFromScratch(mv);
+}
+
+Status Database::RebuildFromScratch(ManagedView* mv) {
+  HAZY_ASSIGN_OR_RETURN(storage::Table * entities,
+                        catalog_->GetTable(mv->def_.entity_table));
+  HAZY_ASSIGN_OR_RETURN(size_t key_idx, entities->schema().IndexOf(mv->def_.entity_key));
+
+  std::vector<core::Entity> ents;
+  Status inner;
+  HAZY_RETURN_NOT_OK(entities->Scan([&](const Row& row) {
+    auto doc = EntityDocument(*mv, row);
+    if (!doc.ok()) {
+      inner = doc.status();
+      return false;
+    }
+    auto f = mv->feature_fn_->ComputeFeature(*doc);
+    if (!f.ok()) {
+      inner = f.status();
+      return false;
+    }
+    ents.push_back(core::Entity{std::get<int64_t>(row[key_idx]), std::move(*f)});
+    return true;
+  }));
+  HAZY_RETURN_NOT_OK(inner);
+
+  HAZY_ASSIGN_OR_RETURN(auto fresh, BuildCoreView(mv->def_));
+  HAZY_RETURN_NOT_OK(fresh->BulkLoad(ents));
+  // Replay the remaining training examples.
+  std::unordered_map<int64_t, const ml::FeatureVector*> by_id;
+  for (const auto& e : ents) by_id[e.id] = &e.features;
+  for (const auto& [id, sign] : mv->example_log_) {
+    auto fit = by_id.find(id);
+    if (fit == by_id.end()) continue;  // entity itself was deleted
+    HAZY_RETURN_NOT_OK(fresh->Update(ml::LabeledExample{id, *fit->second, sign}));
+  }
+  mv->view_ = std::move(fresh);
+  return Status::OK();
+}
+
+StatusOr<ManagedView*> Database::GetView(const std::string& name) const {
+  for (const auto& v : views_) {
+    if (EqualsIgnoreCase(v->name(), name)) return v.get();
+  }
+  return Status::NotFound(StrFormat("no classification view named '%s'", name.c_str()));
+}
+
+bool Database::HasView(const std::string& name) const {
+  for (const auto& v : views_) {
+    if (EqualsIgnoreCase(v->name(), name)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Database::ViewNames() const {
+  std::vector<std::string> out;
+  out.reserve(views_.size());
+  for (const auto& v : views_) out.push_back(v->name());
+  return out;
+}
+
+}  // namespace hazy::engine

@@ -1,0 +1,156 @@
+// The RDBMS integration layer (paper Sections 2.1 and B.1): base tables in
+// the storage engine, insert/delete triggers monitoring the entity and
+// example tables, and a registry of managed classification views. This is
+// the in-process analogue of Hazy's PostgreSQL deployment (triggers + a
+// Hazy process reached over IPC).
+
+#ifndef HAZY_ENGINE_DATABASE_H_
+#define HAZY_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/classifier_view.h"
+#include "core/view_factory.h"
+#include "features/feature_function.h"
+#include "ml/loss.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "storage/table.h"
+
+namespace hazy::engine {
+
+/// \brief Declarative description of a classification view — the SQL DDL of
+/// Example 2.1 in struct form.
+struct ClassificationViewDef {
+  std::string view_name;
+
+  std::string entity_table;      ///< ENTITIES FROM <table>
+  std::string entity_key;        ///< ... KEY <col>
+  /// Column(s) fed to the feature function. Empty = all TEXT columns.
+  std::vector<std::string> entity_text_columns;
+
+  std::string label_table;       ///< LABELS FROM <table>
+  std::string label_column;      ///< ... LABEL <col>
+
+  std::string example_table;     ///< EXAMPLES FROM <table>
+  std::string example_key;       ///< ... KEY <col>
+  std::string example_label;     ///< ... LABEL <col>
+
+  std::string feature_function = "tf_bag_of_words";  ///< FEATURE FUNCTION <f>
+  ml::LossKind method = ml::LossKind::kHinge;        ///< USING SVM | ...
+  bool method_specified = false;  ///< false: Hazy model-selects (§2.1)
+
+  core::Architecture architecture = core::Architecture::kHazyMM;
+  core::Mode mode = core::Mode::kEager;
+};
+
+class Database;
+
+/// \brief A live classification view: feature function + core view +
+/// label-string mapping + the replay log used for delete-triggered retrain.
+class ManagedView {
+ public:
+  const std::string& name() const { return def_.view_name; }
+  const ClassificationViewDef& def() const { return def_; }
+  core::ClassificationView* view() { return view_.get(); }
+  const core::ClassificationView* view() const { return view_.get(); }
+
+  /// Label string of one entity under the current model.
+  StatusOr<std::string> LabelOf(int64_t id);
+
+  /// All entity ids whose current label string is `label`.
+  StatusOr<std::vector<int64_t>> MembersOf(const std::string& label);
+
+  /// Count of entities with the given label string.
+  StatusOr<uint64_t> CountOf(const std::string& label);
+
+  /// The label strings, positive class first.
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  /// Maps +1/-1 to the label string.
+  const std::string& LabelString(int sign) const {
+    return sign > 0 ? labels_[0] : labels_[1];
+  }
+
+  /// Maps a label string to +1/-1 (InvalidArgument otherwise).
+  StatusOr<int> LabelSign(const std::string& label) const;
+
+ private:
+  friend class Database;
+  ClassificationViewDef def_;
+  std::unique_ptr<features::FeatureFunction> feature_fn_;
+  std::unique_ptr<core::ClassificationView> view_;
+  std::vector<std::string> labels_;  // [0] = positive, [1] = negative
+  /// Replay log of (entity id, label sign) training examples, kept so
+  /// deletes can retrain from scratch (paper footnote 2).
+  std::vector<std::pair<int64_t, int>> example_log_;
+  Database* db_ = nullptr;
+};
+
+/// \brief Configuration for a Database instance.
+struct DatabaseOptions {
+  /// Backing file; empty = a fresh temp file.
+  std::string path;
+  /// Buffer-pool frames (x 8 KiB).
+  size_t buffer_pool_pages = 4096;
+  /// Defaults applied to classification views.
+  core::ViewOptions view_defaults;
+};
+
+/// \brief An embedded database: catalog + triggers + classification views.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+  ~Database();
+
+  Status Open();
+
+  storage::Catalog* catalog() { return catalog_.get(); }
+  storage::BufferPool* buffer_pool() { return pool_.get(); }
+
+  /// Creates and populates a classification view over existing tables,
+  /// and wires the triggers that keep it maintained.
+  StatusOr<ManagedView*> CreateClassificationView(const ClassificationViewDef& def);
+
+  /// Looks up a view by name (case-insensitive).
+  StatusOr<ManagedView*> GetView(const std::string& name) const;
+  bool HasView(const std::string& name) const;
+  std::vector<std::string> ViewNames() const;
+
+ private:
+  /// Concatenates the configured text columns of an entity row.
+  StatusOr<std::string> EntityDocument(const ManagedView& mv,
+                                       const storage::Row& row) const;
+
+  /// Trigger bodies.
+  Status OnEntityInsert(ManagedView* mv, const storage::Row& row);
+  Status OnExampleInsert(ManagedView* mv, const storage::Row& row);
+  Status OnExampleDelete(ManagedView* mv, const storage::Row& row);
+  /// Paper footnote 2: label changes retrain the model from scratch; so do
+  /// entity tuple changes (their features change under the current model).
+  Status OnEntityUpdate(ManagedView* mv, const storage::Row& old_row,
+                        const storage::Row& new_row);
+  Status OnExampleUpdate(ManagedView* mv, const storage::Row& old_row,
+                         const storage::Row& new_row);
+
+  /// Paper footnote 2: deletes retrain the model from scratch.
+  Status RebuildFromScratch(ManagedView* mv);
+
+  StatusOr<std::unique_ptr<core::ClassificationView>> BuildCoreView(
+      const ClassificationViewDef& def) const;
+
+  DatabaseOptions options_;
+  std::string path_;
+  bool owns_temp_file_ = false;
+  std::unique_ptr<storage::Pager> pager_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<storage::Catalog> catalog_;
+  std::vector<std::unique_ptr<ManagedView>> views_;
+};
+
+}  // namespace hazy::engine
+
+#endif  // HAZY_ENGINE_DATABASE_H_

@@ -1,0 +1,191 @@
+#include "features/feature_function.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+#include "common/strings.h"
+#include "features/tokenizer.h"
+
+namespace hazy::features {
+
+uint32_t Vocabulary::GetOrAdd(const std::string& word) {
+  auto it = map_.find(word);
+  if (it != map_.end()) return it->second;
+  uint32_t idx = static_cast<uint32_t>(map_.size());
+  map_.emplace(word, idx);
+  return idx;
+}
+
+StatusOr<uint32_t> Vocabulary::Get(const std::string& word) const {
+  auto it = map_.find(word);
+  if (it == map_.end()) return Status::NotFound("word not in vocabulary");
+  return it->second;
+}
+
+Status FeatureFunction::ComputeStats(const std::vector<std::string>& corpus) {
+  for (const auto& doc : corpus) HAZY_RETURN_NOT_OK(ComputeStatsInc(doc));
+  return Status::OK();
+}
+
+Status FeatureFunction::ComputeStatsInc(const std::string&) { return Status::OK(); }
+
+namespace {
+
+// Builds a sorted (index, count) multiset for one document's tokens.
+std::map<uint32_t, double> CountTokens(const std::vector<std::string>& tokens,
+                                       Vocabulary* vocab, bool grow) {
+  std::map<uint32_t, double> counts;
+  for (const auto& tok : tokens) {
+    if (grow) {
+      counts[vocab->GetOrAdd(tok)] += 1.0;
+    } else {
+      auto idx = vocab->Get(tok);
+      if (idx.ok()) counts[*idx] += 1.0;
+    }
+  }
+  return counts;
+}
+
+ml::FeatureVector ToSparse(const std::map<uint32_t, double>& counts, uint32_t dim) {
+  std::vector<uint32_t> idx;
+  std::vector<double> val;
+  idx.reserve(counts.size());
+  val.reserve(counts.size());
+  for (const auto& [i, v] : counts) {
+    idx.push_back(i);
+    val.push_back(v);
+  }
+  return ml::FeatureVector::Sparse(std::move(idx), std::move(val), dim);
+}
+
+void L1Normalize(std::map<uint32_t, double>* counts) {
+  double total = 0.0;
+  for (const auto& [i, v] : *counts) total += std::fabs(v);
+  if (total > 0.0) {
+    for (auto& [i, v] : *counts) v /= total;
+  }
+}
+
+}  // namespace
+
+Status TfBagOfWords::ComputeStatsInc(const std::string& doc) {
+  // The vocabulary is the only statistic: make sure all words get indices.
+  for (const auto& tok : Tokenize(doc)) vocab_.GetOrAdd(tok);
+  return Status::OK();
+}
+
+StatusOr<ml::FeatureVector> TfBagOfWords::ComputeFeature(const std::string& doc) {
+  auto tokens = Tokenize(doc);
+  auto counts = CountTokens(tokens, &vocab_, /*grow=*/true);
+  L1Normalize(&counts);
+  return ToSparse(counts, vocab_.size());
+}
+
+Status TfIdfBagOfWords::ComputeStatsInc(const std::string& doc) {
+  auto tokens = Tokenize(doc);
+  std::map<uint32_t, double> seen = CountTokens(tokens, &vocab_, /*grow=*/true);
+  if (doc_freq_.size() < vocab_.size()) doc_freq_.resize(vocab_.size(), 0);
+  for (const auto& [i, v] : seen) ++doc_freq_[i];
+  ++num_docs_;
+  return Status::OK();
+}
+
+uint64_t TfIdfBagOfWords::doc_frequency(const std::string& word) const {
+  auto idx = vocab_.Get(word);
+  if (!idx.ok() || *idx >= doc_freq_.size()) return 0;
+  return doc_freq_[*idx];
+}
+
+StatusOr<ml::FeatureVector> TfIdfBagOfWords::ComputeFeature(const std::string& doc) {
+  auto tokens = Tokenize(doc);
+  auto counts = CountTokens(tokens, &vocab_, /*grow=*/true);
+  if (doc_freq_.size() < vocab_.size()) doc_freq_.resize(vocab_.size(), 0);
+  double len = 0.0;
+  for (const auto& [i, v] : counts) len += v;
+  if (len == 0.0) return ToSparse(counts, vocab_.size());
+  double n = std::max<double>(1.0, static_cast<double>(num_docs_));
+  for (auto& [i, v] : counts) {
+    double df = std::max<uint64_t>(1, doc_freq_[i]);
+    double idf = std::log((n + 1.0) / (static_cast<double>(df) + 1.0)) + 1.0;
+    v = (v / len) * idf;
+  }
+  return ToSparse(counts, vocab_.size());
+}
+
+Status TfIcfBagOfWords::ComputeStats(const std::vector<std::string>& corpus) {
+  for (const auto& doc : corpus) {
+    for (const auto& tok : Tokenize(doc)) {
+      uint32_t i = vocab_.GetOrAdd(tok);
+      if (corpus_freq_.size() < vocab_.size()) corpus_freq_.resize(vocab_.size(), 0);
+      ++corpus_freq_[i];
+    }
+    ++num_docs_;
+  }
+  frozen_ = true;
+  return Status::OK();
+}
+
+Status TfIcfBagOfWords::ComputeStatsInc(const std::string&) {
+  // TF-ICF explicitly does not update corpus statistics per document.
+  return Status::OK();
+}
+
+StatusOr<ml::FeatureVector> TfIcfBagOfWords::ComputeFeature(const std::string& doc) {
+  auto tokens = Tokenize(doc);
+  // Vocabulary is frozen: unknown words are dropped.
+  auto counts = CountTokens(tokens, &vocab_, /*grow=*/false);
+  double len = 0.0;
+  for (const auto& [i, v] : counts) len += v;
+  if (len == 0.0) return ToSparse(counts, vocab_.size());
+  double n = std::max<double>(1.0, static_cast<double>(num_docs_));
+  for (auto& [i, v] : counts) {
+    double cf = std::max<uint64_t>(1, i < corpus_freq_.size() ? corpus_freq_[i] : 1);
+    double icf = std::log((n + 1.0) / (static_cast<double>(cf) + 1.0)) + 1.0;
+    v = (v / len) * icf;
+  }
+  return ToSparse(counts, vocab_.size());
+}
+
+StatusOr<ml::FeatureVector> DenseVectorFunction::ComputeFeature(const std::string& doc) {
+  std::vector<double> values;
+  const char* p = doc.c_str();
+  char* end = nullptr;
+  for (;;) {
+    double v = std::strtod(p, &end);
+    if (end == p) break;
+    values.push_back(v);
+    p = end;
+  }
+  if (dim_ != 0 && values.size() != dim_) {
+    return Status::InvalidArgument(
+        StrFormat("dense_vector expects %u components, got %zu", dim_, values.size()));
+  }
+  if (dim_ == 0) dim_ = static_cast<uint32_t>(values.size());
+  return ml::FeatureVector::Dense(std::move(values));
+}
+
+StatusOr<std::unique_ptr<FeatureFunction>> MakeFeatureFunction(const std::string& name) {
+  if (EqualsIgnoreCase(name, "tf_bag_of_words")) {
+    return std::unique_ptr<FeatureFunction>(new TfBagOfWords());
+  }
+  if (EqualsIgnoreCase(name, "tf_idf_bag_of_words")) {
+    return std::unique_ptr<FeatureFunction>(new TfIdfBagOfWords());
+  }
+  if (EqualsIgnoreCase(name, "tf_icf_bag_of_words")) {
+    return std::unique_ptr<FeatureFunction>(new TfIcfBagOfWords());
+  }
+  if (EqualsIgnoreCase(name, "dense_vector")) {
+    return std::unique_ptr<FeatureFunction>(new DenseVectorFunction());
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown feature function '%s'", name.c_str()));
+}
+
+std::vector<std::string> RegisteredFeatureFunctions() {
+  return {"tf_bag_of_words", "tf_idf_bag_of_words", "tf_icf_bag_of_words",
+          "dense_vector"};
+}
+
+}  // namespace hazy::features

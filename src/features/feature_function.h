@@ -1,0 +1,136 @@
+// Feature functions (paper Section 2.1 and Appendix A.2).
+//
+// A feature function maps an entity tuple (here: its text) to a feature
+// vector. Following A.2 it is a triple of operations:
+//   ComputeStats     — one pass over a corpus collecting whatever statistics
+//                      the function needs (e.g. document frequencies),
+//   ComputeStatsInc  — incrementally folds one new document into the stats,
+//   ComputeFeature   — maps one document to its vector using the stats.
+//
+// Provided functions mirror the paper's examples:
+//   tf_bag_of_words      term frequencies, ℓ1-normalized (needs no corpus
+//                        stats beyond the growing vocabulary),
+//   tf_idf_bag_of_words  tf-idf with incrementally maintained document
+//                        frequencies,
+//   tf_icf_bag_of_words  term frequency / inverse *corpus* frequency whose
+//                        stats are frozen after ComputeStats (Reed et al.),
+//   dense_vector         parses whitespace-separated numbers (for dense
+//                        datasets like Forest).
+
+#ifndef HAZY_FEATURES_FEATURE_FUNCTION_H_
+#define HAZY_FEATURES_FEATURE_FUNCTION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/vector.h"
+
+namespace hazy::features {
+
+/// \brief Maps words to stable, dense vocabulary indices, growing on demand.
+class Vocabulary {
+ public:
+  /// Index of `word`, assigning the next free index if unseen.
+  uint32_t GetOrAdd(const std::string& word);
+
+  /// Index of `word`, or NotFound if unseen (never grows).
+  StatusOr<uint32_t> Get(const std::string& word) const;
+
+  uint32_t size() const { return static_cast<uint32_t>(map_.size()); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> map_;
+};
+
+/// \brief Abstract feature function (the A.2 triple).
+class FeatureFunction {
+ public:
+  virtual ~FeatureFunction() = default;
+
+  /// Name under which the function is registered (used by the SQL DDL's
+  /// FEATURE FUNCTION clause).
+  virtual const char* name() const = 0;
+
+  /// One full pass over a corpus of documents.
+  virtual Status ComputeStats(const std::vector<std::string>& corpus);
+
+  /// Incrementally folds one new document into the statistics.
+  virtual Status ComputeStatsInc(const std::string& doc);
+
+  /// Maps one document to its feature vector.
+  virtual StatusOr<ml::FeatureVector> ComputeFeature(const std::string& doc) = 0;
+
+  /// Current feature-space dimensionality.
+  virtual uint32_t dim() const = 0;
+};
+
+/// Term frequencies, ℓ1-normalized per document.
+class TfBagOfWords : public FeatureFunction {
+ public:
+  const char* name() const override { return "tf_bag_of_words"; }
+  Status ComputeStatsInc(const std::string& doc) override;
+  StatusOr<ml::FeatureVector> ComputeFeature(const std::string& doc) override;
+  uint32_t dim() const override { return vocab_.size(); }
+
+ protected:
+  Vocabulary vocab_;
+};
+
+/// tf-idf with incrementally maintained document frequencies.
+class TfIdfBagOfWords : public FeatureFunction {
+ public:
+  const char* name() const override { return "tf_idf_bag_of_words"; }
+  Status ComputeStatsInc(const std::string& doc) override;
+  StatusOr<ml::FeatureVector> ComputeFeature(const std::string& doc) override;
+  uint32_t dim() const override { return vocab_.size(); }
+
+  uint64_t num_docs() const { return num_docs_; }
+  uint64_t doc_frequency(const std::string& word) const;
+
+ private:
+  Vocabulary vocab_;
+  std::vector<uint64_t> doc_freq_;  // indexed by vocab index
+  uint64_t num_docs_ = 0;
+};
+
+/// TF-ICF: like tf-idf but corpus frequencies are frozen after the initial
+/// ComputeStats pass (ComputeStatsInc is deliberately a no-op).
+class TfIcfBagOfWords : public FeatureFunction {
+ public:
+  const char* name() const override { return "tf_icf_bag_of_words"; }
+  Status ComputeStats(const std::vector<std::string>& corpus) override;
+  Status ComputeStatsInc(const std::string& doc) override;
+  StatusOr<ml::FeatureVector> ComputeFeature(const std::string& doc) override;
+  uint32_t dim() const override { return vocab_.size(); }
+
+ private:
+  Vocabulary vocab_;
+  std::vector<uint64_t> corpus_freq_;
+  uint64_t num_docs_ = 0;
+  bool frozen_ = false;
+};
+
+/// Parses whitespace-separated numbers into a dense vector.
+class DenseVectorFunction : public FeatureFunction {
+ public:
+  explicit DenseVectorFunction(uint32_t dim = 0) : dim_(dim) {}
+  const char* name() const override { return "dense_vector"; }
+  StatusOr<ml::FeatureVector> ComputeFeature(const std::string& doc) override;
+  uint32_t dim() const override { return dim_; }
+
+ private:
+  uint32_t dim_;
+};
+
+/// Creates a feature function by registered name, or InvalidArgument.
+StatusOr<std::unique_ptr<FeatureFunction>> MakeFeatureFunction(const std::string& name);
+
+/// Names accepted by MakeFeatureFunction.
+std::vector<std::string> RegisteredFeatureFunctions();
+
+}  // namespace hazy::features
+
+#endif  // HAZY_FEATURES_FEATURE_FUNCTION_H_

@@ -1,0 +1,18 @@
+// Whitespace/punctuation tokenizer with ASCII lower-casing: the text front
+// end for the bag-of-words feature functions.
+
+#ifndef HAZY_FEATURES_TOKENIZER_H_
+#define HAZY_FEATURES_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hazy::features {
+
+/// Splits `text` into lowercase alphanumeric tokens.
+std::vector<std::string> Tokenize(std::string_view text);
+
+}  // namespace hazy::features
+
+#endif  // HAZY_FEATURES_TOKENIZER_H_

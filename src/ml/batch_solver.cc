@@ -1,0 +1,56 @@
+#include "ml/batch_solver.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace hazy::ml {
+
+double Objective(const LinearModel& model, const std::vector<LabeledExample>& train,
+                 LossKind loss, double lambda) {
+  double reg = 0.0;
+  for (double wi : model.w) reg += wi * wi;
+  reg *= 0.5 * lambda;
+  double empirical = 0.0;
+  for (const auto& ex : train) {
+    empirical += LossValue(loss, model.Eps(ex.features), ex.label);
+  }
+  if (!train.empty()) empirical /= static_cast<double>(train.size());
+  return reg + empirical;
+}
+
+BatchResult BatchSolver::Train(const std::vector<LabeledExample>& train) const {
+  BatchResult result;
+  if (train.empty()) return result;
+
+  SgdOptions sgd_opts;
+  sgd_opts.loss = options_.loss;
+  sgd_opts.lambda = options_.lambda;
+  sgd_opts.eta0 = options_.eta0;
+  SgdTrainer trainer(sgd_opts);
+
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(options_.seed);
+
+  double prev_obj = std::numeric_limits<double>::infinity();
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t i : order) {
+      trainer.Step(&result.model, train[i].features, train[i].label);
+    }
+    ++result.epochs;
+    double obj = Objective(result.model, train, options_.loss, options_.lambda);
+    if (epoch + 1 >= options_.min_epochs && std::isfinite(prev_obj)) {
+      double rel = std::fabs(prev_obj - obj) / std::max(1e-12, std::fabs(prev_obj));
+      if (rel < options_.tolerance) {
+        result.objective = obj;
+        return result;
+      }
+    }
+    prev_obj = obj;
+    result.objective = obj;
+  }
+  return result;
+}
+
+}  // namespace hazy::ml

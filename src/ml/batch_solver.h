@@ -1,0 +1,56 @@
+// Batch SVM/linear-model solver: the stand-in for SVMLight in the Figure 10
+// comparison (see DESIGN.md substitutions). It repeatedly sweeps the whole
+// training set until the regularized objective converges, which is the cost
+// shape of a batch tool — orders of magnitude more work per model than the
+// single-pass incremental SGD Hazy uses, at essentially the same quality.
+
+#ifndef HAZY_ML_BATCH_SOLVER_H_
+#define HAZY_ML_BATCH_SOLVER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "ml/loss.h"
+#include "ml/model.h"
+#include "ml/sgd.h"
+
+namespace hazy::ml {
+
+/// \brief Configuration for BatchSolver.
+struct BatchSolverOptions {
+  LossKind loss = LossKind::kHinge;
+  double lambda = 1e-4;
+  double eta0 = 0.1;
+  /// Stop when the relative objective improvement over an epoch drops
+  /// below this tolerance.
+  double tolerance = 1e-4;
+  int max_epochs = 200;
+  int min_epochs = 5;
+  uint64_t seed = 42;
+};
+
+/// \brief Result of a batch training run.
+struct BatchResult {
+  LinearModel model;
+  int epochs = 0;
+  double objective = 0.0;
+};
+
+/// Regularized empirical objective: λ/2 ‖w‖² + (1/n) Σ L(w·x − b, y).
+double Objective(const LinearModel& model, const std::vector<LabeledExample>& train,
+                 LossKind loss, double lambda);
+
+/// \brief Multi-epoch solver run to convergence.
+class BatchSolver {
+ public:
+  explicit BatchSolver(BatchSolverOptions options = {}) : options_(options) {}
+
+  BatchResult Train(const std::vector<LabeledExample>& train) const;
+
+ private:
+  BatchSolverOptions options_;
+};
+
+}  // namespace hazy::ml
+
+#endif  // HAZY_ML_BATCH_SOLVER_H_

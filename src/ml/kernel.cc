@@ -1,0 +1,35 @@
+#include "ml/kernel.h"
+
+#include <cmath>
+#include <vector>
+
+namespace hazy::ml {
+
+namespace {
+// Accumulates |x - y| component-wise distances for mixed representations.
+template <typename Fn>
+void ForEachDiff(const FeatureVector& x, const FeatureVector& y, Fn fn) {
+  uint32_t dim = std::max(x.dim(), y.dim());
+  // Materialize both to dense difference via ForEach merging.
+  std::vector<double> diff(dim, 0.0);
+  x.ForEach([&](uint32_t i, double v) { diff[i] += v; });
+  y.ForEach([&](uint32_t i, double v) { diff[i] -= v; });
+  for (double d : diff) fn(d);
+}
+}  // namespace
+
+double KernelValue(KernelKind kind, double gamma, const FeatureVector& x,
+                   const FeatureVector& y) {
+  double acc = 0.0;
+  switch (kind) {
+    case KernelKind::kRbf:
+      ForEachDiff(x, y, [&](double d) { acc += d * d; });
+      return std::exp(-gamma * acc);
+    case KernelKind::kLaplacian:
+      ForEachDiff(x, y, [&](double d) { acc += std::fabs(d); });
+      return std::exp(-gamma * acc);
+  }
+  return 0.0;
+}
+
+}  // namespace hazy::ml

@@ -1,0 +1,26 @@
+// Shift-invariant kernels (paper B.5.2/B.5.3). Hazy handles non-linear
+// classification either through explicit kernel expansions or — the route
+// the paper's experiments take — by *linearizing* shift-invariant kernels
+// with random Fourier features (see rff.h), after which everything reduces
+// to the linear machinery.
+
+#ifndef HAZY_ML_KERNEL_H_
+#define HAZY_ML_KERNEL_H_
+
+#include "ml/vector.h"
+
+namespace hazy::ml {
+
+/// Supported shift-invariant kernels.
+enum class KernelKind {
+  kRbf,        ///< exp(-gamma * ||x - y||_2^2)
+  kLaplacian,  ///< exp(-gamma * ||x - y||_1)
+};
+
+/// Evaluates K(x, y) for the given kernel.
+double KernelValue(KernelKind kind, double gamma, const FeatureVector& x,
+                   const FeatureVector& y);
+
+}  // namespace hazy::ml
+
+#endif  // HAZY_ML_KERNEL_H_

@@ -1,0 +1,51 @@
+#include "ml/kernel_model.h"
+
+#include <cmath>
+
+#include "ml/loss.h"
+
+namespace hazy::ml {
+
+double KernelModel::Eps(const FeatureVector& x) const {
+  double acc = 0.0;
+  for (size_t i = 0; i < support.size(); ++i) {
+    acc += coeffs[i] * KernelValue(kind, gamma, support[i], x);
+  }
+  return acc;
+}
+
+double KernelModel::CoeffL1() const {
+  double s = 0.0;
+  for (double c : coeffs) s += std::fabs(c);
+  return s;
+}
+
+double KernelSgdTrainer::Step(KernelModel* model, const FeatureVector& x, int y) {
+  model->kind = options_.kind;
+  model->gamma = options_.gamma;
+  const double eta =
+      options_.eta0 / (1.0 + options_.lambda * options_.eta0 * static_cast<double>(t_));
+  ++t_;
+
+  const double z = model->Eps(x);
+  const double g = LossGradient(LossKind::kHinge, z, y);
+
+  double moved = 0.0;
+  const double shrink = 1.0 - eta * options_.lambda;
+  if (shrink != 1.0) {
+    // ℓ2 regularization in the RKHS shrinks every coefficient; the ℓ1
+    // movement is (1 - shrink) * ||c||_1.
+    moved += (1.0 - shrink) * model->CoeffL1();
+    for (double& c : model->coeffs) c *= shrink;
+  }
+  if (g != 0.0) {
+    // Margin violation: the example joins the expansion with weight -eta*g
+    // (= +eta for y = +1, -eta for y = -1 under hinge).
+    model->support.push_back(x);
+    model->coeffs.push_back(-eta * g);
+    moved += std::fabs(eta * g);
+  }
+  return moved;
+}
+
+}  // namespace hazy::ml

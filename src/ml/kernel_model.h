@@ -1,0 +1,73 @@
+// Kernel expansion classifier (paper B.5.2):
+//   c(x) = sum_i c_i K(s_i, x)
+// with support vectors s_i and real weights c_i. Trained online with a
+// NORMA-style kernelized SGD: a margin violation appends the example as a
+// new support vector, and ℓ2 regularization shrinks all weights each step.
+//
+// The property Hazy's incremental maintenance needs (B.5.2): for the
+// kernels we support, K(s, x) ∈ (0, 1], so when the coefficient vector
+// moves by δ the decision value moves by at most ‖δ‖₁ — the same role the
+// Hölder bound plays for linear models.
+
+#ifndef HAZY_ML_KERNEL_MODEL_H_
+#define HAZY_ML_KERNEL_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/kernel.h"
+#include "ml/model.h"
+#include "ml/vector.h"
+
+namespace hazy::ml {
+
+/// \brief Support-vector expansion model.
+struct KernelModel {
+  KernelKind kind = KernelKind::kRbf;
+  double gamma = 1.0;
+  std::vector<FeatureVector> support;
+  std::vector<double> coeffs;
+
+  /// Decision value c(x).
+  double Eps(const FeatureVector& x) const;
+
+  /// Label in {-1, +1}.
+  int Classify(const FeatureVector& x) const { return SignOf(Eps(x)); }
+
+  /// ℓ1 mass of the coefficient vector.
+  double CoeffL1() const;
+
+  size_t num_support() const { return support.size(); }
+};
+
+/// \brief Configuration for KernelSgdTrainer.
+struct KernelSgdOptions {
+  KernelKind kind = KernelKind::kRbf;
+  double gamma = 1.0;
+  double lambda = 1e-3;
+  double eta0 = 0.5;
+};
+
+/// \brief Online kernel trainer (kernelized hinge SGD / NORMA).
+///
+/// Each Step reports an upper bound on the ℓ1 movement of the coefficient
+/// vector, which the kernel classification view folds into its water lines.
+class KernelSgdTrainer {
+ public:
+  explicit KernelSgdTrainer(KernelSgdOptions options = {}) : options_(options) {}
+
+  /// Folds (x, y) into the model; returns an upper bound on
+  /// ‖coeffs_after − coeffs_before‖₁ (new support vectors count fully).
+  double Step(KernelModel* model, const FeatureVector& x, int y);
+
+  uint64_t steps() const { return t_; }
+  const KernelSgdOptions& options() const { return options_; }
+
+ private:
+  KernelSgdOptions options_;
+  uint64_t t_ = 0;
+};
+
+}  // namespace hazy::ml
+
+#endif  // HAZY_ML_KERNEL_MODEL_H_

@@ -1,0 +1,74 @@
+#include "ml/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace hazy::ml {
+
+const char* LossKindToString(LossKind k) {
+  switch (k) {
+    case LossKind::kHinge:
+      return "SVM";
+    case LossKind::kLogistic:
+      return "LOGISTIC";
+    case LossKind::kSquared:
+      return "RIDGE";
+  }
+  return "?";
+}
+
+StatusOr<LossKind> LossKindFromString(const std::string& name) {
+  if (EqualsIgnoreCase(name, "SVM") || EqualsIgnoreCase(name, "HINGE")) {
+    return LossKind::kHinge;
+  }
+  if (EqualsIgnoreCase(name, "LOGISTIC") || EqualsIgnoreCase(name, "LR")) {
+    return LossKind::kLogistic;
+  }
+  if (EqualsIgnoreCase(name, "RIDGE") || EqualsIgnoreCase(name, "SQUARED") ||
+      EqualsIgnoreCase(name, "LEASTSQUARES")) {
+    return LossKind::kSquared;
+  }
+  return Status::InvalidArgument(StrFormat("unknown classification method '%s'",
+                                           name.c_str()));
+}
+
+double LossValue(LossKind kind, double z, int y) {
+  double yd = static_cast<double>(y);
+  switch (kind) {
+    case LossKind::kHinge:
+      return std::max(0.0, 1.0 - yd * z);
+    case LossKind::kLogistic: {
+      // log(1 + exp(-yz)), computed stably.
+      double m = -yd * z;
+      if (m > 30.0) return m;
+      return std::log1p(std::exp(m));
+    }
+    case LossKind::kSquared: {
+      double d = z - yd;
+      return 0.5 * d * d;
+    }
+  }
+  return 0.0;
+}
+
+double LossGradient(LossKind kind, double z, int y) {
+  double yd = static_cast<double>(y);
+  switch (kind) {
+    case LossKind::kHinge:
+      return (yd * z < 1.0) ? -yd : 0.0;
+    case LossKind::kLogistic: {
+      // -y * sigmoid(-yz), computed stably.
+      double m = yd * z;
+      if (m > 30.0) return 0.0;
+      if (m < -30.0) return -yd;
+      return -yd / (1.0 + std::exp(m));
+    }
+    case LossKind::kSquared:
+      return z - yd;
+  }
+  return 0.0;
+}
+
+}  // namespace hazy::ml

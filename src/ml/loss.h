@@ -1,0 +1,29 @@
+// Loss functions for the linear models Hazy supports (paper Figure 9):
+// SVM hinge, logistic, and squared (ridge) loss, each with its subgradient
+// in z = w·x − b. Adding a model means adding ~10 lines here, matching the
+// paper's claim that "a new linear model requires tens of lines of code".
+
+#ifndef HAZY_ML_LOSS_H_
+#define HAZY_ML_LOSS_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace hazy::ml {
+
+/// Which linear model a view uses (USING SVM | LOGISTIC | RIDGE).
+enum class LossKind { kHinge = 0, kLogistic = 1, kSquared = 2 };
+
+const char* LossKindToString(LossKind k);
+StatusOr<LossKind> LossKindFromString(const std::string& name);
+
+/// L(z, y) for prediction z = w·x − b and label y ∈ {-1, +1}.
+double LossValue(LossKind kind, double z, int y);
+
+/// dL/dz — the subgradient the SGD step uses.
+double LossGradient(LossKind kind, double z, int y);
+
+}  // namespace hazy::ml
+
+#endif  // HAZY_ML_LOSS_H_

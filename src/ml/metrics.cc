@@ -1,0 +1,23 @@
+#include "ml/metrics.h"
+
+namespace hazy::ml {
+
+BinaryMetrics Evaluate(const LinearModel& model,
+                       const std::vector<LabeledExample>& examples) {
+  BinaryMetrics m;
+  for (const auto& ex : examples) {
+    int pred = model.Classify(ex.features);
+    if (pred > 0 && ex.label > 0) {
+      ++m.tp;
+    } else if (pred > 0 && ex.label < 0) {
+      ++m.fp;
+    } else if (pred < 0 && ex.label < 0) {
+      ++m.tn;
+    } else {
+      ++m.fn;
+    }
+  }
+  return m;
+}
+
+}  // namespace hazy::ml

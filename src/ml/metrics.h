@@ -1,0 +1,41 @@
+// Binary classification quality metrics: the P/R columns of the paper's
+// Figure 10 learning-quality comparison.
+
+#ifndef HAZY_ML_METRICS_H_
+#define HAZY_ML_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/model.h"
+#include "ml/vector.h"
+
+namespace hazy::ml {
+
+/// \brief Confusion-matrix counts and derived rates for the positive class.
+struct BinaryMetrics {
+  uint64_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  double Precision() const {
+    return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+  }
+  double Recall() const {
+    return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+  }
+  double F1() const {
+    double p = Precision(), r = Recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  double Accuracy() const {
+    uint64_t total = tp + fp + tn + fn;
+    return total == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(total);
+  }
+};
+
+/// Scores `model` on labeled examples.
+BinaryMetrics Evaluate(const LinearModel& model,
+                       const std::vector<LabeledExample>& examples);
+
+}  // namespace hazy::ml
+
+#endif  // HAZY_ML_METRICS_H_

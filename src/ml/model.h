@@ -1,0 +1,71 @@
+// Linear model (w, b): the object Hazy maintains per classification view.
+// Section 2.1: V = {(id, c) | (id, f) ∈ In, c = sign(w·f − b)} where
+// sign(x) = 1 if x >= 0 and -1 otherwise.
+
+#ifndef HAZY_ML_MODEL_H_
+#define HAZY_ML_MODEL_H_
+
+#include <cmath>
+#include <vector>
+
+#include "ml/vector.h"
+
+namespace hazy::ml {
+
+/// The paper's sign convention: sign(0) == +1.
+inline int SignOf(double x) { return x >= 0.0 ? 1 : -1; }
+
+/// \brief A linear model (w, b). eps(f) = w·f − b; label = sign(eps).
+struct LinearModel {
+  std::vector<double> w;
+  double b = 0.0;
+
+  /// Distance-to-hyperplane surrogate the paper calls eps.
+  double Eps(const FeatureVector& f) const { return f.Dot(w) - b; }
+
+  /// Classifies a feature vector into {-1, +1}.
+  int Classify(const FeatureVector& f) const { return SignOf(Eps(f)); }
+
+  /// ℓp norm of the *difference* of two weight vectors, ‖w_a − w_b‖_p.
+  /// This is the ‖δw‖_p term in Lemma 3.1's Hölder bound.
+  static double DeltaNorm(const LinearModel& a, const LinearModel& b, double p);
+
+  /// Resets to the zero model in d dimensions.
+  void Reset(size_t d) {
+    w.assign(d, 0.0);
+    b = 0.0;
+  }
+};
+
+inline double LinearModel::DeltaNorm(const LinearModel& a, const LinearModel& b,
+                                     double p) {
+  size_t n = std::max(a.w.size(), b.w.size());
+  auto at = [](const std::vector<double>& v, size_t i) {
+    return i < v.size() ? v[i] : 0.0;
+  };
+  if (std::isinf(p)) {
+    double m = 0.0;
+    for (size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(at(a.w, i) - at(b.w, i)));
+    return m;
+  }
+  if (p == 1.0) {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) s += std::fabs(at(a.w, i) - at(b.w, i));
+    return s;
+  }
+  if (p == 2.0) {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double d = at(a.w, i) - at(b.w, i);
+      s += d * d;
+    }
+    return std::sqrt(s);
+  }
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += std::pow(std::fabs(at(a.w, i) - at(b.w, i)), p);
+  return std::pow(s, 1.0 / p);
+}
+
+}  // namespace hazy::ml
+
+#endif  // HAZY_ML_MODEL_H_

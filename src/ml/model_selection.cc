@@ -1,0 +1,50 @@
+#include "ml/model_selection.h"
+
+#include <numeric>
+
+#include "common/random.h"
+#include "ml/metrics.h"
+#include "ml/sgd.h"
+
+namespace hazy::ml {
+
+SelectionResult SelectModel(const std::vector<LabeledExample>& examples,
+                            double holdout_fraction, uint64_t seed) {
+  SelectionResult result;
+  if (examples.size() < 4) return result;
+
+  std::vector<size_t> order(examples.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+
+  size_t holdout_n = std::max<size_t>(
+      1, static_cast<size_t>(holdout_fraction * static_cast<double>(examples.size())));
+  std::vector<LabeledExample> holdout, train;
+  for (size_t i = 0; i < order.size(); ++i) {
+    (i < holdout_n ? holdout : train).push_back(examples[order[i]]);
+  }
+
+  const LossKind kinds[] = {LossKind::kHinge, LossKind::kLogistic, LossKind::kSquared};
+  result.accuracies.resize(3, 0.0);
+  for (LossKind kind : kinds) {
+    SgdOptions opts;
+    opts.loss = kind;
+    SgdTrainer trainer(opts);
+    LinearModel model;
+    // Two passes over the training split (cheap; selection only needs rank
+    // order of methods, not fully converged models).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& ex : train) trainer.AddExample(&model, ex);
+    }
+    double acc = Evaluate(model, holdout).Accuracy();
+    result.accuracies[static_cast<size_t>(kind)] = acc;
+    if (acc > result.best_accuracy) {
+      result.best_accuracy = acc;
+      result.best = kind;
+    }
+  }
+  return result;
+}
+
+}  // namespace hazy::ml

@@ -1,0 +1,32 @@
+// Automatic method choice (Section 2.1): "If the user does not specify,
+// Hazy chooses a method automatically (using a simple model selection
+// algorithm based on leave-one-out-estimators)." We implement the simple
+// holdout estimator variant: train each candidate on a split, keep the one
+// with the best holdout accuracy.
+
+#ifndef HAZY_ML_MODEL_SELECTION_H_
+#define HAZY_ML_MODEL_SELECTION_H_
+
+#include <vector>
+
+#include "ml/loss.h"
+#include "ml/vector.h"
+
+namespace hazy::ml {
+
+/// \brief Outcome of automatic model selection.
+struct SelectionResult {
+  LossKind best = LossKind::kHinge;
+  double best_accuracy = 0.0;
+  /// Accuracy per candidate, indexed by LossKind value.
+  std::vector<double> accuracies;
+};
+
+/// Picks the loss with the best holdout accuracy. `holdout_fraction` of the
+/// examples (deterministically chosen by `seed`) form the validation set.
+SelectionResult SelectModel(const std::vector<LabeledExample>& examples,
+                            double holdout_fraction = 0.2, uint64_t seed = 7);
+
+}  // namespace hazy::ml
+
+#endif  // HAZY_ML_MODEL_SELECTION_H_

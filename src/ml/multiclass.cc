@@ -1,0 +1,42 @@
+#include "ml/multiclass.h"
+
+#include "common/logging.h"
+
+namespace hazy::ml {
+
+OneVsAllClassifier::OneVsAllClassifier(int num_classes, SgdOptions options) {
+  HAZY_CHECK(num_classes >= 2) << "multiclass needs at least two classes";
+  models_.resize(static_cast<size_t>(num_classes));
+  trainers_.reserve(static_cast<size_t>(num_classes));
+  for (int k = 0; k < num_classes; ++k) trainers_.emplace_back(options);
+}
+
+void OneVsAllClassifier::AddExample(const MulticlassExample& ex) {
+  HAZY_CHECK(ex.klass >= 0 && ex.klass < num_classes()) << "class out of range";
+  for (int k = 0; k < num_classes(); ++k) {
+    LabeledExample bin;
+    bin.id = ex.id;
+    bin.features = ex.features;
+    bin.label = (k == ex.klass) ? 1 : -1;
+    trainers_[static_cast<size_t>(k)].AddExample(&models_[static_cast<size_t>(k)], bin);
+  }
+}
+
+int OneVsAllClassifier::Predict(const FeatureVector& x) const {
+  int best = 0;
+  double best_eps = models_[0].Eps(x);
+  for (int k = 1; k < num_classes(); ++k) {
+    double e = models_[static_cast<size_t>(k)].Eps(x);
+    if (e > best_eps) {
+      best_eps = e;
+      best = k;
+    }
+  }
+  return best;
+}
+
+double OneVsAllClassifier::EpsFor(int klass, const FeatureVector& x) const {
+  return models_[static_cast<size_t>(klass)].Eps(x);
+}
+
+}  // namespace hazy::ml

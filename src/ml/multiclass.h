@@ -1,0 +1,51 @@
+// One-versus-all multiclass reduction (paper B.5.4 / C.3): one binary
+// linear model per class, trained sequentially; prediction takes the class
+// whose model gives the largest eps. The multiclass classification view
+// (core/multiclass_view.h) maintains one Hazy binary view per class using
+// the same machinery.
+
+#ifndef HAZY_ML_MULTICLASS_H_
+#define HAZY_ML_MULTICLASS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/model.h"
+#include "ml/sgd.h"
+#include "ml/vector.h"
+
+namespace hazy::ml {
+
+/// A multiclass example: features plus a class index in [0, num_classes).
+struct MulticlassExample {
+  int64_t id = 0;
+  FeatureVector features;
+  int klass = 0;
+};
+
+/// \brief One-vs-all ensemble of binary SGD-trained linear models.
+class OneVsAllClassifier {
+ public:
+  OneVsAllClassifier(int num_classes, SgdOptions options = {});
+
+  /// Incrementally folds one multiclass example into all K binary models
+  /// (positive for its class, negative for the rest).
+  void AddExample(const MulticlassExample& ex);
+
+  /// Predicted class: argmax_k eps_k(x).
+  int Predict(const FeatureVector& x) const;
+
+  /// Per-class decision value eps_k(x) = w_k·x − b_k.
+  double EpsFor(int klass, const FeatureVector& x) const;
+
+  int num_classes() const { return static_cast<int>(models_.size()); }
+  const LinearModel& model(int klass) const { return models_[static_cast<size_t>(klass)]; }
+
+ private:
+  std::vector<LinearModel> models_;
+  std::vector<SgdTrainer> trainers_;
+};
+
+}  // namespace hazy::ml
+
+#endif  // HAZY_ML_MULTICLASS_H_

@@ -1,0 +1,46 @@
+#include "ml/rff.h"
+
+#include <cmath>
+
+namespace hazy::ml {
+
+RandomFourierFeatures::RandomFourierFeatures(uint32_t input_dim, uint32_t output_dim,
+                                             KernelKind kind, double gamma,
+                                             uint64_t seed)
+    : input_dim_(input_dim), output_dim_(output_dim) {
+  Rng rng(seed);
+  directions_.resize(output_dim_);
+  phases_.resize(output_dim_);
+  for (uint32_t i = 0; i < output_dim_; ++i) {
+    auto& dir = directions_[i];
+    dir.resize(input_dim_);
+    for (uint32_t j = 0; j < input_dim_; ++j) {
+      switch (kind) {
+        case KernelKind::kRbf:
+          // Spectral density of exp(-gamma ||delta||^2) is N(0, 2*gamma I).
+          dir[j] = rng.Gaussian(0.0, std::sqrt(2.0 * gamma));
+          break;
+        case KernelKind::kLaplacian: {
+          // Spectral density of exp(-gamma ||delta||_1) is a product of
+          // Cauchy(gamma) marginals.
+          double u = rng.UniformDouble(-0.499999, 0.499999);
+          dir[j] = gamma * std::tan(M_PI * u);
+          break;
+        }
+      }
+    }
+    phases_[i] = rng.UniformDouble(0.0, 2.0 * M_PI);
+  }
+}
+
+FeatureVector RandomFourierFeatures::Transform(const FeatureVector& x) const {
+  std::vector<double> z(output_dim_);
+  const double scale = std::sqrt(2.0 / static_cast<double>(output_dim_));
+  for (uint32_t i = 0; i < output_dim_; ++i) {
+    double dot = x.Dot(directions_[i]);
+    z[i] = scale * std::cos(dot + phases_[i]);
+  }
+  return FeatureVector::Dense(std::move(z));
+}
+
+}  // namespace hazy::ml

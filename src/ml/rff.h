@@ -1,0 +1,45 @@
+// Random Fourier features (Rahimi & Recht), as described in paper B.5.3:
+// a random map z : R^d -> R^D with z(x)·z(y) ≈ K(x, y) for shift-invariant
+// kernels, turning kernel classification back into linear classification —
+// which is exactly what the feature-length sensitivity experiment
+// (Figure 12(A)) scales up.
+
+#ifndef HAZY_ML_RFF_H_
+#define HAZY_ML_RFF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "ml/kernel.h"
+#include "ml/vector.h"
+
+namespace hazy::ml {
+
+/// \brief A sampled random feature map for an RBF or Laplacian kernel.
+class RandomFourierFeatures {
+ public:
+  /// \param input_dim  dimensionality d of the input space
+  /// \param output_dim target dimensionality D (the "feature length")
+  /// \param kind       which kernel's spectral measure to sample
+  /// \param gamma      kernel bandwidth
+  /// \param seed       RNG seed (the map is fixed once sampled)
+  RandomFourierFeatures(uint32_t input_dim, uint32_t output_dim, KernelKind kind,
+                        double gamma, uint64_t seed);
+
+  /// z(x): a dense D-dimensional vector with z(x)·z(y) ≈ K(x, y).
+  FeatureVector Transform(const FeatureVector& x) const;
+
+  uint32_t input_dim() const { return input_dim_; }
+  uint32_t output_dim() const { return output_dim_; }
+
+ private:
+  uint32_t input_dim_;
+  uint32_t output_dim_;
+  std::vector<std::vector<double>> directions_;  // D x d
+  std::vector<double> phases_;                   // D
+};
+
+}  // namespace hazy::ml
+
+#endif  // HAZY_ML_RFF_H_

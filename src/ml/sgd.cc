@@ -1,0 +1,42 @@
+#include "ml/sgd.h"
+
+namespace hazy::ml {
+
+void SgdTrainer::Step(LinearModel* model, const FeatureVector& x, int y) {
+  double eta =
+      options_.eta0 / (1.0 + options_.lambda * options_.eta0 * static_cast<double>(t_));
+  ++t_;
+  if (options_.loss == LossKind::kSquared) {
+    // Normalized LMS: the squared-loss gradient scales with |z|, so a raw
+    // step diverges once eta exceeds ~2/||x||^2. Normalizing by the feature
+    // energy keeps any eta0 < 2 stable (hinge/logistic have bounded
+    // gradients and need no normalization).
+    double n2 = x.Norm(2.0);
+    eta /= 1.0 + n2 * n2;
+  }
+
+  if (model->w.size() < x.dim()) model->w.resize(x.dim(), 0.0);
+
+  const double z = x.Dot(model->w) - model->b;
+  const double g = LossGradient(options_.loss, z, y);
+
+  // Regularization shrink: w <- (1 - eta * lambda) * w. The bias is not
+  // regularized (standard practice; matches the SVM formulation in A.1).
+  const double shrink = 1.0 - eta * options_.lambda;
+  if (shrink != 1.0) {
+    for (double& wi : model->w) wi *= shrink;
+  }
+  if (g != 0.0) {
+    // z = w·x − b, so dL/dw = g·x and dL/db = −g.
+    x.AddTo(&model->w, -eta * g);
+    if (options_.train_bias) model->b += eta * g * options_.bias_multiplier;
+  }
+}
+
+void SgdTrainer::AddExample(LinearModel* model, const LabeledExample& ex) {
+  for (int i = 0; i < options_.steps_per_example; ++i) {
+    Step(model, ex.features, ex.label);
+  }
+}
+
+}  // namespace hazy::ml

@@ -1,0 +1,62 @@
+// Incremental stochastic (sub)gradient trainer — Hazy's default learning
+// algorithm (Section 3.1, after Bottou's SGD). Each new training example is
+// folded into the model with one (or a few) gradient steps, which is what
+// makes per-update incremental maintenance possible: the model drifts a
+// little per update, and the drift bound drives the Hölder water lines.
+
+#ifndef HAZY_ML_SGD_H_
+#define HAZY_ML_SGD_H_
+
+#include <cstdint>
+
+#include "ml/loss.h"
+#include "ml/model.h"
+#include "ml/vector.h"
+
+namespace hazy::ml {
+
+/// \brief Configuration for SgdTrainer.
+struct SgdOptions {
+  LossKind loss = LossKind::kHinge;
+  /// ℓ2 regularization strength λ.
+  double lambda = 1e-4;
+  /// Base learning rate; the Bottou schedule decays it as
+  /// eta_t = eta0 / (1 + lambda * eta0 * t).
+  double eta0 = 0.5;
+  /// Gradient steps applied per arriving example (1 = pure online).
+  int steps_per_example = 1;
+  /// Whether to update the bias term b.
+  bool train_bias = true;
+  /// Learning-rate multiplier for the bias term. Bottou's SVMSGD trains the
+  /// bias with a much smaller rate so it does not swamp the per-feature
+  /// updates of ℓ1-normalized text vectors.
+  double bias_multiplier = 0.01;
+};
+
+/// \brief Online trainer maintaining a LinearModel across example arrivals.
+class SgdTrainer {
+ public:
+  explicit SgdTrainer(SgdOptions options = {}) : options_(options) {}
+
+  /// One online update: folds (x, y) into the model.
+  void Step(LinearModel* model, const FeatureVector& x, int y);
+
+  /// Folds one arriving training example (steps_per_example steps).
+  void AddExample(LinearModel* model, const LabeledExample& ex);
+
+  /// Number of gradient steps taken so far.
+  uint64_t steps() const { return t_; }
+
+  /// Resets the step counter (restarts the learning-rate schedule).
+  void Reset() { t_ = 0; }
+
+  const SgdOptions& options() const { return options_; }
+
+ private:
+  SgdOptions options_;
+  uint64_t t_ = 0;
+};
+
+}  // namespace hazy::ml
+
+#endif  // HAZY_ML_SGD_H_

@@ -1,0 +1,169 @@
+#include "ml/vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "storage/coding.h"
+
+namespace hazy::ml {
+
+using storage::GetDouble;
+using storage::GetFixed32;
+using storage::PutDouble;
+using storage::PutFixed32;
+
+double HolderConjugate(double p) {
+  HAZY_CHECK(p >= 1.0) << "Hölder exponent must be >= 1";
+  if (p == 1.0) return kInf;
+  if (std::isinf(p)) return 1.0;
+  return p / (p - 1.0);
+}
+
+FeatureVector FeatureVector::Dense(std::vector<double> values) {
+  FeatureVector v;
+  v.dense_ = true;
+  v.dim_ = static_cast<uint32_t>(values.size());
+  v.values_ = std::move(values);
+  return v;
+}
+
+FeatureVector FeatureVector::Sparse(std::vector<uint32_t> indices,
+                                    std::vector<double> values, uint32_t dim) {
+  HAZY_CHECK(indices.size() == values.size()) << "index/value size mismatch";
+  for (size_t i = 1; i < indices.size(); ++i) {
+    HAZY_CHECK(indices[i - 1] < indices[i]) << "sparse indices must be strictly increasing";
+  }
+  HAZY_CHECK(indices.empty() || indices.back() < dim) << "index out of dimension";
+  FeatureVector v;
+  v.dense_ = false;
+  v.dim_ = dim;
+  v.indices_ = std::move(indices);
+  v.values_ = std::move(values);
+  return v;
+}
+
+size_t FeatureVector::nnz() const {
+  if (!dense_) return values_.size();
+  size_t n = 0;
+  for (double x : values_) {
+    if (x != 0.0) ++n;
+  }
+  return n;
+}
+
+double FeatureVector::Dot(const std::vector<double>& w) const {
+  double acc = 0.0;
+  if (dense_) {
+    size_t n = std::min(values_.size(), w.size());
+    for (size_t i = 0; i < n; ++i) acc += values_[i] * w[i];
+  } else {
+    for (size_t i = 0; i < indices_.size(); ++i) {
+      if (indices_[i] < w.size()) acc += values_[i] * w[indices_[i]];
+    }
+  }
+  return acc;
+}
+
+void FeatureVector::AddTo(std::vector<double>* w, double scale) const {
+  if (w->size() < dim_) w->resize(dim_, 0.0);
+  if (dense_) {
+    for (size_t i = 0; i < values_.size(); ++i) (*w)[i] += scale * values_[i];
+  } else {
+    for (size_t i = 0; i < indices_.size(); ++i) {
+      (*w)[indices_[i]] += scale * values_[i];
+    }
+  }
+}
+
+double FeatureVector::Norm(double p) const {
+  if (std::isinf(p)) {
+    double m = 0.0;
+    for (double x : values_) m = std::max(m, std::fabs(x));
+    return m;
+  }
+  if (p == 1.0) {
+    double s = 0.0;
+    for (double x : values_) s += std::fabs(x);
+    return s;
+  }
+  if (p == 2.0) {
+    double s = 0.0;
+    for (double x : values_) s += x * x;
+    return std::sqrt(s);
+  }
+  double s = 0.0;
+  for (double x : values_) s += std::pow(std::fabs(x), p);
+  return std::pow(s, 1.0 / p);
+}
+
+void FeatureVector::ForEach(const std::function<void(uint32_t, double)>& fn) const {
+  if (dense_) {
+    for (uint32_t i = 0; i < values_.size(); ++i) fn(i, values_[i]);
+  } else {
+    for (size_t i = 0; i < indices_.size(); ++i) fn(indices_[i], values_[i]);
+  }
+}
+
+double FeatureVector::At(uint32_t i) const {
+  if (dense_) {
+    return i < values_.size() ? values_[i] : 0.0;
+  }
+  auto it = std::lower_bound(indices_.begin(), indices_.end(), i);
+  if (it == indices_.end() || *it != i) return 0.0;
+  return values_[static_cast<size_t>(it - indices_.begin())];
+}
+
+size_t FeatureVector::ApproxBytes() const {
+  size_t b = sizeof(FeatureVector) + values_.size() * sizeof(double);
+  if (!dense_) b += indices_.size() * sizeof(uint32_t);
+  return b;
+}
+
+void FeatureVector::EncodeTo(std::string* out) const {
+  out->push_back(dense_ ? 1 : 0);
+  PutFixed32(out, dim_);
+  if (dense_) {
+    for (double v : values_) PutDouble(out, v);
+  } else {
+    PutFixed32(out, static_cast<uint32_t>(indices_.size()));
+    for (size_t i = 0; i < indices_.size(); ++i) {
+      PutFixed32(out, indices_[i]);
+      PutDouble(out, values_[i]);
+    }
+  }
+}
+
+StatusOr<FeatureVector> FeatureVector::DecodeFrom(std::string_view* src) {
+  if (src->empty()) return Status::Corruption("feature vector truncated");
+  bool dense = (*src)[0] != 0;
+  src->remove_prefix(1);
+  uint32_t dim;
+  if (!GetFixed32(src, &dim)) return Status::Corruption("feature vector truncated (dim)");
+  if (dense) {
+    std::vector<double> values(dim);
+    for (uint32_t i = 0; i < dim; ++i) {
+      if (!GetDouble(src, &values[i])) {
+        return Status::Corruption("feature vector truncated (dense values)");
+      }
+    }
+    return Dense(std::move(values));
+  }
+  uint32_t nnz;
+  if (!GetFixed32(src, &nnz)) return Status::Corruption("feature vector truncated (nnz)");
+  std::vector<uint32_t> indices(nnz);
+  std::vector<double> values(nnz);
+  for (uint32_t i = 0; i < nnz; ++i) {
+    if (!GetFixed32(src, &indices[i]) || !GetDouble(src, &values[i])) {
+      return Status::Corruption("feature vector truncated (sparse entries)");
+    }
+  }
+  return Sparse(std::move(indices), std::move(values), dim);
+}
+
+bool FeatureVector::operator==(const FeatureVector& o) const {
+  return dense_ == o.dense_ && dim_ == o.dim_ && values_ == o.values_ &&
+         indices_ == o.indices_;
+}
+
+}  // namespace hazy::ml

@@ -1,0 +1,88 @@
+// Feature vectors: the f in In(id, f). Both representations the paper uses
+// are supported — dense (Forest: 54 doubles) and sparse (DBLife/Citeseer:
+// bag-of-words with ~7-60 non-zeros out of 41k-682k dimensions).
+
+#ifndef HAZY_ML_VECTOR_H_
+#define HAZY_ML_VECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hazy::ml {
+
+/// Norm order constants. kInf selects the max norm.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Hölder conjugate q of p: 1/p + 1/q = 1. (1 <-> inf, 2 <-> 2.)
+double HolderConjugate(double p);
+
+/// \brief A feature vector, either dense or sparse.
+///
+/// Sparse vectors hold parallel (sorted index, value) arrays; dense vectors
+/// hold a contiguous value array. Values are doubles end to end so every
+/// architecture (in memory or from disk) computes bit-identical eps values.
+class FeatureVector {
+ public:
+  FeatureVector() = default;
+
+  /// A dense vector with the given components.
+  static FeatureVector Dense(std::vector<double> values);
+
+  /// A sparse vector over dimension `dim`. Indices must be strictly
+  /// increasing and < dim.
+  static FeatureVector Sparse(std::vector<uint32_t> indices, std::vector<double> values,
+                              uint32_t dim);
+
+  bool is_dense() const { return dense_; }
+  uint32_t dim() const { return dim_; }
+  size_t nnz() const;
+
+  /// Dot product with a dense weight vector; weights beyond w.size() are 0.
+  double Dot(const std::vector<double>& w) const;
+
+  /// w += scale * this, growing w to this vector's dimension if needed.
+  void AddTo(std::vector<double>* w, double scale) const;
+
+  /// ℓp norm: p == 1, 2, or kInf.
+  double Norm(double p) const;
+
+  /// Calls fn(index, value) for each (structurally) non-zero component.
+  void ForEach(const std::function<void(uint32_t, double)>& fn) const;
+
+  /// Component access (O(log nnz) for sparse).
+  double At(uint32_t i) const;
+
+  /// In-memory footprint in bytes (used for the Fig 6 memory accounting).
+  size_t ApproxBytes() const;
+
+  /// Appends a serialized form to `out`.
+  void EncodeTo(std::string* out) const;
+
+  /// Parses a vector from `src`, advancing it past the consumed bytes.
+  static StatusOr<FeatureVector> DecodeFrom(std::string_view* src);
+
+  bool operator==(const FeatureVector& o) const;
+
+ private:
+  bool dense_ = true;
+  uint32_t dim_ = 0;
+  std::vector<double> values_;
+  std::vector<uint32_t> indices_;  // sparse only
+};
+
+/// A training example: entity id, features, and a label in {-1, +1}.
+struct LabeledExample {
+  int64_t id = 0;
+  FeatureVector features;
+  int label = 1;
+};
+
+}  // namespace hazy::ml
+
+#endif  // HAZY_ML_VECTOR_H_

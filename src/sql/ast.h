@@ -1,0 +1,75 @@
+// AST for the mini SQL dialect.
+
+#ifndef HAZY_SQL_AST_H_
+#define HAZY_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "engine/database.h"
+#include "storage/schema.h"
+
+namespace hazy::sql {
+
+/// CREATE TABLE name (col TYPE [PRIMARY KEY], ...)
+struct CreateTableStmt {
+  struct ColumnDef {
+    std::string name;
+    storage::ColumnType type;
+    bool primary_key = false;
+  };
+  std::string name;
+  std::vector<ColumnDef> columns;
+};
+
+/// CREATE CLASSIFICATION VIEW ... (Example 2.1). Reuses the engine's
+/// definition struct directly.
+struct CreateViewStmt {
+  engine::ClassificationViewDef def;
+};
+
+/// INSERT INTO t VALUES (...), (...)
+struct InsertStmt {
+  std::string table;
+  std::vector<storage::Row> rows;
+};
+
+/// Comparison operators in WHERE clauses.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  storage::Value value;
+};
+
+/// SELECT cols|*|COUNT(*) FROM t [WHERE pred] [LIMIT n]
+struct SelectStmt {
+  bool count_star = false;
+  std::vector<std::string> columns;  // empty + !count_star means '*'
+  std::string table;
+  std::optional<Predicate> where;
+  std::optional<int64_t> limit;
+};
+
+/// DELETE FROM t WHERE pred
+struct DeleteStmt {
+  std::string table;
+  Predicate where;
+};
+
+/// UPDATE t SET col = val [, col = val ...] WHERE pred
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, storage::Value>> assignments;
+  Predicate where;
+};
+
+using Statement = std::variant<CreateTableStmt, CreateViewStmt, InsertStmt,
+                               SelectStmt, DeleteStmt, UpdateStmt>;
+
+}  // namespace hazy::sql
+
+#endif  // HAZY_SQL_AST_H_

@@ -1,0 +1,339 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace hazy::sql {
+
+using storage::Row;
+using storage::Value;
+
+std::string ResultSet::ToString() const {
+  std::ostringstream out;
+  if (!columns.empty()) {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i > 0) out << " | ";
+      out << columns[i];
+    }
+    out << "\n";
+    for (const auto& row : rows) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) out << " | ";
+        out << storage::ValueToString(row[i]);
+      }
+      out << "\n";
+    }
+    out << "(" << rows.size() << (rows.size() == 1 ? " row)" : " rows)");
+  }
+  if (!message.empty()) {
+    if (!columns.empty()) out << "\n";
+    out << message;
+  }
+  return out.str();
+}
+
+StatusOr<bool> MatchesPredicate(const storage::Schema& schema, const Row& row,
+                                const Predicate& pred) {
+  HAZY_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(pred.column));
+  storage::CompareResult cmp = storage::ValueCompare(row[idx], pred.value);
+  if (!cmp.ok) return false;  // NULL or type mismatch never matches
+  switch (pred.op) {
+    case CompareOp::kEq:
+      return cmp.cmp == 0;
+    case CompareOp::kNe:
+      return cmp.cmp != 0;
+    case CompareOp::kLt:
+      return cmp.cmp < 0;
+    case CompareOp::kLe:
+      return cmp.cmp <= 0;
+    case CompareOp::kGt:
+      return cmp.cmp > 0;
+    case CompareOp::kGe:
+      return cmp.cmp >= 0;
+  }
+  return false;
+}
+
+StatusOr<ResultSet> Executor::Execute(const std::string& sql) {
+  HAZY_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  return Execute(stmt);
+}
+
+StatusOr<ResultSet> Executor::Execute(const Statement& stmt) {
+  if (const auto* s = std::get_if<CreateTableStmt>(&stmt)) return ExecCreateTable(*s);
+  if (const auto* s = std::get_if<CreateViewStmt>(&stmt)) return ExecCreateView(*s);
+  if (const auto* s = std::get_if<InsertStmt>(&stmt)) return ExecInsert(*s);
+  if (const auto* s = std::get_if<SelectStmt>(&stmt)) return ExecSelect(*s);
+  if (const auto* s = std::get_if<DeleteStmt>(&stmt)) return ExecDelete(*s);
+  if (const auto* s = std::get_if<UpdateStmt>(&stmt)) return ExecUpdate(*s);
+  return Status::Internal("unhandled statement kind");
+}
+
+StatusOr<ResultSet> Executor::ExecCreateTable(const CreateTableStmt& stmt) {
+  std::vector<storage::Column> cols;
+  std::optional<size_t> pk;
+  for (size_t i = 0; i < stmt.columns.size(); ++i) {
+    const auto& c = stmt.columns[i];
+    cols.push_back(storage::Column{c.name, c.type});
+    if (c.primary_key) {
+      if (pk.has_value()) {
+        return Status::InvalidArgument("multiple PRIMARY KEY columns");
+      }
+      if (c.type != storage::ColumnType::kInt64) {
+        return Status::InvalidArgument("PRIMARY KEY must be an INT column");
+      }
+      pk = i;
+    }
+  }
+  HAZY_RETURN_NOT_OK(
+      db_->catalog()->CreateTable(stmt.name, storage::Schema(std::move(cols)), pk).status());
+  ResultSet rs;
+  rs.message = StrFormat("table %s created", stmt.name.c_str());
+  return rs;
+}
+
+StatusOr<ResultSet> Executor::ExecCreateView(const CreateViewStmt& stmt) {
+  HAZY_RETURN_NOT_OK(db_->CreateClassificationView(stmt.def).status());
+  ResultSet rs;
+  rs.message =
+      StrFormat("classification view %s created", stmt.def.view_name.c_str());
+  return rs;
+}
+
+StatusOr<ResultSet> Executor::ExecInsert(const InsertStmt& stmt) {
+  HAZY_ASSIGN_OR_RETURN(storage::Table * table, db_->catalog()->GetTable(stmt.table));
+  for (const auto& row : stmt.rows) {
+    HAZY_RETURN_NOT_OK(table->Insert(row));
+  }
+  ResultSet rs;
+  rs.message = StrFormat("%zu row%s inserted", stmt.rows.size(),
+                         stmt.rows.size() == 1 ? "" : "s");
+  return rs;
+}
+
+StatusOr<ResultSet> Executor::ExecSelectView(const SelectStmt& stmt,
+                                             engine::ManagedView* view) {
+  ResultSet rs;
+  const std::string key_col = view->def().entity_key;
+
+  // Projection over the view's (id, class) schema.
+  std::vector<std::string> proj = stmt.columns;
+  if (proj.empty() && !stmt.count_star) proj = {key_col, "class"};
+  for (const auto& col : proj) {
+    if (!EqualsIgnoreCase(col, key_col) && !EqualsIgnoreCase(col, "class")) {
+      return Status::InvalidArgument(StrFormat(
+          "view %s has columns (%s, class); no column '%s'",
+          view->name().c_str(), key_col.c_str(), col.c_str()));
+    }
+  }
+
+  auto emit = [&](int64_t id, const std::string& label) {
+    Row row;
+    for (const auto& col : proj) {
+      if (EqualsIgnoreCase(col, key_col)) {
+        row.emplace_back(id);
+      } else {
+        row.emplace_back(label);
+      }
+    }
+    rs.rows.push_back(std::move(row));
+  };
+
+  if (stmt.where.has_value() && EqualsIgnoreCase(stmt.where->column, key_col) &&
+      stmt.where->op == CompareOp::kEq) {
+    // Single Entity read.
+    if (!std::holds_alternative<int64_t>(stmt.where->value)) {
+      return Status::InvalidArgument("key predicate must compare to an integer");
+    }
+    int64_t id = std::get<int64_t>(stmt.where->value);
+    auto label = view->LabelOf(id);
+    if (label.status().IsNotFound()) {
+      // Empty result, not an error.
+    } else {
+      HAZY_RETURN_NOT_OK(label.status());
+      if (stmt.count_star) {
+        rs.columns = {"count"};
+        rs.rows.push_back(Row{static_cast<int64_t>(1)});
+        return rs;
+      }
+      emit(id, *label);
+    }
+  } else if (stmt.where.has_value() && EqualsIgnoreCase(stmt.where->column, "class") &&
+             stmt.where->op == CompareOp::kEq) {
+    // All Members.
+    if (!std::holds_alternative<std::string>(stmt.where->value)) {
+      return Status::InvalidArgument("class predicate must compare to a string label");
+    }
+    const std::string& label = std::get<std::string>(stmt.where->value);
+    if (stmt.count_star) {
+      HAZY_ASSIGN_OR_RETURN(uint64_t n, view->CountOf(label));
+      rs.columns = {"count"};
+      rs.rows.push_back(Row{static_cast<int64_t>(n)});
+      return rs;
+    }
+    HAZY_ASSIGN_OR_RETURN(std::vector<int64_t> ids, view->MembersOf(label));
+    for (int64_t id : ids) {
+      emit(id, label);
+      if (stmt.limit.has_value() &&
+          rs.rows.size() >= static_cast<size_t>(*stmt.limit)) {
+        break;
+      }
+    }
+  } else if (!stmt.where.has_value()) {
+    // Full view scan: both classes.
+    std::vector<std::pair<int64_t, std::string>> all;
+    for (int sign : {1, -1}) {
+      HAZY_ASSIGN_OR_RETURN(std::vector<int64_t> ids,
+                            view->view()->AllMembers(sign));
+      for (int64_t id : ids) all.emplace_back(id, view->LabelString(sign));
+    }
+    std::sort(all.begin(), all.end());
+    if (stmt.count_star) {
+      rs.columns = {"count"};
+      rs.rows.push_back(Row{static_cast<int64_t>(all.size())});
+      return rs;
+    }
+    for (const auto& [id, label] : all) {
+      emit(id, label);
+      if (stmt.limit.has_value() &&
+          rs.rows.size() >= static_cast<size_t>(*stmt.limit)) {
+        break;
+      }
+    }
+  } else {
+    return Status::NotSupported(
+        "view predicates must be '<key> = n' or \"class = 'label'\"");
+  }
+
+  if (stmt.count_star) {
+    rs.columns = {"count"};
+    rs.rows = {Row{static_cast<int64_t>(rs.rows.size())}};
+    return rs;
+  }
+  rs.columns = proj;
+  return rs;
+}
+
+StatusOr<ResultSet> Executor::ExecSelect(const SelectStmt& stmt) {
+  if (db_->HasView(stmt.table)) {
+    HAZY_ASSIGN_OR_RETURN(engine::ManagedView * view, db_->GetView(stmt.table));
+    return ExecSelectView(stmt, view);
+  }
+  HAZY_ASSIGN_OR_RETURN(storage::Table * table, db_->catalog()->GetTable(stmt.table));
+  const storage::Schema& schema = table->schema();
+
+  std::vector<size_t> proj_idx;
+  ResultSet rs;
+  if (!stmt.count_star) {
+    if (stmt.columns.empty()) {
+      for (size_t i = 0; i < schema.num_columns(); ++i) {
+        proj_idx.push_back(i);
+        rs.columns.push_back(schema.column(i).name);
+      }
+    } else {
+      for (const auto& col : stmt.columns) {
+        HAZY_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(col));
+        proj_idx.push_back(idx);
+        rs.columns.push_back(schema.column(idx).name);
+      }
+    }
+  }
+
+  uint64_t count = 0;
+  Status inner;
+  HAZY_RETURN_NOT_OK(table->Scan([&](const Row& row) {
+    if (stmt.where.has_value()) {
+      auto match = MatchesPredicate(schema, row, *stmt.where);
+      if (!match.ok()) {
+        inner = match.status();
+        return false;
+      }
+      if (!*match) return true;
+    }
+    if (stmt.count_star) {
+      ++count;
+      return true;
+    }
+    Row out;
+    out.reserve(proj_idx.size());
+    for (size_t idx : proj_idx) out.push_back(row[idx]);
+    rs.rows.push_back(std::move(out));
+    return !(stmt.limit.has_value() &&
+             rs.rows.size() >= static_cast<size_t>(*stmt.limit));
+  }));
+  HAZY_RETURN_NOT_OK(inner);
+
+  if (stmt.count_star) {
+    rs.columns = {"count"};
+    rs.rows.push_back(Row{static_cast<int64_t>(count)});
+  }
+  return rs;
+}
+
+StatusOr<ResultSet> Executor::ExecUpdate(const UpdateStmt& stmt) {
+  HAZY_ASSIGN_OR_RETURN(storage::Table * table, db_->catalog()->GetTable(stmt.table));
+  const storage::Schema& schema = table->schema();
+  if (!table->primary_key().has_value()) {
+    return Status::NotSupported("UPDATE requires a table with a PRIMARY KEY");
+  }
+  std::vector<std::pair<size_t, storage::Value>> sets;
+  for (const auto& [col, value] : stmt.assignments) {
+    HAZY_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(col));
+    sets.emplace_back(idx, value);
+  }
+  size_t pk = *table->primary_key();
+  std::vector<int64_t> keys;
+  Status inner;
+  HAZY_RETURN_NOT_OK(table->Scan([&](const Row& row) {
+    auto match = MatchesPredicate(schema, row, stmt.where);
+    if (!match.ok()) {
+      inner = match.status();
+      return false;
+    }
+    if (*match) keys.push_back(std::get<int64_t>(row[pk]));
+    return true;
+  }));
+  HAZY_RETURN_NOT_OK(inner);
+  for (int64_t key : keys) {
+    HAZY_ASSIGN_OR_RETURN(Row row, table->GetByKey(key));
+    for (const auto& [idx, value] : sets) row[idx] = value;
+    HAZY_RETURN_NOT_OK(table->UpdateByKey(key, row));
+  }
+  ResultSet rs;
+  rs.message = StrFormat("%zu row%s updated", keys.size(), keys.size() == 1 ? "" : "s");
+  return rs;
+}
+
+StatusOr<ResultSet> Executor::ExecDelete(const DeleteStmt& stmt) {
+  HAZY_ASSIGN_OR_RETURN(storage::Table * table, db_->catalog()->GetTable(stmt.table));
+  const storage::Schema& schema = table->schema();
+
+  // Collect matching primary keys first, then delete (triggers fire).
+  if (!table->primary_key().has_value()) {
+    return Status::NotSupported("DELETE requires a table with a PRIMARY KEY");
+  }
+  size_t pk = *table->primary_key();
+  std::vector<int64_t> keys;
+  Status inner;
+  HAZY_RETURN_NOT_OK(table->Scan([&](const Row& row) {
+    auto match = MatchesPredicate(schema, row, stmt.where);
+    if (!match.ok()) {
+      inner = match.status();
+      return false;
+    }
+    if (*match) keys.push_back(std::get<int64_t>(row[pk]));
+    return true;
+  }));
+  HAZY_RETURN_NOT_OK(inner);
+  for (int64_t key : keys) {
+    HAZY_RETURN_NOT_OK(table->DeleteByKey(key));
+  }
+  ResultSet rs;
+  rs.message = StrFormat("%zu row%s deleted", keys.size(), keys.size() == 1 ? "" : "s");
+  return rs;
+}
+
+}  // namespace hazy::sql

@@ -1,0 +1,59 @@
+// Executes parsed statements against a Database. SELECTs over a
+// classification view are routed to the Hazy maintenance engine exactly the
+// way the paper's UDF/trigger plumbing reroutes PostgreSQL queries (B.1):
+//   WHERE <key> = k       -> Single Entity read
+//   WHERE class = 'label' -> All Members
+//   COUNT(*) variants     -> All Members count
+
+#ifndef HAZY_SQL_EXECUTOR_H_
+#define HAZY_SQL_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "sql/ast.h"
+
+namespace hazy::sql {
+
+/// \brief Result of one statement.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<storage::Row> rows;
+  /// For DDL/DML: a human-readable confirmation ("1 row inserted").
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// \brief Statement executor bound to one Database.
+class Executor {
+ public:
+  explicit Executor(engine::Database* db) : db_(db) {}
+
+  /// Parses and executes one statement.
+  StatusOr<ResultSet> Execute(const std::string& sql);
+
+  /// Executes an already-parsed statement.
+  StatusOr<ResultSet> Execute(const Statement& stmt);
+
+ private:
+  StatusOr<ResultSet> ExecCreateTable(const CreateTableStmt& stmt);
+  StatusOr<ResultSet> ExecCreateView(const CreateViewStmt& stmt);
+  StatusOr<ResultSet> ExecInsert(const InsertStmt& stmt);
+  StatusOr<ResultSet> ExecSelect(const SelectStmt& stmt);
+  StatusOr<ResultSet> ExecSelectView(const SelectStmt& stmt, engine::ManagedView* view);
+  StatusOr<ResultSet> ExecDelete(const DeleteStmt& stmt);
+  StatusOr<ResultSet> ExecUpdate(const UpdateStmt& stmt);
+
+  engine::Database* db_;
+};
+
+/// True if `row` satisfies `pred` under `schema`.
+StatusOr<bool> MatchesPredicate(const storage::Schema& schema, const storage::Row& row,
+                                const Predicate& pred);
+
+}  // namespace hazy::sql
+
+#endif  // HAZY_SQL_EXECUTOR_H_

@@ -1,0 +1,100 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace hazy::sql {
+
+StatusOr<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isspace(uc)) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      // SQL comment to end of line.
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(uc) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) || sql[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back({TokenType::kIdentifier, sql.substr(start, i - start), start});
+      continue;
+    }
+    if (std::isdigit(uc) ||
+        ((c == '-' || c == '+') && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool is_float = false;
+      ++i;
+      while (i < n) {
+        char d = sql[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+        } else if ((d == '.' || d == 'e' || d == 'E') && !is_float) {
+          is_float = true;
+          ++i;
+          if (i < n && (sql[i] == '-' || sql[i] == '+')) ++i;
+        } else if (d == '.' || std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      tokens.push_back({is_float ? TokenType::kFloat : TokenType::kInteger,
+                        sql.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal at offset %zu", start));
+      }
+      tokens.push_back({TokenType::kString, std::move(text), start});
+      continue;
+    }
+    // Multi-char operators first.
+    if ((c == '<' || c == '>' || c == '!') && i + 1 < n && sql[i + 1] == '=') {
+      tokens.push_back({TokenType::kSymbol, sql.substr(i, 2), i});
+      i += 2;
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == ';' || c == '*' || c == '=' ||
+        c == '<' || c == '>') {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), i});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument(
+        StrFormat("unexpected character '%c' at offset %zu", c, i));
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace hazy::sql

@@ -1,0 +1,36 @@
+// Hand-written lexer for the mini SQL dialect (enough to express every
+// statement the paper shows, including the CREATE CLASSIFICATION VIEW DDL
+// of Example 2.1).
+
+#ifndef HAZY_SQL_LEXER_H_
+#define HAZY_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hazy::sql {
+
+enum class TokenType {
+  kIdentifier,  ///< keywords are identifiers (matched case-insensitively)
+  kString,      ///< 'single quoted'
+  kInteger,
+  kFloat,
+  kSymbol,  ///< ( ) , ; * = != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  ///< raw text (unquoted for strings)
+  size_t offset = 0; ///< byte offset in the input, for error messages
+};
+
+/// Tokenizes a statement. Returns InvalidArgument on malformed input
+/// (unterminated string, stray character).
+StatusOr<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace hazy::sql
+
+#endif  // HAZY_SQL_LEXER_H_

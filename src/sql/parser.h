@@ -1,0 +1,18 @@
+// Recursive-descent parser for the mini SQL dialect.
+
+#ifndef HAZY_SQL_PARSER_H_
+#define HAZY_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace hazy::sql {
+
+/// Parses exactly one statement (a trailing ';' is allowed).
+StatusOr<Statement> Parse(const std::string& sql);
+
+}  // namespace hazy::sql
+
+#endif  // HAZY_SQL_PARSER_H_

@@ -1,0 +1,518 @@
+#include "storage/bptree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace hazy::storage {
+
+namespace {
+
+// Node layout. Header: type (u16), count (u16), next (u32, leaf sibling).
+constexpr size_t kTypeOff = 0;
+constexpr size_t kCountOff = 2;
+constexpr size_t kNextOff = 4;
+constexpr size_t kHeaderSize = 8;
+
+constexpr uint16_t kLeaf = 1;
+constexpr uint16_t kInternal = 2;
+
+// Leaf entries: key.k (8) + key.tie (8) + value (8).
+constexpr size_t kLeafEntrySize = 24;
+constexpr size_t kLeafCapacity = (kPageSize - kHeaderSize) / kLeafEntrySize;
+
+// Internal: child0 (u32) then entries key.k (8) + key.tie (8) + child (u32).
+constexpr size_t kChild0Off = kHeaderSize;
+constexpr size_t kInternalEntriesOff = kChild0Off + 4;
+constexpr size_t kInternalEntrySize = 20;
+constexpr size_t kInternalCapacity = (kPageSize - kInternalEntriesOff) / kInternalEntrySize;
+
+uint16_t NodeType(const char* p) { return DecodeFixed16(p + kTypeOff); }
+uint16_t NodeCount(const char* p) { return DecodeFixed16(p + kCountOff); }
+uint32_t NodeNext(const char* p) { return DecodeFixed32(p + kNextOff); }
+void SetNodeType(char* p, uint16_t t) { EncodeFixed16(p + kTypeOff, t); }
+void SetNodeCount(char* p, uint16_t c) { EncodeFixed16(p + kCountOff, c); }
+void SetNodeNext(char* p, uint32_t n) { EncodeFixed32(p + kNextOff, n); }
+
+char* LeafEntry(char* p, size_t i) { return p + kHeaderSize + i * kLeafEntrySize; }
+const char* LeafEntry(const char* p, size_t i) {
+  return p + kHeaderSize + i * kLeafEntrySize;
+}
+
+BtKey LeafKey(const char* p, size_t i) {
+  const char* e = LeafEntry(p, i);
+  return BtKey{DecodeDouble(e), DecodeFixed64(e + 8)};
+}
+uint64_t LeafValue(const char* p, size_t i) { return DecodeFixed64(LeafEntry(p, i) + 16); }
+void SetLeafEntry(char* p, size_t i, const BtKey& k, uint64_t v) {
+  char* e = LeafEntry(p, i);
+  EncodeDouble(e, k.k);
+  EncodeFixed64(e + 8, k.tie);
+  EncodeFixed64(e + 16, v);
+}
+
+char* InternalEntry(char* p, size_t i) {
+  return p + kInternalEntriesOff + i * kInternalEntrySize;
+}
+const char* InternalEntry(const char* p, size_t i) {
+  return p + kInternalEntriesOff + i * kInternalEntrySize;
+}
+
+BtKey InternalKey(const char* p, size_t i) {
+  const char* e = InternalEntry(p, i);
+  return BtKey{DecodeDouble(e), DecodeFixed64(e + 8)};
+}
+uint32_t InternalChild(const char* p, size_t i) {
+  // Child index i in [0, count]: child 0 lives at kChild0Off, child i > 0 is
+  // stored with key i-1.
+  if (i == 0) return DecodeFixed32(p + kChild0Off);
+  return DecodeFixed32(InternalEntry(p, i - 1) + 16);
+}
+void SetInternalChild0(char* p, uint32_t child) { EncodeFixed32(p + kChild0Off, child); }
+void SetInternalEntry(char* p, size_t i, const BtKey& k, uint32_t child) {
+  char* e = InternalEntry(p, i);
+  EncodeDouble(e, k.k);
+  EncodeFixed64(e + 8, k.tie);
+  EncodeFixed32(e + 16, child);
+}
+
+// First index in the leaf whose key is >= `key` (binary search).
+uint16_t LeafLowerBound(const char* p, const BtKey& key) {
+  uint16_t lo = 0, hi = NodeCount(p);
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    if (LeafKey(p, mid) < key) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child slot to descend into: number of separator keys <= `key`.
+uint16_t InternalChildIndex(const char* p, const BtKey& key) {
+  uint16_t lo = 0, hi = NodeCount(p);
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    if (InternalKey(p, mid) <= key) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+Status BPlusTree::Create() {
+  if (root_ != kInvalidPageId) return Status::InvalidArgument("tree already created");
+  HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->New());
+  std::memset(h.data(), 0, kPageSize);
+  SetNodeType(h.data(), kLeaf);
+  SetNodeCount(h.data(), 0);
+  SetNodeNext(h.data(), kInvalidPageId);
+  h.MarkDirty();
+  root_ = h.page_id();
+  num_entries_ = 0;
+  num_pages_ = 1;
+  height_ = 1;
+  return Status::OK();
+}
+
+Status BPlusTree::Insert(const BtKey& key, uint64_t value) {
+  if (root_ == kInvalidPageId) return Status::InvalidArgument("tree not created");
+  std::optional<SplitResult> split;
+  HAZY_RETURN_NOT_OK(InsertRecursive(root_, key, value, &split));
+  if (split.has_value()) {
+    // Root split: grow the tree by one level.
+    HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->New());
+    std::memset(h.data(), 0, kPageSize);
+    SetNodeType(h.data(), kInternal);
+    SetNodeCount(h.data(), 1);
+    SetNodeNext(h.data(), kInvalidPageId);
+    SetInternalChild0(h.data(), root_);
+    SetInternalEntry(h.data(), 0, split->separator, split->right_page);
+    h.MarkDirty();
+    root_ = h.page_id();
+    ++num_pages_;
+    ++height_;
+  }
+  ++num_entries_;
+  return Status::OK();
+}
+
+Status BPlusTree::InsertRecursive(uint32_t page_id, const BtKey& key, uint64_t value,
+                                  std::optional<SplitResult>* split) {
+  split->reset();
+  HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page_id));
+  char* p = h.data();
+
+  if (NodeType(p) == kLeaf) {
+    uint16_t count = NodeCount(p);
+    if (count < kLeafCapacity) {
+      uint16_t pos = LeafLowerBound(p, key);
+      std::memmove(LeafEntry(p, pos + 1), LeafEntry(p, pos),
+                   static_cast<size_t>(count - pos) * kLeafEntrySize);
+      SetLeafEntry(p, pos, key, value);
+      SetNodeCount(p, static_cast<uint16_t>(count + 1));
+      h.MarkDirty();
+      return Status::OK();
+    }
+    // Split the leaf, then insert into the proper half.
+    HAZY_ASSIGN_OR_RETURN(PageHandle rh, pool_->New());
+    char* rp = rh.data();
+    std::memset(rp, 0, kPageSize);
+    SetNodeType(rp, kLeaf);
+    uint16_t mid = static_cast<uint16_t>(count / 2);
+    uint16_t right_n = static_cast<uint16_t>(count - mid);
+    std::memcpy(LeafEntry(rp, 0), LeafEntry(p, mid),
+                static_cast<size_t>(right_n) * kLeafEntrySize);
+    SetNodeCount(rp, right_n);
+    SetNodeNext(rp, NodeNext(p));
+    SetNodeCount(p, mid);
+    SetNodeNext(p, rh.page_id());
+    ++num_pages_;
+
+    BtKey sep = LeafKey(rp, 0);
+    char* target = (key < sep) ? p : rp;
+    uint16_t tcount = NodeCount(target);
+    uint16_t pos = LeafLowerBound(target, key);
+    std::memmove(LeafEntry(target, pos + 1), LeafEntry(target, pos),
+                 static_cast<size_t>(tcount - pos) * kLeafEntrySize);
+    SetLeafEntry(target, pos, key, value);
+    SetNodeCount(target, static_cast<uint16_t>(tcount + 1));
+    h.MarkDirty();
+    rh.MarkDirty();
+    *split = SplitResult{sep, rh.page_id()};
+    return Status::OK();
+  }
+
+  // Internal node: descend.
+  uint16_t child_idx = InternalChildIndex(p, key);
+  uint32_t child = InternalChild(p, child_idx);
+  // Release our pin while recursing to keep at most two pages pinned.
+  h.Release();
+  std::optional<SplitResult> child_split;
+  HAZY_RETURN_NOT_OK(InsertRecursive(child, key, value, &child_split));
+  if (!child_split.has_value()) return Status::OK();
+
+  HAZY_ASSIGN_OR_RETURN(PageHandle h2, pool_->Fetch(page_id));
+  p = h2.data();
+  uint16_t count = NodeCount(p);
+  if (count < kInternalCapacity) {
+    // Shift entries right of child_idx and insert the new separator there.
+    std::memmove(InternalEntry(p, child_idx + 1), InternalEntry(p, child_idx),
+                 static_cast<size_t>(count - child_idx) * kInternalEntrySize);
+    SetInternalEntry(p, child_idx, child_split->separator, child_split->right_page);
+    SetNodeCount(p, static_cast<uint16_t>(count + 1));
+    h2.MarkDirty();
+    return Status::OK();
+  }
+
+  // Split the internal node. Materialize entries, insert, redistribute.
+  struct Entry {
+    BtKey key;
+    uint32_t child;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(count + 1);
+  for (uint16_t i = 0; i < count; ++i) {
+    entries.push_back({InternalKey(p, i), InternalChild(p, i + 1)});
+  }
+  entries.insert(entries.begin() + child_idx,
+                 Entry{child_split->separator, child_split->right_page});
+  uint32_t child0 = InternalChild(p, 0);
+
+  size_t total = entries.size();
+  size_t mid = total / 2;  // entries[mid].key is promoted
+  HAZY_ASSIGN_OR_RETURN(PageHandle rh, pool_->New());
+  char* rp = rh.data();
+  std::memset(rp, 0, kPageSize);
+  SetNodeType(rp, kInternal);
+  SetNodeNext(rp, kInvalidPageId);
+  SetInternalChild0(rp, entries[mid].child);
+  uint16_t right_n = 0;
+  for (size_t i = mid + 1; i < total; ++i) {
+    SetInternalEntry(rp, right_n++, entries[i].key, entries[i].child);
+  }
+  SetNodeCount(rp, right_n);
+
+  SetInternalChild0(p, child0);
+  for (size_t i = 0; i < mid; ++i) {
+    SetInternalEntry(p, i, entries[i].key, entries[i].child);
+  }
+  SetNodeCount(p, static_cast<uint16_t>(mid));
+  h2.MarkDirty();
+  rh.MarkDirty();
+  ++num_pages_;
+  *split = SplitResult{entries[mid].key, rh.page_id()};
+  return Status::OK();
+}
+
+StatusOr<uint32_t> BPlusTree::FindLeaf(const BtKey& key) const {
+  uint32_t pid = root_;
+  for (;;) {
+    HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(pid));
+    const char* p = h.data();
+    if (NodeType(p) == kLeaf) return pid;
+    pid = InternalChild(p, InternalChildIndex(p, key));
+  }
+}
+
+Status BPlusTree::Delete(const BtKey& key) {
+  if (root_ == kInvalidPageId) return Status::InvalidArgument("tree not created");
+  HAZY_ASSIGN_OR_RETURN(uint32_t leaf, FindLeaf(key));
+  HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(leaf));
+  char* p = h.data();
+  uint16_t count = NodeCount(p);
+  uint16_t pos = LeafLowerBound(p, key);
+  if (pos >= count || !(LeafKey(p, pos) == key)) {
+    return Status::NotFound("key not in tree");
+  }
+  std::memmove(LeafEntry(p, pos), LeafEntry(p, pos + 1),
+               static_cast<size_t>(count - pos - 1) * kLeafEntrySize);
+  SetNodeCount(p, static_cast<uint16_t>(count - 1));
+  h.MarkDirty();
+  --num_entries_;
+  return Status::OK();
+}
+
+StatusOr<uint64_t> BPlusTree::Get(const BtKey& key) const {
+  HAZY_ASSIGN_OR_RETURN(uint32_t leaf, FindLeaf(key));
+  HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(leaf));
+  const char* p = h.data();
+  uint16_t pos = LeafLowerBound(p, key);
+  if (pos >= NodeCount(p) || !(LeafKey(p, pos) == key)) {
+    return Status::NotFound("key not in tree");
+  }
+  return LeafValue(p, pos);
+}
+
+void BPlusTree::Iterator::LoadCurrent() {
+  const char* p = handle_.data();
+  key_ = LeafKey(p, idx_);
+  value_ = LeafValue(p, idx_);
+}
+
+Status BPlusTree::Iterator::Next() {
+  HAZY_CHECK(Valid()) << "Next() on invalid iterator";
+  const char* p = handle_.data();
+  ++idx_;
+  while (idx_ >= NodeCount(p)) {
+    uint32_t next = NodeNext(p);
+    handle_.Release();
+    if (next == kInvalidPageId) return Status::OK();  // now invalid
+    HAZY_ASSIGN_OR_RETURN(handle_, tree_->pool_->Fetch(next));
+    p = handle_.data();
+    idx_ = 0;
+  }
+  LoadCurrent();
+  return Status::OK();
+}
+
+StatusOr<BPlusTree::Iterator> BPlusTree::SeekGE(const BtKey& key) const {
+  if (root_ == kInvalidPageId) return Status::InvalidArgument("tree not created");
+  Iterator it;
+  it.tree_ = this;
+  HAZY_ASSIGN_OR_RETURN(uint32_t leaf, FindLeaf(key));
+  HAZY_ASSIGN_OR_RETURN(it.handle_, pool_->Fetch(leaf));
+  const char* p = it.handle_.data();
+  it.idx_ = LeafLowerBound(p, key);
+  while (it.idx_ >= NodeCount(p)) {
+    uint32_t next = NodeNext(p);
+    it.handle_.Release();
+    if (next == kInvalidPageId) return it;  // exhausted: invalid iterator
+    HAZY_ASSIGN_OR_RETURN(it.handle_, pool_->Fetch(next));
+    p = it.handle_.data();
+    it.idx_ = 0;
+  }
+  it.LoadCurrent();
+  return it;
+}
+
+Status BPlusTree::BulkLoad(const std::vector<std::pair<BtKey, uint64_t>>& sorted,
+                           double fill) {
+  HAZY_RETURN_NOT_OK(Destroy());
+  fill = std::clamp(fill, 0.1, 1.0);
+  const size_t per_leaf =
+      std::max<size_t>(1, static_cast<size_t>(static_cast<double>(kLeafCapacity) * fill));
+  const size_t per_internal = std::max<size_t>(
+      2, static_cast<size_t>(static_cast<double>(kInternalCapacity) * fill));
+
+  if (sorted.empty()) return Create();
+
+  // Level 0: pack leaves left to right, chaining siblings.
+  struct NodeRef {
+    BtKey first_key;
+    uint32_t page;
+  };
+  std::vector<NodeRef> level;
+  uint32_t prev_leaf = kInvalidPageId;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t n = std::min(per_leaf, sorted.size() - i);
+    // Avoid a pathologically small trailing leaf: rebalance the last two.
+    if (sorted.size() - i - n > 0 && sorted.size() - i - n < per_leaf / 2) {
+      n = (sorted.size() - i + 1) / 2;
+    }
+    HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->New());
+    char* p = h.data();
+    std::memset(p, 0, kPageSize);
+    SetNodeType(p, kLeaf);
+    SetNodeCount(p, static_cast<uint16_t>(n));
+    SetNodeNext(p, kInvalidPageId);
+    for (size_t j = 0; j < n; ++j) {
+      SetLeafEntry(p, j, sorted[i + j].first, sorted[i + j].second);
+    }
+    h.MarkDirty();
+    ++num_pages_;
+    if (prev_leaf != kInvalidPageId) {
+      HAZY_ASSIGN_OR_RETURN(PageHandle ph, pool_->Fetch(prev_leaf));
+      SetNodeNext(ph.data(), h.page_id());
+      ph.MarkDirty();
+    }
+    prev_leaf = h.page_id();
+    level.push_back({sorted[i].first, h.page_id()});
+    i += n;
+  }
+  height_ = 1;
+
+  // Build internal levels until a single root remains.
+  while (level.size() > 1) {
+    std::vector<NodeRef> parent;
+    size_t j = 0;
+    while (j < level.size()) {
+      size_t n = std::min(per_internal + 1, level.size() - j);  // n children
+      if (level.size() - j - n > 0 && level.size() - j - n < 2) {
+        n = (level.size() - j + 1) / 2;
+      }
+      HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->New());
+      char* p = h.data();
+      std::memset(p, 0, kPageSize);
+      SetNodeType(p, kInternal);
+      SetNodeNext(p, kInvalidPageId);
+      SetInternalChild0(p, level[j].page);
+      for (size_t c = 1; c < n; ++c) {
+        SetInternalEntry(p, c - 1, level[j + c].first_key, level[j + c].page);
+      }
+      SetNodeCount(p, static_cast<uint16_t>(n - 1));
+      h.MarkDirty();
+      ++num_pages_;
+      parent.push_back({level[j].first_key, h.page_id()});
+      j += n;
+    }
+    level = std::move(parent);
+    ++height_;
+  }
+  root_ = level[0].page;
+  num_entries_ = sorted.size();
+  return Status::OK();
+}
+
+Status BPlusTree::CollectPages(uint32_t page_id, std::vector<uint32_t>* pages) const {
+  pages->push_back(page_id);
+  HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page_id));
+  const char* p = h.data();
+  if (NodeType(p) == kInternal) {
+    uint16_t count = NodeCount(p);
+    std::vector<uint32_t> children;
+    for (uint16_t i = 0; i <= count; ++i) children.push_back(InternalChild(p, i));
+    h.Release();
+    for (uint32_t c : children) HAZY_RETURN_NOT_OK(CollectPages(c, pages));
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::Destroy() {
+  if (root_ == kInvalidPageId) return Status::OK();
+  std::vector<uint32_t> pages;
+  HAZY_RETURN_NOT_OK(CollectPages(root_, &pages));
+  for (uint32_t pid : pages) pool_->FreePage(pid);
+  root_ = kInvalidPageId;
+  num_entries_ = 0;
+  num_pages_ = 0;
+  height_ = 0;
+  return Status::OK();
+}
+
+Status BPlusTree::VerifyNode(uint32_t page_id, const BtKey* lo, const BtKey* hi,
+                             int depth, int* leaf_depth, uint64_t* entries) const {
+  HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page_id));
+  const char* p = h.data();
+  uint16_t count = NodeCount(p);
+  if (NodeType(p) == kLeaf) {
+    if (*leaf_depth < 0) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("leaves at different depths");
+    }
+    for (uint16_t i = 0; i < count; ++i) {
+      BtKey k = LeafKey(p, i);
+      if (i > 0 && k < LeafKey(p, i - 1)) return Status::Corruption("leaf out of order");
+      if (lo != nullptr && k < *lo) return Status::Corruption("leaf key below bound");
+      if (hi != nullptr && !(k < *hi)) return Status::Corruption("leaf key above bound");
+    }
+    *entries += count;
+    return Status::OK();
+  }
+  // Internal node.
+  struct ChildRange {
+    uint32_t page;
+    std::optional<BtKey> lo, hi;
+  };
+  std::vector<ChildRange> children;
+  for (uint16_t i = 0; i <= count; ++i) {
+    ChildRange cr;
+    cr.page = InternalChild(p, i);
+    if (i > 0) cr.lo = InternalKey(p, i - 1);
+    if (i < count) cr.hi = InternalKey(p, i);
+    children.push_back(cr);
+  }
+  for (uint16_t i = 1; i < count; ++i) {
+    if (InternalKey(p, i) < InternalKey(p, i - 1)) {
+      return Status::Corruption("internal keys out of order");
+    }
+  }
+  h.Release();
+  for (const auto& cr : children) {
+    const BtKey* clo = cr.lo ? &*cr.lo : lo;
+    const BtKey* chi = cr.hi ? &*cr.hi : hi;
+    HAZY_RETURN_NOT_OK(VerifyNode(cr.page, clo, chi, depth + 1, leaf_depth, entries));
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::Verify() const {
+  if (root_ == kInvalidPageId) return Status::InvalidArgument("tree not created");
+  int leaf_depth = -1;
+  uint64_t entries = 0;
+  HAZY_RETURN_NOT_OK(VerifyNode(root_, nullptr, nullptr, 0, &leaf_depth, &entries));
+  if (entries != num_entries_) {
+    return Status::Corruption(StrFormat("entry count mismatch: tree has %llu, expected %llu",
+                                        static_cast<unsigned long long>(entries),
+                                        static_cast<unsigned long long>(num_entries_)));
+  }
+  // The leaf chain must cover all entries in sorted order.
+  HAZY_ASSIGN_OR_RETURN(Iterator it, SeekGE(BtKey::Min()));
+  uint64_t seen = 0;
+  std::optional<BtKey> prev;
+  while (it.Valid()) {
+    if (prev.has_value() && it.key() < *prev) {
+      return Status::Corruption("leaf chain out of order");
+    }
+    prev = it.key();
+    ++seen;
+    HAZY_RETURN_NOT_OK(it.Next());
+  }
+  if (seen != num_entries_) {
+    return Status::Corruption("leaf chain does not cover all entries");
+  }
+  return Status::OK();
+}
+
+}  // namespace hazy::storage

@@ -1,0 +1,135 @@
+// On-disk B+-tree keyed on (double, uint64) with uint64 values, stored in
+// pages managed by the BufferPool.
+//
+// The Hazy on-disk architecture keeps its scratch table H clustered on eps
+// and maintains this tree as the "clustered B+-tree index on t.eps"
+// (Section 3.2.2): range scans over [lw, hw] locate exactly the tuples whose
+// labels may have flipped. The uint64 key component breaks ties between
+// equal eps values (we use the entity id), and the value is a packed RID.
+//
+// Supported: point insert, exact-key delete, lower-bound seek + forward
+// iteration, and bottom-up bulk load from sorted input (used at
+// reorganization time). Nodes split but never merge: deletion leaves nodes
+// underfull, which matches production B-trees that reclaim space during the
+// next rebuild — and Hazy rebuilds wholesale at every reorganization.
+
+#ifndef HAZY_STORAGE_BPTREE_H_
+#define HAZY_STORAGE_BPTREE_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace hazy::storage {
+
+/// Composite B+-tree key: primary double plus a tie-breaking uint64.
+struct BtKey {
+  double k = 0.0;
+  uint64_t tie = 0;
+
+  friend bool operator<(const BtKey& a, const BtKey& b) {
+    if (a.k != b.k) return a.k < b.k;
+    return a.tie < b.tie;
+  }
+  friend bool operator==(const BtKey& a, const BtKey& b) {
+    return a.k == b.k && a.tie == b.tie;
+  }
+  friend bool operator<=(const BtKey& a, const BtKey& b) { return !(b < a); }
+
+  /// Smallest possible key (used to seek to the first entry).
+  static BtKey Min() { return BtKey{-std::numeric_limits<double>::infinity(), 0}; }
+};
+
+/// \brief B+-tree over (BtKey -> uint64).
+class BPlusTree {
+ public:
+  explicit BPlusTree(BufferPool* pool) : pool_(pool) {}
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Allocates an empty root leaf. Must be called once before use.
+  Status Create();
+
+  /// Inserts a (key, value) entry. Duplicate full keys are allowed but the
+  /// engines always use a unique tie component.
+  Status Insert(const BtKey& key, uint64_t value);
+
+  /// Removes the entry with exactly this key. NotFound if absent.
+  Status Delete(const BtKey& key);
+
+  /// Looks up the value for exactly this key.
+  StatusOr<uint64_t> Get(const BtKey& key) const;
+
+  /// \brief Forward iterator positioned by SeekGE.
+  ///
+  /// Holds a pin on the current leaf page. Pattern:
+  ///   auto it = tree.SeekGE(k);
+  ///   for (; it->Valid(); it->Next()) { it->key(); it->value(); }
+  class Iterator {
+   public:
+    bool Valid() const { return handle_.valid(); }
+    const BtKey& key() const { return key_; }
+    uint64_t value() const { return value_; }
+    Status Next();
+
+   private:
+    friend class BPlusTree;
+    Iterator() = default;
+    void LoadCurrent();
+
+    const BPlusTree* tree_ = nullptr;
+    PageHandle handle_;
+    uint16_t idx_ = 0;
+    BtKey key_;
+    uint64_t value_ = 0;
+  };
+
+  /// Positions an iterator at the first entry with key >= `key`.
+  StatusOr<Iterator> SeekGE(const BtKey& key) const;
+
+  /// Rebuilds the tree from sorted (key, value) pairs, replacing all current
+  /// contents. Leaves are packed to `fill` fraction (default 1.0: the tree
+  /// is rebuilt at every reorganization, so dense packing is optimal).
+  Status BulkLoad(const std::vector<std::pair<BtKey, uint64_t>>& sorted, double fill = 1.0);
+
+  /// Frees every node page. The tree is unusable until Create().
+  Status Destroy();
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t num_pages() const { return num_pages_; }
+  int height() const { return height_; }
+
+  /// Exhaustively checks structural invariants (ordering inside nodes,
+  /// sorted leaf chain, separator consistency, entry count). For tests.
+  Status Verify() const;
+
+ private:
+  struct SplitResult {
+    BtKey separator;
+    uint32_t right_page;
+  };
+
+  Status InsertRecursive(uint32_t page_id, const BtKey& key, uint64_t value,
+                         std::optional<SplitResult>* split);
+  StatusOr<uint32_t> FindLeaf(const BtKey& key) const;
+  Status CollectPages(uint32_t page_id, std::vector<uint32_t>* pages) const;
+  Status VerifyNode(uint32_t page_id, const BtKey* lo, const BtKey* hi, int depth,
+                    int* leaf_depth, uint64_t* entries) const;
+
+  BufferPool* pool_;
+  uint32_t root_ = kInvalidPageId;
+  uint64_t num_entries_ = 0;
+  uint64_t num_pages_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace hazy::storage
+
+#endif  // HAZY_STORAGE_BPTREE_H_

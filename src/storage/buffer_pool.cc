@@ -1,0 +1,182 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace hazy::storage {
+
+PageHandle::PageHandle(BufferPool* pool, size_t frame) : pool_(pool), frame_(frame) {}
+
+PageHandle::~PageHandle() { Release(); }
+
+PageHandle::PageHandle(PageHandle&& o) noexcept : pool_(o.pool_), frame_(o.frame_) {
+  o.pool_ = nullptr;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    o.pool_ = nullptr;
+  }
+  return *this;
+}
+
+char* PageHandle::data() {
+  HAZY_DCHECK(valid());
+  return pool_->frames_[frame_].data.get();
+}
+
+const char* PageHandle::data() const {
+  HAZY_DCHECK(valid());
+  return pool_->frames_[frame_].data.get();
+}
+
+uint32_t PageHandle::page_id() const {
+  HAZY_DCHECK(valid());
+  return pool_->frames_[frame_].page_id;
+}
+
+void PageHandle::MarkDirty() {
+  HAZY_DCHECK(valid());
+  pool_->MarkDirtyFrame(frame_);
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
+  if (capacity == 0) capacity = 1;
+  frames_.resize(capacity);
+  free_frames_.reserve(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    frames_[i].data = std::make_unique<char[]>(kPageSize);
+    free_frames_.push_back(capacity - 1 - i);
+  }
+}
+
+StatusOr<PageHandle> BufferPool::Fetch(uint32_t page_id) {
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    size_t f = it->second;
+    Frame& frame = frames_[f];
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_it);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    return PageHandle(this, f);
+  }
+  ++stats_.misses;
+  HAZY_ASSIGN_OR_RETURN(size_t f, GetVictim());
+  Frame& frame = frames_[f];
+  HAZY_RETURN_NOT_OK(pager_->Read(page_id, frame.data.get()));
+  frame.page_id = page_id;
+  frame.dirty = false;
+  frame.pin_count = 1;
+  page_table_[page_id] = f;
+  return PageHandle(this, f);
+}
+
+StatusOr<PageHandle> BufferPool::New() {
+  HAZY_ASSIGN_OR_RETURN(uint32_t page_id, pager_->Allocate());
+  HAZY_ASSIGN_OR_RETURN(size_t f, GetVictim());
+  Frame& frame = frames_[f];
+  std::memset(frame.data.get(), 0, kPageSize);
+  frame.page_id = page_id;
+  frame.dirty = true;  // must reach the file even if never touched again
+  frame.pin_count = 1;
+  page_table_[page_id] = f;
+  return PageHandle(this, f);
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& frame : frames_) {
+    if (frame.page_id != kInvalidPageId && frame.dirty) {
+      HAZY_RETURN_NOT_OK(pager_->Write(frame.page_id, frame.data.get()));
+      ++stats_.dirty_writebacks;
+      frame.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::FreePage(uint32_t page_id) {
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    Frame& frame = frames_[it->second];
+    HAZY_CHECK(frame.pin_count == 0) << "freeing pinned page " << page_id;
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_it);
+      frame.in_lru = false;
+    }
+    free_frames_.push_back(it->second);
+    frame.page_id = kInvalidPageId;
+    frame.dirty = false;
+    page_table_.erase(it);
+  }
+  pager_->Free(page_id);
+}
+
+void BufferPool::EvictAll() {
+  for (size_t f = 0; f < frames_.size(); ++f) {
+    Frame& frame = frames_[f];
+    if (frame.page_id == kInvalidPageId || frame.pin_count > 0) continue;
+    if (frame.dirty) {
+      HAZY_CHECK_OK(pager_->Write(frame.page_id, frame.data.get()));
+      frame.dirty = false;
+    }
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_it);
+      frame.in_lru = false;
+    }
+    page_table_.erase(frame.page_id);
+    frame.page_id = kInvalidPageId;
+    free_frames_.push_back(f);
+  }
+}
+
+void BufferPool::Unpin(size_t f) {
+  Frame& frame = frames_[f];
+  HAZY_CHECK(frame.pin_count > 0) << "unpin of unpinned frame";
+  if (--frame.pin_count == 0) {
+    lru_.push_front(f);
+    frame.lru_it = lru_.begin();
+    frame.in_lru = true;
+  }
+}
+
+StatusOr<size_t> BufferPool::GetVictim() {
+  if (!free_frames_.empty()) {
+    size_t f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted(
+        StrFormat("buffer pool exhausted: all %zu frames pinned", frames_.size()));
+  }
+  size_t f = lru_.back();
+  lru_.pop_back();
+  Frame& frame = frames_[f];
+  frame.in_lru = false;
+  ++stats_.evictions;
+  if (frame.dirty) {
+    HAZY_RETURN_NOT_OK(pager_->Write(frame.page_id, frame.data.get()));
+    ++stats_.dirty_writebacks;
+  }
+  page_table_.erase(frame.page_id);
+  frame.page_id = kInvalidPageId;
+  frame.dirty = false;
+  return f;
+}
+
+}  // namespace hazy::storage

@@ -1,0 +1,124 @@
+// LRU buffer pool over a Pager. All page access from the heap file and
+// B+-tree goes through here, so "on-disk" costs are page-granular like the
+// paper's PostgreSQL deployment: a scan of K tuples touches K/tuples-per-page
+// pages, a reorganization rewrites the whole structure, and a point read with
+// a cold cache is a real file read.
+
+#ifndef HAZY_STORAGE_BUFFER_POOL_H_
+#define HAZY_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/pager.h"
+
+namespace hazy::storage {
+
+/// Hit/miss/eviction counters (reported by the experiment harnesses).
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class BufferPool;
+
+/// \brief RAII pin on one page frame. Unpins when destroyed.
+///
+/// While a PageHandle is live the underlying frame cannot be evicted; data()
+/// stays valid. Call MarkDirty() after mutating the page.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(BufferPool* pool, size_t frame);
+  ~PageHandle();
+
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  PageHandle(PageHandle&& o) noexcept;
+  PageHandle& operator=(PageHandle&& o) noexcept;
+
+  bool valid() const { return pool_ != nullptr; }
+  char* data();
+  const char* data() const;
+  uint32_t page_id() const;
+  void MarkDirty();
+
+  /// Explicitly releases the pin (also done by the destructor).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+};
+
+/// \brief Fixed-capacity LRU page cache.
+///
+/// Not thread-safe; the on-disk engines are single-writer and the concurrent
+/// experiments use the main-memory architecture (as in the paper).
+class BufferPool {
+ public:
+  /// `capacity` is the number of resident frames (capacity * 8 KiB bytes).
+  BufferPool(Pager* pager, size_t capacity);
+
+  /// Fetches a page, reading it from the pager on a miss. Pins it.
+  StatusOr<PageHandle> Fetch(uint32_t page_id);
+
+  /// Allocates a fresh zeroed page and pins it.
+  StatusOr<PageHandle> New();
+
+  /// Writes back all dirty frames.
+  Status FlushAll();
+
+  /// Drops a page from the cache (if resident and unpinned) and returns it
+  /// to the pager's free list.
+  void FreePage(uint32_t page_id);
+
+  /// Drops every unpinned frame without freeing pages — simulates a cold
+  /// cache for benchmarks.
+  void EvictAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+  size_t capacity() const { return frames_.size(); }
+  Pager* pager() { return pager_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    uint32_t page_id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    std::unique_ptr<char[]> data;
+    std::list<size_t>::iterator lru_it;  // valid iff pinned == 0 && resident
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame);
+  void MarkDirtyFrame(size_t frame) { frames_[frame].dirty = true; }
+
+  /// Finds a frame to host a new page: a never-used frame, else LRU victim.
+  StatusOr<size_t> GetVictim();
+
+  Pager* pager_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::list<size_t> lru_;  // front = most recent
+  std::unordered_map<uint32_t, size_t> page_table_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace hazy::storage
+
+#endif  // HAZY_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,129 @@
+// Little-endian byte encoding helpers (RocksDB coding.h style). All on-disk
+// structures in hazy::storage serialize through these.
+
+#ifndef HAZY_STORAGE_CODING_H_
+#define HAZY_STORAGE_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace hazy::storage {
+
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  char buf[2];
+  std::memcpy(buf, &v, 2);
+  dst->append(buf, 2);
+}
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+inline void PutDouble(std::string* dst, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+inline void PutFloat(std::string* dst, float v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+
+inline void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+// Decoders operate on a cursor into a string_view and advance it. They
+// return false on truncation, letting callers surface Status::Corruption.
+
+inline bool GetFixed16(std::string_view* src, uint16_t* v) {
+  if (src->size() < 2) return false;
+  std::memcpy(v, src->data(), 2);
+  src->remove_prefix(2);
+  return true;
+}
+
+inline bool GetFixed32(std::string_view* src, uint32_t* v) {
+  if (src->size() < 4) return false;
+  std::memcpy(v, src->data(), 4);
+  src->remove_prefix(4);
+  return true;
+}
+
+inline bool GetFixed64(std::string_view* src, uint64_t* v) {
+  if (src->size() < 8) return false;
+  std::memcpy(v, src->data(), 8);
+  src->remove_prefix(8);
+  return true;
+}
+
+inline bool GetDouble(std::string_view* src, double* v) {
+  if (src->size() < 8) return false;
+  std::memcpy(v, src->data(), 8);
+  src->remove_prefix(8);
+  return true;
+}
+
+inline bool GetFloat(std::string_view* src, float* v) {
+  if (src->size() < 4) return false;
+  std::memcpy(v, src->data(), 4);
+  src->remove_prefix(4);
+  return true;
+}
+
+inline bool GetLengthPrefixed(std::string_view* src, std::string_view* out) {
+  uint32_t len = 0;
+  if (!GetFixed32(src, &len)) return false;
+  if (src->size() < len) return false;
+  *out = src->substr(0, len);
+  src->remove_prefix(len);
+  return true;
+}
+
+// Raw in-place accessors for fixed offsets inside a page buffer.
+
+inline uint16_t DecodeFixed16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+
+inline uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline double DecodeDouble(const char* p) {
+  double v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline void EncodeFixed16(char* p, uint16_t v) { std::memcpy(p, &v, 2); }
+inline void EncodeFixed32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+inline void EncodeFixed64(char* p, uint64_t v) { std::memcpy(p, &v, 8); }
+inline void EncodeDouble(char* p, double v) { std::memcpy(p, &v, 8); }
+
+}  // namespace hazy::storage
+
+#endif  // HAZY_STORAGE_CODING_H_

@@ -1,0 +1,57 @@
+// Hash index from entity id to record location. Both the paper's eager and
+// lazy approaches "maintain a hash index to efficiently locate the tuple
+// corresponding to the single entity" (Section 2.2). Like a hot PostgreSQL
+// hash index, the directory lives in memory (it is key -> RID metadata, tiny
+// compared to the tuples themselves); the tuples it points at stay on disk.
+
+#ifndef HAZY_STORAGE_HASH_INDEX_H_
+#define HAZY_STORAGE_HASH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace hazy::storage {
+
+/// \brief id -> RID map with Status-based lookups.
+class HashIndex {
+ public:
+  HashIndex() = default;
+
+  void Reserve(size_t n) { map_.reserve(n); }
+
+  /// Inserts or overwrites the location for `id`.
+  void Put(int64_t id, Rid rid) { map_[id] = rid; }
+
+  /// Location of `id`, or NotFound.
+  StatusOr<Rid> Get(int64_t id) const {
+    auto it = map_.find(id);
+    if (it == map_.end()) return Status::NotFound("id not in index");
+    return it->second;
+  }
+
+  bool Contains(int64_t id) const { return map_.count(id) > 0; }
+
+  /// Removes `id`; returns true if it was present.
+  bool Erase(int64_t id) { return map_.erase(id) > 0; }
+
+  void Clear() { map_.clear(); }
+  size_t size() const { return map_.size(); }
+
+  /// Approximate resident bytes (for the hybrid memory accounting of Fig 6).
+  size_t ApproxBytes() const {
+    return map_.size() * (sizeof(int64_t) + sizeof(Rid) + 2 * sizeof(void*));
+  }
+
+  auto begin() const { return map_.begin(); }
+  auto end() const { return map_.end(); }
+
+ private:
+  std::unordered_map<int64_t, Rid> map_;
+};
+
+}  // namespace hazy::storage
+
+#endif  // HAZY_STORAGE_HASH_INDEX_H_

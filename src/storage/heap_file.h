@@ -1,0 +1,105 @@
+// Heap file: an unordered (or deliberately clustered) sequence of records in
+// a chain of slotted pages. This is the storage for both base tables and the
+// Hazy scratch table H — when Hazy "reorganizes", it rewrites a heap file in
+// eps order so the water-window scan becomes a short sequential read.
+//
+// Records larger than one page spill into an overflow chain (PostgreSQL
+// TOAST-style): the slotted page keeps a stub holding the first
+// kOverflowHeadLen payload bytes (so fixed-offset header patches — id,
+// label, eps — still happen in place) and the rest lives in dedicated
+// overflow pages. This is what lets the feature-sensitivity experiment
+// store 1500-dimension dense vectors on disk.
+
+#ifndef HAZY_STORAGE_HEAP_FILE_H_
+#define HAZY_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace hazy::storage {
+
+/// \brief Record heap over a page chain in a BufferPool.
+class HeapFile {
+ public:
+  /// Payload bytes kept inline in an overflow stub (patchable in place).
+  static constexpr size_t kOverflowHeadLen = 64;
+
+  explicit HeapFile(BufferPool* pool) : pool_(pool) {}
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+  HeapFile(HeapFile&&) = default;
+
+  /// Allocates the first page. Must be called once before use.
+  Status Create();
+
+  /// Appends a record, returning its RID. Large records spill to overflow
+  /// pages transparently.
+  StatusOr<Rid> Append(std::string_view rec);
+
+  /// Reads the record at `rid` into `out`. NotFound if deleted.
+  Status Get(Rid rid, std::string* out) const;
+
+  /// Applies `fn` to a mutable view of the record's leading bytes:
+  /// the whole record when stored inline, else the first kOverflowHeadLen
+  /// bytes. The Hazy engines use this for fixed-offset label/eps rewrites
+  /// (the §B.1 "update without MVCC copy" fast path).
+  Status Patch(Rid rid, const std::function<void(char* data, size_t size)>& fn);
+
+  /// Deletes the record at `rid` (freeing any overflow chain).
+  Status Delete(Rid rid);
+
+  /// Sequentially scans every live record. `fn` receives (rid, bytes) —
+  /// valid only during the callback — and returns true to continue.
+  Status Scan(const std::function<bool(Rid, std::string_view)>& fn) const;
+
+  /// Scans starting from the given page in chain order (used by the Hazy
+  /// on-disk engine to start at the low-water page of a clustered heap).
+  Status ScanFrom(uint32_t start_page,
+                  const std::function<bool(Rid, std::string_view)>& fn) const;
+
+  /// Frees every page back to the pool and re-creates an empty heap.
+  Status Truncate();
+
+  /// Frees every page; the heap becomes unusable until Create().
+  Status Destroy();
+
+  uint64_t num_records() const { return num_records_; }
+  uint64_t num_pages() const { return num_pages_ + num_overflow_pages_; }
+  uint32_t first_page() const { return first_page_; }
+
+  /// Approximate on-disk footprint in bytes.
+  uint64_t SizeBytes() const { return num_pages() * kPageSize; }
+
+ private:
+  // Record tags inside slots.
+  static constexpr char kInlineTag = 0;
+  static constexpr char kOverflowTag = 1;
+  // Overflow stub layout after the tag: u32 total_size, u32 first_ovf_page,
+  // u16 head_len, then head bytes.
+  static constexpr size_t kStubHeaderSize = 1 + 4 + 4 + 2;
+  // Overflow page layout: u32 next_page, u32 used, then data.
+  static constexpr size_t kOvfHeaderSize = 8;
+  static constexpr size_t kOvfCapacity = kPageSize - kOvfHeaderSize;
+
+  StatusOr<Rid> AppendOverflow(std::string_view rec);
+  Status MaterializeOverflow(std::string_view stub, std::string* out) const;
+  Status FreeOverflowChain(std::string_view stub);
+
+  BufferPool* pool_;
+  uint32_t first_page_ = kInvalidPageId;
+  uint32_t last_page_ = kInvalidPageId;
+  uint64_t num_records_ = 0;
+  uint64_t num_pages_ = 0;
+  uint64_t num_overflow_pages_ = 0;
+};
+
+}  // namespace hazy::storage
+
+#endif  // HAZY_STORAGE_HEAP_FILE_H_

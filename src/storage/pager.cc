@@ -1,0 +1,96 @@
+#include "storage/pager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace hazy::storage {
+
+Pager::~Pager() {
+  if (fd_ >= 0) Close().ok();
+}
+
+Status Pager::Open(const std::string& path) {
+  if (fd_ >= 0) return Status::InvalidArgument("pager already open");
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  fd_ = fd;
+  path_ = path;
+  num_pages_ = 0;
+  free_list_.clear();
+  return Status::OK();
+}
+
+Status Pager::Close() {
+  if (fd_ < 0) return Status::InvalidArgument("pager not open");
+  ::close(fd_);
+  fd_ = -1;
+  return Status::OK();
+}
+
+StatusOr<uint32_t> Pager::Allocate() {
+  if (fd_ < 0) return Status::InvalidArgument("pager not open");
+  ++stats_.allocs;
+  if (!free_list_.empty()) {
+    uint32_t pid = free_list_.back();
+    free_list_.pop_back();
+    return pid;
+  }
+  uint32_t pid = num_pages_++;
+  // Extend the file with a zero page so later reads are well-defined.
+  static const char kZeros[kPageSize] = {};
+  HAZY_RETURN_NOT_OK(Write(pid, kZeros));
+  return pid;
+}
+
+void Pager::Free(uint32_t page_id) { free_list_.push_back(page_id); }
+
+Status Pager::Read(uint32_t page_id, char* buf) {
+  if (fd_ < 0) return Status::InvalidArgument("pager not open");
+  if (page_id >= num_pages_) {
+    return Status::OutOfRange(StrFormat("read of page %u beyond end (%u pages)",
+                                        page_id, num_pages_));
+  }
+  ssize_t n = ::pread(fd_, buf, kPageSize, static_cast<off_t>(page_id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(StrFormat("pread page %u: %s", page_id, std::strerror(errno)));
+  }
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status Pager::Write(uint32_t page_id, const char* buf) {
+  if (fd_ < 0) return Status::InvalidArgument("pager not open");
+  ssize_t n = ::pwrite(fd_, buf, kPageSize, static_cast<off_t>(page_id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(StrFormat("pwrite page %u: %s", page_id, std::strerror(errno)));
+  }
+  ++stats_.writes;
+  return Status::OK();
+}
+
+Status Pager::Sync() {
+  if (fd_ < 0) return Status::InvalidArgument("pager not open");
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(StrFormat("fdatasync: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+std::string TempFilePath(const std::string& hint) {
+  static std::atomic<uint64_t> counter{0};
+  const char* tmp = ::getenv("TMPDIR");
+  std::string dir = tmp ? tmp : "/tmp";
+  return StrFormat("%s/hazy_%s_%d_%llu.db", dir.c_str(), hint.c_str(),
+                   static_cast<int>(::getpid()),
+                   static_cast<unsigned long long>(counter.fetch_add(1)));
+}
+
+}  // namespace hazy::storage

@@ -1,0 +1,79 @@
+// File-backed page allocator. Every "on-disk" structure in the repo does its
+// I/O through a Pager, so the cost of the on-disk architectures is real
+// pread/pwrite syscall + copy work per page, matching the cost shape of the
+// paper's PostgreSQL substrate.
+
+#ifndef HAZY_STORAGE_PAGER_H_
+#define HAZY_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace hazy::storage {
+
+/// Cumulative I/O counters (exposed so benchmarks can report physical work).
+struct PagerStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocs = 0;
+};
+
+/// \brief Allocates, reads and writes kPageSize pages in a single file.
+///
+/// Freed pages go on an in-memory free list and are recycled by Allocate();
+/// this keeps reorganization-heavy workloads from growing the file without
+/// bound. Not thread-safe (the on-disk engines are single-writer).
+class Pager {
+ public:
+  Pager() = default;
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Opens (or creates) the backing file.
+  Status Open(const std::string& path);
+
+  /// Closes the file; further operations fail.
+  Status Close();
+
+  /// Allocates a page id (recycling freed pages first).
+  StatusOr<uint32_t> Allocate();
+
+  /// Returns a page to the free list.
+  void Free(uint32_t page_id);
+
+  /// Reads page `page_id` into `buf` (must hold kPageSize bytes).
+  Status Read(uint32_t page_id, char* buf);
+
+  /// Writes kPageSize bytes from `buf` to page `page_id`.
+  Status Write(uint32_t page_id, const char* buf);
+
+  /// Flushes OS buffers (fdatasync).
+  Status Sync();
+
+  uint32_t num_pages() const { return num_pages_; }
+  size_t free_list_size() const { return free_list_.size(); }
+  const PagerStats& stats() const { return stats_; }
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint32_t num_pages_ = 0;
+  std::vector<uint32_t> free_list_;
+  PagerStats stats_;
+};
+
+/// Creates a unique temporary file path under $TMPDIR (or /tmp) with the
+/// given name hint. Used by tests and benchmarks.
+std::string TempFilePath(const std::string& hint);
+
+}  // namespace hazy::storage
+
+#endif  // HAZY_STORAGE_PAGER_H_

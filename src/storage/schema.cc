@@ -1,0 +1,154 @@
+#include "storage/schema.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "storage/coding.h"
+
+namespace hazy::storage {
+
+const char* ColumnTypeToString(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt64:
+      return "INT";
+    case ColumnType::kDouble:
+      return "REAL";
+    case ColumnType::kText:
+      return "TEXT";
+  }
+  return "?";
+}
+
+std::string ValueToString(const Value& v) {
+  if (std::holds_alternative<std::monostate>(v)) return "NULL";
+  if (std::holds_alternative<int64_t>(v)) {
+    return StrFormat("%lld", static_cast<long long>(std::get<int64_t>(v)));
+  }
+  if (std::holds_alternative<double>(v)) return StrFormat("%g", std::get<double>(v));
+  return std::get<std::string>(v);
+}
+
+bool ValueEquals(const Value& a, const Value& b) {
+  CompareResult r = ValueCompare(a, b);
+  return r.ok && r.cmp == 0;
+}
+
+CompareResult ValueCompare(const Value& a, const Value& b) {
+  if (std::holds_alternative<std::monostate>(a) ||
+      std::holds_alternative<std::monostate>(b)) {
+    return {false, 0};
+  }
+  // Numeric comparisons allow int/double mixing; text compares with text.
+  auto as_num = [](const Value& v, double* out) {
+    if (std::holds_alternative<int64_t>(v)) {
+      *out = static_cast<double>(std::get<int64_t>(v));
+      return true;
+    }
+    if (std::holds_alternative<double>(v)) {
+      *out = std::get<double>(v);
+      return true;
+    }
+    return false;
+  };
+  double da = 0, db = 0;
+  if (as_num(a, &da) && as_num(b, &db)) {
+    if (da < db) return {true, -1};
+    if (da > db) return {true, 1};
+    return {true, 0};
+  }
+  if (std::holds_alternative<std::string>(a) && std::holds_alternative<std::string>(b)) {
+    int c = std::get<std::string>(a).compare(std::get<std::string>(b));
+    return {true, c < 0 ? -1 : (c > 0 ? 1 : 0)};
+  }
+  return {false, 0};
+}
+
+StatusOr<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (EqualsIgnoreCase(cols_[i].name, name)) return i;
+  }
+  return Status::NotFound(StrFormat("no column named '%s'", name.c_str()));
+}
+
+Status Schema::EncodeRow(const Row& row, std::string* out) const {
+  if (row.size() != cols_.size()) {
+    return Status::InvalidArgument(StrFormat("row has %zu values, schema has %zu columns",
+                                             row.size(), cols_.size()));
+  }
+  out->clear();
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (std::holds_alternative<std::monostate>(v)) {
+      out->push_back(0);  // null marker
+      continue;
+    }
+    out->push_back(1);
+    switch (cols_[i].type) {
+      case ColumnType::kInt64:
+        if (!std::holds_alternative<int64_t>(v)) {
+          return Status::InvalidArgument(
+              StrFormat("column '%s' expects INT", cols_[i].name.c_str()));
+        }
+        PutFixed64(out, static_cast<uint64_t>(std::get<int64_t>(v)));
+        break;
+      case ColumnType::kDouble: {
+        double d;
+        if (std::holds_alternative<double>(v)) {
+          d = std::get<double>(v);
+        } else if (std::holds_alternative<int64_t>(v)) {
+          d = static_cast<double>(std::get<int64_t>(v));
+        } else {
+          return Status::InvalidArgument(
+              StrFormat("column '%s' expects REAL", cols_[i].name.c_str()));
+        }
+        PutDouble(out, d);
+        break;
+      }
+      case ColumnType::kText:
+        if (!std::holds_alternative<std::string>(v)) {
+          return Status::InvalidArgument(
+              StrFormat("column '%s' expects TEXT", cols_[i].name.c_str()));
+        }
+        PutLengthPrefixed(out, std::get<std::string>(v));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status Schema::DecodeRow(std::string_view data, Row* out) const {
+  out->clear();
+  out->reserve(cols_.size());
+  for (const Column& col : cols_) {
+    if (data.empty()) return Status::Corruption("row truncated");
+    char marker = data[0];
+    data.remove_prefix(1);
+    if (marker == 0) {
+      out->emplace_back(std::monostate{});
+      continue;
+    }
+    switch (col.type) {
+      case ColumnType::kInt64: {
+        uint64_t v;
+        if (!GetFixed64(&data, &v)) return Status::Corruption("row truncated (int)");
+        out->emplace_back(static_cast<int64_t>(v));
+        break;
+      }
+      case ColumnType::kDouble: {
+        double v;
+        if (!GetDouble(&data, &v)) return Status::Corruption("row truncated (real)");
+        out->emplace_back(v);
+        break;
+      }
+      case ColumnType::kText: {
+        std::string_view s;
+        if (!GetLengthPrefixed(&data, &s)) return Status::Corruption("row truncated (text)");
+        out->emplace_back(std::string(s));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hazy::storage

@@ -1,0 +1,70 @@
+// Relational schema and typed rows for the engine/SQL layer: the base tables
+// (Papers, Example_Papers, ...) that classification views are declared over.
+
+#ifndef HAZY_STORAGE_SCHEMA_H_
+#define HAZY_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hazy::storage {
+
+/// Column types supported by the mini relational layer.
+enum class ColumnType : uint8_t { kInt64 = 0, kDouble = 1, kText = 2 };
+
+const char* ColumnTypeToString(ColumnType t);
+
+/// One column: a name and a type.
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+/// A single value; std::monostate encodes SQL NULL.
+using Value = std::variant<std::monostate, int64_t, double, std::string>;
+
+/// Renders a value the way the SQL shell prints it.
+std::string ValueToString(const Value& v);
+
+/// True if two values are equal (NULL equals nothing).
+bool ValueEquals(const Value& a, const Value& b);
+
+/// Three-way comparison used by WHERE predicates; NULLs are incomparable
+/// (returns false through `ok`).
+struct CompareResult {
+  bool ok = false;
+  int cmp = 0;
+};
+CompareResult ValueCompare(const Value& a, const Value& b);
+
+/// A row is one value per schema column.
+using Row = std::vector<Value>;
+
+/// \brief Ordered list of columns with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {}
+
+  size_t num_columns() const { return cols_.size(); }
+  const Column& column(size_t i) const { return cols_[i]; }
+  const std::vector<Column>& columns() const { return cols_; }
+
+  /// Index of the column with this name (case-insensitive), or NotFound.
+  StatusOr<size_t> IndexOf(const std::string& name) const;
+
+  /// Serializes a row to bytes / parses bytes back. Row must match schema.
+  Status EncodeRow(const Row& row, std::string* out) const;
+  Status DecodeRow(std::string_view data, Row* out) const;
+
+ private:
+  std::vector<Column> cols_;
+};
+
+}  // namespace hazy::storage
+
+#endif  // HAZY_STORAGE_SCHEMA_H_

@@ -1,0 +1,97 @@
+// A relational table: schema + heap file + optional primary-key hash index
+// + insert/delete observers (the trigger mechanism the engine uses to keep
+// classification views in sync, mirroring the paper's PostgreSQL triggers).
+
+#ifndef HAZY_STORAGE_TABLE_H_
+#define HAZY_STORAGE_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/hash_index.h"
+#include "storage/heap_file.h"
+#include "storage/schema.h"
+
+namespace hazy::storage {
+
+/// \brief Heap-backed table with typed rows.
+class Table {
+ public:
+  /// Trigger callback: fired after a row mutation commits to the heap.
+  using Trigger = std::function<Status(const Row&)>;
+  /// Update trigger: receives the old and new row images.
+  using UpdateTrigger = std::function<Status(const Row& old_row, const Row& new_row)>;
+
+  /// `primary_key`: column index of the PK (or nullopt for none). With a PK,
+  /// a hash index accelerates point lookups and rejects duplicates.
+  Table(std::string name, Schema schema, BufferPool* pool,
+        std::optional<size_t> primary_key);
+
+  /// Allocates backing storage. Must be called once.
+  Status Create();
+
+  /// Inserts a row (fires insert triggers after the write).
+  Status Insert(const Row& row);
+
+  /// Point lookup by primary key.
+  StatusOr<Row> GetByKey(int64_t key) const;
+
+  /// Deletes by primary key (fires delete triggers). NotFound if absent.
+  Status DeleteByKey(int64_t key);
+
+  /// Replaces the row with primary key `key` (fires update triggers with
+  /// both images). The new row must keep the same key.
+  Status UpdateByKey(int64_t key, const Row& new_row);
+
+  /// Scans all rows; `fn` returns true to continue.
+  Status Scan(const std::function<bool(const Row&)>& fn) const;
+
+  /// Registers a post-insert / post-delete / post-update trigger.
+  void AddInsertTrigger(Trigger t) { insert_triggers_.push_back(std::move(t)); }
+  void AddDeleteTrigger(Trigger t) { delete_triggers_.push_back(std::move(t)); }
+  void AddUpdateTrigger(UpdateTrigger t) { update_triggers_.push_back(std::move(t)); }
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return heap_->num_records(); }
+  std::optional<size_t> primary_key() const { return primary_key_; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::unique_ptr<HeapFile> heap_;
+  std::optional<size_t> primary_key_;
+  HashIndex pk_index_;
+  std::vector<Trigger> insert_triggers_;
+  std::vector<Trigger> delete_triggers_;
+  std::vector<UpdateTrigger> update_triggers_;
+};
+
+/// \brief Named collection of tables sharing one buffer pool.
+class Catalog {
+ public:
+  explicit Catalog(BufferPool* pool) : pool_(pool) {}
+
+  /// Creates a table; AlreadyExists if the name is taken.
+  StatusOr<Table*> CreateTable(const std::string& name, Schema schema,
+                               std::optional<size_t> primary_key);
+
+  /// Finds a table by name (case-insensitive).
+  StatusOr<Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  BufferPool* pool_;
+  std::vector<std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace hazy::storage
+
+#endif  // HAZY_STORAGE_TABLE_H_

@@ -1,0 +1,207 @@
+// Tests for hazy::common — Status/StatusOr, RNG, strings, timer, thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace hazy {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+}
+
+StatusOr<int> ReturnsValue() { return 42; }
+StatusOr<int> ReturnsError() { return Status::InvalidArgument("nope"); }
+
+Status UseAssignOrReturn(int* out) {
+  HAZY_ASSIGN_OR_RETURN(*out, ReturnsValue());
+  return Status::OK();
+}
+
+Status PropagatesError(int* out) {
+  HAZY_ASSIGN_OR_RETURN(*out, ReturnsError());
+  return Status::OK();
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  auto v = ReturnsValue();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  auto e = ReturnsError();
+  ASSERT_FALSE(e.ok());
+  EXPECT_TRUE(e.status().IsInvalidArgument());
+  EXPECT_EQ(e.ValueOr(-1), -1);
+  EXPECT_EQ(v.ValueOr(-1), 42);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacros) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(&out).ok());
+  EXPECT_EQ(out, 42);
+  out = 0;
+  Status s = PropagatesError(&out);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(out, 0);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ZipfTest, RankZeroIsMostFrequent) {
+  Rng rng(17);
+  ZipfSampler zipf(100, 1.1);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+}
+
+TEST(ZipfTest, SamplesWithinSupport) {
+  Rng rng(19);
+  ZipfSampler zipf(5, 2.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(&rng), 5u);
+}
+
+TEST(StringsTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringsTest, TrimAndCase) {
+  EXPECT_EQ(Trim("  hi \n"), "hi");
+  EXPECT_EQ(ToLower("HeLLo"), "hello");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foo", "foobar"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringsTest, HumanUnits) {
+  EXPECT_EQ(HumanBytes(512), "512B");
+  EXPECT_EQ(HumanBytes(1536), "1.5KB");
+  EXPECT_EQ(HumanCount(721000), "721k");
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + std::sqrt(static_cast<double>(i));
+  EXPECT_GT(t.ElapsedNanos(), 0);
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace hazy

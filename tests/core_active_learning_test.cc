@@ -1,0 +1,185 @@
+// Tests for the active-learning hook: TopUncertain(k) must return exactly
+// the k entities nearest the current hyperplane, no matter how far the
+// model has drifted from the stored clustering.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "core/hazy_mm.h"
+#include "data/synthetic.h"
+
+namespace hazy::core {
+namespace {
+
+struct Rig {
+  std::unique_ptr<HazyMMView> view;
+  std::vector<ml::LabeledExample> stream;
+  std::vector<Entity> entities;
+};
+
+Rig MakeRig(size_t n, uint64_t seed) {
+  data::DenseCorpusOptions opts;
+  opts.num_entities = n;
+  opts.dim = 8;
+  opts.separation = 1.5;
+  opts.seed = seed;
+  auto examples = data::ToBinary(data::GenerateDenseCorpus(opts), 0);
+  Rig s;
+  for (const auto& ex : examples) s.entities.push_back({ex.id, ex.features});
+  s.stream = data::ShuffledStream(examples, seed + 1);
+  ViewOptions vopts;
+  vopts.mode = Mode::kEager;
+  vopts.holder_p = 2.0;
+  vopts.cost_model = CostModel::kTupleCount;
+  s.view = std::make_unique<HazyMMView>(vopts);
+  return s;
+}
+
+// Brute-force reference: all ids sorted by |eps| under the current model.
+std::vector<int64_t> BruteForce(const Rig& s, size_t k) {
+  std::vector<std::pair<double, int64_t>> by_eps;
+  for (const auto& e : s.entities) {
+    by_eps.emplace_back(std::fabs(s.view->model().Eps(e.features)), e.id);
+  }
+  std::sort(by_eps.begin(), by_eps.end());
+  std::vector<int64_t> out;
+  for (size_t i = 0; i < k && i < by_eps.size(); ++i) out.push_back(by_eps[i].second);
+  return out;
+}
+
+TEST(TopUncertainTest, MatchesBruteForceAfterDrift) {
+  Rig s = MakeRig(300, 5);
+  ASSERT_TRUE(s.view->BulkLoad(s.entities).ok());
+  for (size_t i = 0; i < 150; ++i) {
+    ASSERT_TRUE(s.view->Update(s.stream[i]).ok());
+    if (i % 25 != 0) continue;
+    for (size_t k : {1u, 5u, 20u}) {
+      auto got = s.view->TopUncertain(k);
+      ASSERT_TRUE(got.ok());
+      auto want = BruteForce(s, k);
+      // Compare as distance multisets (ties may order differently).
+      auto dist = [&](int64_t id) {
+        for (const auto& e : s.entities) {
+          if (e.id == id) return std::fabs(s.view->model().Eps(e.features));
+        }
+        return -1.0;
+      };
+      ASSERT_EQ(got->size(), want.size()) << "round " << i << " k " << k;
+      for (size_t j = 0; j < want.size(); ++j) {
+        EXPECT_NEAR(dist((*got)[j]), dist(want[j]), 1e-12)
+            << "round " << i << " k " << k << " pos " << j;
+      }
+    }
+  }
+}
+
+TEST(TopUncertainTest, ResultsOrderedByUncertainty) {
+  Rig s = MakeRig(200, 9);
+  ASSERT_TRUE(s.view->BulkLoad(s.entities).ok());
+  for (size_t i = 0; i < 60; ++i) ASSERT_TRUE(s.view->Update(s.stream[i]).ok());
+  auto got = s.view->TopUncertain(15);
+  ASSERT_TRUE(got.ok());
+  double prev = -1.0;
+  for (int64_t id : *got) {
+    double d = 0;
+    for (const auto& e : s.entities) {
+      if (e.id == id) d = std::fabs(s.view->model().Eps(e.features));
+    }
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(TopUncertainTest, EdgeCases) {
+  Rig s = MakeRig(20, 3);
+  ASSERT_TRUE(s.view->BulkLoad(s.entities).ok());
+  auto none = s.view->TopUncertain(0);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  auto all = s.view->TopUncertain(100);  // k > N clamps to N
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 20u);
+  std::set<int64_t> unique(all->begin(), all->end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(TopUncertainTest, InspectsFewTuplesWhenWarm) {
+  Rig s = MakeRig(2000, 11);
+  ASSERT_TRUE(s.view->BulkLoad(s.entities).ok());
+  // Long warm-up: tight window, so the expand-and-guard search should
+  // inspect far fewer tuples than the corpus.
+  ASSERT_TRUE(s.view->WarmModel(
+                       std::vector<ml::LabeledExample>(s.stream.begin(),
+                                                       s.stream.end()))
+                  .ok());
+  *s.view->mutable_stats() = ViewStats{};
+  auto got = s.view->TopUncertain(10);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 10u);
+  EXPECT_LT(s.view->stats().tuples_scanned, 2000u / 2);
+}
+
+// The active-learning loop the paper motivates: labeling the most
+// uncertain entities should improve accuracy faster than labeling random
+// ones (uncertainty sampling beats random sampling on a fixed budget).
+TEST(TopUncertainTest, UncertaintySamplingLearnsFaster) {
+  data::DenseCorpusOptions opts;
+  opts.num_entities = 1500;
+  opts.dim = 12;
+  opts.separation = 2.0;
+  opts.seed = 31;
+  auto examples = data::ToBinary(data::GenerateDenseCorpus(opts), 0);
+  std::unordered_map<int64_t, const ml::LabeledExample*> oracle;
+  std::vector<Entity> entities;
+  for (const auto& ex : examples) {
+    oracle[ex.id] = &ex;
+    entities.push_back({ex.id, ex.features});
+  }
+
+  auto run = [&](bool active, uint64_t seed) {
+    ViewOptions vopts;
+    vopts.mode = Mode::kEager;
+    vopts.holder_p = 2.0;
+    vopts.cost_model = CostModel::kTupleCount;
+    HazyMMView view(vopts);
+    EXPECT_TRUE(view.BulkLoad(entities).ok());
+    Rng rng(seed);
+    // Seed with 8 random labels, then spend a budget of 60 queries.
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE(view.Update(*oracle[static_cast<int64_t>(
+                                  rng.Uniform(entities.size()))])
+                      .ok());
+    }
+    for (int i = 0; i < 60; ++i) {
+      int64_t pick;
+      if (active) {
+        auto top = view.TopUncertain(1);
+        EXPECT_TRUE(top.ok());
+        pick = (*top)[0];
+      } else {
+        pick = static_cast<int64_t>(rng.Uniform(entities.size()));
+      }
+      EXPECT_TRUE(view.Update(*oracle[pick]).ok());
+    }
+    size_t correct = 0;
+    for (const auto& ex : examples) {
+      if (view.model().Classify(ex.features) == ex.label) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(examples.size());
+  };
+
+  double active_acc = 0, random_acc = 0;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    active_acc += run(true, seed);
+    random_acc += run(false, seed);
+  }
+  EXPECT_GE(active_acc, random_acc - 0.03)
+      << "active " << active_acc / 3 << " vs random " << random_acc / 3;
+}
+
+}  // namespace
+}  // namespace hazy::core

@@ -1,0 +1,212 @@
+// Tests for the Hölder water-line machinery — most importantly the
+// soundness property of Lemma 3.1: tuples outside [lw, hw) never change
+// class relative to the stored model's clustering.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/bounds.h"
+#include "ml/sgd.h"
+
+namespace hazy::core {
+namespace {
+
+TEST(WaterLineTest, CollapsesAtReorganization) {
+  WaterLineTracker t(ml::kInf, true);
+  t.SetM(1.0);
+  ml::LinearModel m;
+  m.w = {1.0, -1.0};
+  m.b = 0.25;
+  t.Reorganize(m);
+  EXPECT_DOUBLE_EQ(t.low_water(), 0.0);
+  EXPECT_DOUBLE_EQ(t.high_water(), 0.0);
+  // Zero drift keeps the window empty.
+  t.Advance(m);
+  EXPECT_DOUBLE_EQ(t.low_water(), 0.0);
+  EXPECT_DOUBLE_EQ(t.high_water(), 0.0);
+}
+
+TEST(WaterLineTest, SingleDriftBounds) {
+  WaterLineTracker t(ml::kInf, true);
+  t.SetM(1.0);
+  ml::LinearModel stored;
+  stored.w = {1.0};
+  stored.b = 0.0;
+  t.Reorganize(stored);
+  ml::LinearModel cur = stored;
+  cur.w[0] = 1.5;  // ||delta||_inf = 0.5
+  cur.b = 0.1;     // delta_b = 0.1
+  t.Advance(cur);
+  EXPECT_DOUBLE_EQ(t.high_water(), 1.0 * 0.5 + 0.1);
+  EXPECT_DOUBLE_EQ(t.low_water(), -1.0 * 0.5 + 0.1);
+}
+
+TEST(WaterLineTest, MonotoneWindowOnlyGrows) {
+  WaterLineTracker t(2.0, true);
+  t.SetM(2.0);
+  ml::LinearModel stored;
+  stored.w = {0.0, 0.0};
+  t.Reorganize(stored);
+  Rng rng(5);
+  double prev_lw = 0.0, prev_hw = 0.0;
+  ml::LinearModel cur = stored;
+  for (int i = 0; i < 50; ++i) {
+    cur.w[0] += rng.Gaussian() * 0.1;
+    cur.w[1] += rng.Gaussian() * 0.1;
+    cur.b += rng.Gaussian() * 0.05;
+    t.Advance(cur);
+    EXPECT_LE(t.low_water(), prev_lw + 1e-15);
+    EXPECT_GE(t.high_water(), prev_hw - 1e-15);
+    prev_lw = t.low_water();
+    prev_hw = t.high_water();
+  }
+}
+
+TEST(WaterLineTest, NonMonotoneTracksLastTwoRounds) {
+  WaterLineTracker t(ml::kInf, false);
+  t.SetM(1.0);
+  ml::LinearModel stored;
+  stored.w = {0.0};
+  t.Reorganize(stored);
+  ml::LinearModel cur = stored;
+  cur.w[0] = 1.0;  // big drift
+  t.Advance(cur);
+  double wide_hw = t.high_water();
+  EXPECT_DOUBLE_EQ(wide_hw, 1.0);
+  // Drift back toward the stored model: the two-round window shrinks,
+  // which the monotone variant can never do.
+  cur.w[0] = 0.1;
+  t.Advance(cur);
+  EXPECT_DOUBLE_EQ(t.high_water(), 1.0);  // still covers round i-1
+  cur.w[0] = 0.05;
+  t.Advance(cur);
+  EXPECT_LT(t.high_water(), wide_hw);
+}
+
+TEST(WaterLineTest, CertaintyPredicatesPartitionTheLine) {
+  WaterLineTracker t(ml::kInf, true);
+  t.SetM(1.0);
+  ml::LinearModel m;
+  m.w = {0.0};
+  t.Reorganize(m);
+  ml::LinearModel cur = m;
+  cur.w[0] = 0.3;
+  cur.b = -0.1;
+  t.Advance(cur);
+  for (double eps : {-10.0, -0.5, -0.2, 0.0, 0.2, 0.5, 10.0}) {
+    int regions = (t.CertainPositive(eps) ? 1 : 0) + (t.CertainNegative(eps) ? 1 : 0) +
+                  (t.InWindow(eps) ? 1 : 0);
+    EXPECT_EQ(regions, 1) << "eps=" << eps;
+  }
+}
+
+// The core soundness property (Lemma 3.1 + Eq. 2), tested by simulation:
+// cluster a corpus under a stored model, drift the model with SGD updates,
+// and verify that every certainty claim the water lines make is true.
+class WaterLineSoundnessTest
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(WaterLineSoundnessTest, BoundsNeverLie) {
+  const auto [p, seed] = GetParam();
+  const double q = ml::HolderConjugate(p);
+  Rng rng(seed);
+
+  // Random corpus.
+  const uint32_t dim = 12;
+  std::vector<ml::FeatureVector> corpus;
+  double m_norm = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> x(dim);
+    for (auto& v : x) v = rng.Gaussian();
+    corpus.push_back(ml::FeatureVector::Dense(std::move(x)));
+    m_norm = std::max(m_norm, corpus.back().Norm(q));
+  }
+
+  // Stored model and clustering.
+  ml::LinearModel stored;
+  stored.w.resize(dim);
+  for (auto& v : stored.w) v = rng.Gaussian() * 0.2;
+  stored.b = rng.Gaussian() * 0.1;
+  std::vector<double> stored_eps;
+  for (const auto& f : corpus) stored_eps.push_back(stored.Eps(f));
+
+  WaterLineTracker tracker(p, true);
+  tracker.SetM(m_norm);
+  tracker.Reorganize(stored);
+
+  // Drift: a stream of SGD-like random updates.
+  ml::LinearModel cur = stored;
+  for (int round = 0; round < 60; ++round) {
+    size_t j = rng.Uniform(corpus.size());
+    int y = rng.Bernoulli(0.5) ? 1 : -1;
+    ml::SgdOptions opts;
+    opts.eta0 = 0.05;
+    ml::SgdTrainer trainer(opts);
+    trainer.Step(&cur, corpus[j], y);
+    tracker.Advance(cur);
+
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      int true_label = cur.Classify(corpus[i]);
+      if (tracker.CertainPositive(stored_eps[i])) {
+        EXPECT_EQ(true_label, 1) << "round " << round << " entity " << i;
+      }
+      if (tracker.CertainNegative(stored_eps[i])) {
+        EXPECT_EQ(true_label, -1) << "round " << round << " entity " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NormsAndSeeds, WaterLineSoundnessTest,
+    ::testing::Combine(::testing::Values(1.0, 2.0, ml::kInf),
+                       ::testing::Values(1u, 2u, 3u)));
+
+// Non-monotone variant: with eager per-round relabeling, labels stay exact.
+TEST(WaterLineNonMonotoneTest, EagerInvariantHolds) {
+  Rng rng(17);
+  const uint32_t dim = 8;
+  std::vector<ml::FeatureVector> corpus;
+  double m_norm = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> x(dim);
+    for (auto& v : x) v = rng.Gaussian();
+    corpus.push_back(ml::FeatureVector::Dense(std::move(x)));
+    m_norm = std::max(m_norm, corpus.back().Norm(1.0));
+  }
+  ml::LinearModel stored;
+  stored.w.assign(dim, 0.0);
+  std::vector<double> stored_eps;
+  std::vector<int> labels;
+  for (const auto& f : corpus) {
+    stored_eps.push_back(stored.Eps(f));
+    labels.push_back(ml::SignOf(stored_eps.back()));
+  }
+  WaterLineTracker tracker(ml::kInf, false);
+  tracker.SetM(m_norm);
+  tracker.Reorganize(stored);
+
+  ml::LinearModel cur = stored;
+  ml::SgdOptions opts;
+  opts.eta0 = 0.05;
+  ml::SgdTrainer trainer(opts);
+  for (int round = 0; round < 80; ++round) {
+    size_t j = rng.Uniform(corpus.size());
+    trainer.Step(&cur, corpus[j], rng.Bernoulli(0.5) ? 1 : -1);
+    tracker.Advance(cur);
+    // Eager incremental step: relabel the window.
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      if (tracker.InWindow(stored_eps[i])) labels[i] = cur.Classify(corpus[i]);
+    }
+    // Invariant: every materialized label matches the current model.
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      ASSERT_EQ(labels[i], cur.Classify(corpus[i]))
+          << "round " << round << " entity " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hazy::core

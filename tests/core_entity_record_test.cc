@@ -1,0 +1,134 @@
+// Tests for the entity-record codec: round trips, header-only decoding,
+// in-place patch offsets, and corruption handling (failure injection).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/entity_record.h"
+
+namespace hazy::core {
+namespace {
+
+EntityRecord SampleRecord() {
+  EntityRecord rec;
+  rec.id = 987654321;
+  rec.eps = -0.3725;
+  rec.label = -1;
+  rec.features = ml::FeatureVector::Sparse({3, 77, 1024}, {0.5, -2.0, 1e-9}, 4096);
+  return rec;
+}
+
+TEST(EntityRecordTest, RoundTrip) {
+  EntityRecord rec = SampleRecord();
+  std::string buf;
+  EncodeEntityRecord(rec, &buf);
+  auto out = DecodeEntityRecord(buf);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->id, rec.id);
+  EXPECT_DOUBLE_EQ(out->eps, rec.eps);
+  EXPECT_EQ(out->label, rec.label);
+  EXPECT_TRUE(out->features == rec.features);
+}
+
+TEST(EntityRecordTest, DenseRoundTrip) {
+  EntityRecord rec;
+  rec.id = 7;
+  rec.eps = 2.25;
+  rec.label = 1;
+  rec.features = ml::FeatureVector::Dense({1.0, -1.0, 0.0});
+  std::string buf;
+  EncodeEntityRecord(rec, &buf);
+  auto out = DecodeEntityRecord(buf);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->features == rec.features);
+}
+
+TEST(EntityRecordTest, HeaderOnlyDecodeSkipsFeatures) {
+  EntityRecord rec = SampleRecord();
+  std::string buf;
+  EncodeEntityRecord(rec, &buf);
+  auto h = DecodeEntityHeader(buf);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->id, rec.id);
+  EXPECT_DOUBLE_EQ(h->eps, rec.eps);
+  EXPECT_EQ(h->label, rec.label);
+  // The header is decodable from just the first kEntityHeaderSize bytes
+  // (which is what makes overflow-stub patches and header scans work).
+  auto h2 = DecodeEntityHeader(std::string_view(buf).substr(0, kEntityHeaderSize));
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(h2->id, rec.id);
+}
+
+TEST(EntityRecordTest, PatchLabelInPlace) {
+  EntityRecord rec = SampleRecord();
+  std::string buf;
+  EncodeEntityRecord(rec, &buf);
+  PatchLabel(buf.data(), buf.size(), 1);
+  auto out = DecodeEntityRecord(buf);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->label, 1);
+  EXPECT_DOUBLE_EQ(out->eps, rec.eps);           // untouched
+  EXPECT_TRUE(out->features == rec.features);    // untouched
+}
+
+TEST(EntityRecordTest, PatchEpsInPlace) {
+  EntityRecord rec = SampleRecord();
+  std::string buf;
+  EncodeEntityRecord(rec, &buf);
+  PatchEps(buf.data(), buf.size(), 9.75);
+  auto out = DecodeEntityRecord(buf);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->eps, 9.75);
+  EXPECT_EQ(out->label, rec.label);
+}
+
+TEST(EntityRecordTest, HeaderFitsInOverflowHead) {
+  // The fixed header must fit inside the heap file's patchable inline head
+  // or the on-disk label rewrite breaks for overflow records.
+  EXPECT_LE(kEntityHeaderSize, 64u);
+}
+
+TEST(EntityRecordTest, TruncationIsCorruption) {
+  EntityRecord rec = SampleRecord();
+  std::string buf;
+  EncodeEntityRecord(rec, &buf);
+  for (size_t cut : {0ul, 5ul, kEntityHeaderSize - 1, kEntityHeaderSize + 3,
+                     buf.size() - 1}) {
+    auto out = DecodeEntityRecord(std::string_view(buf).substr(0, cut));
+    EXPECT_TRUE(out.status().IsCorruption()) << "cut at " << cut;
+  }
+}
+
+TEST(EntityRecordTest, RandomizedRoundTripSweep) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    EntityRecord rec;
+    rec.id = static_cast<int64_t>(rng.Next() >> 1);
+    rec.eps = rng.Gaussian() * 100.0;
+    rec.label = rng.Bernoulli(0.5) ? 1 : -1;
+    if (rng.Bernoulli(0.5)) {
+      uint32_t dim = 1 + static_cast<uint32_t>(rng.Uniform(64));
+      std::vector<double> v(dim);
+      for (auto& x : v) x = rng.Gaussian();
+      rec.features = ml::FeatureVector::Dense(std::move(v));
+    } else {
+      uint32_t dim = 1000;
+      std::vector<uint32_t> idx;
+      std::vector<double> val;
+      for (uint32_t i = 0; i < dim; i += 1 + static_cast<uint32_t>(rng.Uniform(97))) {
+        idx.push_back(i);
+        val.push_back(rng.Gaussian());
+      }
+      rec.features = ml::FeatureVector::Sparse(std::move(idx), std::move(val), dim);
+    }
+    std::string buf;
+    EncodeEntityRecord(rec, &buf);
+    auto out = DecodeEntityRecord(buf);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->id, rec.id);
+    EXPECT_TRUE(out->features == rec.features);
+  }
+}
+
+}  // namespace
+}  // namespace hazy::core

@@ -1,0 +1,176 @@
+// Tests for the kernel classification view (paper B.5.2): the ℓ1
+// coefficient bound must be sound, the view must agree with a naive
+// kernel reclassification, and — the reason kernels exist — it must learn
+// non-linear concepts a linear model cannot.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/kernel_view.h"
+#include "ml/metrics.h"
+#include "ml/sgd.h"
+
+namespace hazy::core {
+namespace {
+
+// The circle dataset: label +1 iff ||x|| < r. Not linearly separable.
+struct CircleData {
+  std::vector<Entity> entities;
+  std::vector<ml::LabeledExample> stream;
+};
+
+CircleData MakeCircle(size_t n, double radius, uint64_t seed) {
+  Rng rng(seed);
+  CircleData out;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> x{rng.UniformDouble(-2.0, 2.0), rng.UniformDouble(-2.0, 2.0)};
+    double norm = std::sqrt(x[0] * x[0] + x[1] * x[1]);
+    int label = norm < radius ? 1 : -1;
+    auto f = ml::FeatureVector::Dense(x);
+    out.entities.push_back({static_cast<int64_t>(i), f});
+    out.stream.push_back({static_cast<int64_t>(i), f, label});
+  }
+  Rng shuffler(seed + 1);
+  shuffler.Shuffle(&out.stream);
+  return out;
+}
+
+KernelViewOptions Opts() {
+  KernelViewOptions o;
+  o.sgd.kind = ml::KernelKind::kRbf;
+  o.sgd.gamma = 2.0;
+  o.cost_model = CostModel::kTupleCount;
+  return o;
+}
+
+TEST(KernelModelTest, EpsIsKernelExpansion) {
+  ml::KernelModel m;
+  m.kind = ml::KernelKind::kRbf;
+  m.gamma = 1.0;
+  m.support.push_back(ml::FeatureVector::Dense({0.0, 0.0}));
+  m.coeffs.push_back(2.0);
+  auto x = ml::FeatureVector::Dense({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(m.Eps(x), 2.0);  // K(s, s) = 1
+  auto far = ml::FeatureVector::Dense({10.0, 10.0});
+  EXPECT_NEAR(m.Eps(far), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.CoeffL1(), 2.0);
+}
+
+TEST(KernelModelTest, TrainerReportsL1Movement) {
+  ml::KernelSgdOptions opts;
+  opts.eta0 = 0.5;
+  opts.lambda = 1e-3;
+  ml::KernelSgdTrainer trainer(opts);
+  ml::KernelModel model;
+  auto x = ml::FeatureVector::Dense({1.0});
+  double l1_before = model.CoeffL1();
+  double moved = trainer.Step(&model, x, 1);
+  EXPECT_GT(moved, 0.0);
+  // The report is an upper bound on the actual l1 movement.
+  double actual = std::fabs(model.CoeffL1() - l1_before);
+  EXPECT_GE(moved + 1e-12, actual);
+  EXPECT_EQ(model.num_support(), 1u);
+}
+
+TEST(KernelModelTest, ConfidentExamplesAddNoSupportVector) {
+  ml::KernelSgdOptions opts;
+  opts.eta0 = 5.0;  // make the first example very confident
+  opts.lambda = 0.0;
+  ml::KernelSgdTrainer trainer(opts);
+  ml::KernelModel model;
+  auto x = ml::FeatureVector::Dense({0.5});
+  trainer.Step(&model, x, 1);
+  ASSERT_EQ(model.num_support(), 1u);
+  // Same point, same label, now with margin >= 1: no new support vector
+  // and (lambda = 0) zero l1 movement.
+  double moved = trainer.Step(&model, x, 1);
+  EXPECT_EQ(model.num_support(), 1u);
+  EXPECT_DOUBLE_EQ(moved, 0.0);
+}
+
+TEST(KernelViewTest, LearnsTheCircle) {
+  CircleData data = MakeCircle(600, 1.2, 3);
+  KernelClassificationView view(Opts());
+  ASSERT_TRUE(view.BulkLoad(data.entities).ok());
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& ex : data.stream) ASSERT_TRUE(view.Update(ex).ok());
+  }
+  size_t correct = 0;
+  for (const auto& ex : data.stream) {
+    auto got = view.SingleEntityRead(ex.id);
+    ASSERT_TRUE(got.ok());
+    if (*got == ex.label) ++correct;
+  }
+  double kernel_acc = static_cast<double>(correct) / static_cast<double>(data.stream.size());
+  EXPECT_GT(kernel_acc, 0.9);
+
+  // A linear model cannot do much better than the majority class here.
+  ml::SgdTrainer linear_trainer;
+  ml::LinearModel linear;
+  for (int pass = 0; pass < 4; ++pass) {
+    for (const auto& ex : data.stream) linear_trainer.AddExample(&linear, ex);
+  }
+  double linear_acc = ml::Evaluate(linear, data.stream).Accuracy();
+  EXPECT_GT(kernel_acc, linear_acc + 0.1);
+}
+
+TEST(KernelViewTest, AgreesWithNaiveReclassification) {
+  CircleData data = MakeCircle(250, 1.0, 7);
+  KernelClassificationView view(Opts());
+  ASSERT_TRUE(view.BulkLoad(data.entities).ok());
+  for (size_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(view.Update(data.stream[i]).ok());
+    if (i % 20 != 0) continue;
+    // Every label must match a from-scratch classification under the
+    // current kernel model — the bound never lets a stale label survive.
+    for (const auto& e : data.entities) {
+      auto got = view.SingleEntityRead(e.id);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(*got, view.model().Classify(e.features))
+          << "round " << i << " entity " << e.id;
+    }
+  }
+}
+
+TEST(KernelViewTest, CountsPartitionTheCorpus) {
+  CircleData data = MakeCircle(300, 1.1, 9);
+  KernelClassificationView view(Opts());
+  ASSERT_TRUE(view.BulkLoad(data.entities).ok());
+  for (size_t i = 0; i < 100; ++i) ASSERT_TRUE(view.Update(data.stream[i]).ok());
+  auto pos = view.AllMembersCount(1);
+  auto neg = view.AllMembersCount(-1);
+  ASSERT_TRUE(pos.ok() && neg.ok());
+  EXPECT_EQ(*pos + *neg, data.entities.size());
+}
+
+TEST(KernelViewTest, WindowIsBoundedByDrift) {
+  CircleData data = MakeCircle(400, 1.0, 11);
+  KernelViewOptions opts = Opts();
+  opts.strategy = StrategyKind::kNever;  // let drift accumulate
+  KernelClassificationView view(opts);
+  ASSERT_TRUE(view.BulkLoad(data.entities).ok());
+  double prev_drift = 0.0;
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(view.Update(data.stream[i]).ok());
+    EXPECT_GE(view.drift(), prev_drift);  // never reorganizes, so monotone
+    prev_drift = view.drift();
+  }
+  EXPECT_GT(view.drift(), 0.0);
+  EXPECT_GT(view.stats().incremental_steps, 0u);
+}
+
+TEST(KernelViewTest, SkiingReorganizesUnderDrift) {
+  CircleData data = MakeCircle(500, 1.0, 13);
+  KernelClassificationView view(Opts());
+  ASSERT_TRUE(view.BulkLoad(data.entities).ok());
+  for (const auto& ex : data.stream) ASSERT_TRUE(view.Update(ex).ok());
+  EXPECT_GT(view.stats().reorgs, 0u);
+  // After a reorganization drift resets.
+  EXPECT_LT(view.drift(), 1e9);
+  EXPECT_TRUE(view.SingleEntityRead(999999).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace hazy::core

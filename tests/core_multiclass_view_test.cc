@@ -1,0 +1,104 @@
+// Tests for the one-vs-all multiclass classification view (Appendix C.3):
+// its predictions must match a plain OneVsAllClassifier fed the same stream.
+
+#include <gtest/gtest.h>
+
+#include "core/multiclass_view.h"
+#include "data/synthetic.h"
+#include "ml/multiclass.h"
+
+namespace hazy::core {
+namespace {
+
+struct McData {
+  std::vector<Entity> entities;
+  std::vector<ml::MulticlassExample> stream;
+};
+
+McData MakeMcData(int classes, size_t n, uint64_t seed) {
+  data::DenseCorpusOptions opts;
+  opts.num_entities = n;
+  opts.dim = 10;
+  opts.num_classes = classes;
+  opts.separation = 6.0;
+  opts.seed = seed;
+  auto pts = data::GenerateDenseCorpus(opts);
+  McData out;
+  for (const auto& p : pts) out.entities.push_back({p.id, p.features});
+  out.stream = data::ShuffledStream(data::ToMulticlass(pts), seed + 1);
+  return out;
+}
+
+ViewOptions McOpts() {
+  ViewOptions o;
+  o.holder_p = 2.0;
+  o.cost_model = CostModel::kTupleCount;
+  return o;
+}
+
+class MulticlassViewTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MulticlassViewTest, MatchesPlainOneVsAll) {
+  const int k = GetParam();
+  McData data = MakeMcData(k, 150, static_cast<uint64_t>(k) * 10);
+  MulticlassView view(k, Architecture::kHazyMM, McOpts(), nullptr);
+  ASSERT_TRUE(view.status().ok());
+  ASSERT_TRUE(view.BulkLoad(data.entities).ok());
+
+  ml::OneVsAllClassifier ref(k, McOpts().sgd);
+  for (size_t i = 0; i < 120 && i < data.stream.size(); ++i) {
+    ASSERT_TRUE(view.Update(data.stream[i]).ok());
+    ref.AddExample(data.stream[i]);
+  }
+  for (const auto& e : data.entities) {
+    auto got = view.PredictClass(e.id);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, ref.Predict(e.features)) << "entity " << e.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClassCounts, MulticlassViewTest, ::testing::Values(2, 3, 5));
+
+TEST(MulticlassViewTest, ClassCountsSumToCorpus) {
+  McData data = MakeMcData(4, 200, 5);
+  MulticlassView view(4, Architecture::kHazyMM, McOpts(), nullptr);
+  ASSERT_TRUE(view.status().ok());
+  ASSERT_TRUE(view.BulkLoad(data.entities).ok());
+  for (size_t i = 0; i < 100; ++i) ASSERT_TRUE(view.Update(data.stream[i]).ok());
+  uint64_t total = 0;
+  for (int c = 0; c < 4; ++c) {
+    auto n = view.ClassCount(c);
+    ASSERT_TRUE(n.ok());
+    total += *n;
+  }
+  EXPECT_EQ(total, data.entities.size());
+}
+
+TEST(MulticlassViewTest, InvalidClassRejected) {
+  McData data = MakeMcData(3, 50, 6);
+  MulticlassView view(3, Architecture::kNaiveMM, McOpts(), nullptr);
+  ASSERT_TRUE(view.BulkLoad(data.entities).ok());
+  ml::MulticlassExample bad = data.stream[0];
+  bad.klass = 9;
+  EXPECT_TRUE(view.Update(bad).IsInvalidArgument());
+  EXPECT_TRUE(view.ClassCount(-1).status().IsInvalidArgument());
+  EXPECT_TRUE(view.PredictClass(987654).status().IsNotFound());
+}
+
+TEST(MulticlassViewTest, LearnsSeparatedClasses) {
+  McData data = MakeMcData(3, 400, 77);
+  MulticlassView view(3, Architecture::kHazyMM, McOpts(), nullptr);
+  ASSERT_TRUE(view.BulkLoad(data.entities).ok());
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& ex : data.stream) ASSERT_TRUE(view.Update(ex).ok());
+  }
+  int correct = 0;
+  for (const auto& ex : data.stream) {
+    if (view.Classify(ex.features) == ex.klass) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(data.stream.size()),
+            0.85);
+}
+
+}  // namespace
+}  // namespace hazy::core

@@ -1,0 +1,135 @@
+// Tests for the synthetic corpus generators: determinism, shape statistics
+// matching the requested profile, and learnability.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "ml/metrics.h"
+#include "ml/sgd.h"
+
+namespace hazy::data {
+namespace {
+
+TEST(TextCorpusTest, DeterministicGivenSeed) {
+  TextCorpusOptions opts;
+  opts.num_entities = 50;
+  opts.vocab_size = 1000;
+  opts.seed = 77;
+  auto a = GenerateTextCorpus(opts);
+  auto b = GenerateTextCorpus(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].text, b[i].text);
+    EXPECT_EQ(a[i].label, b[i].label);
+  }
+}
+
+TEST(TextCorpusTest, DocLengthTracksMean) {
+  TextCorpusOptions opts;
+  opts.num_entities = 500;
+  opts.doc_len_mean = 20;
+  opts.vocab_size = 5000;
+  auto docs = GenerateTextCorpus(opts);
+  double total = 0;
+  for (const auto& d : docs) {
+    total += static_cast<double>(std::count(d.text.begin(), d.text.end(), ' ') + 1);
+  }
+  EXPECT_NEAR(total / 500.0, 20.0, 2.0);
+}
+
+TEST(TextCorpusTest, BothLabelsPresent) {
+  TextCorpusOptions opts;
+  opts.num_entities = 200;
+  auto docs = GenerateTextCorpus(opts);
+  int pos = 0;
+  for (const auto& d : docs) {
+    if (d.label == 1) ++pos;
+  }
+  EXPECT_GT(pos, 50);
+  EXPECT_LT(pos, 150);
+}
+
+TEST(TextCorpusTest, FeaturizedCorpusIsLearnable) {
+  TextCorpusOptions opts;
+  opts.num_entities = 800;
+  opts.vocab_size = 4000;
+  opts.doc_len_mean = 12;
+  opts.topic_fraction = 0.5;
+  opts.label_noise = 0.0;
+  auto docs = GenerateTextCorpus(opts);
+  features::TfBagOfWords fn;
+  auto examples = Featurize(docs, &fn);
+  ASSERT_TRUE(examples.ok());
+  ml::SgdTrainer trainer;
+  ml::LinearModel model;
+  for (int pass = 0; pass < 4; ++pass) {
+    for (const auto& ex : *examples) trainer.AddExample(&model, ex);
+  }
+  EXPECT_GT(ml::Evaluate(model, *examples).Accuracy(), 0.9);
+}
+
+TEST(DenseCorpusTest, DimensionAndDeterminism) {
+  DenseCorpusOptions opts;
+  opts.num_entities = 100;
+  opts.dim = 54;
+  opts.seed = 3;
+  auto a = GenerateDenseCorpus(opts);
+  auto b = GenerateDenseCorpus(opts);
+  ASSERT_EQ(a.size(), 100u);
+  EXPECT_EQ(a[0].features.dim(), 54u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].features == b[i].features);
+    EXPECT_EQ(a[i].klass, b[i].klass);
+  }
+}
+
+TEST(DenseCorpusTest, AllClassesRepresented) {
+  DenseCorpusOptions opts;
+  opts.num_entities = 600;
+  opts.num_classes = 5;
+  auto pts = GenerateDenseCorpus(opts);
+  std::vector<int> counts(5, 0);
+  for (const auto& p : pts) ++counts[static_cast<size_t>(p.klass)];
+  for (int c : counts) EXPECT_GT(c, 50);
+}
+
+TEST(DenseCorpusTest, ToBinaryMapsClasses) {
+  DenseCorpusOptions opts;
+  opts.num_entities = 100;
+  opts.num_classes = 3;
+  auto pts = GenerateDenseCorpus(opts);
+  auto bin = ToBinary(pts, 1);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(bin[i].label, pts[i].klass == 1 ? 1 : -1);
+  }
+}
+
+TEST(ProfilesTest, ScaleControlsEntityCount) {
+  EXPECT_EQ(ForestLike(1.0).num_entities, 582000u);
+  EXPECT_EQ(ForestLike(0.01).num_entities, 5820u);
+  EXPECT_EQ(DBLifeLike(1.0).num_entities, 124000u);
+  EXPECT_EQ(CiteseerLike(1.0).num_entities, 721000u);
+  // Floors keep tiny scales usable.
+  EXPECT_GE(ForestLike(1e-9).num_entities, 1000u);
+}
+
+TEST(ProfilesTest, ShapesMatchFigure3) {
+  // Forest: dense, 54 features. DBLife: titles (~7 words). Citeseer:
+  // abstracts (~60 words), much larger vocabulary.
+  EXPECT_EQ(ForestLike(0.1).dim, 54u);
+  EXPECT_EQ(DBLifeLike(0.1).doc_len_mean, 7u);
+  EXPECT_EQ(CiteseerLike(0.1).doc_len_mean, 60u);
+  EXPECT_GT(CiteseerLike(1.0).vocab_size, DBLifeLike(1.0).vocab_size);
+}
+
+TEST(ShuffledStreamTest, DeterministicPermutation) {
+  std::vector<int> v{1, 2, 3, 4, 5};
+  auto a = ShuffledStream(v, 42);
+  auto b = ShuffledStream(v, 42);
+  EXPECT_EQ(a, b);
+  auto c = ShuffledStream(v, 43);
+  EXPECT_NE(a, c);  // overwhelmingly likely for 5! orderings
+}
+
+}  // namespace
+}  // namespace hazy::data

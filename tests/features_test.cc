@@ -1,0 +1,153 @@
+// Tests for tokenizer, vocabulary, and the feature functions (including the
+// incremental-stats == batch-stats property for tf-idf and TF-ICF's frozen
+// statistics).
+
+#include <gtest/gtest.h>
+
+#include "features/feature_function.h"
+#include "features/tokenizer.h"
+
+namespace hazy::features {
+namespace {
+
+TEST(TokenizerTest, SplitsAndLowercases) {
+  auto toks = Tokenize("Hello, World! DB-papers 2011");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0], "hello");
+  EXPECT_EQ(toks[1], "world");
+  EXPECT_EQ(toks[2], "db");
+  EXPECT_EQ(toks[3], "papers");
+  EXPECT_EQ(toks[4], "2011");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!! ,,, ...").empty());
+}
+
+TEST(VocabularyTest, StableIndices) {
+  Vocabulary v;
+  EXPECT_EQ(v.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(v.GetOrAdd("beta"), 1u);
+  EXPECT_EQ(v.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(v.size(), 2u);
+  auto idx = v.Get("beta");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_TRUE(v.Get("gamma").status().IsNotFound());
+}
+
+TEST(TfBagOfWordsTest, L1NormalizedCounts) {
+  TfBagOfWords fn;
+  auto f = fn.ComputeFeature("db db systems");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->nnz(), 2u);
+  // "db" appears 2/3, "systems" 1/3.
+  EXPECT_NEAR(f->Norm(1.0), 1.0, 1e-12);
+  double db_w = f->At(0);
+  double sys_w = f->At(1);
+  EXPECT_NEAR(db_w, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(sys_w, 1.0 / 3.0, 1e-12);
+}
+
+TEST(TfBagOfWordsTest, VocabularyGrowsAcrossDocs) {
+  TfBagOfWords fn;
+  ASSERT_TRUE(fn.ComputeFeature("a b").ok());
+  uint32_t d1 = fn.dim();
+  ASSERT_TRUE(fn.ComputeFeature("c d e").ok());
+  EXPECT_GT(fn.dim(), d1);
+}
+
+TEST(TfBagOfWordsTest, EveryDocHasUnitL1Norm) {
+  // The ℓ1 normalization is what justifies the (p=inf, q=1) Hölder choice
+  // with M = 1 for text (Section 3.2.2).
+  TfBagOfWords fn;
+  for (const char* doc : {"x", "a a a a", "q w e r t y u i o p"}) {
+    auto f = fn.ComputeFeature(doc);
+    ASSERT_TRUE(f.ok());
+    EXPECT_NEAR(f->Norm(1.0), 1.0, 1e-12);
+  }
+}
+
+TEST(TfIdfTest, RareWordsWeighMore) {
+  TfIdfBagOfWords fn;
+  std::vector<std::string> corpus = {
+      "common alpha", "common beta", "common gamma", "common delta"};
+  ASSERT_TRUE(fn.ComputeStats(corpus).ok());
+  EXPECT_EQ(fn.num_docs(), 4u);
+  EXPECT_EQ(fn.doc_frequency("common"), 4u);
+  EXPECT_EQ(fn.doc_frequency("alpha"), 1u);
+  auto f = fn.ComputeFeature("common alpha");
+  ASSERT_TRUE(f.ok());
+  // Equal term frequency, but "alpha" is rarer so it gets more weight.
+  EXPECT_GT(f->At(1), f->At(0));
+}
+
+TEST(TfIdfTest, IncrementalEqualsBatchStats) {
+  // Property (A.2): computeStatsInc over a stream must produce the same
+  // statistics as computeStats over the whole corpus.
+  std::vector<std::string> corpus = {"a b c", "a a d", "b d e f", "a", "e e b"};
+  TfIdfBagOfWords batch;
+  ASSERT_TRUE(batch.ComputeStats(corpus).ok());
+  TfIdfBagOfWords inc;
+  for (const auto& doc : corpus) ASSERT_TRUE(inc.ComputeStatsInc(doc).ok());
+  EXPECT_EQ(batch.num_docs(), inc.num_docs());
+  for (const char* w : {"a", "b", "c", "d", "e", "f"}) {
+    EXPECT_EQ(batch.doc_frequency(w), inc.doc_frequency(w)) << w;
+  }
+  auto fb = batch.ComputeFeature("a b f");
+  auto fi = inc.ComputeFeature("a b f");
+  ASSERT_TRUE(fb.ok() && fi.ok());
+  EXPECT_TRUE(*fb == *fi);
+}
+
+TEST(TfIcfTest, StatsAreFrozenAfterComputeStats) {
+  TfIcfBagOfWords fn;
+  ASSERT_TRUE(fn.ComputeStats({"alpha beta", "alpha gamma"}).ok());
+  auto before = fn.ComputeFeature("alpha beta");
+  ASSERT_TRUE(before.ok());
+  // New documents must NOT shift the corpus statistics (ComputeStatsInc is
+  // a no-op per Reed et al.).
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fn.ComputeStatsInc("beta beta beta beta").ok());
+  }
+  auto after = fn.ComputeFeature("alpha beta");
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(*before == *after);
+}
+
+TEST(TfIcfTest, UnknownWordsAreDropped) {
+  TfIcfBagOfWords fn;
+  ASSERT_TRUE(fn.ComputeStats({"alpha beta"}).ok());
+  auto f = fn.ComputeFeature("alpha zzz");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->nnz(), 1u);
+}
+
+TEST(DenseVectorTest, ParsesNumbers) {
+  DenseVectorFunction fn;
+  auto f = fn.ComputeFeature("1.5 -2 3e-1");
+  ASSERT_TRUE(f.ok());
+  ASSERT_EQ(f->dim(), 3u);
+  EXPECT_DOUBLE_EQ(f->At(0), 1.5);
+  EXPECT_DOUBLE_EQ(f->At(1), -2.0);
+  EXPECT_DOUBLE_EQ(f->At(2), 0.3);
+}
+
+TEST(DenseVectorTest, FixedDimensionEnforced) {
+  DenseVectorFunction fn(3);
+  EXPECT_TRUE(fn.ComputeFeature("1 2").status().IsInvalidArgument());
+  EXPECT_TRUE(fn.ComputeFeature("1 2 3").ok());
+}
+
+TEST(RegistryTest, AllRegisteredNamesConstruct) {
+  for (const auto& name : RegisteredFeatureFunctions()) {
+    auto fn = MakeFeatureFunction(name);
+    ASSERT_TRUE(fn.ok()) << name;
+    EXPECT_STREQ((*fn)->name(), name.c_str());
+  }
+  EXPECT_TRUE(MakeFeatureFunction("no_such_fn").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace hazy::features

@@ -1,0 +1,106 @@
+// Tests for kernels and random Fourier features: the B.5.3 linearization
+// property z(x)·z(y) ≈ K(x, y).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "ml/kernel.h"
+#include "ml/rff.h"
+
+namespace hazy::ml {
+namespace {
+
+TEST(KernelTest, RbfAtZeroDistanceIsOne) {
+  auto x = FeatureVector::Dense({0.3, -0.2, 0.9});
+  EXPECT_DOUBLE_EQ(KernelValue(KernelKind::kRbf, 1.0, x, x), 1.0);
+  EXPECT_DOUBLE_EQ(KernelValue(KernelKind::kLaplacian, 1.0, x, x), 1.0);
+}
+
+TEST(KernelTest, KnownValues) {
+  auto x = FeatureVector::Dense({0.0});
+  auto y = FeatureVector::Dense({1.0});
+  EXPECT_NEAR(KernelValue(KernelKind::kRbf, 2.0, x, y), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(KernelValue(KernelKind::kLaplacian, 0.5, x, y), std::exp(-0.5), 1e-12);
+}
+
+TEST(KernelTest, MixedRepresentations) {
+  auto d = FeatureVector::Dense({1.0, 0.0, 2.0});
+  auto s = FeatureVector::Sparse({0, 2}, {1.0, 2.0}, 3);
+  // Same content => distance 0 => kernel 1.
+  EXPECT_NEAR(KernelValue(KernelKind::kRbf, 1.0, d, s), 1.0, 1e-12);
+}
+
+TEST(KernelTest, DecaysWithDistance) {
+  auto x = FeatureVector::Dense({0.0, 0.0});
+  auto near = FeatureVector::Dense({0.1, 0.0});
+  auto far = FeatureVector::Dense({2.0, 0.0});
+  EXPECT_GT(KernelValue(KernelKind::kRbf, 1.0, x, near),
+            KernelValue(KernelKind::kRbf, 1.0, x, far));
+}
+
+TEST(RffTest, OutputShape) {
+  RandomFourierFeatures rff(5, 64, KernelKind::kRbf, 1.0, 42);
+  auto z = rff.Transform(FeatureVector::Dense({1, 2, 3, 4, 5}));
+  EXPECT_TRUE(z.is_dense());
+  EXPECT_EQ(z.dim(), 64u);
+}
+
+TEST(RffTest, DeterministicGivenSeed) {
+  RandomFourierFeatures a(3, 16, KernelKind::kRbf, 1.0, 7);
+  RandomFourierFeatures b(3, 16, KernelKind::kRbf, 1.0, 7);
+  auto x = FeatureVector::Dense({0.1, 0.2, 0.3});
+  auto za = a.Transform(x);
+  auto zb = b.Transform(x);
+  EXPECT_TRUE(za == zb);
+}
+
+TEST(RffTest, BoundedComponents) {
+  RandomFourierFeatures rff(4, 100, KernelKind::kLaplacian, 0.7, 9);
+  auto z = rff.Transform(FeatureVector::Dense({0.5, -0.5, 1.0, 0.0}));
+  double bound = std::sqrt(2.0 / 100.0) + 1e-12;
+  z.ForEach([&](uint32_t, double v) { EXPECT_LE(std::fabs(v), bound); });
+}
+
+// Property sweep: the kernel approximation tightens as D grows.
+struct RffParam {
+  uint32_t d_out;
+  double tolerance;
+};
+
+class RffApproximationTest
+    : public ::testing::TestWithParam<std::tuple<KernelKind, RffParam>> {};
+
+TEST_P(RffApproximationTest, ApproximatesKernel) {
+  const auto [kind, param] = GetParam();
+  const uint32_t d_in = 6;
+  const double gamma = 0.8;
+  RandomFourierFeatures rff(d_in, param.d_out, kind, gamma, 1234);
+  hazy::Rng rng(55);
+  double worst = 0.0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> xs(d_in), ys(d_in);
+    for (auto& v : xs) v = rng.UniformDouble(-1.0, 1.0);
+    for (auto& v : ys) v = rng.UniformDouble(-1.0, 1.0);
+    auto x = FeatureVector::Dense(xs);
+    auto y = FeatureVector::Dense(ys);
+    auto zx = rff.Transform(x);
+    auto zy = rff.Transform(y);
+    std::vector<double> zyv(param.d_out);
+    zy.ForEach([&](uint32_t i, double v) { zyv[i] = v; });
+    double approx = zx.Dot(zyv);
+    double exact = KernelValue(kind, gamma, x, y);
+    worst = std::max(worst, std::fabs(approx - exact));
+  }
+  EXPECT_LT(worst, param.tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RffApproximationTest,
+    ::testing::Combine(::testing::Values(KernelKind::kRbf, KernelKind::kLaplacian),
+                       ::testing::Values(RffParam{256, 0.35}, RffParam{1024, 0.2},
+                                         RffParam{4096, 0.1})));
+
+}  // namespace
+}  // namespace hazy::ml

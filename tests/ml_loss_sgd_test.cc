@@ -1,0 +1,215 @@
+// Tests for losses (values + numerically-checked gradients), the SGD
+// trainer (convergence on separable data), the batch solver, metrics, and
+// model selection.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "ml/batch_solver.h"
+#include "ml/loss.h"
+#include "ml/metrics.h"
+#include "ml/model_selection.h"
+#include "ml/sgd.h"
+
+namespace hazy::ml {
+namespace {
+
+TEST(LossTest, HingeValues) {
+  EXPECT_DOUBLE_EQ(LossValue(LossKind::kHinge, 2.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(LossValue(LossKind::kHinge, 0.5, 1), 0.5);
+  EXPECT_DOUBLE_EQ(LossValue(LossKind::kHinge, -1.0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(LossValue(LossKind::kHinge, -2.0, -1), 0.0);
+}
+
+TEST(LossTest, LogisticValues) {
+  EXPECT_NEAR(LossValue(LossKind::kLogistic, 0.0, 1), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LossValue(LossKind::kLogistic, 100.0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(LossValue(LossKind::kLogistic, -100.0, 1), 100.0, 1e-9);
+}
+
+TEST(LossTest, SquaredValues) {
+  EXPECT_DOUBLE_EQ(LossValue(LossKind::kSquared, 1.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(LossValue(LossKind::kSquared, 0.0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(LossValue(LossKind::kSquared, -1.0, 1), 2.0);
+}
+
+TEST(LossTest, NamesRoundTrip) {
+  for (LossKind k : {LossKind::kHinge, LossKind::kLogistic, LossKind::kSquared}) {
+    auto back = LossKindFromString(LossKindToString(k));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_TRUE(LossKindFromString("bogus").status().IsInvalidArgument());
+}
+
+// Gradient check: finite differences on z, away from hinge kinks.
+class LossGradientTest : public ::testing::TestWithParam<LossKind> {};
+
+TEST_P(LossGradientTest, MatchesFiniteDifference) {
+  const LossKind kind = GetParam();
+  const double h = 1e-6;
+  for (int y : {-1, 1}) {
+    for (double z : {-2.3, -0.7, 0.1, 0.4, 1.8, 3.1}) {
+      if (kind == LossKind::kHinge && std::fabs(y * z - 1.0) < 1e-3) continue;
+      double numeric =
+          (LossValue(kind, z + h, y) - LossValue(kind, z - h, y)) / (2.0 * h);
+      double analytic = LossGradient(kind, z, y);
+      EXPECT_NEAR(analytic, numeric, 1e-5)
+          << "kind=" << static_cast<int>(kind) << " z=" << z << " y=" << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLosses, LossGradientTest,
+                         ::testing::Values(LossKind::kHinge, LossKind::kLogistic,
+                                           LossKind::kSquared));
+
+std::vector<LabeledExample> SeparableData(size_t n, uint64_t seed) {
+  data::DenseCorpusOptions opts;
+  opts.num_entities = n;
+  opts.dim = 10;
+  opts.separation = 5.0;  // ~2.5 sigma to the boundary: Bayes error ~0.6%
+  opts.label_noise = 0.0;
+  opts.seed = seed;
+  return data::ToBinary(data::GenerateDenseCorpus(opts), 0);
+}
+
+class SgdConvergenceTest : public ::testing::TestWithParam<LossKind> {};
+
+TEST_P(SgdConvergenceTest, LearnsSeparableData) {
+  auto train = SeparableData(2000, 5);
+  SgdOptions opts;
+  opts.loss = GetParam();
+  SgdTrainer trainer(opts);
+  LinearModel model;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const auto& ex : train) trainer.AddExample(&model, ex);
+  }
+  BinaryMetrics m = Evaluate(model, train);
+  EXPECT_GT(m.Accuracy(), 0.97) << "loss " << LossKindToString(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLosses, SgdConvergenceTest,
+                         ::testing::Values(LossKind::kHinge, LossKind::kLogistic,
+                                           LossKind::kSquared));
+
+TEST(SgdTest, StepCountAdvances) {
+  SgdTrainer trainer;
+  LinearModel model;
+  auto x = FeatureVector::Dense({1.0});
+  trainer.Step(&model, x, 1);
+  trainer.Step(&model, x, -1);
+  EXPECT_EQ(trainer.steps(), 2u);
+  trainer.Reset();
+  EXPECT_EQ(trainer.steps(), 0u);
+}
+
+TEST(SgdTest, StepsPerExampleMultiplies) {
+  SgdOptions opts;
+  opts.steps_per_example = 3;
+  SgdTrainer trainer(opts);
+  LinearModel model;
+  trainer.AddExample(&model, {0, FeatureVector::Dense({1.0}), 1});
+  EXPECT_EQ(trainer.steps(), 3u);
+}
+
+TEST(SgdTest, DeterministicGivenSameStream) {
+  auto train = SeparableData(200, 6);
+  LinearModel m1, m2;
+  SgdTrainer t1, t2;
+  for (const auto& ex : train) {
+    t1.AddExample(&m1, ex);
+    t2.AddExample(&m2, ex);
+  }
+  ASSERT_EQ(m1.w.size(), m2.w.size());
+  for (size_t i = 0; i < m1.w.size(); ++i) EXPECT_DOUBLE_EQ(m1.w[i], m2.w[i]);
+  EXPECT_DOUBLE_EQ(m1.b, m2.b);
+}
+
+TEST(SgdTest, GrowsModelForSparseHighDims) {
+  SgdTrainer trainer;
+  LinearModel model;
+  auto x = FeatureVector::Sparse({99}, {1.0}, 100);
+  trainer.Step(&model, x, 1);
+  ASSERT_GE(model.w.size(), 100u);
+  EXPECT_NE(model.w[99], 0.0);
+}
+
+TEST(SgdTest, NoBiasOption) {
+  SgdOptions opts;
+  opts.train_bias = false;
+  SgdTrainer trainer(opts);
+  LinearModel model;
+  trainer.Step(&model, FeatureVector::Dense({1.0}), 1);
+  EXPECT_DOUBLE_EQ(model.b, 0.0);
+}
+
+TEST(BatchSolverTest, ConvergesAndReportsObjective) {
+  auto train = SeparableData(800, 7);
+  BatchSolverOptions opts;
+  opts.max_epochs = 60;
+  BatchSolver solver(opts);
+  BatchResult res = solver.Train(train);
+  EXPECT_GT(res.epochs, 1);
+  EXPECT_GT(Evaluate(res.model, train).Accuracy(), 0.97);
+  // The converged objective should be no worse than a single SGD pass.
+  SgdTrainer trainer;
+  LinearModel one_pass;
+  for (const auto& ex : train) trainer.AddExample(&one_pass, ex);
+  EXPECT_LE(res.objective,
+            Objective(one_pass, train, LossKind::kHinge, opts.lambda) + 1e-9);
+}
+
+TEST(BatchSolverTest, EmptyInputIsHarmless) {
+  BatchSolver solver;
+  BatchResult res = solver.Train({});
+  EXPECT_EQ(res.epochs, 0);
+  EXPECT_TRUE(res.model.w.empty());
+}
+
+TEST(MetricsTest, ConfusionCounts) {
+  LinearModel m;
+  m.w = {1.0};
+  m.b = 0.0;
+  std::vector<LabeledExample> data{
+      {0, FeatureVector::Dense({1.0}), 1},    // tp
+      {1, FeatureVector::Dense({2.0}), -1},   // fp
+      {2, FeatureVector::Dense({-1.0}), -1},  // tn
+      {3, FeatureVector::Dense({-2.0}), 1},   // fn
+  };
+  BinaryMetrics bm = Evaluate(m, data);
+  EXPECT_EQ(bm.tp, 1u);
+  EXPECT_EQ(bm.fp, 1u);
+  EXPECT_EQ(bm.tn, 1u);
+  EXPECT_EQ(bm.fn, 1u);
+  EXPECT_DOUBLE_EQ(bm.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(bm.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(bm.F1(), 0.5);
+  EXPECT_DOUBLE_EQ(bm.Accuracy(), 0.5);
+}
+
+TEST(MetricsTest, DegenerateRatesAreZero) {
+  BinaryMetrics bm;
+  EXPECT_DOUBLE_EQ(bm.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(bm.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(bm.F1(), 0.0);
+  EXPECT_DOUBLE_EQ(bm.Accuracy(), 0.0);
+}
+
+TEST(ModelSelectionTest, PicksAReasonableModel) {
+  auto train = SeparableData(1000, 8);
+  SelectionResult sel = SelectModel(train);
+  EXPECT_GT(sel.best_accuracy, 0.9);
+  EXPECT_EQ(sel.accuracies.size(), 3u);
+}
+
+TEST(ModelSelectionTest, TinyInputIsHarmless) {
+  SelectionResult sel = SelectModel({});
+  EXPECT_DOUBLE_EQ(sel.best_accuracy, 0.0);
+}
+
+}  // namespace
+}  // namespace hazy::ml

@@ -1,0 +1,64 @@
+// Tests for the one-vs-all multiclass classifier.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "ml/multiclass.h"
+
+namespace hazy::ml {
+namespace {
+
+std::vector<MulticlassExample> WellSeparated(int classes, size_t n, uint64_t seed) {
+  data::DenseCorpusOptions opts;
+  opts.num_entities = n;
+  opts.dim = 16;
+  opts.num_classes = classes;
+  opts.separation = 10.0;
+  opts.label_noise = 0.0;
+  opts.seed = seed;
+  return data::ToMulticlass(data::GenerateDenseCorpus(opts));
+}
+
+class OneVsAllTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OneVsAllTest, LearnsSeparatedClusters) {
+  const int k = GetParam();
+  auto data = WellSeparated(k, 1500, static_cast<uint64_t>(k));
+  OneVsAllClassifier clf(k);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const auto& ex : data) clf.AddExample(ex);
+  }
+  int correct = 0;
+  for (const auto& ex : data) {
+    if (clf.Predict(ex.features) == ex.klass) ++correct;
+  }
+  double acc = static_cast<double>(correct) / static_cast<double>(data.size());
+  EXPECT_GT(acc, 0.9) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(ClassCounts, OneVsAllTest, ::testing::Values(2, 3, 5, 7));
+
+TEST(OneVsAllTest, EpsForMatchesModels) {
+  OneVsAllClassifier clf(3);
+  auto x = FeatureVector::Dense({1.0, -1.0});
+  clf.AddExample({0, x, 1});
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_DOUBLE_EQ(clf.EpsFor(k, x), clf.model(k).Eps(x));
+  }
+}
+
+TEST(OneVsAllTest, PredictIsArgmax) {
+  OneVsAllClassifier clf(4);
+  auto data = WellSeparated(4, 400, 99);
+  for (const auto& ex : data) clf.AddExample(ex);
+  for (int i = 0; i < 50; ++i) {
+    const auto& x = data[static_cast<size_t>(i)].features;
+    int pred = clf.Predict(x);
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_LE(clf.EpsFor(k, x), clf.EpsFor(pred, x) + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hazy::ml

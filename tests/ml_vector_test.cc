@@ -1,0 +1,183 @@
+// Tests for FeatureVector: ops, norms, serialization, and the Hölder
+// inequality property that Lemma 3.1 rests on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "ml/model.h"
+#include "ml/vector.h"
+
+namespace hazy::ml {
+namespace {
+
+TEST(HolderConjugateTest, KnownPairs) {
+  EXPECT_TRUE(std::isinf(HolderConjugate(1.0)));
+  EXPECT_DOUBLE_EQ(HolderConjugate(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(HolderConjugate(kInf), 1.0);
+  EXPECT_NEAR(HolderConjugate(3.0), 1.5, 1e-12);
+}
+
+TEST(FeatureVectorTest, DenseBasics) {
+  auto v = FeatureVector::Dense({1.0, 0.0, -2.0});
+  EXPECT_TRUE(v.is_dense());
+  EXPECT_EQ(v.dim(), 3u);
+  EXPECT_EQ(v.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(v.At(0), 1.0);
+  EXPECT_DOUBLE_EQ(v.At(1), 0.0);
+  EXPECT_DOUBLE_EQ(v.At(2), -2.0);
+  EXPECT_DOUBLE_EQ(v.At(7), 0.0);
+}
+
+TEST(FeatureVectorTest, SparseBasics) {
+  auto v = FeatureVector::Sparse({2, 5, 9}, {1.0, -1.0, 3.0}, 100);
+  EXPECT_FALSE(v.is_dense());
+  EXPECT_EQ(v.dim(), 100u);
+  EXPECT_EQ(v.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(v.At(5), -1.0);
+  EXPECT_DOUBLE_EQ(v.At(6), 0.0);
+}
+
+TEST(FeatureVectorTest, DotWithShortWeights) {
+  auto v = FeatureVector::Sparse({0, 50}, {2.0, 3.0}, 100);
+  std::vector<double> w{1.0};  // weights shorter than the vector: rest is 0
+  EXPECT_DOUBLE_EQ(v.Dot(w), 2.0);
+}
+
+TEST(FeatureVectorTest, DotDenseSparseAgree) {
+  auto d = FeatureVector::Dense({1.0, 0.0, 2.0, 0.0, -1.0});
+  auto s = FeatureVector::Sparse({0, 2, 4}, {1.0, 2.0, -1.0}, 5);
+  std::vector<double> w{0.5, 10.0, -0.25, 10.0, 4.0};
+  EXPECT_DOUBLE_EQ(d.Dot(w), s.Dot(w));
+}
+
+TEST(FeatureVectorTest, AddToGrowsWeights) {
+  auto v = FeatureVector::Sparse({10}, {2.0}, 11);
+  std::vector<double> w{1.0, 1.0};
+  v.AddTo(&w, 3.0);
+  ASSERT_EQ(w.size(), 11u);
+  EXPECT_DOUBLE_EQ(w[10], 6.0);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+TEST(FeatureVectorTest, Norms) {
+  auto v = FeatureVector::Dense({3.0, -4.0});
+  EXPECT_DOUBLE_EQ(v.Norm(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(v.Norm(2.0), 5.0);
+  EXPECT_DOUBLE_EQ(v.Norm(kInf), 4.0);
+}
+
+TEST(FeatureVectorTest, EncodeDecodeDense) {
+  auto v = FeatureVector::Dense({1.5, -2.25, 0.0, 1e-9});
+  std::string buf;
+  v.EncodeTo(&buf);
+  std::string_view sv(buf);
+  auto out = FeatureVector::DecodeFrom(&sv);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(*out == v);
+  EXPECT_TRUE(sv.empty());
+}
+
+TEST(FeatureVectorTest, EncodeDecodeSparse) {
+  auto v = FeatureVector::Sparse({1, 7, 100000}, {0.5, -0.5, 42.0}, 682000);
+  std::string buf;
+  v.EncodeTo(&buf);
+  std::string_view sv(buf);
+  auto out = FeatureVector::DecodeFrom(&sv);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(*out == v);
+}
+
+TEST(FeatureVectorTest, DecodeTruncatedIsCorruption) {
+  auto v = FeatureVector::Dense({1.0, 2.0});
+  std::string buf;
+  v.EncodeTo(&buf);
+  std::string_view sv = std::string_view(buf).substr(0, buf.size() - 3);
+  EXPECT_TRUE(FeatureVector::DecodeFrom(&sv).status().IsCorruption());
+}
+
+TEST(LinearModelTest, EpsAndClassify) {
+  LinearModel m;
+  m.w = {1.0, -1.0};
+  m.b = 0.5;
+  auto v = FeatureVector::Dense({2.0, 1.0});
+  EXPECT_DOUBLE_EQ(m.Eps(v), 0.5);
+  EXPECT_EQ(m.Classify(v), 1);
+  m.b = 2.0;
+  EXPECT_EQ(m.Classify(v), -1);
+}
+
+TEST(LinearModelTest, SignOfZeroIsPositive) {
+  // The paper defines sign(x) = 1 iff x >= 0.
+  EXPECT_EQ(SignOf(0.0), 1);
+  EXPECT_EQ(SignOf(-0.0), 1);
+  EXPECT_EQ(SignOf(-1e-300), -1);
+}
+
+TEST(LinearModelTest, DeltaNormHandlesDifferentDims) {
+  LinearModel a, b;
+  a.w = {1.0, 2.0};
+  b.w = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(LinearModel::DeltaNorm(a, b, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(LinearModel::DeltaNorm(a, b, kInf), 3.0);
+  EXPECT_DOUBLE_EQ(LinearModel::DeltaNorm(a, b, 2.0), 3.0);
+}
+
+// Property: |<x, y>| <= ||x||_p * ||y||_q for Hölder conjugates (p, q).
+// This is the inequality behind the paper's Lemma 3.1.
+class HolderPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HolderPropertyTest, InequalityHolds) {
+  const double p = GetParam();
+  const double q = HolderConjugate(p);
+  hazy::Rng rng(static_cast<uint64_t>(p * 100) + 1);
+  for (int trial = 0; trial < 300; ++trial) {
+    uint32_t dim = 1 + static_cast<uint32_t>(rng.Uniform(40));
+    std::vector<double> xs(dim), w(dim);
+    for (auto& v : xs) v = rng.Gaussian() * 3.0;
+    for (auto& v : w) v = rng.Gaussian() * 3.0;
+    auto x = FeatureVector::Dense(xs);
+    auto wv = FeatureVector::Dense(w);
+    double lhs = std::fabs(x.Dot(w));
+    double rhs = wv.Norm(p) * x.Norm(q);
+    EXPECT_LE(lhs, rhs * (1.0 + 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Conjugates, HolderPropertyTest,
+                         ::testing::Values(1.0, 2.0, kInf));
+
+// Property: sparse/dense representations of the same content behave alike.
+TEST(FeatureVectorPropertyTest, SparseDenseEquivalence) {
+  hazy::Rng rng(321);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint32_t dim = 5 + static_cast<uint32_t>(rng.Uniform(30));
+    std::vector<double> dense(dim, 0.0);
+    std::vector<uint32_t> idx;
+    std::vector<double> val;
+    for (uint32_t i = 0; i < dim; ++i) {
+      if (rng.Bernoulli(0.3)) {
+        double v = rng.Gaussian();
+        dense[i] = v;
+        idx.push_back(i);
+        val.push_back(v);
+      }
+    }
+    auto d = FeatureVector::Dense(dense);
+    auto s = FeatureVector::Sparse(idx, val, dim);
+    std::vector<double> w(dim);
+    for (auto& v : w) v = rng.Gaussian();
+    EXPECT_NEAR(d.Dot(w), s.Dot(w), 1e-12);
+    for (double p : {1.0, 2.0, kInf}) {
+      EXPECT_NEAR(d.Norm(p), s.Norm(p), 1e-12);
+    }
+    std::vector<double> wd = w, ws = w;
+    d.AddTo(&wd, 0.7);
+    s.AddTo(&ws, 0.7);
+    for (uint32_t i = 0; i < dim; ++i) EXPECT_NEAR(wd[i], ws[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace hazy::ml

@@ -1,0 +1,213 @@
+// Tests for the B+-tree: point ops, range scans, bulk load, and randomized
+// property checks against std::map (including structural Verify()).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/bptree.h"
+
+namespace hazy::storage {
+namespace {
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempFilePath("bpt_test");
+    ASSERT_TRUE(pager_.Open(path_).ok());
+    pool_ = std::make_unique<BufferPool>(&pager_, 256);
+    tree_ = std::make_unique<BPlusTree>(pool_.get());
+    ASSERT_TRUE(tree_->Create().ok());
+  }
+  void TearDown() override {
+    pager_.Close().ok();
+    ::unlink(path_.c_str());
+  }
+  std::string path_;
+  Pager pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BPlusTree> tree_;
+};
+
+TEST_F(BPlusTreeTest, InsertAndGet) {
+  ASSERT_TRUE(tree_->Insert({1.5, 10}, 100).ok());
+  ASSERT_TRUE(tree_->Insert({-2.0, 20}, 200).ok());
+  auto v = tree_->Get({1.5, 10});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 100u);
+  v = tree_->Get({-2.0, 20});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 200u);
+  EXPECT_TRUE(tree_->Get({1.5, 11}).status().IsNotFound());
+}
+
+TEST_F(BPlusTreeTest, DeleteRemovesKey) {
+  ASSERT_TRUE(tree_->Insert({1.0, 1}, 1).ok());
+  ASSERT_TRUE(tree_->Insert({2.0, 2}, 2).ok());
+  ASSERT_TRUE(tree_->Delete({1.0, 1}).ok());
+  EXPECT_TRUE(tree_->Get({1.0, 1}).status().IsNotFound());
+  EXPECT_TRUE(tree_->Delete({1.0, 1}).IsNotFound());
+  EXPECT_EQ(tree_->num_entries(), 1u);
+}
+
+TEST_F(BPlusTreeTest, SeekGEIteratesInOrder) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree_->Insert({static_cast<double>(i), 0}, static_cast<uint64_t>(i)).ok());
+  }
+  auto it = tree_->SeekGE({50.0, 0});
+  ASSERT_TRUE(it.ok());
+  int expect = 50;
+  while (it->Valid()) {
+    EXPECT_DOUBLE_EQ(it->key().k, static_cast<double>(expect));
+    EXPECT_EQ(it->value(), static_cast<uint64_t>(expect));
+    ++expect;
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_EQ(expect, 100);
+}
+
+TEST_F(BPlusTreeTest, SeekPastEndIsInvalid) {
+  ASSERT_TRUE(tree_->Insert({1.0, 0}, 1).ok());
+  auto it = tree_->SeekGE({99.0, 0});
+  ASSERT_TRUE(it.ok());
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(BPlusTreeTest, SplitsGrowHeight) {
+  // 341 entries fit in one leaf; push well past several splits.
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(tree_->Insert({static_cast<double>(i % 997), static_cast<uint64_t>(i)},
+                              static_cast<uint64_t>(i))
+                    .ok());
+  }
+  EXPECT_GE(tree_->height(), 2);
+  EXPECT_EQ(tree_->num_entries(), 5000u);
+  EXPECT_TRUE(tree_->Verify().ok());
+}
+
+TEST_F(BPlusTreeTest, DuplicateEpsDistinctTies) {
+  for (uint64_t t = 0; t < 500; ++t) {
+    ASSERT_TRUE(tree_->Insert({1.0, t}, t * 7).ok());
+  }
+  auto it = tree_->SeekGE({1.0, 0});
+  ASSERT_TRUE(it.ok());
+  uint64_t expect = 0;
+  while (it->Valid()) {
+    EXPECT_EQ(it->key().tie, expect);
+    EXPECT_EQ(it->value(), expect * 7);
+    ++expect;
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_EQ(expect, 500u);
+}
+
+TEST_F(BPlusTreeTest, BulkLoadMatchesIteration) {
+  std::vector<std::pair<BtKey, uint64_t>> entries;
+  for (int i = 0; i < 10000; ++i) {
+    entries.push_back({{static_cast<double>(i) * 0.5, static_cast<uint64_t>(i)},
+                       static_cast<uint64_t>(i * 3)});
+  }
+  ASSERT_TRUE(tree_->BulkLoad(entries).ok());
+  EXPECT_EQ(tree_->num_entries(), entries.size());
+  EXPECT_TRUE(tree_->Verify().ok());
+  auto it = tree_->SeekGE(BtKey::Min());
+  ASSERT_TRUE(it.ok());
+  size_t i = 0;
+  while (it->Valid()) {
+    ASSERT_LT(i, entries.size());
+    EXPECT_EQ(it->key(), entries[i].first);
+    EXPECT_EQ(it->value(), entries[i].second);
+    ++i;
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_EQ(i, entries.size());
+}
+
+TEST_F(BPlusTreeTest, BulkLoadThenInsertAndDelete) {
+  std::vector<std::pair<BtKey, uint64_t>> entries;
+  for (int i = 0; i < 2000; ++i) {
+    entries.push_back({{static_cast<double>(i), 0}, static_cast<uint64_t>(i)});
+  }
+  ASSERT_TRUE(tree_->BulkLoad(entries).ok());
+  ASSERT_TRUE(tree_->Insert({1000.5, 0}, 77).ok());
+  auto v = tree_->Get({1000.5, 0});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 77u);
+  ASSERT_TRUE(tree_->Delete({1000.0, 0}).ok());
+  EXPECT_TRUE(tree_->Get({1000.0, 0}).status().IsNotFound());
+  EXPECT_TRUE(tree_->Verify().ok());
+}
+
+TEST_F(BPlusTreeTest, DestroyFreesPages) {
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(tree_->Insert({static_cast<double>(i), 0}, 0).ok());
+  }
+  EXPECT_GT(tree_->num_pages(), 1u);
+  ASSERT_TRUE(tree_->Destroy().ok());
+  EXPECT_EQ(tree_->num_pages(), 0u);
+  ASSERT_TRUE(tree_->Create().ok());
+  EXPECT_EQ(tree_->num_entries(), 0u);
+}
+
+// Property test: random workload mirrored against std::map.
+class BPlusTreePropertyTest : public BPlusTreeTest,
+                              public ::testing::WithParamInterface<int> {};
+
+TEST_P(BPlusTreePropertyTest, MatchesReferenceMap) {
+  hazy::Rng rng(static_cast<uint64_t>(GetParam()));
+  std::map<std::pair<double, uint64_t>, uint64_t> ref;
+  const int ops = 4000;
+  for (int op = 0; op < ops; ++op) {
+    double k = std::floor(rng.UniformDouble(-50.0, 50.0) * 4.0) / 4.0;
+    uint64_t tie = rng.Uniform(64);
+    if (!ref.count({k, tie}) && rng.UniformDouble() < 0.75) {
+      uint64_t v = rng.Next();
+      ASSERT_TRUE(tree_->Insert({k, tie}, v).ok());
+      ref[{k, tie}] = v;
+    } else if (!ref.empty() && rng.UniformDouble() < 0.5) {
+      auto it = ref.begin();
+      std::advance(it, static_cast<long>(rng.Uniform(ref.size())));
+      ASSERT_TRUE(tree_->Delete({it->first.first, it->first.second}).ok());
+      ref.erase(it);
+    }
+  }
+  EXPECT_EQ(tree_->num_entries(), ref.size());
+  EXPECT_TRUE(tree_->Verify().ok());
+  // Full iteration equals the reference.
+  auto it = tree_->SeekGE(BtKey::Min());
+  ASSERT_TRUE(it.ok());
+  auto rit = ref.begin();
+  while (it->Valid()) {
+    ASSERT_NE(rit, ref.end());
+    EXPECT_DOUBLE_EQ(it->key().k, rit->first.first);
+    EXPECT_EQ(it->key().tie, rit->first.second);
+    EXPECT_EQ(it->value(), rit->second);
+    ++rit;
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_EQ(rit, ref.end());
+  // Random range scans agree too.
+  for (int t = 0; t < 20; ++t) {
+    double lo = rng.UniformDouble(-60.0, 60.0);
+    auto ti = tree_->SeekGE({lo, 0});
+    ASSERT_TRUE(ti.ok());
+    auto ri = ref.lower_bound({lo, 0});
+    for (int steps = 0; steps < 10 && ti->Valid() && ri != ref.end(); ++steps) {
+      EXPECT_DOUBLE_EQ(ti->key().k, ri->first.first);
+      EXPECT_EQ(ti->key().tie, ri->first.second);
+      ASSERT_TRUE(ti->Next().ok());
+      ++ri;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, BPlusTreePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace hazy::storage

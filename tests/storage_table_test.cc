@@ -1,0 +1,240 @@
+// Tests for schema/row serialization, Table CRUD + triggers, and Catalog.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "storage/table.h"
+
+namespace hazy::storage {
+namespace {
+
+Schema PaperSchema() {
+  return Schema({{"id", ColumnType::kInt64},
+                 {"title", ColumnType::kText},
+                 {"score", ColumnType::kDouble}});
+}
+
+TEST(SchemaTest, EncodeDecodeRoundTrip) {
+  Schema s = PaperSchema();
+  Row row{int64_t{42}, std::string("Hazy paper"), 3.25};
+  std::string buf;
+  ASSERT_TRUE(s.EncodeRow(row, &buf).ok());
+  Row out;
+  ASSERT_TRUE(s.DecodeRow(buf, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(std::get<int64_t>(out[0]), 42);
+  EXPECT_EQ(std::get<std::string>(out[1]), "Hazy paper");
+  EXPECT_DOUBLE_EQ(std::get<double>(out[2]), 3.25);
+}
+
+TEST(SchemaTest, NullsRoundTrip) {
+  Schema s = PaperSchema();
+  Row row{int64_t{1}, std::monostate{}, std::monostate{}};
+  std::string buf;
+  ASSERT_TRUE(s.EncodeRow(row, &buf).ok());
+  Row out;
+  ASSERT_TRUE(s.DecodeRow(buf, &out).ok());
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(out[1]));
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(out[2]));
+}
+
+TEST(SchemaTest, TypeMismatchRejected) {
+  Schema s = PaperSchema();
+  Row row{std::string("not an int"), std::string("t"), 1.0};
+  std::string buf;
+  EXPECT_TRUE(s.EncodeRow(row, &buf).IsInvalidArgument());
+}
+
+TEST(SchemaTest, IntCoercesToDouble) {
+  Schema s = PaperSchema();
+  Row row{int64_t{1}, std::string("t"), int64_t{5}};
+  std::string buf;
+  ASSERT_TRUE(s.EncodeRow(row, &buf).ok());
+  Row out;
+  ASSERT_TRUE(s.DecodeRow(buf, &out).ok());
+  EXPECT_DOUBLE_EQ(std::get<double>(out[2]), 5.0);
+}
+
+TEST(SchemaTest, WrongArityRejected) {
+  Schema s = PaperSchema();
+  std::string buf;
+  EXPECT_TRUE(s.EncodeRow(Row{int64_t{1}}, &buf).IsInvalidArgument());
+}
+
+TEST(SchemaTest, TruncatedRowIsCorruption) {
+  Schema s = PaperSchema();
+  Row row{int64_t{1}, std::string("abc"), 2.0};
+  std::string buf;
+  ASSERT_TRUE(s.EncodeRow(row, &buf).ok());
+  Row out;
+  EXPECT_TRUE(s.DecodeRow(std::string_view(buf).substr(0, 5), &out).IsCorruption());
+}
+
+TEST(SchemaTest, IndexOfIsCaseInsensitive) {
+  Schema s = PaperSchema();
+  auto idx = s.IndexOf("TITLE");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_TRUE(s.IndexOf("nope").status().IsNotFound());
+}
+
+TEST(ValueTest, CompareSemantics) {
+  EXPECT_TRUE(ValueEquals(Value(int64_t{3}), Value(3.0)));
+  EXPECT_FALSE(ValueEquals(Value(std::monostate{}), Value(std::monostate{})));
+  auto r = ValueCompare(Value(int64_t{2}), Value(int64_t{5}));
+  EXPECT_TRUE(r.ok);
+  EXPECT_LT(r.cmp, 0);
+  r = ValueCompare(Value(std::string("b")), Value(std::string("a")));
+  EXPECT_TRUE(r.ok);
+  EXPECT_GT(r.cmp, 0);
+  r = ValueCompare(Value(std::string("a")), Value(int64_t{1}));
+  EXPECT_FALSE(r.ok);
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempFilePath("table_test");
+    ASSERT_TRUE(pager_.Open(path_).ok());
+    pool_ = std::make_unique<BufferPool>(&pager_, 64);
+    catalog_ = std::make_unique<Catalog>(pool_.get());
+    auto t = catalog_->CreateTable("papers", PaperSchema(), 0);
+    ASSERT_TRUE(t.ok());
+    table_ = *t;
+  }
+  void TearDown() override {
+    pager_.Close().ok();
+    ::unlink(path_.c_str());
+  }
+  std::string path_;
+  Pager pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<Catalog> catalog_;
+  Table* table_ = nullptr;
+};
+
+TEST_F(TableTest, InsertAndGetByKey) {
+  ASSERT_TRUE(table_->Insert(Row{int64_t{1}, std::string("a"), 0.5}).ok());
+  ASSERT_TRUE(table_->Insert(Row{int64_t{2}, std::string("b"), 1.5}).ok());
+  auto row = table_->GetByKey(2);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(std::get<std::string>((*row)[1]), "b");
+  EXPECT_TRUE(table_->GetByKey(3).status().IsNotFound());
+}
+
+TEST_F(TableTest, DuplicateKeyRejected) {
+  ASSERT_TRUE(table_->Insert(Row{int64_t{1}, std::string("a"), 0.0}).ok());
+  EXPECT_TRUE(table_->Insert(Row{int64_t{1}, std::string("b"), 0.0}).IsAlreadyExists());
+}
+
+TEST_F(TableTest, DeleteByKey) {
+  ASSERT_TRUE(table_->Insert(Row{int64_t{1}, std::string("a"), 0.0}).ok());
+  ASSERT_TRUE(table_->DeleteByKey(1).ok());
+  EXPECT_TRUE(table_->GetByKey(1).status().IsNotFound());
+  EXPECT_TRUE(table_->DeleteByKey(1).IsNotFound());
+  EXPECT_EQ(table_->num_rows(), 0u);
+}
+
+TEST_F(TableTest, ScanSeesAllRows) {
+  for (int64_t i = 0; i < 25; ++i) {
+    ASSERT_TRUE(table_->Insert(Row{i, std::string("t"), 0.0}).ok());
+  }
+  int64_t sum = 0;
+  ASSERT_TRUE(table_->Scan([&](const Row& r) {
+    sum += std::get<int64_t>(r[0]);
+    return true;
+  }).ok());
+  EXPECT_EQ(sum, 300);
+}
+
+TEST_F(TableTest, InsertTriggerFires) {
+  std::vector<int64_t> seen;
+  table_->AddInsertTrigger([&](const Row& r) {
+    seen.push_back(std::get<int64_t>(r[0]));
+    return Status::OK();
+  });
+  ASSERT_TRUE(table_->Insert(Row{int64_t{7}, std::string("x"), 0.0}).ok());
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 7);
+}
+
+TEST_F(TableTest, DeleteTriggerSeesOldRow) {
+  std::string deleted_title;
+  table_->AddDeleteTrigger([&](const Row& r) {
+    deleted_title = std::get<std::string>(r[1]);
+    return Status::OK();
+  });
+  ASSERT_TRUE(table_->Insert(Row{int64_t{1}, std::string("gone"), 0.0}).ok());
+  ASSERT_TRUE(table_->DeleteByKey(1).ok());
+  EXPECT_EQ(deleted_title, "gone");
+}
+
+TEST_F(TableTest, FailingTriggerPropagates) {
+  table_->AddInsertTrigger(
+      [](const Row&) { return Status::InvalidArgument("trigger says no"); });
+  Status s = table_->Insert(Row{int64_t{9}, std::string("x"), 0.0});
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST_F(TableTest, UpdateByKeyReplacesRow) {
+  ASSERT_TRUE(table_->Insert(Row{int64_t{1}, std::string("old"), 0.5}).ok());
+  ASSERT_TRUE(table_->UpdateByKey(1, Row{int64_t{1}, std::string("new"), 2.5}).ok());
+  auto row = table_->GetByKey(1);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(std::get<std::string>((*row)[1]), "new");
+  EXPECT_DOUBLE_EQ(std::get<double>((*row)[2]), 2.5);
+  EXPECT_EQ(table_->num_rows(), 1u);
+}
+
+TEST_F(TableTest, UpdateByKeyDifferentSizeRow) {
+  ASSERT_TRUE(table_->Insert(Row{int64_t{1}, std::string("x"), 0.0}).ok());
+  std::string longer(500, 'y');
+  ASSERT_TRUE(table_->UpdateByKey(1, Row{int64_t{1}, longer, 0.0}).ok());
+  auto row = table_->GetByKey(1);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(std::get<std::string>((*row)[1]), longer);
+}
+
+TEST_F(TableTest, UpdateByKeyRejectsKeyChange) {
+  ASSERT_TRUE(table_->Insert(Row{int64_t{1}, std::string("a"), 0.0}).ok());
+  EXPECT_TRUE(table_->UpdateByKey(1, Row{int64_t{2}, std::string("a"), 0.0})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(table_->UpdateByKey(9, Row{int64_t{9}, std::string("a"), 0.0})
+                  .IsNotFound());
+}
+
+TEST_F(TableTest, UpdateTriggerSeesBothImages) {
+  std::string old_title, new_title;
+  table_->AddUpdateTrigger([&](const Row& o, const Row& n) {
+    old_title = std::get<std::string>(o[1]);
+    new_title = std::get<std::string>(n[1]);
+    return Status::OK();
+  });
+  ASSERT_TRUE(table_->Insert(Row{int64_t{1}, std::string("before"), 0.0}).ok());
+  ASSERT_TRUE(table_->UpdateByKey(1, Row{int64_t{1}, std::string("after"), 0.0}).ok());
+  EXPECT_EQ(old_title, "before");
+  EXPECT_EQ(new_title, "after");
+}
+
+TEST_F(TableTest, CatalogLookup) {
+  EXPECT_TRUE(catalog_->HasTable("PAPERS"));  // case-insensitive
+  EXPECT_TRUE(catalog_->GetTable("papers").ok());
+  EXPECT_TRUE(catalog_->GetTable("nope").status().IsNotFound());
+  EXPECT_TRUE(catalog_->CreateTable("papers", PaperSchema(), 0).status().IsAlreadyExists());
+  auto t2 = catalog_->CreateTable("areas", Schema({{"label", ColumnType::kText}}),
+                                  std::nullopt);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(catalog_->TableNames().size(), 2u);
+}
+
+TEST_F(TableTest, NoPrimaryKeyTableRejectsPointOps) {
+  auto t = catalog_->CreateTable("labels", Schema({{"label", ColumnType::kText}}),
+                                 std::nullopt);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE((*t)->Insert(Row{std::string("DB")}).ok());
+  EXPECT_TRUE((*t)->GetByKey(1).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace hazy::storage
