@@ -161,6 +161,24 @@ double ViewHarness::MeasureUpdateRate(const BenchCorpus& corpus, size_t n,
   return secs > 0 ? static_cast<double>(n) / secs : 0.0;
 }
 
+double ViewHarness::MeasureBatchedUpdateRate(const BenchCorpus& corpus, size_t n,
+                                             size_t offset, size_t batch_size) {
+  if (batch_size == 0) batch_size = 1;
+  // Materialize the (cycled) stream slice so each batch is one contiguous span.
+  std::vector<ml::LabeledExample> slice;
+  slice.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    slice.push_back(corpus.stream[(offset + i) % corpus.stream.size()]);
+  }
+  Timer timer;
+  for (size_t i = 0; i < n; i += batch_size) {
+    size_t len = std::min(batch_size, n - i);
+    HAZY_CHECK_OK(view_->UpdateBatch(Span<const ml::LabeledExample>(slice.data() + i, len)));
+  }
+  double secs = timer.ElapsedSeconds();
+  return secs > 0 ? static_cast<double>(n) / secs : 0.0;
+}
+
 double ViewHarness::MeasureAllMembersRate(size_t n) {
   Timer timer;
   uint64_t sink = 0;

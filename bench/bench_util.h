@@ -81,6 +81,11 @@ class ViewHarness {
   /// Updates/second over `n` examples starting at stream offset `offset`.
   double MeasureUpdateRate(const BenchCorpus& corpus, size_t n, size_t offset);
 
+  /// Updates/second over `n` examples applied through UpdateBatch in
+  /// batches of `batch_size` (the last batch may be short).
+  double MeasureBatchedUpdateRate(const BenchCorpus& corpus, size_t n, size_t offset,
+                                  size_t batch_size);
+
   /// All-Members-count queries/second over `n` repetitions.
   double MeasureAllMembersRate(size_t n);
 

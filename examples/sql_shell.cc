@@ -7,6 +7,13 @@
 //   hazy> SELECT COUNT(*) FROM Labeled_Papers WHERE class = 'DB';
 //
 // Statements end with ';'. '\q' quits, '\d' lists tables and views.
+//
+// Batched view maintenance: a multi-row INSERT applies all its training
+// examples to each classification view as one UpdateBatch automatically.
+// '\batch on' holds the whole session in batched-trigger mode (updates
+// queue; reads flush), '\batch off' flushes and leaves it.
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <iostream>
@@ -26,10 +33,13 @@ int main() {
   }
   Executor exec(&db);
 
-  std::printf("hazy sql shell — statements end with ';', \\q quits, \\d lists.\n");
+  std::printf(
+      "hazy sql shell — statements end with ';', \\q quits, \\d lists, "
+      "\\batch on|off toggles batched view maintenance.\n");
   std::string buffer;
   std::string line;
   bool interactive = isatty(0);
+  bool batching = false;
   while (true) {
     if (interactive) {
       std::printf(buffer.empty() ? "hazy> " : "  ...> ");
@@ -37,6 +47,19 @@ int main() {
     }
     if (!std::getline(std::cin, line)) break;
     if (buffer.empty() && line == "\\q") break;
+    if (buffer.empty() && (line == "\\batch on" || line == "\\batch off")) {
+      bool want = line == "\\batch on";
+      if (want && !batching) {
+        db.BeginUpdateBatch();
+        batching = true;
+      } else if (!want && batching) {
+        auto s = db.EndUpdateBatch();
+        if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
+        batching = false;
+      }
+      std::printf("batched view maintenance %s\n", batching ? "on" : "off");
+      continue;
+    }
     if (buffer.empty() && line == "\\d") {
       std::printf("tables:\n");
       for (const auto& t : db.catalog()->TableNames()) {
@@ -62,6 +85,10 @@ int main() {
     } else {
       std::printf("%s\n", rs->ToString().c_str());
     }
+  }
+  if (batching) {
+    auto s = db.EndUpdateBatch();
+    if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
   }
   return 0;
 }

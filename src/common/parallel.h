@@ -1,0 +1,39 @@
+// Data-parallel helpers over the shared process-wide ThreadPool. The eager
+// relabel scans and lazy All Members scans are embarrassingly parallel over
+// rows (the paper's Fig 11(B) scale-up observation: "the locking protocols
+// are trivial" for read-side work), so views shard them across one pool
+// instead of each owning threads.
+
+#ifndef HAZY_COMMON_PARALLEL_H_
+#define HAZY_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/thread_pool.h"
+
+namespace hazy {
+
+/// Default `min_parallel` for ParallelFor over per-row classification work:
+/// below this many rows a sharded scan costs more than it saves.
+inline constexpr size_t kDefaultMinParallelRows = 4096;
+
+/// The lazily-created process-wide pool. Sized by $HAZY_THREADS when set,
+/// otherwise std::thread::hardware_concurrency(). Never null.
+ThreadPool* SharedThreadPool();
+
+/// Number of workers SharedThreadPool() runs (>= 1).
+size_t SharedThreadCount();
+
+/// Runs fn(begin, end) over a partition of [0, n) into per-worker chunks.
+/// Runs inline (single call, no pool) when n < min_parallel or only one
+/// worker is available, so small inputs pay no synchronization cost.
+/// fn must be safe to invoke concurrently on disjoint ranges; blocks until
+/// every chunk completes. Must not be called from a pool worker (chunks
+/// would queue behind the blocked caller).
+void ParallelFor(size_t n, size_t min_parallel,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace hazy
+
+#endif  // HAZY_COMMON_PARALLEL_H_

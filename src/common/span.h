@@ -1,0 +1,51 @@
+// A minimal read-only std::span stand-in (the tree builds as C++17, where
+// <span> is unavailable). Just enough surface for batch APIs: contiguous
+// (pointer, length) views over vectors and arrays.
+
+#ifndef HAZY_COMMON_SPAN_H_
+#define HAZY_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace hazy {
+
+/// \brief Non-owning view over a contiguous sequence of T.
+template <typename T>
+class Span {
+ public:
+  using value_type = std::remove_cv_t<T>;
+
+  constexpr Span() = default;
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+  /// Implicit conversion from a vector (of T, or of mutable T for
+  /// Span<const T>), so call sites pass vectors directly.
+  Span(const std::vector<value_type>& v) : data_(v.data()), size_(v.size()) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+
+  /// The sub-span [offset, offset + count); count clamped to the tail.
+  constexpr Span subspan(size_t offset, size_t count = ~size_t{0}) const {
+    if (offset > size_) offset = size_;
+    size_t n = size_ - offset;
+    if (count < n) n = count;
+    return Span(data_ + offset, n);
+  }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace hazy
+
+#endif  // HAZY_COMMON_SPAN_H_

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "core/skiing.h"
 #include "ml/model.h"
@@ -64,6 +65,7 @@ struct ViewOptions {
 /// \brief Counters every view maintains (benchmarks report these).
 struct ViewStats {
   uint64_t updates = 0;
+  uint64_t batches = 0;            ///< UpdateBatch calls (each >= 1 update)
   uint64_t reorgs = 0;
   uint64_t incremental_steps = 0;
   uint64_t window_tuples = 0;      ///< tuples inspected inside water windows
@@ -93,6 +95,22 @@ class ClassificationView {
   /// Type-(2) dynamic data: a new training example arrives; fold it into
   /// the model and maintain the view per the architecture's policy.
   virtual Status Update(const ml::LabeledExample& example) = 0;
+
+  /// Folds a whole batch of training examples, amortizing the per-update
+  /// maintenance work (the batching lever of delta-batched IVM systems like
+  /// F-IVM applied to Hazy's cost model): the model absorbs every example,
+  /// but labels are only re-synced once per batch. After it returns the
+  /// view answers every query exactly as if the batch had been applied
+  /// one-by-one through Update. The base implementation is that loop;
+  /// architectures override it with amortized paths.
+  virtual Status UpdateBatch(Span<const ml::LabeledExample> batch) {
+    if (batch.empty()) return Status::OK();
+    for (const auto& ex : batch) {
+      HAZY_RETURN_NOT_OK(Update(ex));
+    }
+    ++mutable_stats()->batches;
+    return Status::OK();
+  }
 
   /// Bulk-trains the model on `examples` without per-update view
   /// maintenance, then re-syncs the view state to the final model. This is

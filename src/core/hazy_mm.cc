@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "common/timer.h"
 
@@ -39,10 +40,13 @@ Status HazyMMView::BulkLoad(const std::vector<Entity>& entities) {
 
 void HazyMMView::Reorganize() {
   Timer timer;
-  for (auto& r : rows_) {
-    r.eps = model_.Eps(r.features);
-    r.label = ml::SignOf(r.eps);
-  }
+  ParallelFor(rows_.size(), kDefaultMinParallelRows, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Row& r = rows_[i];
+      r.eps = model_.Eps(r.features);
+      r.label = ml::SignOf(r.eps);
+    }
+  });
   std::sort(rows_.begin(), rows_.end(), [](const Row& a, const Row& b) {
     if (a.eps != b.eps) return a.eps < b.eps;
     return a.id < b.id;
@@ -79,19 +83,34 @@ size_t HazyMMView::WindowSize() const {
 }
 
 size_t HazyMMView::IncrementalStep() {
-  const double lw = water_.low_water();
-  const double hw = water_.high_water();
-  size_t count = 0;
-  for (size_t i = LowerBound(lw); i < rows_.size() && rows_[i].eps < hw; ++i) {
-    Row& r = rows_[i];
-    int label = model_.Classify(r.features);
-    if (label != r.label) ++stats_.label_flips;
-    r.label = label;
-    ++count;
+  const size_t lo = LowerBound(water_.low_water());
+  const size_t hi = LowerBound(water_.high_water());
+  uint64_t flips = 0;
+  // The window is contiguous in the eps-clustered layout; shard the
+  // reclassification across the pool when it is wide enough to pay off.
+  if (hi - lo >= kDefaultMinParallelRows && SharedThreadCount() > 1) {
+    std::vector<int8_t> labels(hi - lo);
+    ParallelFor(hi - lo, 1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        labels[i] = static_cast<int8_t>(model_.Classify(rows_[lo + i].features));
+      }
+    });
+    for (size_t i = lo; i < hi; ++i) {
+      if (labels[i - lo] != rows_[i].label) ++flips;
+      rows_[i].label = labels[i - lo];
+    }
+  } else {
+    for (size_t i = lo; i < hi; ++i) {
+      Row& r = rows_[i];
+      int label = model_.Classify(r.features);
+      if (label != r.label) ++flips;
+      r.label = label;
+    }
   }
-  stats_.window_tuples += count;
+  stats_.label_flips += flips;
+  stats_.window_tuples += hi - lo;
   ++stats_.incremental_steps;
-  return count;
+  return hi - lo;
 }
 
 Status HazyMMView::AddEntity(const Entity& entity) {
@@ -128,24 +147,52 @@ Status HazyMMView::AddEntity(const Entity& entity) {
   return Status::OK();
 }
 
+void HazyMMView::MaintainEager() {
+  if (strategy_->ShouldReorganize(reorg_cost_)) {
+    Reorganize();
+    return;
+  }
+  Timer inc;
+  size_t n = IncrementalStep();
+  double cost = options_.cost_model == CostModel::kMeasuredTime
+                    ? inc.ElapsedSeconds()
+                    : static_cast<double>(n);
+  strategy_->OnIncrementalCost(cost);
+}
+
 Status HazyMMView::Update(const ml::LabeledExample& example) {
   Timer timer;
   TrainStep(example);
   water_.Advance(model_);
-  if (options_.mode == Mode::kEager) {
-    if (strategy_->ShouldReorganize(reorg_cost_)) {
-      Reorganize();
-    } else {
-      Timer inc;
-      size_t n = IncrementalStep();
-      double cost = options_.cost_model == CostModel::kMeasuredTime
-                        ? inc.ElapsedSeconds()
-                        : static_cast<double>(n);
-      strategy_->OnIncrementalCost(cost);
-    }
-  }
+  if (options_.mode == Mode::kEager) MaintainEager();
   // Lazy mode: updates are already optimal; waste accumulates on reads.
   ++stats_.updates;
+  stats_.total_update_seconds += timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status HazyMMView::UpdateBatch(Span<const ml::LabeledExample> batch) {
+  if (batch.empty()) return Status::OK();
+  if (!options_.monotone_water) {
+    // The two-round bounds (Appendix B.3) are only sound when every round's
+    // window is relabeled; amortizing across a batch skips rounds.
+    for (const auto& ex : batch) {
+      HAZY_RETURN_NOT_OK(Update(ex));
+    }
+    ++stats_.batches;
+    return Status::OK();
+  }
+  Timer timer;
+  for (const auto& ex : batch) {
+    TrainStep(ex);
+    // Monotone water is a running min/max over rounds, so advancing per
+    // example widens the window to cover the whole batch's drift; the
+    // expensive part — the window scan — runs once below.
+    water_.Advance(model_);
+  }
+  if (options_.mode == Mode::kEager) MaintainEager();
+  stats_.updates += batch.size();
+  ++stats_.batches;
   stats_.total_update_seconds += timer.ElapsedSeconds();
   return Status::OK();
 }
@@ -189,9 +236,8 @@ template <typename Emit>
 StatusOr<uint64_t> HazyMMView::LazyMembersScan(int label, Emit emit) {
   if (strategy_->ShouldReorganize(reorg_cost_)) Reorganize();
   Timer timer;
-  const double lw = water_.low_water();
-  const double hw = water_.high_water();
-  const size_t begin = LowerBound(lw);
+  const size_t begin = LowerBound(water_.low_water());
+  const size_t wend = LowerBound(water_.high_water());
   const uint64_t nr = rows_.size() - begin;
   uint64_t positives = 0;
   uint64_t matched = 0;
@@ -202,14 +248,17 @@ StatusOr<uint64_t> HazyMMView::LazyMembersScan(int label, Emit emit) {
       ++matched;
     }
   }
-  for (size_t i = begin; i < rows_.size(); ++i) {
-    int l;
-    if (rows_[i].eps >= hw) {
-      l = 1;
-    } else {
-      l = model_.Classify(rows_[i].features);
-      ++stats_.window_tuples;
+  // Only the window [begin, wend) needs the current model; shard that
+  // classification, then emit in clustering order.
+  std::vector<int8_t> labels(wend - begin);
+  ParallelFor(wend - begin, kDefaultMinParallelRows, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      labels[i] = static_cast<int8_t>(model_.Classify(rows_[begin + i].features));
     }
+  });
+  stats_.window_tuples += wend - begin;
+  for (size_t i = begin; i < rows_.size(); ++i) {
+    int l = i < wend ? labels[i - begin] : 1;  // eps >= hw: certainly positive
     if (l == 1) ++positives;
     if (l == label) {
       emit(rows_[i].id);

@@ -26,6 +26,12 @@ class HazyMMView : public ViewBase {
   Status BulkLoad(const std::vector<Entity>& entities) override;
   Status AddEntity(const Entity& entity) override;
   Status Update(const ml::LabeledExample& example) override;
+  /// Batched path: the model absorbs every example while the monotone water
+  /// lines accumulate the whole batch's drift; then ONE window pass (or
+  /// reorganization — one amortized Skiing decision per batch) re-syncs the
+  /// materialized labels. Non-monotone water falls back to per-example
+  /// updates (its two-round bounds require relabeling every round).
+  Status UpdateBatch(Span<const ml::LabeledExample> batch) override;
   StatusOr<int> SingleEntityRead(int64_t id) override;
   StatusOr<std::vector<int64_t>> AllMembers(int label) override;
   StatusOr<uint64_t> AllMembersCount(int label) override;
@@ -79,6 +85,11 @@ class HazyMMView : public ViewBase {
   /// Walks the window [lw, hw), reclassifying with the current model.
   /// Returns the number of tuples inspected.
   size_t IncrementalStep();
+
+  /// One round of eager maintenance: reorganize if Skiing says so, else an
+  /// incremental step whose cost is reported to the strategy. Shared by the
+  /// per-example and batched update paths.
+  void MaintainEager();
 
   /// Lazy read path: reorganize first if Skiing says so, then scan from lw.
   template <typename Emit>

@@ -38,6 +38,14 @@ class HazyODView : public ViewBase {
   Status BulkLoad(const std::vector<Entity>& entities) override;
   Status AddEntity(const Entity& entity) override;
   Status Update(const ml::LabeledExample& example) override;
+  /// Batched path: the model absorbs every example while the monotone water
+  /// lines accumulate the whole batch's drift, then ONE B+-tree range pass
+  /// over [lw, hw) (or one reorganization — a single amortized Skiing
+  /// decision per batch) re-syncs the materialized labels. HybridView
+  /// inherits this; its window/buffer hooks keep the buffer and ε-map
+  /// maintenance batched too. Non-monotone water falls back to per-example
+  /// updates (its two-round bounds require relabeling every round).
+  Status UpdateBatch(Span<const ml::LabeledExample> batch) override;
   StatusOr<int> SingleEntityRead(int64_t id) override;
   StatusOr<std::vector<int64_t>> AllMembers(int label) override;
   StatusOr<uint64_t> AllMembersCount(int label) override;
@@ -87,6 +95,11 @@ class HazyODView : public ViewBase {
 
   /// Runs the eager incremental step over [lw, hw). Returns tuples touched.
   StatusOr<uint64_t> IncrementalStep();
+
+  /// One round of eager maintenance: reorganize if Skiing says so, else an
+  /// incremental step whose cost is reported to the strategy. Shared by the
+  /// per-example and batched update paths.
+  Status MaintainEager();
 
   /// Lazy read path shared by AllMembers/AllMembersCount.
   StatusOr<uint64_t> LazyMembersScan(int label, std::vector<int64_t>* out);

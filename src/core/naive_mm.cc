@@ -1,5 +1,6 @@
 #include "core/naive_mm.h"
 
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "common/timer.h"
 
@@ -31,12 +32,24 @@ Status NaiveMMView::AddEntity(const Entity& entity) {
   return Status::OK();
 }
 
+void NaiveMMView::ClassifyAllRows(std::vector<int8_t>* labels) const {
+  labels->resize(rows_.size());
+  ParallelFor(rows_.size(), kDefaultMinParallelRows, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      (*labels)[i] = static_cast<int8_t>(model_.Classify(rows_[i].features));
+    }
+  });
+}
+
 void NaiveMMView::ReclassifyAll() {
-  for (auto& r : rows_) {
-    int label = model_.Classify(r.features);
-    if (label != r.label) ++stats_.label_flips;
-    r.label = label;
+  std::vector<int8_t> labels;
+  ClassifyAllRows(&labels);
+  uint64_t flips = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (labels[i] != rows_[i].label) ++flips;
+    rows_[i].label = labels[i];
   }
+  stats_.label_flips += flips;
   stats_.tuples_scanned += rows_.size();
 }
 
@@ -47,6 +60,19 @@ Status NaiveMMView::Update(const ml::LabeledExample& example) {
     ReclassifyAll();
   }
   ++stats_.updates;
+  stats_.total_update_seconds += timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status NaiveMMView::UpdateBatch(Span<const ml::LabeledExample> batch) {
+  if (batch.empty()) return Status::OK();
+  Timer timer;
+  for (const auto& ex : batch) TrainStep(ex);
+  if (options_.mode == Mode::kEager) {
+    ReclassifyAll();  // one full relabel per batch, not per example
+  }
+  stats_.updates += batch.size();
+  ++stats_.batches;
   stats_.total_update_seconds += timer.ElapsedSeconds();
   return Status::OK();
 }
@@ -66,9 +92,18 @@ StatusOr<int> NaiveMMView::SingleEntityRead(int64_t id) {
 StatusOr<std::vector<int64_t>> NaiveMMView::AllMembers(int label) {
   ++stats_.all_members_queries;
   std::vector<int64_t> out;
-  for (const auto& r : rows_) {
-    int l = options_.mode == Mode::kEager ? r.label : model_.Classify(r.features);
-    if (l == label) out.push_back(r.id);
+  if (options_.mode == Mode::kEager) {
+    for (const auto& r : rows_) {
+      if (r.label == label) out.push_back(r.id);
+    }
+  } else {
+    // Lazy: the classification pass dominates; shard it, then collect ids
+    // in row order.
+    std::vector<int8_t> labels;
+    ClassifyAllRows(&labels);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (labels[i] == label) out.push_back(rows_[i].id);
+    }
   }
   stats_.tuples_scanned += rows_.size();
   return out;
@@ -77,9 +112,16 @@ StatusOr<std::vector<int64_t>> NaiveMMView::AllMembers(int label) {
 StatusOr<uint64_t> NaiveMMView::AllMembersCount(int label) {
   ++stats_.all_members_queries;
   uint64_t n = 0;
-  for (const auto& r : rows_) {
-    int l = options_.mode == Mode::kEager ? r.label : model_.Classify(r.features);
-    if (l == label) ++n;
+  if (options_.mode == Mode::kEager) {
+    for (const auto& r : rows_) {
+      if (r.label == label) ++n;
+    }
+  } else {
+    std::vector<int8_t> labels;
+    ClassifyAllRows(&labels);
+    for (int8_t l : labels) {
+      if (l == label) ++n;
+    }
   }
   stats_.tuples_scanned += rows_.size();
   return n;

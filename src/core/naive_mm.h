@@ -20,6 +20,9 @@ class NaiveMMView : public ViewBase {
   Status BulkLoad(const std::vector<Entity>& entities) override;
   Status AddEntity(const Entity& entity) override;
   Status Update(const ml::LabeledExample& example) override;
+  /// Batched path: absorb every example into the model, then relabel the
+  /// corpus once (instead of once per example) with a parallel scan.
+  Status UpdateBatch(Span<const ml::LabeledExample> batch) override;
   StatusOr<int> SingleEntityRead(int64_t id) override;
   StatusOr<std::vector<int64_t>> AllMembers(int label) override;
   StatusOr<uint64_t> AllMembersCount(int label) override;
@@ -42,6 +45,10 @@ class NaiveMMView : public ViewBase {
   };
 
   void ReclassifyAll();
+
+  /// Labels every row under the current model into labels[i] with a
+  /// sharded scan; shared by the eager relabel and the lazy read paths.
+  void ClassifyAllRows(std::vector<int8_t>* labels) const;
 
   std::vector<Row> rows_;
   std::unordered_map<int64_t, size_t> index_;

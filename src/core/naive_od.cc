@@ -81,6 +81,19 @@ Status NaiveODView::Update(const ml::LabeledExample& example) {
   return Status::OK();
 }
 
+Status NaiveODView::UpdateBatch(Span<const ml::LabeledExample> batch) {
+  if (batch.empty()) return Status::OK();
+  Timer timer;
+  for (const auto& ex : batch) TrainStep(ex);
+  if (options_.mode == Mode::kEager) {
+    HAZY_RETURN_NOT_OK(ReclassifyAll());  // one heap scan per batch
+  }
+  stats_.updates += batch.size();
+  ++stats_.batches;
+  stats_.total_update_seconds += timer.ElapsedSeconds();
+  return Status::OK();
+}
+
 StatusOr<int> NaiveODView::SingleEntityRead(int64_t id) {
   ++stats_.single_reads;
   HAZY_ASSIGN_OR_RETURN(storage::Rid rid, id_index_.Get(id));

@@ -24,6 +24,9 @@ class NaiveODView : public ViewBase {
   Status BulkLoad(const std::vector<Entity>& entities) override;
   Status AddEntity(const Entity& entity) override;
   Status Update(const ml::LabeledExample& example) override;
+  /// Batched path: absorb every example into the model, then rescan and
+  /// relabel the heap once per batch instead of once per example.
+  Status UpdateBatch(Span<const ml::LabeledExample> batch) override;
   StatusOr<int> SingleEntityRead(int64_t id) override;
   StatusOr<std::vector<int64_t>> AllMembers(int label) override;
   StatusOr<uint64_t> AllMembersCount(int label) override;

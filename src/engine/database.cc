@@ -14,17 +14,31 @@ namespace hazy::engine {
 using storage::Row;
 using storage::Value;
 
+Status ManagedView::Flush() {
+  if (pending_.empty()) return Status::OK();
+  std::vector<ml::LabeledExample> batch;
+  batch.swap(pending_);
+  // On failure the batch is NOT requeued: every architecture folds the
+  // examples into the model before any fallible I/O, so a retry would
+  // double-train. The examples stay in example_log_, which any later
+  // rebuild (delete/update triggers) replays.
+  return view_->UpdateBatch(batch);
+}
+
 StatusOr<std::string> ManagedView::LabelOf(int64_t id) {
+  HAZY_RETURN_NOT_OK(Flush());
   HAZY_ASSIGN_OR_RETURN(int sign, view_->SingleEntityRead(id));
   return LabelString(sign);
 }
 
 StatusOr<std::vector<int64_t>> ManagedView::MembersOf(const std::string& label) {
+  HAZY_RETURN_NOT_OK(Flush());
   HAZY_ASSIGN_OR_RETURN(int sign, LabelSign(label));
   return view_->AllMembers(sign);
 }
 
 StatusOr<uint64_t> ManagedView::CountOf(const std::string& label) {
+  HAZY_RETURN_NOT_OK(Flush());
   HAZY_ASSIGN_OR_RETURN(int sign, LabelSign(label));
   return view_->AllMembersCount(sign);
 }
@@ -199,7 +213,23 @@ StatusOr<ManagedView*> Database::CreateClassificationView(
   return raw;
 }
 
+Status Database::EndUpdateBatch() {
+  if (batch_depth_ == 0) {
+    return Status::InvalidArgument("EndUpdateBatch without BeginUpdateBatch");
+  }
+  if (--batch_depth_ > 0) return Status::OK();
+  Status first_error;
+  for (const auto& v : views_) {
+    Status s = v->Flush();
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
 Status Database::OnEntityInsert(ManagedView* mv, const Row& row) {
+  // An arriving entity is classified under the view's current model; apply
+  // any queued training examples first so batching cannot reorder the two.
+  HAZY_RETURN_NOT_OK(mv->Flush());
   HAZY_ASSIGN_OR_RETURN(storage::Table * entities,
                         catalog_->GetTable(mv->def_.entity_table));
   HAZY_ASSIGN_OR_RETURN(size_t key_idx, entities->schema().IndexOf(mv->def_.entity_key));
@@ -235,6 +265,12 @@ Status Database::OnExampleInsert(ManagedView* mv, const Row& row) {
   HAZY_ASSIGN_OR_RETURN(ml::FeatureVector f, mv->feature_fn_->ComputeFeature(doc));
 
   mv->example_log_.emplace_back(id, sign);
+  if (batch_depth_ > 0) {
+    // Batched-trigger mode: queue the maintenance work; ManagedView::Flush
+    // applies the whole queue as one UpdateBatch.
+    mv->pending_.push_back(ml::LabeledExample{id, std::move(f), sign});
+    return Status::OK();
+  }
   return mv->view_->Update(ml::LabeledExample{id, std::move(f), sign});
 }
 
@@ -292,6 +328,8 @@ Status Database::OnExampleUpdate(ManagedView* mv, const Row& old_row,
 }
 
 Status Database::RebuildFromScratch(ManagedView* mv) {
+  // Queued examples are already in example_log_, which the rebuild replays.
+  mv->pending_.clear();
   HAZY_ASSIGN_OR_RETURN(storage::Table * entities,
                         catalog_->GetTable(mv->def_.entity_table));
   HAZY_ASSIGN_OR_RETURN(size_t key_idx, entities->schema().IndexOf(mv->def_.entity_key));
@@ -316,14 +354,19 @@ Status Database::RebuildFromScratch(ManagedView* mv) {
 
   HAZY_ASSIGN_OR_RETURN(auto fresh, BuildCoreView(mv->def_));
   HAZY_RETURN_NOT_OK(fresh->BulkLoad(ents));
-  // Replay the remaining training examples.
+  // Replay the remaining training examples as one batch: a retrain only
+  // needs the final model's labels, so per-example view maintenance during
+  // the replay is pure waste.
   std::unordered_map<int64_t, const ml::FeatureVector*> by_id;
   for (const auto& e : ents) by_id[e.id] = &e.features;
+  std::vector<ml::LabeledExample> replay;
+  replay.reserve(mv->example_log_.size());
   for (const auto& [id, sign] : mv->example_log_) {
     auto fit = by_id.find(id);
     if (fit == by_id.end()) continue;  // entity itself was deleted
-    HAZY_RETURN_NOT_OK(fresh->Update(ml::LabeledExample{id, *fit->second, sign}));
+    replay.push_back(ml::LabeledExample{id, *fit->second, sign});
   }
+  HAZY_RETURN_NOT_OK(fresh->UpdateBatch(replay));
   mv->view_ = std::move(fresh);
   return Status::OK();
 }

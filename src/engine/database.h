@@ -78,6 +78,14 @@ class ManagedView {
   /// Maps a label string to +1/-1 (InvalidArgument otherwise).
   StatusOr<int> LabelSign(const std::string& label) const;
 
+  /// Applies queued trigger updates (accumulated while the database is in
+  /// an update batch) as one UpdateBatch. No-op when nothing is queued.
+  /// Reads flush implicitly, so batching never changes query answers.
+  Status Flush();
+
+  /// Trigger updates queued and not yet applied to the core view.
+  size_t pending_updates() const { return pending_.size(); }
+
  private:
   friend class Database;
   ClassificationViewDef def_;
@@ -87,6 +95,9 @@ class ManagedView {
   /// Replay log of (entity id, label sign) training examples, kept so
   /// deletes can retrain from scratch (paper footnote 2).
   std::vector<std::pair<int64_t, int>> example_log_;
+  /// Example-insert triggers queued while the database is in a batch;
+  /// drained by Flush() as one UpdateBatch.
+  std::vector<ml::LabeledExample> pending_;
   Database* db_ = nullptr;
 };
 
@@ -120,6 +131,19 @@ class Database {
   bool HasView(const std::string& name) const;
   std::vector<std::string> ViewNames() const;
 
+  /// Enters batched-trigger mode: example-insert triggers queue their
+  /// maintenance work instead of applying it per row, and the queue is
+  /// flushed to each view as one amortized UpdateBatch. Nestable; only the
+  /// outermost EndUpdateBatch flushes. Reads against a view always flush
+  /// its queue first, so answers are identical to unbatched execution.
+  void BeginUpdateBatch() { ++batch_depth_; }
+
+  /// Leaves batched-trigger mode, flushing every view's queue when the
+  /// outermost batch ends.
+  Status EndUpdateBatch();
+
+  bool in_update_batch() const { return batch_depth_ > 0; }
+
  private:
   /// Concatenates the configured text columns of an entity row.
   StatusOr<std::string> EntityDocument(const ManagedView& mv,
@@ -145,6 +169,7 @@ class Database {
   DatabaseOptions options_;
   std::string path_;
   bool owns_temp_file_ = false;
+  int batch_depth_ = 0;
   std::unique_ptr<storage::Pager> pager_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<storage::Catalog> catalog_;

@@ -32,7 +32,8 @@ struct Rid {
   uint16_t slot = 0;
 
   bool valid() const { return page_id != kInvalidPageId; }
-  bool operator==(const Rid& o) const = default;
+  bool operator==(const Rid& o) const { return page_id == o.page_id && slot == o.slot; }
+  bool operator!=(const Rid& o) const { return !(*this == o); }
 
   /// Packs into 8 bytes for storage inside index entries.
   uint64_t Pack() const { return (static_cast<uint64_t>(page_id) << 16) | slot; }

@@ -316,6 +316,43 @@ TEST_F(SqlEndToEndTest, ViewQueryErrors) {
   EXPECT_TRUE(rs.rows.empty());
 }
 
+TEST_F(SqlEndToEndTest, MultiRowInsertBatchesViewMaintenance) {
+  MustExec("CREATE TABLE E (id INT PRIMARY KEY, t TEXT)");
+  MustExec("CREATE TABLE L (label TEXT)");
+  MustExec("INSERT INTO L VALUES ('A'), ('B')");
+  MustExec("CREATE TABLE X (id INT PRIMARY KEY, label TEXT)");
+  MustExec(
+      "INSERT INTO E VALUES (1, 'alpha beta'), (2, 'alpha gamma'), "
+      "(3, 'delta epsilon'), (4, 'delta zeta')");
+  MustExec(
+      "CREATE CLASSIFICATION VIEW V KEY id ENTITIES FROM E KEY id "
+      "LABELS FROM L LABEL label EXAMPLES FROM X KEY id LABEL label "
+      "FEATURE FUNCTION tf_bag_of_words");
+  auto view = db_->GetView("V");
+  ASSERT_TRUE(view.ok());
+
+  // One multi-row INSERT = one UpdateBatch through the trigger queue.
+  auto rs = MustExec(
+      "INSERT INTO X VALUES (1, 'A'), (2, 'A'), (3, 'B'), (4, 'B')");
+  EXPECT_NE(rs.message.find("batched"), std::string::npos);
+  EXPECT_EQ((*view)->view()->stats().updates, 4u);
+  EXPECT_EQ((*view)->view()->stats().batches, 1u);
+
+  // The batch trained the view exactly like per-row inserts would have.
+  rs = MustExec("SELECT class FROM V WHERE id = 1");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(rs.rows[0][0]), "A");
+  rs = MustExec("SELECT COUNT(*) FROM V WHERE class = 'B'");
+  EXPECT_EQ(std::get<int64_t>(rs.rows[0][0]), 2);
+
+  // Single-row INSERTs stay on the per-example path.
+  MustExec("INSERT INTO E VALUES (5, 'alpha epsilon')");
+  rs = MustExec("INSERT INTO X VALUES (5, 'A')");
+  EXPECT_EQ(rs.message.find("batched"), std::string::npos);
+  EXPECT_EQ((*view)->view()->stats().batches, 1u);
+  EXPECT_TRUE(exec_->Execute("SELECT * FROM V WHERE id = 5").ok());
+}
+
 TEST_F(SqlEndToEndTest, ResultSetPrinting) {
   MustExec("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)");
   MustExec("INSERT INTO t VALUES (7, 'seven')");
