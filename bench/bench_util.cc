@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdlib>
 
 #include "common/logging.h"
@@ -243,6 +244,87 @@ std::string FormatRate(double per_second) {
   if (per_second >= 1e3) return StrFormat("%.1fk", per_second / 1e3);
   if (per_second >= 10) return StrFormat("%.0f", per_second);
   return StrFormat("%.2f", per_second);
+}
+
+namespace {
+
+struct Metric {
+  std::string bench;
+  std::string metric;
+  double value;
+  std::string unit;
+};
+
+bool g_json_enabled = false;
+std::string g_json_path;        // empty = stdout
+std::vector<Metric> g_metrics;  // collected until FlushBenchReport
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += StrFormat("\\u%04x", c);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void InitBenchReport(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      g_json_enabled = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      g_json_enabled = true;
+      g_json_path = arg.substr(7);
+    }
+  }
+}
+
+bool JsonEnabled() { return g_json_enabled; }
+
+void ReportMetric(const std::string& bench, const std::string& metric, double value,
+                  const std::string& unit) {
+  if (!g_json_enabled) return;
+  g_metrics.push_back(Metric{bench, metric, value, unit});
+}
+
+int FlushBenchReport() {
+  if (!g_json_enabled) return 0;
+  std::string out = "[\n";
+  for (size_t i = 0; i < g_metrics.size(); ++i) {
+    const Metric& m = g_metrics[i];
+    // inf/nan are not JSON; emit null so one degenerate metric cannot make
+    // the whole report unparseable.
+    std::string value = std::isfinite(m.value) ? StrFormat("%.17g", m.value) : "null";
+    out += StrFormat("  {\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %s, "
+                     "\"unit\": \"%s\"}%s\n",
+                     JsonEscape(m.bench).c_str(), JsonEscape(m.metric).c_str(),
+                     value.c_str(), JsonEscape(m.unit).c_str(),
+                     i + 1 < g_metrics.size() ? "," : "");
+  }
+  out += "]\n";
+  if (g_json_path.empty()) {
+    std::fputs(out.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(g_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "could not open %s for JSON output\n", g_json_path.c_str());
+      return 1;
+    }
+    std::fputs(out.c_str(), f);
+    std::fclose(f);
+  }
+  g_metrics.clear();
+  return 0;
 }
 
 }  // namespace hazy::bench

@@ -118,6 +118,31 @@ class TablePrinter {
 /// printf helper: formats a rate like the paper's tables ("2.8k", "0.2").
 std::string FormatRate(double per_second);
 
+// ---------------------------------------------------------------------------
+// Machine-readable results (the --json flag).
+//
+// A bench binary opts in by calling InitBenchReport(argc, argv) first and
+// FlushBenchReport() last (currently wired into the micro benches). With
+// `--json` (or `--json=<path>`) on the command line, metrics recorded via
+// ReportMetric are emitted as a JSON array —
+// [{"bench": ..., "metric": ..., "value": ..., "unit": ...}, ...] — to
+// stdout or <path>, feeding the BENCH_*.json result trajectory. Without the
+// flag both calls are no-ops and the human-readable tables stand alone.
+// ---------------------------------------------------------------------------
+
+/// Parses --json / --json=<path> from argv. Call once at the top of main.
+void InitBenchReport(int argc, char** argv);
+
+/// True when --json was passed.
+bool JsonEnabled();
+
+/// Records one metric (no-op unless --json is active).
+void ReportMetric(const std::string& bench, const std::string& metric, double value,
+                  const std::string& unit);
+
+/// Writes the collected metrics as JSON. Returns 0 (for `return Flush...`).
+int FlushBenchReport();
+
 }  // namespace hazy::bench
 
 #endif  // HAZY_BENCH_BENCH_UTIL_H_

@@ -9,6 +9,7 @@
 //   HAZY_BENCH_SCALE   corpus scale      (default 0.01)
 //   HAZY_BENCH_WARM    warm-up examples  (default 12000)
 //   HAZY_BATCH_SIZE    examples/batch    (default 64)
+//   --json[=path]      also emit machine-readable results
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,7 +31,8 @@ size_t BatchSize() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchReport(argc, argv);
   double scale = BenchScale();
   const size_t warm = BenchWarmSteps();
   const size_t batch_size = BatchSize();
@@ -74,10 +76,14 @@ int main() {
     char speedup[32];
     std::snprintf(speedup, sizeof(speedup), "%.1fx", seq > 0 ? bat / seq : 0.0);
     table.AddRow({tech.label, FormatRate(seq), FormatRate(bat), speedup});
+    ReportMetric("micro_batch_update", std::string(tech.label) + " per-example", seq,
+                 "updates/s");
+    ReportMetric("micro_batch_update", std::string(tech.label) + " batched", bat,
+                 "updates/s");
   }
   table.Print();
   std::printf(
       "\nBatched and per-example streams produce identical labels; see\n"
       "tests/core_batch_update_test.cc for the equivalence property.\n");
-  return 0;
+  return FlushBenchReport();
 }

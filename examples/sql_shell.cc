@@ -12,30 +12,74 @@
 // examples to each classification view as one UpdateBatch automatically.
 // '\batch on' holds the whole session in batched-trigger mode (updates
 // queue; reads flush), '\batch off' flushes and leaves it.
+//
+// Durability: 'CHECKPOINT;' persists all tables and classification views to
+// the session's backing file. '\save <path>' checkpoints and copies the
+// database file to <path>; '\open <path>' switches the session to the
+// database at <path>, recovering every view from its last checkpoint with
+// zero retraining.
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "engine/database.h"
 #include "sql/executor.h"
 
 using hazy::engine::Database;
+using hazy::engine::DatabaseOptions;
 using hazy::sql::Executor;
 
+namespace {
+
+// True when both paths name the same existing file (dev/ino identity, not
+// string equality — "./db" and "/tmp/db" may alias). Copying a file onto
+// itself with ios::trunc would destroy it.
+bool SameFile(const std::string& a, const std::string& b) {
+  struct stat sa, sb;
+  if (::stat(a.c_str(), &sa) != 0 || ::stat(b.c_str(), &sb) != 0) return false;
+  return sa.st_dev == sb.st_dev && sa.st_ino == sb.st_ino;
+}
+
+bool CopyFile(const std::string& from, const std::string& to) {
+  std::ifstream src(from, std::ios::binary);
+  if (!src.good()) return false;
+  std::ofstream dst(to, std::ios::binary | std::ios::trunc);
+  if (!dst.good()) return false;
+  dst << src.rdbuf();
+  return dst.good();
+}
+
+void ListCatalog(Database* db) {
+  std::printf("tables:\n");
+  for (const auto& t : db->catalog()->TableNames()) {
+    std::printf("  %s\n", t.c_str());
+  }
+  std::printf("classification views:\n");
+  for (const auto& v : db->ViewNames()) {
+    std::printf("  %s\n", v.c_str());
+  }
+}
+
+}  // namespace
+
 int main() {
-  Database db;
-  if (!db.Open().ok()) {
+  auto db = std::make_unique<Database>();
+  if (!db->Open().ok()) {
     std::fprintf(stderr, "failed to open database\n");
     return 1;
   }
-  Executor exec(&db);
+  auto exec = std::make_unique<Executor>(db.get());
 
   std::printf(
       "hazy sql shell — statements end with ';', \\q quits, \\d lists, "
-      "\\batch on|off toggles batched view maintenance.\n");
+      "\\batch on|off toggles batched view maintenance,\n"
+      "\\save <path> checkpoints to a file, \\open <path> recovers from one.\n");
   std::string buffer;
   std::string line;
   bool interactive = isatty(0);
@@ -50,10 +94,10 @@ int main() {
     if (buffer.empty() && (line == "\\batch on" || line == "\\batch off")) {
       bool want = line == "\\batch on";
       if (want && !batching) {
-        db.BeginUpdateBatch();
+        db->BeginUpdateBatch();
         batching = true;
       } else if (!want && batching) {
-        auto s = db.EndUpdateBatch();
+        auto s = db->EndUpdateBatch();
         if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
         batching = false;
       }
@@ -61,14 +105,66 @@ int main() {
       continue;
     }
     if (buffer.empty() && line == "\\d") {
-      std::printf("tables:\n");
-      for (const auto& t : db.catalog()->TableNames()) {
-        std::printf("  %s\n", t.c_str());
+      ListCatalog(db.get());
+      continue;
+    }
+    if (buffer.empty() && line.rfind("\\save ", 0) == 0) {
+      std::string path = line.substr(6);
+      if (path.empty()) {
+        std::printf("usage: \\save <path>\n");
+        continue;
       }
-      std::printf("classification views:\n");
-      for (const auto& v : db.ViewNames()) {
-        std::printf("  %s\n", v.c_str());
+      if (batching) {
+        std::printf("error: turn \\batch off before saving\n");
+        continue;
       }
+      auto epoch = db->Checkpoint();
+      if (!epoch.ok()) {
+        std::printf("error: %s\n", epoch.status().ToString().c_str());
+        continue;
+      }
+      if (SameFile(path, db->path())) {
+        std::printf("checkpointed %s (epoch %llu)\n", path.c_str(),
+                    static_cast<unsigned long long>(*epoch));
+      } else if (CopyFile(db->path(), path)) {
+        std::printf("saved to %s (epoch %llu)\n", path.c_str(),
+                    static_cast<unsigned long long>(*epoch));
+      } else {
+        std::printf("error: could not copy database to %s\n", path.c_str());
+      }
+      continue;
+    }
+    if (buffer.empty() && line.rfind("\\open ", 0) == 0) {
+      std::string path = line.substr(6);
+      if (path.empty()) {
+        std::printf("usage: \\open <path>\n");
+        continue;
+      }
+      // Opening a nonexistent path would create a fresh empty database and
+      // silently discard the current session — a typo must not do that.
+      struct stat st;
+      if (::stat(path.c_str(), &st) != 0) {
+        std::printf("error: %s does not exist (use \\save to create one)\n",
+                    path.c_str());
+        continue;
+      }
+      DatabaseOptions opts;
+      opts.path = path;
+      auto fresh = std::make_unique<Database>(opts);
+      auto s = fresh->Open();
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      if (batching) {
+        db->EndUpdateBatch().ok();
+        batching = false;
+      }
+      db = std::move(fresh);
+      exec = std::make_unique<Executor>(db.get());
+      std::printf("opened %s (checkpoint epoch %llu)\n", path.c_str(),
+                  static_cast<unsigned long long>(db->checkpoint_epoch()));
+      ListCatalog(db.get());
       continue;
     }
     buffer += line;
@@ -79,7 +175,7 @@ int main() {
     std::string stmt = buffer.substr(0, pos + 1);
     buffer.clear();
     if (!interactive) std::printf("hazy> %s\n", stmt.c_str());
-    auto rs = exec.Execute(stmt);
+    auto rs = exec->Execute(stmt);
     if (!rs.ok()) {
       std::printf("error: %s\n", rs.status().ToString().c_str());
     } else {
@@ -87,7 +183,7 @@ int main() {
     }
   }
   if (batching) {
-    auto s = db.EndUpdateBatch();
+    auto s = db->EndUpdateBatch();
     if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
   }
   return 0;

@@ -1,0 +1,56 @@
+#include "core/classifier_view.h"
+
+#include "persist/serde.h"
+
+namespace hazy::core {
+
+namespace {
+constexpr uint32_t kViewBaseTag = persist::MakeTag('V', 'B', 'A', 'S');
+}  // namespace
+
+Status ViewBase::SaveBaseState(persist::StateWriter* w) const {
+  w->PutTag(kViewBaseTag);
+  w->PutModel(model_);
+  w->PutU64(trainer_.steps());
+  w->PutU64(stats_.updates);
+  w->PutU64(stats_.batches);
+  w->PutU64(stats_.reorgs);
+  w->PutU64(stats_.incremental_steps);
+  w->PutU64(stats_.window_tuples);
+  w->PutU64(stats_.tuples_scanned);
+  w->PutU64(stats_.label_flips);
+  w->PutU64(stats_.single_reads);
+  w->PutU64(stats_.reads_by_bounds);
+  w->PutU64(stats_.reads_by_buffer);
+  w->PutU64(stats_.reads_from_store);
+  w->PutU64(stats_.all_members_queries);
+  w->PutDouble(stats_.total_update_seconds);
+  w->PutDouble(stats_.total_reorg_seconds);
+  w->PutDouble(stats_.last_reorg_cost);
+  return Status::OK();
+}
+
+Status ViewBase::LoadBaseState(persist::StateReader* r) {
+  HAZY_RETURN_NOT_OK(r->ExpectTag(kViewBaseTag));
+  HAZY_RETURN_NOT_OK(r->GetModel(&model_));
+  uint64_t steps = 0;
+  HAZY_RETURN_NOT_OK(r->GetU64(&steps));
+  trainer_.RestoreSteps(steps);
+  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.updates));
+  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.batches));
+  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.reorgs));
+  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.incremental_steps));
+  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.window_tuples));
+  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.tuples_scanned));
+  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.label_flips));
+  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.single_reads));
+  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.reads_by_bounds));
+  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.reads_by_buffer));
+  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.reads_from_store));
+  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.all_members_queries));
+  HAZY_RETURN_NOT_OK(r->GetDouble(&stats_.total_update_seconds));
+  HAZY_RETURN_NOT_OK(r->GetDouble(&stats_.total_reorg_seconds));
+  return r->GetDouble(&stats_.last_reorg_cost);
+}
+
+}  // namespace hazy::core

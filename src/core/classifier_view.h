@@ -28,6 +28,11 @@
 #include "ml/sgd.h"
 #include "ml/vector.h"
 
+namespace hazy::persist {
+class StateWriter;
+class StateReader;
+}  // namespace hazy::persist
+
 namespace hazy::core {
 
 /// An entity to classify: id plus feature vector (the In(id, f) relation).
@@ -137,6 +142,17 @@ class ClassificationView {
   virtual size_t MemoryBytes() const = 0;
 
   virtual const char* name() const = 0;
+
+  /// Serializes the architecture's complete runtime state — model, trainer
+  /// schedule position, stats, entity set, and incremental-maintenance state
+  /// (water lines, strategy accumulator, clustering order, ε-map/buffer) —
+  /// so LoadState on a freshly constructed view of the same architecture and
+  /// options reproduces answers bit-for-bit with zero retraining.
+  virtual Status SaveState(persist::StateWriter* w) const = 0;
+
+  /// Restores a SaveState blob. Must be called instead of BulkLoad, on a
+  /// view constructed with the same ViewOptions that produced the blob.
+  virtual Status LoadState(persist::StateReader* r) = 0;
 };
 
 /// \brief Shared trainer/model/stats plumbing for the concrete views.
@@ -155,6 +171,13 @@ class ViewBase : public ClassificationView {
   }
 
  protected:
+  /// Serializes / restores the state shared by every architecture: the
+  /// model, the trainer's learning-rate schedule position, and the stats
+  /// counters. Concrete SaveState/LoadState implementations call these
+  /// first, then handle their own structures.
+  Status SaveBaseState(persist::StateWriter* w) const;
+  Status LoadBaseState(persist::StateReader* r);
+
   /// Makes the view's materialized state consistent with the current model
   /// (a full reclassify or reorganization, depending on architecture).
   virtual Status SyncToModel() = 0;

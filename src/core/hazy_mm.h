@@ -39,6 +39,8 @@ class HazyMMView : public ViewBase {
   const char* name() const override {
     return options_.mode == Mode::kEager ? "hazy-mm-eager" : "hazy-mm-lazy";
   }
+  Status SaveState(persist::StateWriter* w) const override;
+  Status LoadState(persist::StateReader* r) override;
 
   /// Current water lines (exposed for experiments like Fig 13).
   const WaterLineTracker& water() const { return water_; }

@@ -54,6 +54,9 @@ class HazyODView : public ViewBase {
     return options_.mode == Mode::kEager ? "hazy-od-eager" : "hazy-od-lazy";
   }
 
+  Status SaveState(persist::StateWriter* w) const override;
+  Status LoadState(persist::StateReader* r) override;
+
   const WaterLineTracker& water() const { return water_; }
   uint64_t DiskBytes() const { return (heap_->num_pages() + tree_->num_pages()) *
                                       storage::kPageSize; }

@@ -4,8 +4,64 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "persist/serde.h"
 
 namespace hazy::core {
+
+namespace {
+constexpr uint32_t kHybridTag = persist::MakeTag('H', 'Y', 'B', '1');
+}  // namespace
+
+Status HybridView::SaveState(persist::StateWriter* w) const {
+  HAZY_RETURN_NOT_OK(HazyODView::SaveState(w));
+  w->PutTag(kHybridTag);
+  w->PutU64(eps_map_.size());
+  for (const auto& [id, eps] : eps_map_) {
+    w->PutI64(id);
+    w->PutDouble(eps);
+  }
+  // Buffer labels are the source of truth for buffered window tuples, so
+  // the buffer must round-trip verbatim (features included — they may lag
+  // the on-disk record only in label, but storing them keeps load simple).
+  w->PutU64(buffer_.size());
+  for (const auto& [id, e] : buffer_) {
+    w->PutI64(id);
+    w->PutI32(e.label);
+    w->PutFeatureVector(e.features);
+  }
+  return Status::OK();
+}
+
+Status HybridView::LoadState(persist::StateReader* r) {
+  HAZY_RETURN_NOT_OK(HazyODView::LoadState(r));
+  HAZY_RETURN_NOT_OK(r->ExpectTag(kHybridTag));
+  uint64_t n = 0;
+  HAZY_RETURN_NOT_OK(r->GetU64(&n));
+  HAZY_RETURN_NOT_OK(r->CheckCount(n, 16));  // i64 id + double eps
+  eps_map_.clear();
+  eps_map_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t id = 0;
+    double eps = 0.0;
+    HAZY_RETURN_NOT_OK(r->GetI64(&id));
+    HAZY_RETURN_NOT_OK(r->GetDouble(&eps));
+    eps_map_[id] = eps;
+  }
+  HAZY_RETURN_NOT_OK(r->GetU64(&n));
+  HAZY_RETURN_NOT_OK(r->CheckCount(n));
+  buffer_.clear();
+  buffer_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t id = 0;
+    int32_t label = 0;
+    ml::FeatureVector f;
+    HAZY_RETURN_NOT_OK(r->GetI64(&id));
+    HAZY_RETURN_NOT_OK(r->GetI32(&label));
+    HAZY_RETURN_NOT_OK(r->GetFeatureVector(&f));
+    buffer_.emplace(id, BufferedEntity{std::move(f), label});
+  }
+  return Status::OK();
+}
 
 void HybridView::OnReorganized(const std::vector<EntityRecord>& sorted,
                                const std::vector<storage::Rid>& rids) {

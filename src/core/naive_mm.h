@@ -30,6 +30,8 @@ class NaiveMMView : public ViewBase {
   const char* name() const override {
     return options_.mode == Mode::kEager ? "naive-mm-eager" : "naive-mm-lazy";
   }
+  Status SaveState(persist::StateWriter* w) const override;
+  Status LoadState(persist::StateReader* r) override;
 
  protected:
   Status SyncToModel() override {

@@ -1,5 +1,6 @@
 #include "engine/database.h"
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -8,6 +9,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "ml/model_selection.h"
+#include "persist/checkpoint.h"
 
 namespace hazy::engine {
 
@@ -59,16 +61,56 @@ Database::~Database() {
 
 Status Database::Open() {
   if (pager_) return Status::InvalidArgument("database already open");
+  Status s = OpenImpl();
+  if (!s.ok()) {
+    // Leave the object closed and reusable; never leak a temp file created
+    // by a failed open.
+    if (pager_ && pager_->is_open()) pager_->Close().ok();
+    if (owns_temp_file_ && !path_.empty()) ::unlink(path_.c_str());
+    views_.clear();
+    catalog_.reset();
+    pool_.reset();
+    pager_.reset();
+    path_.clear();
+    owns_temp_file_ = false;
+    checkpoint_epoch_ = 0;
+  }
+  return s;
+}
+
+Status Database::OpenImpl() {
   path_ = options_.path;
   if (path_.empty()) {
     path_ = storage::TempFilePath("db");
     owns_temp_file_ = true;
   }
+  // An existing non-empty file must look like a database before we touch
+  // it: a size that is not a whole number of pages can only be some other
+  // file, and formatting it would clobber the first page.
+  struct stat st;
+  if (::stat(path_.c_str(), &st) == 0 && st.st_size > 0 &&
+      static_cast<uint64_t>(st.st_size) % storage::kPageSize != 0) {
+    return Status::Corruption(
+        StrFormat("%s is not a hazy database file (size %lld is not "
+                  "page-aligned)",
+                  path_.c_str(), static_cast<long long>(st.st_size)));
+  }
   pager_ = std::make_unique<storage::Pager>();
-  HAZY_RETURN_NOT_OK(pager_->Open(path_));
+  // Never truncate: an existing file is an existing database to recover.
+  HAZY_RETURN_NOT_OK(pager_->Open(path_, /*preserve_existing=*/true));
   pool_ = std::make_unique<storage::BufferPool>(pager_.get(), options_.buffer_pool_pages);
   catalog_ = std::make_unique<storage::Catalog>(pool_.get());
-  return Status::OK();
+  persist::ViewCheckpointer ckpt(this);
+  if (pager_->num_pages() == 0) return ckpt.InitFresh();
+  return ckpt.Recover();
+}
+
+StatusOr<uint64_t> Database::Checkpoint() {
+  if (!pager_) return Status::InvalidArgument("database not open");
+  if (in_update_batch()) {
+    return Status::InvalidArgument("cannot checkpoint inside an update batch");
+  }
+  return persist::ViewCheckpointer(this).Checkpoint();
 }
 
 StatusOr<std::string> Database::EntityDocument(const ManagedView& mv,
@@ -103,16 +145,29 @@ StatusOr<std::string> Database::EntityDocument(const ManagedView& mv,
   return doc;
 }
 
-StatusOr<std::unique_ptr<core::ClassificationView>> Database::BuildCoreView(
-    const ClassificationViewDef& def) const {
+core::ViewOptions Database::EffectiveViewOptions(const ClassificationViewDef& def) const {
   core::ViewOptions vopts = options_.view_defaults;
   vopts.mode = def.mode;
   vopts.sgd.loss = def.method;
-  return core::MakeView(def.architecture, vopts, pool_.get());
+  return vopts;
+}
+
+StatusOr<std::unique_ptr<core::ClassificationView>> Database::BuildCoreView(
+    const ClassificationViewDef& def) const {
+  return core::MakeView(def.architecture, EffectiveViewOptions(def), pool_.get());
 }
 
 StatusOr<ManagedView*> Database::CreateClassificationView(
     const ClassificationViewDef& def) {
+  // The checkpoint system tables must never host a classification view —
+  // its triggers would fire inside Checkpoint's own row writes.
+  for (const std::string& name : {def.view_name, def.entity_table, def.label_table,
+                                  def.example_table}) {
+    if (persist::IsReservedTableName(name)) {
+      return Status::InvalidArgument(StrFormat(
+          "'%s' is in the reserved '__hazy' system-table namespace", name.c_str()));
+    }
+  }
   if (HasView(def.view_name) || catalog_->HasTable(def.view_name)) {
     return Status::AlreadyExists(
         StrFormat("'%s' already exists", def.view_name.c_str()));
@@ -193,6 +248,17 @@ StatusOr<ManagedView*> Database::CreateClassificationView(
   }));
   HAZY_RETURN_NOT_OK(inner);
 
+  HAZY_RETURN_NOT_OK(ArmTriggers(raw));
+
+  views_.push_back(std::move(mv));
+  return raw;
+}
+
+Status Database::ArmTriggers(ManagedView* raw) {
+  HAZY_ASSIGN_OR_RETURN(storage::Table * entities,
+                        catalog_->GetTable(raw->def_.entity_table));
+  HAZY_ASSIGN_OR_RETURN(storage::Table * examples,
+                        catalog_->GetTable(raw->def_.example_table));
   entities->AddInsertTrigger([this, raw](const Row& row) {
     return OnEntityInsert(raw, row);
   });
@@ -208,9 +274,7 @@ StatusOr<ManagedView*> Database::CreateClassificationView(
   examples->AddUpdateTrigger([this, raw](const Row& old_row, const Row& new_row) {
     return OnExampleUpdate(raw, old_row, new_row);
   });
-
-  views_.push_back(std::move(mv));
-  return raw;
+  return Status::OK();
 }
 
 Status Database::EndUpdateBatch() {

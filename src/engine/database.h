@@ -20,6 +20,10 @@
 #include "storage/pager.h"
 #include "storage/table.h"
 
+namespace hazy::persist {
+class ViewCheckpointer;
+}  // namespace hazy::persist
+
 namespace hazy::engine {
 
 /// \brief Declarative description of a classification view — the SQL DDL of
@@ -88,6 +92,7 @@ class ManagedView {
 
  private:
   friend class Database;
+  friend class persist::ViewCheckpointer;
   ClassificationViewDef def_;
   std::unique_ptr<features::FeatureFunction> feature_fn_;
   std::unique_ptr<core::ClassificationView> view_;
@@ -117,7 +122,25 @@ class Database {
   explicit Database(DatabaseOptions options = {});
   ~Database();
 
+  /// Opens the backing file. A fresh file (or a fresh temp file when no path
+  /// is configured) is formatted with the persist header page; an existing
+  /// database file is recovered from its last checkpoint — tables attach to
+  /// their heap chains and every classification view is rebuilt from its
+  /// checkpointed state with zero retraining, triggers rewired. On failure
+  /// the database is left closed and reusable, and a temp file it created is
+  /// removed.
   Status Open();
+
+  /// Checkpoints the full state of all tables and classification views to
+  /// the backing file (see persist/checkpoint.h for the on-disk scheme).
+  /// Returns the new checkpoint epoch.
+  StatusOr<uint64_t> Checkpoint();
+
+  /// Epoch of the last durable checkpoint (0 = never checkpointed).
+  uint64_t checkpoint_epoch() const { return checkpoint_epoch_; }
+
+  /// Path of the backing file.
+  const std::string& path() const { return path_; }
 
   storage::Catalog* catalog() { return catalog_.get(); }
   storage::BufferPool* buffer_pool() { return pool_.get(); }
@@ -145,6 +168,18 @@ class Database {
   bool in_update_batch() const { return batch_depth_ > 0; }
 
  private:
+  friend class persist::ViewCheckpointer;
+
+  /// Open() body; Open() wraps it with failure cleanup.
+  Status OpenImpl();
+
+  /// Registers the insert/update/delete triggers that keep `mv` maintained
+  /// (shared by view creation and checkpoint recovery).
+  Status ArmTriggers(ManagedView* mv);
+
+  /// The core-view options a definition resolves to (defaults + DDL).
+  core::ViewOptions EffectiveViewOptions(const ClassificationViewDef& def) const;
+
   /// Concatenates the configured text columns of an entity row.
   StatusOr<std::string> EntityDocument(const ManagedView& mv,
                                        const storage::Row& row) const;
@@ -170,6 +205,7 @@ class Database {
   std::string path_;
   bool owns_temp_file_ = false;
   int batch_depth_ = 0;
+  uint64_t checkpoint_epoch_ = 0;
   std::unique_ptr<storage::Pager> pager_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<storage::Catalog> catalog_;

@@ -7,8 +7,96 @@
 
 #include "common/strings.h"
 #include "features/tokenizer.h"
+#include "persist/serde.h"
 
 namespace hazy::features {
+
+namespace {
+constexpr uint32_t kVocabTag = persist::MakeTag('V', 'O', 'C', 'B');
+constexpr uint32_t kFeatureFnTag = persist::MakeTag('F', 'E', 'A', 'T');
+}  // namespace
+
+void Vocabulary::SaveState(persist::StateWriter* w) const {
+  w->PutTag(kVocabTag);
+  w->PutU64(map_.size());
+  for (const auto& [word, idx] : map_) {
+    w->PutString(word);
+    w->PutU32(idx);
+  }
+}
+
+Status Vocabulary::LoadState(persist::StateReader* r) {
+  HAZY_RETURN_NOT_OK(r->ExpectTag(kVocabTag));
+  uint64_t n = 0;
+  HAZY_RETURN_NOT_OK(r->GetU64(&n));
+  HAZY_RETURN_NOT_OK(r->CheckCount(n));
+  map_.clear();
+  map_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string word;
+    uint32_t idx = 0;
+    HAZY_RETURN_NOT_OK(r->GetString(&word));
+    HAZY_RETURN_NOT_OK(r->GetU32(&idx));
+    map_.emplace(std::move(word), idx);
+  }
+  return Status::OK();
+}
+
+void FeatureFunction::SaveState(persist::StateWriter* w) const { w->PutTag(kFeatureFnTag); }
+
+Status FeatureFunction::LoadState(persist::StateReader* r) {
+  return r->ExpectTag(kFeatureFnTag);
+}
+
+void TfBagOfWords::SaveState(persist::StateWriter* w) const {
+  FeatureFunction::SaveState(w);
+  vocab_.SaveState(w);
+}
+
+Status TfBagOfWords::LoadState(persist::StateReader* r) {
+  HAZY_RETURN_NOT_OK(FeatureFunction::LoadState(r));
+  return vocab_.LoadState(r);
+}
+
+void TfIdfBagOfWords::SaveState(persist::StateWriter* w) const {
+  FeatureFunction::SaveState(w);
+  vocab_.SaveState(w);
+  w->PutU64Vec(doc_freq_);
+  w->PutU64(num_docs_);
+}
+
+Status TfIdfBagOfWords::LoadState(persist::StateReader* r) {
+  HAZY_RETURN_NOT_OK(FeatureFunction::LoadState(r));
+  HAZY_RETURN_NOT_OK(vocab_.LoadState(r));
+  HAZY_RETURN_NOT_OK(r->GetU64Vec(&doc_freq_));
+  return r->GetU64(&num_docs_);
+}
+
+void TfIcfBagOfWords::SaveState(persist::StateWriter* w) const {
+  FeatureFunction::SaveState(w);
+  vocab_.SaveState(w);
+  w->PutU64Vec(corpus_freq_);
+  w->PutU64(num_docs_);
+  w->PutBool(frozen_);
+}
+
+Status TfIcfBagOfWords::LoadState(persist::StateReader* r) {
+  HAZY_RETURN_NOT_OK(FeatureFunction::LoadState(r));
+  HAZY_RETURN_NOT_OK(vocab_.LoadState(r));
+  HAZY_RETURN_NOT_OK(r->GetU64Vec(&corpus_freq_));
+  HAZY_RETURN_NOT_OK(r->GetU64(&num_docs_));
+  return r->GetBool(&frozen_);
+}
+
+void DenseVectorFunction::SaveState(persist::StateWriter* w) const {
+  FeatureFunction::SaveState(w);
+  w->PutU32(dim_);
+}
+
+Status DenseVectorFunction::LoadState(persist::StateReader* r) {
+  HAZY_RETURN_NOT_OK(FeatureFunction::LoadState(r));
+  return r->GetU32(&dim_);
+}
 
 uint32_t Vocabulary::GetOrAdd(const std::string& word) {
   auto it = map_.find(word);

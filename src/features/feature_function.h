@@ -28,6 +28,11 @@
 #include "common/status.h"
 #include "ml/vector.h"
 
+namespace hazy::persist {
+class StateWriter;
+class StateReader;
+}  // namespace hazy::persist
+
 namespace hazy::features {
 
 /// \brief Maps words to stable, dense vocabulary indices, growing on demand.
@@ -40,6 +45,11 @@ class Vocabulary {
   StatusOr<uint32_t> Get(const std::string& word) const;
 
   uint32_t size() const { return static_cast<uint32_t>(map_.size()); }
+
+  /// Checkpoints the word -> index assignment. Index stability is what
+  /// makes restored models meaningful: weight i must keep meaning word i.
+  void SaveState(persist::StateWriter* w) const;
+  Status LoadState(persist::StateReader* r);
 
  private:
   std::unordered_map<std::string, uint32_t> map_;
@@ -65,6 +75,12 @@ class FeatureFunction {
 
   /// Current feature-space dimensionality.
   virtual uint32_t dim() const = 0;
+
+  /// Checkpoints the function's corpus statistics so a restored view
+  /// featurizes new documents identically (required for zero-retraining
+  /// recovery). Stateless functions inherit the no-op defaults.
+  virtual void SaveState(persist::StateWriter* w) const;
+  virtual Status LoadState(persist::StateReader* r);
 };
 
 /// Term frequencies, ℓ1-normalized per document.
@@ -74,6 +90,8 @@ class TfBagOfWords : public FeatureFunction {
   Status ComputeStatsInc(const std::string& doc) override;
   StatusOr<ml::FeatureVector> ComputeFeature(const std::string& doc) override;
   uint32_t dim() const override { return vocab_.size(); }
+  void SaveState(persist::StateWriter* w) const override;
+  Status LoadState(persist::StateReader* r) override;
 
  protected:
   Vocabulary vocab_;
@@ -89,6 +107,8 @@ class TfIdfBagOfWords : public FeatureFunction {
 
   uint64_t num_docs() const { return num_docs_; }
   uint64_t doc_frequency(const std::string& word) const;
+  void SaveState(persist::StateWriter* w) const override;
+  Status LoadState(persist::StateReader* r) override;
 
  private:
   Vocabulary vocab_;
@@ -105,6 +125,8 @@ class TfIcfBagOfWords : public FeatureFunction {
   Status ComputeStatsInc(const std::string& doc) override;
   StatusOr<ml::FeatureVector> ComputeFeature(const std::string& doc) override;
   uint32_t dim() const override { return vocab_.size(); }
+  void SaveState(persist::StateWriter* w) const override;
+  Status LoadState(persist::StateReader* r) override;
 
  private:
   Vocabulary vocab_;
@@ -120,6 +142,8 @@ class DenseVectorFunction : public FeatureFunction {
   const char* name() const override { return "dense_vector"; }
   StatusOr<ml::FeatureVector> ComputeFeature(const std::string& doc) override;
   uint32_t dim() const override { return dim_; }
+  void SaveState(persist::StateWriter* w) const override;
+  Status LoadState(persist::StateReader* r) override;
 
  private:
   uint32_t dim_;

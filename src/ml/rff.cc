@@ -2,7 +2,33 @@
 
 #include <cmath>
 
+#include "persist/serde.h"
+
 namespace hazy::ml {
+
+namespace {
+constexpr uint32_t kRffTag = hazy::persist::MakeTag('R', 'F', 'F', '1');
+}  // namespace
+
+void RandomFourierFeatures::SaveState(persist::StateWriter* w) const {
+  w->PutTag(kRffTag);
+  w->PutU32(input_dim_);
+  w->PutU32(output_dim_);
+  for (const auto& dir : directions_) w->PutDoubleVec(dir);
+  w->PutDoubleVec(phases_);
+}
+
+Status RandomFourierFeatures::LoadState(persist::StateReader* r) {
+  HAZY_RETURN_NOT_OK(r->ExpectTag(kRffTag));
+  HAZY_RETURN_NOT_OK(r->GetU32(&input_dim_));
+  HAZY_RETURN_NOT_OK(r->GetU32(&output_dim_));
+  // Each direction row is a length-prefixed double vector of input_dim.
+  HAZY_RETURN_NOT_OK(r->CheckCount(output_dim_, sizeof(uint64_t)));
+  HAZY_RETURN_NOT_OK(r->CheckCount(input_dim_, sizeof(double)));
+  directions_.assign(output_dim_, {});
+  for (auto& dir : directions_) HAZY_RETURN_NOT_OK(r->GetDoubleVec(&dir));
+  return r->GetDoubleVec(&phases_);
+}
 
 RandomFourierFeatures::RandomFourierFeatures(uint32_t input_dim, uint32_t output_dim,
                                              KernelKind kind, double gamma,

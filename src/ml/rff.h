@@ -14,6 +14,11 @@
 #include "ml/kernel.h"
 #include "ml/vector.h"
 
+namespace hazy::persist {
+class StateWriter;
+class StateReader;
+}  // namespace hazy::persist
+
 namespace hazy::ml {
 
 /// \brief A sampled random feature map for an RBF or Laplacian kernel.
@@ -32,6 +37,11 @@ class RandomFourierFeatures {
 
   uint32_t input_dim() const { return input_dim_; }
   uint32_t output_dim() const { return output_dim_; }
+
+  /// Checkpoints the sampled map (directions + phases) so a restored
+  /// process featurizes identically without re-sampling.
+  void SaveState(persist::StateWriter* w) const;
+  Status LoadState(persist::StateReader* r);
 
  private:
   uint32_t input_dim_;

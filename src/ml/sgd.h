@@ -50,6 +50,10 @@ class SgdTrainer {
   /// Resets the step counter (restarts the learning-rate schedule).
   void Reset() { t_ = 0; }
 
+  /// Restores the step counter from a checkpoint so the learning-rate
+  /// schedule resumes exactly where it left off (zero-retraining recovery).
+  void RestoreSteps(uint64_t t) { t_ = t; }
+
   const SgdOptions& options() const { return options_; }
 
  private:

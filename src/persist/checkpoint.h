@@ -1,0 +1,101 @@
+// Durable view catalog + checkpoint/recovery (the persist subsystem's top
+// layer). This is the mechanism that makes the paper's pitch literal: the
+// classification views' state — models, scan orders, water marks, replay
+// logs — *lives in the RDBMS*, in relations, and survives the process.
+//
+// Layout inside the database file:
+//
+//   page 0                  header page: magic, format version, a pointer to
+//                           the current master-catalog chain, and the
+//                           checkpoint epoch. Rewritten last — flipping this
+//                           pointer is the atomic commit of a checkpoint.
+//   master-catalog chain    a linked list of raw pages holding one serialized
+//                           record: every table's name, schema, primary key
+//                           and heap-chain metadata as of the checkpoint.
+//                           Each checkpoint writes a *new* chain and then
+//                           swaps the header pointer (write-temp-then-swap);
+//                           a crash mid-checkpoint leaves the old chain — and
+//                           therefore the old, complete checkpoint — intact.
+//   __hazy_views            system table: one row per classification view
+//                           per epoch (row_key = epoch * 4096 + view_id) with
+//                           its name and architecture — the durable analogue
+//                           of Hazy's view catalog relation.
+//   __hazy_view_state       system table: one (possibly overflow-spilled) row
+//                           per view per epoch holding the full state blob:
+//                           view definition, label vocabulary, feature-
+//                           function statistics, example replay log, and the
+//                           architecture's SaveState payload.
+//
+// State rows are keyed by epoch, so a checkpoint never overwrites the rows
+// the previous checkpoint committed. Rows of superseded epochs are
+// garbage-collected only *after* the header flip makes the new epoch
+// durable (deleting a row frees its overflow pages for reuse, so rows the
+// durable image references must stay untouched while a newer checkpoint
+// could still fail); orphans of a crashed attempt at the upcoming epoch are
+// purged just before rewriting it.
+
+#ifndef HAZY_PERSIST_CHECKPOINT_H_
+#define HAZY_PERSIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace hazy::engine {
+class Database;
+class ManagedView;
+}  // namespace hazy::engine
+
+namespace hazy::persist {
+
+/// System-table names (reserved; surfaced by the shell's \d like any table).
+inline constexpr char kViewsTableName[] = "__hazy_views";
+inline constexpr char kViewStateTableName[] = "__hazy_view_state";
+
+/// Maximum number of classification views per database (bounds the
+/// epoch-keyed row-id scheme of the system tables).
+inline constexpr int64_t kMaxViewsPerDatabase = 4096;
+
+/// True for '__hazy*' names (case-insensitive, like the catalog): the
+/// persist subsystem's reserved namespace. User DDL/DML and classification
+/// views must not touch these tables.
+bool IsReservedTableName(std::string_view name);
+
+/// \brief Checkpoints and recovers a Database's full classification-view
+/// stack through its own storage engine.
+class ViewCheckpointer {
+ public:
+  explicit ViewCheckpointer(engine::Database* db) : db_(db) {}
+
+  /// Formats the header page of a freshly created database file.
+  Status InitFresh();
+
+  /// Writes a checkpoint: flushes every view's pending trigger queue,
+  /// snapshots all view state into the system tables, persists the table
+  /// catalog, and atomically swaps the header to the new epoch. Returns the
+  /// new epoch.
+  StatusOr<uint64_t> Checkpoint();
+
+  /// Rebuilds the catalog, tables, and managed views from the last durable
+  /// checkpoint of an existing database file — serving identical answers
+  /// with zero model retraining — and rewires the maintenance triggers.
+  Status Recover();
+
+ private:
+  Status EnsureSystemTables();
+  Status DeleteRowsWhere(const std::function<bool(uint64_t epoch)>& stale);
+  Status CollectGarbageRows(uint64_t keep_epoch);
+  Status WriteViewRows(uint64_t epoch);
+  Status WriteMasterRecord(uint64_t epoch, uint32_t* new_head);
+  Status ReadMasterRecord(uint32_t head, std::string* out);
+  Status FreeChain(uint32_t head);
+  Status RecoverViews(uint64_t epoch);
+
+  engine::Database* db_;
+};
+
+}  // namespace hazy::persist
+
+#endif  // HAZY_PERSIST_CHECKPOINT_H_

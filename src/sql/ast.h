@@ -67,8 +67,12 @@ struct UpdateStmt {
   Predicate where;
 };
 
+/// CHECKPOINT — persists the table catalog and every classification view's
+/// state to the backing file (persist/checkpoint.h).
+struct CheckpointStmt {};
+
 using Statement = std::variant<CreateTableStmt, CreateViewStmt, InsertStmt,
-                               SelectStmt, DeleteStmt, UpdateStmt>;
+                               SelectStmt, DeleteStmt, UpdateStmt, CheckpointStmt>;
 
 }  // namespace hazy::sql
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "persist/checkpoint.h"
 #include "sql/parser.h"
 
 namespace hazy::sql {
@@ -69,10 +70,36 @@ StatusOr<ResultSet> Executor::Execute(const Statement& stmt) {
   if (const auto* s = std::get_if<SelectStmt>(&stmt)) return ExecSelect(*s);
   if (const auto* s = std::get_if<DeleteStmt>(&stmt)) return ExecDelete(*s);
   if (const auto* s = std::get_if<UpdateStmt>(&stmt)) return ExecUpdate(*s);
+  if (std::get_if<CheckpointStmt>(&stmt) != nullptr) return ExecCheckpoint();
   return Status::Internal("unhandled statement kind");
 }
 
+StatusOr<ResultSet> Executor::ExecCheckpoint() {
+  HAZY_ASSIGN_OR_RETURN(uint64_t epoch, db_->Checkpoint());
+  ResultSet rs;
+  rs.message = StrFormat("checkpoint complete (epoch %llu)",
+                         static_cast<unsigned long long>(epoch));
+  return rs;
+}
+
+namespace {
+
+Status RejectReservedWrite(const std::string& name) {
+  if (persist::IsReservedTableName(name)) {
+    return Status::InvalidArgument(
+        "'__hazy' tables are system tables maintained by CHECKPOINT; "
+        "they are read-only through SQL");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 StatusOr<ResultSet> Executor::ExecCreateTable(const CreateTableStmt& stmt) {
+  if (persist::IsReservedTableName(stmt.name)) {
+    return Status::InvalidArgument(
+        "the '__hazy' table-name prefix is reserved for system tables");
+  }
   std::vector<storage::Column> cols;
   std::optional<size_t> pk;
   for (size_t i = 0; i < stmt.columns.size(); ++i) {
@@ -104,6 +131,7 @@ StatusOr<ResultSet> Executor::ExecCreateView(const CreateViewStmt& stmt) {
 }
 
 StatusOr<ResultSet> Executor::ExecInsert(const InsertStmt& stmt) {
+  HAZY_RETURN_NOT_OK(RejectReservedWrite(stmt.table));
   HAZY_ASSIGN_OR_RETURN(storage::Table * table, db_->catalog()->GetTable(stmt.table));
   // Multi-row INSERTs run in batched-trigger mode: every classification
   // view monitoring this table folds the statement's examples as one
@@ -297,6 +325,7 @@ StatusOr<ResultSet> Executor::ExecSelect(const SelectStmt& stmt) {
 }
 
 StatusOr<ResultSet> Executor::ExecUpdate(const UpdateStmt& stmt) {
+  HAZY_RETURN_NOT_OK(RejectReservedWrite(stmt.table));
   HAZY_ASSIGN_OR_RETURN(storage::Table * table, db_->catalog()->GetTable(stmt.table));
   const storage::Schema& schema = table->schema();
   if (!table->primary_key().has_value()) {
@@ -331,6 +360,7 @@ StatusOr<ResultSet> Executor::ExecUpdate(const UpdateStmt& stmt) {
 }
 
 StatusOr<ResultSet> Executor::ExecDelete(const DeleteStmt& stmt) {
+  HAZY_RETURN_NOT_OK(RejectReservedWrite(stmt.table));
   HAZY_ASSIGN_OR_RETURN(storage::Table * table, db_->catalog()->GetTable(stmt.table));
   const storage::Schema& schema = table->schema();
 

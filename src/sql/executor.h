@@ -46,6 +46,7 @@ class Executor {
   StatusOr<ResultSet> ExecSelectView(const SelectStmt& stmt, engine::ManagedView* view);
   StatusOr<ResultSet> ExecDelete(const DeleteStmt& stmt);
   StatusOr<ResultSet> ExecUpdate(const UpdateStmt& stmt);
+  StatusOr<ResultSet> ExecCheckpoint();
 
   engine::Database* db_;
 };

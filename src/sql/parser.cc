@@ -341,6 +341,8 @@ StatusOr<Statement> Parse(const std::string& sql) {
     result = ParseDelete(&c);
   } else if (c.AcceptKeyword("UPDATE")) {
     result = ParseUpdate(&c);
+  } else if (c.AcceptKeyword("CHECKPOINT")) {
+    result = Statement(CheckpointStmt{});
   } else {
     return Status::InvalidArgument(
         StrFormat("unknown statement '%s'", c.Peek().text.c_str()));

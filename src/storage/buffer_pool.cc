@@ -56,8 +56,10 @@ BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
   if (capacity == 0) capacity = 1;
   frames_.resize(capacity);
   free_frames_.reserve(capacity);
+  // Frame buffers are allocated lazily in GetVictim: a large pool must not
+  // cost capacity * kPageSize of zeroed RSS up front (it dominated
+  // time-to-first-query for recovery before it was deferred).
   for (size_t i = 0; i < capacity; ++i) {
-    frames_[i].data = std::make_unique<char[]>(kPageSize);
     free_frames_.push_back(capacity - 1 - i);
   }
 }
@@ -158,6 +160,11 @@ StatusOr<size_t> BufferPool::GetVictim() {
   if (!free_frames_.empty()) {
     size_t f = free_frames_.back();
     free_frames_.pop_back();
+    if (!frames_[f].data) {
+      // First use of this frame; uninitialized — every caller either reads
+      // the page over it or formats it (New zeroes, heap/tree Init()s).
+      frames_[f].data = std::unique_ptr<char[]>(new char[kPageSize]);
+    }
     return f;
   }
   if (lru_.empty()) {

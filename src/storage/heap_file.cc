@@ -21,6 +21,21 @@ Status HeapFile::Create() {
   return Status::OK();
 }
 
+Status HeapFile::Attach(const HeapFileMeta& meta) {
+  if (first_page_ != kInvalidPageId) {
+    return Status::InvalidArgument("heap file already created");
+  }
+  if (meta.first_page == kInvalidPageId || meta.last_page == kInvalidPageId) {
+    return Status::Corruption("heap metadata has no page chain");
+  }
+  first_page_ = meta.first_page;
+  last_page_ = meta.last_page;
+  num_records_ = meta.num_records;
+  num_pages_ = meta.num_pages;
+  num_overflow_pages_ = meta.num_overflow_pages;
+  return Status::OK();
+}
+
 StatusOr<Rid> HeapFile::Append(std::string_view rec) {
   if (first_page_ == kInvalidPageId) {
     return Status::InvalidArgument("heap file not created");
@@ -199,7 +214,7 @@ Status HeapFile::Patch(Rid rid, const std::function<void(char*, size_t)>& fn) {
   if (data[0] == kInlineTag) {
     fn(data + 1, size - 1);
   } else {
-    uint16_t head_len = DecodeFixed16(data + 1 + 8);
+    uint16_t head_len = DecodeFixed16(data + kStubHeadLenOff);
     fn(data + kStubHeaderSize, head_len);
   }
   h.MarkDirty();
@@ -230,6 +245,37 @@ Status HeapFile::Delete(Rid rid) {
 
 Status HeapFile::Scan(const std::function<bool(Rid, std::string_view)>& fn) const {
   return ScanFrom(first_page_, fn);
+}
+
+Status HeapFile::ScanHeads(
+    const std::function<bool(Rid, std::string_view head, bool partial)>& fn) const {
+  uint32_t pid = first_page_;
+  while (pid != kInvalidPageId) {
+    HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(pid));
+    SlottedPage page(h.data());
+    uint16_t count = page.slot_count();
+    uint32_t next = page.next_page();
+    for (uint16_t s = 0; s < count; ++s) {
+      std::string_view rec = page.Get(s);
+      if (rec.empty()) continue;
+      if (rec[0] == kInlineTag) {
+        if (!fn(Rid{pid, s}, rec.substr(1), /*partial=*/false)) return Status::OK();
+      } else {
+        if (rec.size() < kStubHeaderSize) {
+          return Status::Corruption("overflow stub smaller than its header");
+        }
+        uint16_t head_len = DecodeFixed16(rec.data() + kStubHeadLenOff);
+        if (rec.size() < kStubHeaderSize + head_len) {
+          return Status::Corruption("overflow stub truncated");
+        }
+        if (!fn(Rid{pid, s}, rec.substr(kStubHeaderSize, head_len), /*partial=*/true)) {
+          return Status::OK();
+        }
+      }
+    }
+    pid = next;
+  }
+  return Status::OK();
 }
 
 Status HeapFile::ScanFrom(uint32_t start_page,

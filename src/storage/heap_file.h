@@ -24,6 +24,17 @@
 
 namespace hazy::storage {
 
+/// Durable metadata of a heap file — everything needed to re-attach to an
+/// existing page chain after a restart. Persisted in the master catalog
+/// record by the persist subsystem.
+struct HeapFileMeta {
+  uint32_t first_page = kInvalidPageId;
+  uint32_t last_page = kInvalidPageId;
+  uint64_t num_records = 0;
+  uint64_t num_pages = 0;
+  uint64_t num_overflow_pages = 0;
+};
+
 /// \brief Record heap over a page chain in a BufferPool.
 class HeapFile {
  public:
@@ -38,6 +49,16 @@ class HeapFile {
 
   /// Allocates the first page. Must be called once before use.
   Status Create();
+
+  /// Re-attaches to an existing page chain described by checkpointed
+  /// metadata (the recovery-time counterpart of Create).
+  Status Attach(const HeapFileMeta& meta);
+
+  /// Snapshot of the metadata needed to Attach later.
+  HeapFileMeta Meta() const {
+    return HeapFileMeta{first_page_, last_page_, num_records_, num_pages_,
+                        num_overflow_pages_};
+  }
 
   /// Appends a record, returning its RID. Large records spill to overflow
   /// pages transparently.
@@ -64,6 +85,14 @@ class HeapFile {
   Status ScanFrom(uint32_t start_page,
                   const std::function<bool(Rid, std::string_view)>& fn) const;
 
+  /// Like Scan, but never materializes overflow chains: the callback gets a
+  /// record's leading bytes (the whole record when inline, else the
+  /// kOverflowHeadLen head kept in the stub) and whether the view is
+  /// partial. Recovery's primary-key index rebuild decodes fixed prefixes
+  /// this way without copying multi-megabyte spilled records.
+  Status ScanHeads(
+      const std::function<bool(Rid, std::string_view head, bool partial)>& fn) const;
+
   /// Frees every page back to the pool and re-creates an empty heap.
   Status Truncate();
 
@@ -83,7 +112,8 @@ class HeapFile {
   static constexpr char kOverflowTag = 1;
   // Overflow stub layout after the tag: u32 total_size, u32 first_ovf_page,
   // u16 head_len, then head bytes.
-  static constexpr size_t kStubHeaderSize = 1 + 4 + 4 + 2;
+  static constexpr size_t kStubHeadLenOff = 1 + 4 + 4;
+  static constexpr size_t kStubHeaderSize = kStubHeadLenOff + 2;
   // Overflow page layout: u32 next_page, u32 used, then data.
   static constexpr size_t kOvfHeaderSize = 8;
   static constexpr size_t kOvfCapacity = kPageSize - kOvfHeaderSize;

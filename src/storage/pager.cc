@@ -15,15 +15,25 @@ Pager::~Pager() {
   if (fd_ >= 0) Close().ok();
 }
 
-Status Pager::Open(const std::string& path) {
+Status Pager::Open(const std::string& path, bool preserve_existing) {
   if (fd_ >= 0) return Status::InvalidArgument("pager already open");
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  int flags = O_RDWR | O_CREAT | (preserve_existing ? 0 : O_TRUNC);
+  int fd = ::open(path.c_str(), flags, 0644);
   if (fd < 0) {
     return Status::IOError(StrFormat("open %s: %s", path.c_str(), std::strerror(errno)));
   }
   fd_ = fd;
   path_ = path;
   num_pages_ = 0;
+  if (preserve_existing) {
+    off_t size = ::lseek(fd, 0, SEEK_END);
+    if (size < 0) {
+      ::close(fd);
+      fd_ = -1;
+      return Status::IOError(StrFormat("lseek %s: %s", path.c_str(), std::strerror(errno)));
+    }
+    num_pages_ = static_cast<uint32_t>(static_cast<uint64_t>(size) / kPageSize);
+  }
   free_list_.clear();
   return Status::OK();
 }
@@ -50,7 +60,13 @@ StatusOr<uint32_t> Pager::Allocate() {
   return pid;
 }
 
-void Pager::Free(uint32_t page_id) { free_list_.push_back(page_id); }
+void Pager::Free(uint32_t page_id) {
+  if (quarantine_frees_) {
+    quarantined_.push_back(page_id);
+  } else {
+    free_list_.push_back(page_id);
+  }
+}
 
 Status Pager::Read(uint32_t page_id, char* buf) {
   if (fd_ < 0) return Status::InvalidArgument("pager not open");

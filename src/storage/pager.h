@@ -35,8 +35,11 @@ class Pager {
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
-  /// Opens (or creates) the backing file.
-  Status Open(const std::string& path);
+  /// Opens (or creates) the backing file. By default any existing contents
+  /// are truncated (scratch/benchmark usage); with `preserve_existing` the
+  /// file is opened as-is and num_pages() reflects its current size — the
+  /// recovery path of the persist subsystem.
+  Status Open(const std::string& path, bool preserve_existing = false);
 
   /// Closes the file; further operations fail.
   Status Close();
@@ -44,8 +47,21 @@ class Pager {
   /// Allocates a page id (recycling freed pages first).
   StatusOr<uint32_t> Allocate();
 
-  /// Returns a page to the free list.
+  /// Returns a page to the free list (or to the quarantine when enabled).
   void Free(uint32_t page_id);
+
+  /// Checkpointed databases only: freed pages go into a quarantine instead
+  /// of the free list, so pages still referenced by the last durable
+  /// checkpoint image are never recycled (and overwritten) before the next
+  /// checkpoint commits. ReleaseQuarantinedPages() moves them to the free
+  /// list — called at each checkpoint's commit point, when the image that
+  /// referenced them has been superseded.
+  void EnableFreeQuarantine() { quarantine_frees_ = true; }
+  void ReleaseQuarantinedPages() {
+    free_list_.insert(free_list_.end(), quarantined_.begin(), quarantined_.end());
+    quarantined_.clear();
+  }
+  size_t quarantined_count() const { return quarantined_.size(); }
 
   /// Reads page `page_id` into `buf` (must hold kPageSize bytes).
   Status Read(uint32_t page_id, char* buf);
@@ -67,6 +83,8 @@ class Pager {
   std::string path_;
   uint32_t num_pages_ = 0;
   std::vector<uint32_t> free_list_;
+  bool quarantine_frees_ = false;
+  std::vector<uint32_t> quarantined_;
   PagerStats stats_;
 };
 

@@ -151,4 +151,38 @@ Status Schema::DecodeRow(std::string_view data, Row* out) const {
   return Status::OK();
 }
 
+Status Schema::DecodeInt64Column(std::string_view data, size_t col, int64_t* out) const {
+  if (col >= cols_.size() || cols_[col].type != ColumnType::kInt64) {
+    return Status::InvalidArgument("DecodeInt64Column needs an INT column");
+  }
+  for (size_t i = 0; i <= col; ++i) {
+    if (data.empty()) return Status::Corruption("row truncated");
+    char marker = data[0];
+    data.remove_prefix(1);
+    if (marker == 0) {
+      if (i == col) return Status::Corruption("NULL in INT key column");
+      continue;
+    }
+    if (i == col) {
+      uint64_t v;
+      if (!GetFixed64(&data, &v)) return Status::Corruption("row truncated (int)");
+      *out = static_cast<int64_t>(v);
+      return Status::OK();
+    }
+    switch (cols_[i].type) {
+      case ColumnType::kInt64:
+      case ColumnType::kDouble:
+        if (data.size() < 8) return Status::Corruption("row truncated");
+        data.remove_prefix(8);
+        break;
+      case ColumnType::kText: {
+        std::string_view s;
+        if (!GetLengthPrefixed(&data, &s)) return Status::Corruption("row truncated (text)");
+        break;
+      }
+    }
+  }
+  return Status::Corruption("row truncated");
+}
+
 }  // namespace hazy::storage

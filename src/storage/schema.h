@@ -61,6 +61,12 @@ class Schema {
   Status EncodeRow(const Row& row, std::string* out) const;
   Status DecodeRow(std::string_view data, Row* out) const;
 
+  /// Reads just column `col` (which must be kInt64 and non-null) from an
+  /// encoded row, skipping earlier columns without materializing them. The
+  /// recovery-time index rebuild uses this to avoid decoding wide TEXT
+  /// payloads for every row.
+  Status DecodeInt64Column(std::string_view data, size_t col, int64_t* out) const;
+
  private:
   std::vector<Column> cols_;
 };

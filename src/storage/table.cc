@@ -15,6 +15,42 @@ Table::Table(std::string name, Schema schema, BufferPool* pool,
 
 Status Table::Create() { return heap_->Create(); }
 
+Status Table::Attach(const HeapFileMeta& meta) {
+  HAZY_RETURN_NOT_OK(heap_->Attach(meta));
+  if (!primary_key_.has_value()) return Status::OK();
+  // The hash index is memory-only (like a hot PostgreSQL index); rebuild it
+  // from the heap — cheap relative to re-featurizing or retraining.
+  pk_index_.Clear();
+  pk_index_.Reserve(heap_->num_records());
+  Status inner;
+  std::vector<Rid> long_tail;  // spilled records whose key is past the head
+  HAZY_RETURN_NOT_OK(heap_->ScanHeads([&](Rid rid, std::string_view head, bool partial) {
+    int64_t key = 0;
+    Status s = schema_.DecodeInt64Column(head, *primary_key_, &key);
+    if (s.ok()) {
+      pk_index_.Put(key, rid);
+      return true;
+    }
+    // A truncated prefix of a spilled record: decode it in full below. Any
+    // other failure is real corruption.
+    if (partial && s.IsCorruption()) {
+      long_tail.push_back(rid);
+      return true;
+    }
+    inner = s;
+    return false;
+  }));
+  HAZY_RETURN_NOT_OK(inner);
+  for (Rid rid : long_tail) {
+    std::string rec;
+    HAZY_RETURN_NOT_OK(heap_->Get(rid, &rec));
+    int64_t key = 0;
+    HAZY_RETURN_NOT_OK(schema_.DecodeInt64Column(rec, *primary_key_, &key));
+    pk_index_.Put(key, rid);
+  }
+  return Status::OK();
+}
+
 Status Table::Insert(const Row& row) {
   std::string rec;
   HAZY_RETURN_NOT_OK(schema_.EncodeRow(row, &rec));
@@ -123,6 +159,18 @@ StatusOr<Table*> Catalog::CreateTable(const std::string& name, Schema schema,
   }
   auto table = std::make_unique<Table>(name, std::move(schema), pool_, primary_key);
   HAZY_RETURN_NOT_OK(table->Create());
+  tables_.push_back(std::move(table));
+  return tables_.back().get();
+}
+
+StatusOr<Table*> Catalog::AttachTable(const std::string& name, Schema schema,
+                                      std::optional<size_t> primary_key,
+                                      const HeapFileMeta& meta) {
+  if (HasTable(name)) {
+    return Status::AlreadyExists(StrFormat("table '%s' already exists", name.c_str()));
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema), pool_, primary_key);
+  HAZY_RETURN_NOT_OK(table->Attach(meta));
   tables_.push_back(std::move(table));
   return tables_.back().get();
 }

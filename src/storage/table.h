@@ -34,6 +34,13 @@ class Table {
   /// Allocates backing storage. Must be called once.
   Status Create();
 
+  /// Recovery path: re-attaches to an existing heap chain (from checkpointed
+  /// metadata) and rebuilds the in-memory primary-key index with one scan.
+  Status Attach(const HeapFileMeta& meta);
+
+  /// Heap metadata snapshot, persisted by the checkpoint subsystem.
+  HeapFileMeta heap_meta() const { return heap_->Meta(); }
+
   /// Inserts a row (fires insert triggers after the write).
   Status Insert(const Row& row);
 
@@ -79,6 +86,12 @@ class Catalog {
   /// Creates a table; AlreadyExists if the name is taken.
   StatusOr<Table*> CreateTable(const std::string& name, Schema schema,
                                std::optional<size_t> primary_key);
+
+  /// Recovery path: registers a table over an existing heap chain instead of
+  /// allocating fresh storage (see Table::Attach).
+  StatusOr<Table*> AttachTable(const std::string& name, Schema schema,
+                               std::optional<size_t> primary_key,
+                               const HeapFileMeta& meta);
 
   /// Finds a table by name (case-insensitive).
   StatusOr<Table*> GetTable(const std::string& name) const;

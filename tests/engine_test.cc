@@ -3,8 +3,14 @@
 // API (the SQL surface is covered in sql_test.cc).
 
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
 
 #include "engine/database.h"
+#include "storage/pager.h"
+#include "test_corpus.h"
 
 namespace hazy::engine {
 namespace {
@@ -18,43 +24,16 @@ class EngineTest : public ::testing::Test {
   void SetUp() override {
     db_ = std::make_unique<Database>();
     ASSERT_TRUE(db_->Open().ok());
-    // Papers(id, title), Paper_Area(label), Example_Papers(id, label).
-    auto papers = db_->catalog()->CreateTable(
-        "Papers", Schema({{"id", ColumnType::kInt64}, {"title", ColumnType::kText}}), 0);
+    // Papers(id, title), Paper_Area(label), Example_Papers(id, label) — a
+    // tiny separable corpus: database papers talk about transactions, the
+    // others about proteins.
+    BuildTestCorpus(db_.get());
+    auto papers = db_->catalog()->GetTable("Papers");
     ASSERT_TRUE(papers.ok());
     papers_ = *papers;
-    auto areas = db_->catalog()->CreateTable(
-        "Paper_Area", Schema({{"label", ColumnType::kText}}), std::nullopt);
-    ASSERT_TRUE(areas.ok());
-    ASSERT_TRUE((*areas)->Insert(Row{std::string("DB")}).ok());
-    ASSERT_TRUE((*areas)->Insert(Row{std::string("OTHER")}).ok());
-    auto examples = db_->catalog()->CreateTable(
-        "Example_Papers",
-        Schema({{"id", ColumnType::kInt64}, {"label", ColumnType::kText}}), 0);
+    auto examples = db_->catalog()->GetTable("Example_Papers");
     ASSERT_TRUE(examples.ok());
     examples_ = *examples;
-
-    // A tiny separable corpus: database papers talk about transactions,
-    // the others about proteins.
-    const char* db_titles[] = {
-        "query optimization in relational database systems",
-        "transaction processing and concurrency control in databases",
-        "materialized views maintenance in sql databases",
-        "indexing btree storage engines database transactions",
-        "declarative query languages for database systems"};
-    const char* other_titles[] = {
-        "protein folding pathways in molecular biology",
-        "genome sequencing and protein structure biology",
-        "cellular biology of protein interactions",
-        "molecular dynamics of protein membranes",
-        "evolutionary biology of protein families"};
-    int64_t id = 0;
-    for (const char* t : db_titles) {
-      ASSERT_TRUE(papers_->Insert(Row{id++, std::string(t)}).ok());
-    }
-    for (const char* t : other_titles) {
-      ASSERT_TRUE(papers_->Insert(Row{id++, std::string(t)}).ok());
-    }
   }
 
   ClassificationViewDef Def() {
@@ -182,6 +161,181 @@ TEST_F(EngineTest, ViewOverMissingTablesFails) {
   auto def = Def();
   def.entity_table = "NoSuchTable";
   EXPECT_TRUE(db_->CreateClassificationView(def).status().IsNotFound());
+}
+
+// Builds a fresh database over the standard corpus, creates a view in the
+// given mode, feeds `examples`, and returns the labels of all 10 papers.
+std::vector<std::string> ReferenceLabels(
+    core::Mode mode, const std::vector<std::pair<int64_t, std::string>>& examples,
+    const ClassificationViewDef& base_def) {
+  Database db;
+  EXPECT_TRUE(db.Open().ok());
+  BuildTestCorpus(&db);
+  ClassificationViewDef def = base_def;
+  def.mode = mode;
+  auto view = db.CreateClassificationView(def);
+  EXPECT_TRUE(view.ok());
+  auto table = db.catalog()->GetTable("Example_Papers");
+  EXPECT_TRUE(table.ok());
+  for (const auto& [id, label] : examples) {
+    EXPECT_TRUE((*table)->Insert(Row{id, label}).ok());
+  }
+  std::vector<std::string> labels;
+  for (int64_t id = 0; id < 10; ++id) {
+    auto l = (*view)->LabelOf(id);
+    EXPECT_TRUE(l.ok());
+    labels.push_back(l.ok() ? *l : "<err>");
+  }
+  return labels;
+}
+
+// Paper footnote 2: deleting an example retrains from scratch. The rebuilt
+// view must answer exactly like a database that never saw the example — in
+// eager and lazy mode.
+TEST_F(EngineTest, ExampleDeleteMatchesFreshRetrain) {
+  for (core::Mode mode : {core::Mode::kEager, core::Mode::kLazy}) {
+    SCOPED_TRACE(mode == core::Mode::kEager ? "eager" : "lazy");
+    Database db;
+    ASSERT_TRUE(db.Open().ok());
+    BuildTestCorpus(&db);
+    auto def = Def();
+    def.mode = mode;
+    auto view = db.CreateClassificationView(def);
+    ASSERT_TRUE(view.ok());
+    auto examples = db.catalog()->GetTable("Example_Papers");
+    ASSERT_TRUE(examples.ok());
+    std::vector<std::pair<int64_t, std::string>> stream;
+    for (int64_t id = 0; id < 10; ++id) {
+      stream.emplace_back(id, id < 5 ? "DB" : "OTHER");
+      ASSERT_TRUE((*examples)->Insert(Row{id, stream.back().second}).ok());
+    }
+    ASSERT_TRUE((*examples)->DeleteByKey(3).ok());
+
+    std::vector<std::pair<int64_t, std::string>> without_3;
+    for (const auto& e : stream) {
+      if (e.first != 3) without_3.push_back(e);
+    }
+    std::vector<std::string> expected = ReferenceLabels(mode, without_3, Def());
+    for (int64_t id = 0; id < 10; ++id) {
+      auto l = (*view)->LabelOf(id);
+      ASSERT_TRUE(l.ok());
+      EXPECT_EQ(*l, expected[static_cast<size_t>(id)]) << "paper " << id;
+    }
+  }
+}
+
+// Footnote 2 again: changing an example's label retrains from scratch with
+// the edited log, equivalent to having trained on the edited labels all
+// along.
+TEST_F(EngineTest, ExampleUpdateMatchesFreshRetrain) {
+  for (core::Mode mode : {core::Mode::kEager, core::Mode::kLazy}) {
+    SCOPED_TRACE(mode == core::Mode::kEager ? "eager" : "lazy");
+    Database db;
+    ASSERT_TRUE(db.Open().ok());
+    BuildTestCorpus(&db);
+    auto def = Def();
+    def.mode = mode;
+    auto view = db.CreateClassificationView(def);
+    ASSERT_TRUE(view.ok());
+    auto examples = db.catalog()->GetTable("Example_Papers");
+    ASSERT_TRUE(examples.ok());
+    std::vector<std::pair<int64_t, std::string>> stream;
+    for (int64_t id = 0; id < 10; ++id) {
+      stream.emplace_back(id, id < 5 ? "DB" : "OTHER");
+      ASSERT_TRUE((*examples)->Insert(Row{id, stream.back().second}).ok());
+    }
+    core::ClassificationView* before = (*view)->view();
+    ASSERT_TRUE((*examples)->UpdateByKey(7, Row{int64_t{7}, std::string("DB")}).ok());
+    EXPECT_NE((*view)->view(), before);  // rebuilt, not patched
+
+    stream[7].second = "DB";
+    std::vector<std::string> expected = ReferenceLabels(mode, stream, Def());
+    for (int64_t id = 0; id < 10; ++id) {
+      auto l = (*view)->LabelOf(id);
+      ASSERT_TRUE(l.ok());
+      EXPECT_EQ(*l, expected[static_cast<size_t>(id)]) << "paper " << id;
+    }
+    // An update that leaves the label unchanged must NOT rebuild.
+    before = (*view)->view();
+    ASSERT_TRUE((*examples)->UpdateByKey(7, Row{int64_t{7}, std::string("DB")}).ok());
+    EXPECT_EQ((*view)->view(), before);
+  }
+}
+
+// Entity tuple changes re-featurize and rebuild (the conservative
+// non-incremental path): the updated entity is classified by its new text.
+TEST_F(EngineTest, EntityUpdateRebuildsAndReclassifies) {
+  for (core::Mode mode : {core::Mode::kEager, core::Mode::kLazy}) {
+    SCOPED_TRACE(mode == core::Mode::kEager ? "eager" : "lazy");
+    Database db;
+    ASSERT_TRUE(db.Open().ok());
+    BuildTestCorpus(&db);
+    auto def = Def();
+    def.mode = mode;
+    auto view = db.CreateClassificationView(def);
+    ASSERT_TRUE(view.ok());
+    auto examples = db.catalog()->GetTable("Example_Papers");
+    auto papers = db.catalog()->GetTable("Papers");
+    ASSERT_TRUE(examples.ok() && papers.ok());
+    for (int64_t id = 0; id < 10; ++id) {
+      ASSERT_TRUE((*examples)->Insert(Row{id, std::string(id < 5 ? "DB" : "OTHER")}).ok());
+    }
+    core::ClassificationView* before = (*view)->view();
+    ASSERT_TRUE(
+        (*papers)
+            ->UpdateByKey(4, Row{int64_t{4},
+                                 std::string("database engine query planner transactions")})
+            .ok());
+    EXPECT_NE((*view)->view(), before);
+    auto label = (*view)->LabelOf(4);
+    ASSERT_TRUE(label.ok());
+    EXPECT_EQ(*label, "DB");
+    // All entities still present and queryable after the rebuild.
+    auto pos = (*view)->CountOf("DB");
+    auto neg = (*view)->CountOf("OTHER");
+    ASSERT_TRUE(pos.ok() && neg.ok());
+    EXPECT_EQ(*pos + *neg, 10u);
+  }
+}
+
+// Satellite regression: a named DatabaseOptions::path must survive the
+// Database's destruction (only unnamed temp files are cleaned up).
+TEST(DatabaseLifecycleTest, NamedPathSurvivesDestruction) {
+  std::string path = storage::TempFilePath("named");
+  {
+    DatabaseOptions opts;
+    opts.path = path;
+    Database db(opts);
+    ASSERT_TRUE(db.Open().ok());
+  }
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << "named database file was deleted on destruction";
+  f.close();
+  ::unlink(path.c_str());
+}
+
+// Satellite regression: a failed Open() must clean up fully — no leaked
+// temp file, and the object stays closed and reusable.
+TEST(DatabaseLifecycleTest, FailedOpenCleansUpAndStaysReusable) {
+  // Point TMPDIR at a directory that does not exist so the temp-file open
+  // fails inside OpenImpl.
+  const char* old_tmpdir = std::getenv("TMPDIR");
+  ASSERT_EQ(::setenv("TMPDIR", "/nonexistent_hazy_tmp_dir", 1), 0);
+  Database db;
+  Status s = db.Open();
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(db.path().empty());  // state was reset, nothing leaked
+  // A second Open must report the real error again, not "already open".
+  s = db.Open();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString().find("already open"), std::string::npos);
+  if (old_tmpdir != nullptr) {
+    ::setenv("TMPDIR", old_tmpdir, 1);
+  } else {
+    ::unsetenv("TMPDIR");
+  }
+  // With the environment repaired the same object opens cleanly.
+  EXPECT_TRUE(db.Open().ok());
 }
 
 TEST_F(EngineTest, OnDiskArchitectureWorksThroughEngine) {

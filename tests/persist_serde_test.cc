@@ -1,0 +1,176 @@
+// Tests for the persist serialization layer: primitive round-trips,
+// corruption detection, and the model/kernel/RFF/feature-function state
+// serializers that checkpointing is built on.
+
+#include <gtest/gtest.h>
+
+#include "features/feature_function.h"
+#include "ml/rff.h"
+#include "persist/serde.h"
+
+namespace hazy::persist {
+namespace {
+
+TEST(SerdeTest, PrimitivesRoundTrip) {
+  std::string buf;
+  StateWriter w(&buf);
+  w.PutU8(7);
+  w.PutBool(true);
+  w.PutU32(0xDEADBEEFu);
+  w.PutU64(1ull << 60);
+  w.PutI32(-42);
+  w.PutI64(-(1ll << 50));
+  w.PutDouble(3.14159);
+  w.PutString("hello \0 world");
+  w.PutDoubleVec({1.0, -2.5, 0.0});
+  w.PutU64Vec({9, 8, 7});
+
+  StateReader r(buf);
+  uint8_t u8 = 0;
+  bool b = false;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int32_t i32 = 0;
+  int64_t i64 = 0;
+  double d = 0;
+  std::string s;
+  std::vector<double> dv;
+  std::vector<uint64_t> uv;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetBool(&b).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  ASSERT_TRUE(r.GetI32(&i32).ok());
+  ASSERT_TRUE(r.GetI64(&i64).ok());
+  ASSERT_TRUE(r.GetDouble(&d).ok());
+  ASSERT_TRUE(r.GetString(&s).ok());
+  ASSERT_TRUE(r.GetDoubleVec(&dv).ok());
+  ASSERT_TRUE(r.GetU64Vec(&uv).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 1ull << 60);
+  EXPECT_EQ(i32, -42);
+  EXPECT_EQ(i64, -(1ll << 50));
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_EQ(s, "hello \0 world");
+  EXPECT_EQ(dv, (std::vector<double>{1.0, -2.5, 0.0}));
+  EXPECT_EQ(uv, (std::vector<uint64_t>{9, 8, 7}));
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(SerdeTest, TruncationIsCorruption) {
+  std::string buf;
+  StateWriter w(&buf);
+  w.PutU64(123);
+  StateReader r(buf.substr(0, 3));
+  uint64_t v = 0;
+  EXPECT_TRUE(r.GetU64(&v).IsCorruption());
+}
+
+TEST(SerdeTest, TagMismatchIsCorruption) {
+  std::string buf;
+  StateWriter w(&buf);
+  w.PutTag(MakeTag('A', 'B', 'C', 'D'));
+  StateReader r(buf);
+  EXPECT_TRUE(r.ExpectTag(MakeTag('W', 'X', 'Y', 'Z')).IsCorruption());
+}
+
+TEST(SerdeTest, LinearModelRoundTrip) {
+  ml::LinearModel m;
+  m.w = {0.5, -1.25, 0.0, 3.75};
+  m.b = -0.125;
+  std::string buf;
+  StateWriter w(&buf);
+  w.PutModel(m);
+  StateReader r(buf);
+  ml::LinearModel m2;
+  ASSERT_TRUE(r.GetModel(&m2).ok());
+  EXPECT_EQ(m.w, m2.w);
+  EXPECT_EQ(m.b, m2.b);
+}
+
+TEST(SerdeTest, FeatureVectorRoundTrip) {
+  auto dense = ml::FeatureVector::Dense({1.0, 2.0, 3.0});
+  auto sparse = ml::FeatureVector::Sparse({2, 17, 40}, {0.1, 0.2, 0.7}, 100);
+  std::string buf;
+  StateWriter w(&buf);
+  w.PutFeatureVector(dense);
+  w.PutFeatureVector(sparse);
+  StateReader r(buf);
+  ml::FeatureVector d2, s2;
+  ASSERT_TRUE(r.GetFeatureVector(&d2).ok());
+  ASSERT_TRUE(r.GetFeatureVector(&s2).ok());
+  EXPECT_TRUE(dense == d2);
+  EXPECT_TRUE(sparse == s2);
+}
+
+TEST(SerdeTest, KernelModelRoundTrip) {
+  ml::KernelModel m;
+  m.kind = ml::KernelKind::kLaplacian;
+  m.gamma = 0.25;
+  m.support.push_back(ml::FeatureVector::Dense({1.0, 0.0}));
+  m.support.push_back(ml::FeatureVector::Dense({0.0, 1.0}));
+  m.coeffs = {0.5, -0.5};
+  std::string buf;
+  StateWriter w(&buf);
+  w.PutKernelModel(m);
+  StateReader r(buf);
+  ml::KernelModel m2;
+  ASSERT_TRUE(r.GetKernelModel(&m2).ok());
+  EXPECT_EQ(m2.kind, ml::KernelKind::kLaplacian);
+  EXPECT_DOUBLE_EQ(m2.gamma, 0.25);
+  ASSERT_EQ(m2.support.size(), 2u);
+  EXPECT_TRUE(m2.support[0] == m.support[0]);
+  EXPECT_EQ(m2.coeffs, m.coeffs);
+  // Restored model classifies identically.
+  auto x = ml::FeatureVector::Dense({0.9, 0.1});
+  EXPECT_DOUBLE_EQ(m.Eps(x), m2.Eps(x));
+}
+
+TEST(SerdeTest, RffMapRoundTripTransformsIdentically) {
+  ml::RandomFourierFeatures rff(4, 16, ml::KernelKind::kRbf, 0.5, /*seed=*/99);
+  std::string buf;
+  StateWriter w(&buf);
+  rff.SaveState(&w);
+
+  // A differently-sampled map must become identical after LoadState.
+  ml::RandomFourierFeatures restored(1, 1, ml::KernelKind::kRbf, 1.0, /*seed=*/1);
+  StateReader r(buf);
+  ASSERT_TRUE(restored.LoadState(&r).ok());
+  EXPECT_EQ(restored.input_dim(), 4u);
+  EXPECT_EQ(restored.output_dim(), 16u);
+  auto x = ml::FeatureVector::Dense({0.1, -0.4, 0.7, 0.2});
+  EXPECT_TRUE(rff.Transform(x) == restored.Transform(x));
+}
+
+TEST(SerdeTest, FeatureFunctionStateRoundTrip) {
+  for (const auto& name : features::RegisteredFeatureFunctions()) {
+    auto fn = features::MakeFeatureFunction(name);
+    ASSERT_TRUE(fn.ok());
+    std::vector<std::string> corpus = {"data base systems", "protein biology",
+                                       "base systems biology"};
+    if (name == "dense_vector") corpus = {"1.0 2.0 3.0", "0.5 0.5 0.5", "3 2 1"};
+    ASSERT_TRUE((*fn)->ComputeStats(corpus).ok());
+    // Featurize once pre-save so lazily-grown state (dims) settles.
+    ASSERT_TRUE((*fn)->ComputeFeature(corpus[0]).ok());
+
+    std::string buf;
+    StateWriter w(&buf);
+    (*fn)->SaveState(&w);
+    auto fn2 = features::MakeFeatureFunction(name);
+    ASSERT_TRUE(fn2.ok());
+    StateReader r(buf);
+    ASSERT_TRUE((*fn2)->LoadState(&r).ok()) << name;
+    EXPECT_EQ((*fn)->dim(), (*fn2)->dim()) << name;
+    for (const auto& doc : corpus) {
+      auto a = (*fn)->ComputeFeature(doc);
+      auto b = (*fn2)->ComputeFeature(doc);
+      ASSERT_TRUE(a.ok() && b.ok()) << name;
+      EXPECT_TRUE(*a == *b) << name << " featurizes differently after restore";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hazy::persist

@@ -353,6 +353,49 @@ TEST_F(SqlEndToEndTest, MultiRowInsertBatchesViewMaintenance) {
   EXPECT_TRUE(exec_->Execute("SELECT * FROM V WHERE id = 5").ok());
 }
 
+TEST(ParserTest, Checkpoint) {
+  auto stmt = Parse("CHECKPOINT;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_NE(std::get_if<CheckpointStmt>(&*stmt), nullptr);
+  EXPECT_TRUE(Parse("CHECKPOINT extra").status().IsInvalidArgument());
+}
+
+TEST_F(SqlEndToEndTest, CheckpointStatement) {
+  MustExec("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)");
+  MustExec("INSERT INTO t VALUES (1, 'one')");
+  auto rs = MustExec("CHECKPOINT;");
+  EXPECT_NE(rs.message.find("epoch 1"), std::string::npos) << rs.message;
+  EXPECT_EQ(db_->checkpoint_epoch(), 1u);
+  rs = MustExec("CHECKPOINT");
+  EXPECT_NE(rs.message.find("epoch 2"), std::string::npos) << rs.message;
+  // The system tables surface through ordinary SQL — read-only.
+  auto views = MustExec("SELECT COUNT(*) FROM __hazy_views");
+  ASSERT_EQ(views.rows.size(), 1u);
+  EXPECT_TRUE(exec_->Execute("DELETE FROM __hazy_views WHERE view_id = 0")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(exec_->Execute("INSERT INTO __hazy_view_state VALUES (1, 1, 1, 'x')")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(exec_->Execute("UPDATE __hazy_views SET name = 'x' WHERE view_id = 0")
+                  .status()
+                  .IsInvalidArgument());
+  // The reserved prefix is enforced case-insensitively, like the catalog.
+  EXPECT_TRUE(exec_->Execute("CREATE TABLE __HAZY_VIEWS (x INT PRIMARY KEY)")
+                  .status()
+                  .IsInvalidArgument());
+  // Nor can a classification view be declared over the system tables —
+  // its triggers would fire inside CHECKPOINT's own row writes.
+  EXPECT_TRUE(exec_->Execute(
+                       "CREATE CLASSIFICATION VIEW v KEY row_key "
+                       "ENTITIES FROM __hazy_views KEY row_key "
+                       "LABELS FROM t LABEL name "
+                       "EXAMPLES FROM t KEY id LABEL name "
+                       "FEATURE FUNCTION tf_bag_of_words")
+                  .status()
+                  .IsInvalidArgument());
+}
+
 TEST_F(SqlEndToEndTest, ResultSetPrinting) {
   MustExec("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)");
   MustExec("INSERT INTO t VALUES (7, 'seven')");

@@ -105,5 +105,34 @@ TEST(PagerStandaloneTest, TempPathsAreUnique) {
   EXPECT_NE(TempFilePath("a"), TempFilePath("a"));
 }
 
+TEST(PagerStandaloneTest, FreeQuarantineDefersRecycling) {
+  Pager p;
+  std::string path = TempFilePath("pager_quarantine");
+  ASSERT_TRUE(p.Open(path).ok());
+  auto a = p.Allocate();
+  ASSERT_TRUE(a.ok());
+  // Without quarantine, a freed page is recycled immediately.
+  p.Free(*a);
+  auto b = p.Allocate();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, *a);
+  // With quarantine (a durable checkpoint image may reference the page),
+  // the freed page must NOT be handed out again...
+  p.EnableFreeQuarantine();
+  p.Free(*b);
+  EXPECT_EQ(p.quarantined_count(), 1u);
+  auto c = p.Allocate();
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(*c, *b);
+  // ...until the next checkpoint commit releases it.
+  p.ReleaseQuarantinedPages();
+  EXPECT_EQ(p.quarantined_count(), 0u);
+  auto d = p.Allocate();
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, *b);
+  p.Close().ok();
+  ::unlink(path.c_str());
+}
+
 }  // namespace
 }  // namespace hazy::storage

@@ -1,0 +1,56 @@
+// Shared test fixture corpus: the 10-paper separable dataset (database
+// papers talk about transactions, the others about proteins) with the
+// Example 2.1 table layout — Papers(id, title), Paper_Area(label),
+// Example_Papers(id, label). Used by the engine and persist suites so the
+// schema and corpus stay in one place.
+
+#ifndef HAZY_TESTS_TEST_CORPUS_H_
+#define HAZY_TESTS_TEST_CORPUS_H_
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace hazy::engine {
+
+inline constexpr const char* kTestCorpusTitles[] = {
+    "query optimization in relational database systems",
+    "transaction processing and concurrency control in databases",
+    "materialized views maintenance in sql databases",
+    "indexing btree storage engines database transactions",
+    "declarative query languages for database systems",
+    "protein folding pathways in molecular biology",
+    "genome sequencing and protein structure biology",
+    "cellular biology of protein interactions",
+    "molecular dynamics of protein membranes",
+    "evolutionary biology of protein families"};
+inline constexpr int64_t kTestCorpusSize = 10;
+
+/// ids 0-4 are "DB" papers, 5-9 are "OTHER".
+inline const char* TestCorpusLabel(int64_t id) { return id < 5 ? "DB" : "OTHER"; }
+
+/// Creates the three tables and inserts the corpus into an open database.
+inline void BuildTestCorpus(Database* db) {
+  using storage::ColumnType;
+  using storage::Row;
+  using storage::Schema;
+  auto papers = db->catalog()->CreateTable(
+      "Papers", Schema({{"id", ColumnType::kInt64}, {"title", ColumnType::kText}}), 0);
+  ASSERT_TRUE(papers.ok());
+  auto areas = db->catalog()->CreateTable(
+      "Paper_Area", Schema({{"label", ColumnType::kText}}), std::nullopt);
+  ASSERT_TRUE(areas.ok());
+  ASSERT_TRUE((*areas)->Insert(Row{std::string("DB")}).ok());
+  ASSERT_TRUE((*areas)->Insert(Row{std::string("OTHER")}).ok());
+  auto examples = db->catalog()->CreateTable(
+      "Example_Papers",
+      Schema({{"id", ColumnType::kInt64}, {"label", ColumnType::kText}}), 0);
+  ASSERT_TRUE(examples.ok());
+  for (int64_t id = 0; id < kTestCorpusSize; ++id) {
+    ASSERT_TRUE((*papers)->Insert(Row{id, std::string(kTestCorpusTitles[id])}).ok());
+  }
+}
+
+}  // namespace hazy::engine
+
+#endif  // HAZY_TESTS_TEST_CORPUS_H_
