@@ -10,6 +10,7 @@
 #include "core/view_factory.h"
 #include "data/synthetic.h"
 #include "ml/sgd.h"
+#include "ml/simd.h"
 
 using namespace hazy;
 
@@ -55,6 +56,86 @@ void BM_DotSparse(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DotSparse)->Arg(7)->Arg(60)->Arg(500);
+
+// Strip scoring through the PR-3 pipeline: rows/s for a strip of dense
+// vectors against one weight vector (the read path's innermost primitive).
+void BM_ScoreStripDense(benchmark::State& state) {
+  uint32_t dim = static_cast<uint32_t>(state.range(0));
+  std::vector<ml::FeatureVector> owners;
+  for (int i = 0; i < 256; ++i) owners.push_back(DenseVec(dim, 100 + i));
+  std::vector<ml::FeatureVectorView> views;
+  for (const auto& o : owners) views.push_back(ml::FeatureVectorView::Of(o));
+  std::vector<double> w(dim, 0.5);
+  std::vector<double> eps(views.size());
+  for (auto _ : state) {
+    ml::simd::ScoreStrip(views.data(), views.size(), w, 0.1, eps.data());
+    benchmark::DoNotOptimize(eps.data());
+  }
+  state.SetItemsProcessed(state.iterations() * views.size());
+  state.counters["rows/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations() * views.size()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScoreStripDense)->Arg(54)->Arg(300);
+
+void BM_ScoreStripSparse(benchmark::State& state) {
+  uint32_t nnz = static_cast<uint32_t>(state.range(0));
+  std::vector<ml::FeatureVector> owners;
+  for (int i = 0; i < 256; ++i) owners.push_back(SparseVec(680000, nnz, 200 + i));
+  std::vector<ml::FeatureVectorView> views;
+  for (const auto& o : owners) views.push_back(ml::FeatureVectorView::Of(o));
+  std::vector<double> w(680000, 0.5);
+  std::vector<double> eps(views.size());
+  for (auto _ : state) {
+    ml::simd::ScoreStrip(views.data(), views.size(), w, 0.1, eps.data());
+    benchmark::DoNotOptimize(eps.data());
+  }
+  state.SetItemsProcessed(state.iterations() * views.size());
+  state.counters["rows/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations() * views.size()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScoreStripSparse)->Arg(7)->Arg(60);
+
+// Zero-copy decode + score of an encoded tuple, vs the owning decode the
+// pre-PR-3 read path paid per row.
+void BM_ViewParseAndScore(benchmark::State& state) {
+  core::EntityRecord rec;
+  rec.id = 42;
+  rec.eps = 0.25;
+  rec.label = 1;
+  rec.features = DenseVec(54, 21);
+  std::string buf;
+  core::EncodeEntityRecord(rec, &buf);
+  std::vector<double> w(54, 0.5);
+  for (auto _ : state) {
+    auto view = core::DecodeEntityRecordView(buf);
+    benchmark::DoNotOptimize(view->features.Dot(w));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ViewParseAndScore);
+
+void BM_MaterializingDecodeAndScore(benchmark::State& state) {
+  core::EntityRecord rec;
+  rec.id = 42;
+  rec.eps = 0.25;
+  rec.label = 1;
+  rec.features = DenseVec(54, 21);
+  std::string buf;
+  core::EncodeEntityRecord(rec, &buf);
+  std::vector<double> w(54, 0.5);
+  for (auto _ : state) {
+    auto decoded = core::DecodeEntityRecord(buf);
+    benchmark::DoNotOptimize(decoded->features.Dot(w));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MaterializingDecodeAndScore);
 
 void BM_SgdStep(benchmark::State& state) {
   auto x = DenseVec(54, 3);

@@ -6,7 +6,9 @@
 //   hazy> CREATE CLASSIFICATION VIEW ... ;
 //   hazy> SELECT COUNT(*) FROM Labeled_Papers WHERE class = 'DB';
 //
-// Statements end with ';'. '\q' quits, '\d' lists tables and views.
+// Statements end with ';'. '\q' quits, '\d' lists tables and views,
+// '\timing' toggles per-statement wall-time reporting (how you watch the
+// vectorized read path pay off interactively).
 //
 // Batched view maintenance: a multi-row INSERT applies all its training
 // examples to each classification view as one UpdateBatch automatically.
@@ -28,6 +30,7 @@
 #include <memory>
 #include <string>
 
+#include "common/timer.h"
 #include "engine/database.h"
 #include "sql/executor.h"
 
@@ -78,12 +81,14 @@ int main() {
 
   std::printf(
       "hazy sql shell — statements end with ';', \\q quits, \\d lists, "
-      "\\batch on|off toggles batched view maintenance,\n"
+      "\\batch on|off toggles batched view maintenance, \\timing toggles "
+      "per-statement wall time,\n"
       "\\save <path> checkpoints to a file, \\open <path> recovers from one.\n");
   std::string buffer;
   std::string line;
   bool interactive = isatty(0);
   bool batching = false;
+  bool timing = false;
   while (true) {
     if (interactive) {
       std::printf(buffer.empty() ? "hazy> " : "  ...> ");
@@ -106,6 +111,12 @@ int main() {
     }
     if (buffer.empty() && line == "\\d") {
       ListCatalog(db.get());
+      continue;
+    }
+    if (buffer.empty() &&
+        (line == "\\timing" || line == "\\timing on" || line == "\\timing off")) {
+      timing = line == "\\timing" ? !timing : line == "\\timing on";
+      std::printf("timing %s\n", timing ? "on" : "off");
       continue;
     }
     if (buffer.empty() && line.rfind("\\save ", 0) == 0) {
@@ -175,12 +186,15 @@ int main() {
     std::string stmt = buffer.substr(0, pos + 1);
     buffer.clear();
     if (!interactive) std::printf("hazy> %s\n", stmt.c_str());
+    hazy::Timer stmt_timer;
     auto rs = exec->Execute(stmt);
+    double elapsed_ms = stmt_timer.ElapsedSeconds() * 1e3;
     if (!rs.ok()) {
       std::printf("error: %s\n", rs.status().ToString().c_str());
     } else {
       std::printf("%s\n", rs->ToString().c_str());
     }
+    if (timing) std::printf("Time: %.3f ms\n", elapsed_ms);
   }
   if (batching) {
     auto s = db->EndUpdateBatch();

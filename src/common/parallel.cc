@@ -1,8 +1,6 @@
 #include "common/parallel.h"
 
-#include <condition_variable>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 
 namespace hazy {
@@ -26,39 +24,5 @@ ThreadPool* SharedThreadPool() {
 }
 
 size_t SharedThreadCount() { return SharedThreadPool()->num_threads(); }
-
-void ParallelFor(size_t n, size_t min_parallel,
-                 const std::function<void(size_t, size_t)>& fn) {
-  if (n == 0) return;
-  size_t workers = SharedThreadCount();
-  if (workers <= 1 || n < min_parallel) {
-    fn(0, n);
-    return;
-  }
-  size_t chunks = workers;
-  if (chunks > n) chunks = n;
-  size_t chunk = (n + chunks - 1) / chunks;
-
-  // Per-call completion latch: overlapping ParallelFor calls sharing the
-  // pool must not wait on each other's tasks.
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t outstanding = 0;
-  ThreadPool* pool = SharedThreadPool();
-  for (size_t begin = 0; begin < n; begin += chunk) {
-    size_t end = begin + chunk < n ? begin + chunk : n;
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      ++outstanding;
-    }
-    pool->Submit([&, begin, end] {
-      fn(begin, end);
-      std::lock_guard<std::mutex> lock(mu);
-      if (--outstanding == 0) done_cv.notify_all();
-    });
-  }
-  std::unique_lock<std::mutex> lock(mu);
-  done_cv.wait(lock, [&] { return outstanding == 0; });
-}
 
 }  // namespace hazy

@@ -3,12 +3,18 @@
 // rows (the paper's Fig 11(B) scale-up observation: "the locking protocols
 // are trivial" for read-side work), so views shard them across one pool
 // instead of each owning threads.
+//
+// The loops are templates: the per-chunk body is invoked directly (no
+// std::function type erasure in the row loop), and only the per-chunk pool
+// submission pays one std::function construction.
 
 #ifndef HAZY_COMMON_PARALLEL_H_
 #define HAZY_COMMON_PARALLEL_H_
 
+#include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <mutex>
+#include <utility>
 
 #include "common/thread_pool.h"
 
@@ -25,14 +31,68 @@ ThreadPool* SharedThreadPool();
 /// Number of workers SharedThreadPool() runs (>= 1).
 size_t SharedThreadCount();
 
-/// Runs fn(begin, end) over a partition of [0, n) into per-worker chunks.
-/// Runs inline (single call, no pool) when n < min_parallel or only one
-/// worker is available, so small inputs pay no synchronization cost.
-/// fn must be safe to invoke concurrently on disjoint ranges; blocks until
-/// every chunk completes. Must not be called from a pool worker (chunks
-/// would queue behind the blocked caller).
-void ParallelFor(size_t n, size_t min_parallel,
-                 const std::function<void(size_t, size_t)>& fn);
+/// Number of chunks ParallelChunks/ParallelFor would split `n` items into:
+/// 1 when the work runs inline, else up to the worker count. Use it to size
+/// per-chunk result buffers before the parallel loop.
+inline size_t ParallelChunkCount(size_t n, size_t min_parallel) {
+  if (n == 0) return 1;
+  size_t workers = SharedThreadCount();
+  if (workers <= 1 || n < min_parallel) return 1;
+  return workers < n ? workers : n;
+}
+
+/// Runs fn(chunk_index, begin, end) over a partition of [0, n) into
+/// exactly `chunks` contiguous chunks (clamped to [1, n]), chunk_index in
+/// chunk order of the range. chunks == 1 runs inline (single call, chunk
+/// 0, no pool). fn must be safe to invoke concurrently on distinct chunks;
+/// blocks until every chunk completes. Must not be called from a pool
+/// worker (chunks would queue behind the blocked caller).
+template <typename Fn>
+void RunChunks(size_t n, size_t chunks, Fn&& fn) {
+  if (n == 0) return;
+  if (chunks > n) chunks = n;
+  if (chunks <= 1) {
+    fn(size_t{0}, size_t{0}, n);
+    return;
+  }
+  size_t chunk = (n + chunks - 1) / chunks;
+
+  // Per-call completion latch: overlapping parallel loops sharing the pool
+  // must not wait on each other's tasks.
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t outstanding = 0;
+  ThreadPool* pool = SharedThreadPool();
+  size_t index = 0;
+  for (size_t begin = 0; begin < n; begin += chunk, ++index) {
+    size_t end = begin + chunk < n ? begin + chunk : n;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++outstanding;
+    }
+    pool->Submit([&, index, begin, end] {
+      fn(index, begin, end);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--outstanding == 0) done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done_cv.wait(lock, [&] { return outstanding == 0; });
+}
+
+/// RunChunks with the default sizing: ParallelChunkCount(n, min_parallel)
+/// chunks (inline below min_parallel or with a single worker).
+template <typename Fn>
+void ParallelChunks(size_t n, size_t min_parallel, Fn&& fn) {
+  RunChunks(n, ParallelChunkCount(n, min_parallel), std::forward<Fn>(fn));
+}
+
+/// Runs fn(begin, end) over a partition of [0, n); see ParallelChunks.
+template <typename Fn>
+void ParallelFor(size_t n, size_t min_parallel, Fn&& fn) {
+  ParallelChunks(n, min_parallel,
+                 [&fn](size_t, size_t begin, size_t end) { fn(begin, end); });
+}
 
 }  // namespace hazy
 

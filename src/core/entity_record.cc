@@ -35,6 +35,28 @@ StatusOr<EntityRecord> DecodeEntityRecord(std::string_view data) {
   return rec;
 }
 
+bool TryDecodeEntityRecordView(std::string_view data, EntityRecordView* out) {
+  if (data.size() < kEntityHeaderSize) return false;
+  out->id = static_cast<int64_t>(DecodeFixed64(data.data() + kEntityIdOffset));
+  out->eps = DecodeDouble(data.data() + kEntityEpsOffset);
+  out->label = static_cast<int32_t>(DecodeFixed32(data.data() + kEntityLabelOffset));
+  std::string_view rest = data.substr(kEntityHeaderSize);
+  return ml::FeatureVectorView::TryParse(&rest, &out->features);
+}
+
+StatusOr<EntityRecordView> DecodeEntityRecordView(std::string_view data) {
+  if (data.size() < kEntityHeaderSize) {
+    return Status::Corruption("entity record truncated");
+  }
+  EntityRecordView rec;
+  rec.id = static_cast<int64_t>(DecodeFixed64(data.data() + kEntityIdOffset));
+  rec.eps = DecodeDouble(data.data() + kEntityEpsOffset);
+  rec.label = static_cast<int32_t>(DecodeFixed32(data.data() + kEntityLabelOffset));
+  std::string_view rest = data.substr(kEntityHeaderSize);
+  HAZY_ASSIGN_OR_RETURN(rec.features, ml::FeatureVectorView::Parse(&rest));
+  return rec;
+}
+
 StatusOr<EntityHeader> DecodeEntityHeader(std::string_view data) {
   if (data.size() < kEntityHeaderSize) {
     return Status::Corruption("entity record truncated");

@@ -47,6 +47,26 @@ struct EntityHeader {
 /// Parses just the fixed header.
 StatusOr<EntityHeader> DecodeEntityHeader(std::string_view data);
 
+/// Zero-copy record view: the fixed header decoded by value plus a
+/// non-owning view over the feature payload (which stays in the page /
+/// backing buffer). This is what the scan pipeline hands to the scoring
+/// kernels — no per-tuple allocation, no byte copies.
+struct EntityRecordView {
+  int64_t id = 0;
+  double eps = 0.0;
+  int32_t label = 1;
+  ml::FeatureVectorView features;
+};
+
+/// Parses a record without materializing the features. The view is valid
+/// only while `data`'s backing bytes are.
+StatusOr<EntityRecordView> DecodeEntityRecordView(std::string_view data);
+
+/// The scan pipeline's per-tuple fast path: like DecodeEntityRecordView but
+/// without Status machinery on the hot loop — returns false on corruption
+/// (callers re-run DecodeEntityRecordView for the error message).
+bool TryDecodeEntityRecordView(std::string_view data, EntityRecordView* out);
+
 /// Patches the label field inside a record's leading bytes (as handed out
 /// by HeapFile::Patch).
 void PatchLabel(char* head, size_t head_size, int32_t label);

@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "common/timer.h"
+#include "core/scan_pipeline.h"
 #include "persist/serde.h"
 
 namespace hazy::core {
@@ -41,13 +42,15 @@ Status HazyMMView::BulkLoad(const std::vector<Entity>& entities) {
 
 void HazyMMView::Reorganize() {
   Timer timer;
-  ParallelFor(rows_.size(), kDefaultMinParallelRows, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      Row& r = rows_[i];
-      r.eps = model_.Eps(r.features);
-      r.label = ml::SignOf(r.eps);
-    }
-  });
+  // Re-score everything in parallel strips, then derive labels from eps.
+  std::vector<double> eps(rows_.size());
+  ScoreRange(rows_.size(), model_, kDefaultMinParallelRows,
+             [&](size_t i) -> const ml::FeatureVector& { return rows_[i].features; },
+             eps.data());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    rows_[i].eps = eps[i];
+    rows_[i].label = ml::SignOf(eps[i]);
+  }
   std::sort(rows_.begin(), rows_.end(), [](const Row& a, const Row& b) {
     if (a.eps != b.eps) return a.eps < b.eps;
     return a.id < b.id;
@@ -87,25 +90,29 @@ size_t HazyMMView::IncrementalStep() {
   const size_t lo = LowerBound(water_.low_water());
   const size_t hi = LowerBound(water_.high_water());
   uint64_t flips = 0;
-  // The window is contiguous in the eps-clustered layout; shard the
-  // reclassification across the pool when it is wide enough to pay off.
-  if (hi - lo >= kDefaultMinParallelRows && SharedThreadCount() > 1) {
-    std::vector<int8_t> labels(hi - lo);
-    ParallelFor(hi - lo, 1, [&](size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) {
-        labels[i] = static_cast<int8_t>(model_.Classify(rows_[lo + i].features));
-      }
-    });
-    for (size_t i = lo; i < hi; ++i) {
-      if (labels[i - lo] != rows_[i].label) ++flips;
-      rows_[i].label = labels[i - lo];
-    }
-  } else {
+  if (hi - lo <= 64) {
+    // Warm-model windows are tiny (a handful of rows per update); a plain
+    // loop avoids the strip path's scratch allocations on this hot path.
+    // model_.Classify routes through the same kernels, so the labels are
+    // bit-for-bit the ones ClassifyRange would produce.
     for (size_t i = lo; i < hi; ++i) {
       Row& r = rows_[i];
       int label = model_.Classify(r.features);
       if (label != r.label) ++flips;
       r.label = label;
+    }
+  } else {
+    // The window is contiguous in the eps-clustered layout; strip-score
+    // it, sharding across the pool when it is wide enough to pay off.
+    std::vector<int8_t> labels(hi - lo);
+    ClassifyRange(hi - lo, model_, kDefaultMinParallelRows,
+                  [&](size_t i) -> const ml::FeatureVector& {
+                    return rows_[lo + i].features;
+                  },
+                  labels.data());
+    for (size_t i = lo; i < hi; ++i) {
+      if (labels[i - lo] != rows_[i].label) ++flips;
+      rows_[i].label = labels[i - lo];
     }
   }
   stats_.label_flips += flips;
@@ -249,14 +256,14 @@ StatusOr<uint64_t> HazyMMView::LazyMembersScan(int label, Emit emit) {
       ++matched;
     }
   }
-  // Only the window [begin, wend) needs the current model; shard that
-  // classification, then emit in clustering order.
+  // Only the window [begin, wend) needs the current model; strip-score it
+  // in parallel, then emit in clustering order.
   std::vector<int8_t> labels(wend - begin);
-  ParallelFor(wend - begin, kDefaultMinParallelRows, [&](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) {
-      labels[i] = static_cast<int8_t>(model_.Classify(rows_[begin + i].features));
-    }
-  });
+  ClassifyRange(wend - begin, model_, kDefaultMinParallelRows,
+                [&](size_t i) -> const ml::FeatureVector& {
+                  return rows_[begin + i].features;
+                },
+                labels.data());
   stats_.window_tuples += wend - begin;
   for (size_t i = begin; i < rows_.size(); ++i) {
     int l = i < wend ? labels[i - begin] : 1;  // eps >= hw: certainly positive
@@ -282,6 +289,7 @@ StatusOr<uint64_t> HazyMMView::LazyMembersScan(int label, Emit emit) {
 StatusOr<std::vector<int64_t>> HazyMMView::AllMembers(int label) {
   ++stats_.all_members_queries;
   std::vector<int64_t> out;
+  out.reserve(rows_.size());
   if (options_.mode == Mode::kLazy) {
     HAZY_RETURN_NOT_OK(LazyMembersScan(label, [&](int64_t id) { out.push_back(id); })
                            .status());

@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 #include "common/timer.h"
+#include "core/scan_pipeline.h"
 #include "persist/serde.h"
 
 namespace hazy::core {
@@ -130,54 +131,40 @@ Status HazyODView::Reorganize() {
   return Status::OK();
 }
 
-StatusOr<int> HazyODView::ReclassifyWindowTuple(int64_t id, storage::Rid rid) {
-  (void)id;
-  EntityRecord rec;
-  HAZY_RETURN_NOT_OK(FetchRecord(rid, &rec));
-  int label = model_.Classify(rec.features);
-  if (label != rec.label) {
-    ++stats_.label_flips;
-    HAZY_RETURN_NOT_OK(heap_->Patch(
-        rid, [&](char* head, size_t size) { PatchLabel(head, size, label); }));
-  }
-  return label;
+Status HazyODView::ClassifyWindow(const std::vector<WindowEntry>& window,
+                                  std::vector<int8_t>* labels) {
+  return ClassifyRids(*heap_, model_, window, labels);
 }
 
-StatusOr<int> HazyODView::ClassifyTuple(int64_t id, storage::Rid rid) {
-  (void)id;
-  EntityRecord rec;
-  HAZY_RETURN_NOT_OK(FetchRecord(rid, &rec));
-  return model_.Classify(rec.features);
+StatusOr<uint64_t> HazyODView::ReclassifyWindow(const std::vector<WindowEntry>& window) {
+  return RelabelRids(heap_.get(), model_, window);
 }
 
 StatusOr<int> HazyODView::ReadWindowLabel(int64_t id, storage::Rid rid) {
   (void)id;
-  std::string buf;
-  HAZY_RETURN_NOT_OK(heap_->Get(rid, &buf));
-  HAZY_ASSIGN_OR_RETURN(EntityHeader h, DecodeEntityHeader(buf));
+  // The materialized label lives in the fixed header, which is inline even
+  // for overflow records — no record copy, no overflow chase.
+  HAZY_ASSIGN_OR_RETURN(EntityHeader h, ReadEntityHeader(*heap_, rid));
   return h.label;
 }
 
 StatusOr<uint64_t> HazyODView::IncrementalStep() {
   const double lw = water_.low_water();
   const double hw = water_.high_water();
-  uint64_t count = 0;
   HAZY_ASSIGN_OR_RETURN(storage::BPlusTree::Iterator it, tree_->SeekGE(KeyFor(lw, 0)));
   // Collect the window first: reclassification patches pages and we keep
   // the tree iteration pin-discipline simple.
-  std::vector<std::pair<int64_t, storage::Rid>> window;
+  std::vector<WindowEntry> window;
   while (it.Valid() && it.key().k < hw) {
     window.emplace_back(static_cast<int64_t>(it.key().tie),
                         storage::Rid::Unpack(it.value()));
     HAZY_RETURN_NOT_OK(it.Next());
   }
-  for (const auto& [id, rid] : window) {
-    HAZY_RETURN_NOT_OK(ReclassifyWindowTuple(id, rid).status());
-    ++count;
-  }
-  stats_.window_tuples += count;
+  HAZY_ASSIGN_OR_RETURN(uint64_t flips, ReclassifyWindow(window));
+  stats_.label_flips += flips;
+  stats_.window_tuples += window.size();
   ++stats_.incremental_steps;
-  return count;
+  return window.size();
 }
 
 Status HazyODView::AddEntity(const Entity& entity) {
@@ -267,9 +254,7 @@ Status HazyODView::UpdateBatch(Span<const ml::LabeledExample> batch) {
 StatusOr<int> HazyODView::SingleEntityRead(int64_t id) {
   ++stats_.single_reads;
   HAZY_ASSIGN_OR_RETURN(storage::Rid rid, id_index_.Get(id));
-  std::string buf;
-  HAZY_RETURN_NOT_OK(heap_->Get(rid, &buf));
-  HAZY_ASSIGN_OR_RETURN(EntityHeader h, DecodeEntityHeader(buf));
+  HAZY_ASSIGN_OR_RETURN(EntityHeader h, ReadEntityHeader(*heap_, rid));
   if (options_.mode == Mode::kEager) {
     ++stats_.reads_from_store;
     return h.label;
@@ -283,8 +268,7 @@ StatusOr<int> HazyODView::SingleEntityRead(int64_t id) {
     return -1;
   }
   ++stats_.reads_from_store;
-  HAZY_ASSIGN_OR_RETURN(EntityRecord rec, DecodeEntityRecord(buf));
-  return model_.Classify(rec.features);
+  return ClassifyRecordAt(*heap_, rid, model_);
 }
 
 StatusOr<uint64_t> HazyODView::LazyMembersScan(int label, std::vector<int64_t>* out) {
@@ -309,7 +293,7 @@ StatusOr<uint64_t> HazyODView::LazyMembersScan(int label, std::vector<int64_t>* 
   }
 
   HAZY_ASSIGN_OR_RETURN(storage::BPlusTree::Iterator it, tree_->SeekGE(KeyFor(lw, 0)));
-  std::vector<std::pair<int64_t, storage::Rid>> window;
+  std::vector<WindowEntry> window;
   while (it.Valid()) {
     ++nr;
     int64_t id = static_cast<int64_t>(it.key().tie);
@@ -324,12 +308,16 @@ StatusOr<uint64_t> HazyODView::LazyMembersScan(int label, std::vector<int64_t>* 
     }
     HAZY_RETURN_NOT_OK(it.Next());
   }
-  for (const auto& [id, rid] : window) {
-    HAZY_ASSIGN_OR_RETURN(int l, ClassifyTuple(id, rid));
-    ++stats_.window_tuples;
+  // Only the window needs the current model: batch it through the parallel
+  // zero-copy pipeline instead of fetching record copies one by one.
+  std::vector<int8_t> window_labels;
+  HAZY_RETURN_NOT_OK(ClassifyWindow(window, &window_labels));
+  stats_.window_tuples += window.size();
+  for (size_t i = 0; i < window.size(); ++i) {
+    int l = window_labels[i];
     if (l == 1) ++positives;
     if (l == label) {
-      if (out != nullptr) out->push_back(id);
+      if (out != nullptr) out->push_back(window[i].first);
       ++matched;
     }
   }
@@ -352,7 +340,7 @@ StatusOr<uint64_t> HazyODView::EagerMembersScan(int label, std::vector<int64_t>*
   uint64_t matched = 0;
   HAZY_ASSIGN_OR_RETURN(storage::BPlusTree::Iterator it,
                         tree_->SeekGE(storage::BtKey::Min()));
-  std::vector<std::pair<int64_t, storage::Rid>> window;
+  std::vector<WindowEntry> window;
   while (it.Valid()) {
     int64_t id = static_cast<int64_t>(it.key().tie);
     double eps = it.key().k;
@@ -387,6 +375,7 @@ StatusOr<uint64_t> HazyODView::EagerMembersScan(int label, std::vector<int64_t>*
 StatusOr<std::vector<int64_t>> HazyODView::AllMembers(int label) {
   ++stats_.all_members_queries;
   std::vector<int64_t> out;
+  out.reserve(num_rows_);
   if (options_.mode == Mode::kLazy) {
     HAZY_RETURN_NOT_OK(LazyMembersScan(label, &out).status());
   } else {

@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/bounds.h"
@@ -68,18 +69,25 @@ class HazyODView : public ViewBase {
   /// Rebuilds H clustered on current-model eps; measures and stores S.
   Status Reorganize();
 
-  /// Reclassifies one window tuple under the current model, patching its
-  /// label on disk if it flipped. Returns the new label.
-  /// HybridView overrides this to consult its buffer first.
-  virtual StatusOr<int> ReclassifyWindowTuple(int64_t id, storage::Rid rid);
+  /// A window tuple: entity id plus its record's location in H.
+  using WindowEntry = std::pair<int64_t, storage::Rid>;
 
-  /// Classifies one tuple under the current model without writing
-  /// (lazy read path). HybridView overrides to consult its buffer.
-  virtual StatusOr<int> ClassifyTuple(int64_t id, storage::Rid rid);
+  /// Classifies every window tuple under the current model without writing,
+  /// filling labels[i] for window[i] (the lazy read path). The base
+  /// implementation runs the zero-copy parallel pipeline over the heap;
+  /// HybridView overrides to answer buffered tuples from its buffer.
+  virtual Status ClassifyWindow(const std::vector<WindowEntry>& window,
+                                std::vector<int8_t>* labels);
 
-  /// Reads one tuple's materialized label (eager read path).
-  /// HybridView overrides to consult its buffer (whose labels are the
-  /// source of truth for buffered window tuples).
+  /// Reclassifies every window tuple under the current model, patching
+  /// flipped labels in place (the eager incremental step). Returns the
+  /// number of flips. HybridView overrides to keep its buffer labels — the
+  /// source of truth for buffered tuples — in sync.
+  virtual StatusOr<uint64_t> ReclassifyWindow(const std::vector<WindowEntry>& window);
+
+  /// Reads one tuple's materialized label (eager read path) without
+  /// copying the record. HybridView overrides to consult its buffer (whose
+  /// labels are the source of truth for buffered window tuples).
   virtual StatusOr<int> ReadWindowLabel(int64_t id, storage::Rid rid);
 
   /// Called after a reorganization with the new clustered contents,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "core/scan_pipeline.h"
 #include "persist/serde.h"
 
 namespace hazy::core {
@@ -101,21 +102,46 @@ void HybridView::OnEntityAppended(const EntityRecord& rec, storage::Rid rid) {
   }
 }
 
-StatusOr<int> HybridView::ReclassifyWindowTuple(int64_t id, storage::Rid rid) {
-  auto it = buffer_.find(id);
-  if (it != buffer_.end()) {
-    int label = model_.Classify(it->second.features);
-    if (label != it->second.label) ++stats_.label_flips;
-    it->second.label = label;
-    return label;
+Status HybridView::ClassifyWindow(const std::vector<WindowEntry>& window,
+                                  std::vector<int8_t>* labels) {
+  labels->resize(window.size());
+  // Buffered tuples are classified from memory; only the rest go through
+  // the heap pipeline.
+  std::vector<WindowEntry> misses;
+  std::vector<size_t> miss_pos;
+  for (size_t i = 0; i < window.size(); ++i) {
+    auto it = buffer_.find(window[i].first);
+    if (it != buffer_.end()) {
+      (*labels)[i] = static_cast<int8_t>(model_.Classify(it->second.features));
+    } else {
+      misses.push_back(window[i]);
+      miss_pos.push_back(i);
+    }
   }
-  return HazyODView::ReclassifyWindowTuple(id, rid);
+  if (misses.empty()) return Status::OK();
+  std::vector<int8_t> miss_labels;
+  HAZY_RETURN_NOT_OK(HazyODView::ClassifyWindow(misses, &miss_labels));
+  for (size_t i = 0; i < misses.size(); ++i) (*labels)[miss_pos[i]] = miss_labels[i];
+  return Status::OK();
 }
 
-StatusOr<int> HybridView::ClassifyTuple(int64_t id, storage::Rid rid) {
-  auto it = buffer_.find(id);
-  if (it != buffer_.end()) return model_.Classify(it->second.features);
-  return HazyODView::ClassifyTuple(id, rid);
+StatusOr<uint64_t> HybridView::ReclassifyWindow(const std::vector<WindowEntry>& window) {
+  uint64_t flips = 0;
+  std::vector<WindowEntry> misses;
+  for (const auto& entry : window) {
+    auto it = buffer_.find(entry.first);
+    if (it == buffer_.end()) {
+      misses.push_back(entry);
+      continue;
+    }
+    // Buffered: the buffer label is the source of truth; the on-disk copy
+    // is refreshed wholesale at the next reorganization.
+    int label = model_.Classify(it->second.features);
+    if (label != it->second.label) ++flips;
+    it->second.label = label;
+  }
+  HAZY_ASSIGN_OR_RETURN(uint64_t disk_flips, HazyODView::ReclassifyWindow(misses));
+  return flips + disk_flips;
 }
 
 StatusOr<int> HybridView::ReadWindowLabel(int64_t id, storage::Rid rid) {
@@ -148,14 +174,11 @@ StatusOr<int> HybridView::SingleEntityRead(int64_t id) {
   }
   ++stats_.reads_from_store;
   HAZY_ASSIGN_OR_RETURN(storage::Rid rid, id_index_.Get(id));
-  std::string buf;
-  HAZY_RETURN_NOT_OK(heap_->Get(rid, &buf));
   if (options_.mode == Mode::kEager) {
-    HAZY_ASSIGN_OR_RETURN(EntityHeader h, DecodeEntityHeader(buf));
+    HAZY_ASSIGN_OR_RETURN(EntityHeader h, ReadEntityHeader(*heap_, rid));
     return h.label;
   }
-  HAZY_ASSIGN_OR_RETURN(EntityRecord rec, DecodeEntityRecord(buf));
-  return model_.Classify(rec.features);
+  return ClassifyRecordAt(*heap_, rid, model_);
 }
 
 size_t HybridView::EpsMapBytes() const {

@@ -47,8 +47,9 @@ class HybridView : public HazyODView {
   void set_buffer_capacity(size_t capacity) { buffer_capacity_ = capacity; }
 
  protected:
-  StatusOr<int> ReclassifyWindowTuple(int64_t id, storage::Rid rid) override;
-  StatusOr<int> ClassifyTuple(int64_t id, storage::Rid rid) override;
+  Status ClassifyWindow(const std::vector<WindowEntry>& window,
+                        std::vector<int8_t>* labels) override;
+  StatusOr<uint64_t> ReclassifyWindow(const std::vector<WindowEntry>& window) override;
   StatusOr<int> ReadWindowLabel(int64_t id, storage::Rid rid) override;
   void OnReorganized(const std::vector<EntityRecord>& sorted,
                      const std::vector<storage::Rid>& rids) override;

@@ -3,6 +3,7 @@
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "common/timer.h"
+#include "core/scan_pipeline.h"
 #include "persist/serde.h"
 
 namespace hazy::core {
@@ -35,11 +36,9 @@ Status NaiveMMView::AddEntity(const Entity& entity) {
 
 void NaiveMMView::ClassifyAllRows(std::vector<int8_t>* labels) const {
   labels->resize(rows_.size());
-  ParallelFor(rows_.size(), kDefaultMinParallelRows, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      (*labels)[i] = static_cast<int8_t>(model_.Classify(rows_[i].features));
-    }
-  });
+  ClassifyRange(rows_.size(), model_, kDefaultMinParallelRows,
+                [&](size_t i) -> const ml::FeatureVector& { return rows_[i].features; },
+                labels->data());
 }
 
 void NaiveMMView::ReclassifyAll() {
@@ -93,6 +92,7 @@ StatusOr<int> NaiveMMView::SingleEntityRead(int64_t id) {
 StatusOr<std::vector<int64_t>> NaiveMMView::AllMembers(int label) {
   ++stats_.all_members_queries;
   std::vector<int64_t> out;
+  out.reserve(rows_.size());
   if (options_.mode == Mode::kEager) {
     for (const auto& r : rows_) {
       if (r.label == label) out.push_back(r.id);

@@ -1,7 +1,10 @@
 #include "core/naive_od.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 #include "common/timer.h"
+#include "core/scan_pipeline.h"
 #include "persist/serde.h"
 
 namespace hazy::core {
@@ -49,26 +52,12 @@ Status NaiveODView::AddEntity(const Entity& entity) {
 }
 
 Status NaiveODView::ReclassifyAll() {
-  Status inner;
-  Status s = heap_.Scan([&](storage::Rid rid, std::string_view bytes) {
-    auto rec = DecodeEntityRecord(bytes);
-    if (!rec.ok()) {
-      inner = rec.status();
-      return false;
-    }
-    int label = model_.Classify(rec->features);
-    ++stats_.tuples_scanned;
-    if (label != rec->label) {
-      ++stats_.label_flips;
-      inner = heap_.Patch(rid, [&](char* head, size_t size) {
-        PatchLabel(head, size, label);
-      });
-      if (!inner.ok()) return false;
-    }
-    return true;
-  });
-  HAZY_RETURN_NOT_OK(inner);
-  return s;
+  // The eager relabel sweep, page-striped and strip-scored through the scan
+  // pipeline (labels are patched in place on each worker's own pages).
+  HAZY_ASSIGN_OR_RETURN(uint64_t flips,
+                        RelabelHeapScan(&heap_, model_, &stats_.tuples_scanned));
+  stats_.label_flips += flips;
+  return Status::OK();
 }
 
 Status NaiveODView::Update(const ml::LabeledExample& example) {
@@ -98,47 +87,76 @@ Status NaiveODView::UpdateBatch(Span<const ml::LabeledExample> batch) {
 StatusOr<int> NaiveODView::SingleEntityRead(int64_t id) {
   ++stats_.single_reads;
   HAZY_ASSIGN_OR_RETURN(storage::Rid rid, id_index_.Get(id));
-  std::string buf;
-  HAZY_RETURN_NOT_OK(heap_.Get(rid, &buf));
   ++stats_.reads_from_store;
   if (options_.mode == Mode::kEager) {
-    HAZY_ASSIGN_OR_RETURN(EntityHeader h, DecodeEntityHeader(buf));
+    HAZY_ASSIGN_OR_RETURN(EntityHeader h, ReadEntityHeader(heap_, rid));
     return h.label;
   }
-  HAZY_ASSIGN_OR_RETURN(EntityRecord rec, DecodeEntityRecord(buf));
-  return model_.Classify(rec.features);
+  return ClassifyRecordAt(heap_, rid, model_);
 }
 
 StatusOr<std::vector<int64_t>> NaiveODView::AllMembers(int label) {
   ++stats_.all_members_queries;
-  std::vector<int64_t> out;
-  Status inner;
-  HAZY_RETURN_NOT_OK(heap_.Scan([&](storage::Rid, std::string_view bytes) {
-    ++stats_.tuples_scanned;
-    if (options_.mode == Mode::kEager) {
-      auto h = DecodeEntityHeader(bytes);
+  if (options_.mode == Mode::kEager) {
+    // Labels are materialized; a header-only pass suffices (overflow
+    // feature payloads are never touched).
+    std::vector<int64_t> out;
+    out.reserve(num_rows_);
+    Status inner;
+    HAZY_RETURN_NOT_OK(heap_.ScanHeads([&](storage::Rid, std::string_view head, bool) {
+      ++stats_.tuples_scanned;
+      auto h = DecodeEntityHeader(head);
       if (!h.ok()) {
         inner = h.status();
         return false;
       }
       if (h->label == label) out.push_back(h->id);
-    } else {
-      auto rec = DecodeEntityRecord(bytes);
-      if (!rec.ok()) {
-        inner = rec.status();
-        return false;
-      }
-      if (model_.Classify(rec->features) == label) out.push_back(rec->id);
-    }
-    return true;
-  }));
-  HAZY_RETURN_NOT_OK(inner);
+      return true;
+    }));
+    HAZY_RETURN_NOT_OK(inner);
+    return out;
+  }
+  // Lazy: the whole heap is rescored through the zero-copy pipeline.
+  std::vector<std::vector<int64_t>> chunks(HeapScanChunks(heap_));
+  for (auto& c : chunks) c.reserve(num_rows_ / chunks.size() + 1);
+  HAZY_RETURN_NOT_OK(ScoreHeapScan(
+      heap_, model_, [&](size_t chunk, const ScoredRow& row) {
+        if (ml::SignOf(row.eps) == label) chunks[chunk].push_back(row.id);
+      }));
+  std::vector<int64_t> out;
+  out.reserve(num_rows_);
+  for (const auto& c : chunks) out.insert(out.end(), c.begin(), c.end());
+  stats_.tuples_scanned += num_rows_;
   return out;
 }
 
 StatusOr<uint64_t> NaiveODView::AllMembersCount(int label) {
-  HAZY_ASSIGN_OR_RETURN(std::vector<int64_t> members, AllMembers(label));
-  return static_cast<uint64_t>(members.size());
+  ++stats_.all_members_queries;
+  if (options_.mode == Mode::kEager) {
+    uint64_t n = 0;
+    Status inner;
+    HAZY_RETURN_NOT_OK(heap_.ScanHeads([&](storage::Rid, std::string_view head, bool) {
+      ++stats_.tuples_scanned;
+      auto h = DecodeEntityHeader(head);
+      if (!h.ok()) {
+        inner = h.status();
+        return false;
+      }
+      if (h->label == label) ++n;
+      return true;
+    }));
+    HAZY_RETURN_NOT_OK(inner);
+    return n;
+  }
+  std::vector<uint64_t> counts(HeapScanChunks(heap_), 0);
+  HAZY_RETURN_NOT_OK(ScoreHeapScan(
+      heap_, model_, [&](size_t chunk, const ScoredRow& row) {
+        if (ml::SignOf(row.eps) == label) ++counts[chunk];
+      }));
+  stats_.tuples_scanned += num_rows_;
+  uint64_t n = 0;
+  for (uint64_t c : counts) n += c;
+  return n;
 }
 
 namespace {

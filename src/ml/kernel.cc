@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "ml/simd.h"
+
 namespace hazy::ml {
 
 namespace {
@@ -20,6 +22,20 @@ void ForEachDiff(const FeatureVector& x, const FeatureVector& y, Fn fn) {
 
 double KernelValue(KernelKind kind, double gamma, const FeatureVector& x,
                    const FeatureVector& y) {
+  if (x.is_dense() && y.is_dense() && x.dim() == y.dim()) {
+    // Both operands are contiguous doubles of the same length (the common
+    // case for kernel views over dense corpora): skip the merge scratch and
+    // use the vectorized distance kernels.
+    switch (kind) {
+      case KernelKind::kRbf:
+        return std::exp(
+            -gamma * simd::SquaredDistance(x.values().data(), y.values().data(),
+                                           x.dim()));
+      case KernelKind::kLaplacian:
+        return std::exp(
+            -gamma * simd::L1Distance(x.values().data(), y.values().data(), x.dim()));
+    }
+  }
   double acc = 0.0;
   switch (kind) {
     case KernelKind::kRbf:

@@ -1,5 +1,7 @@
 #include "ml/sgd.h"
 
+#include "ml/simd.h"
+
 namespace hazy::ml {
 
 void SgdTrainer::Step(LinearModel* model, const FeatureVector& x, int y) {
@@ -24,7 +26,7 @@ void SgdTrainer::Step(LinearModel* model, const FeatureVector& x, int y) {
   // regularized (standard practice; matches the SVM formulation in A.1).
   const double shrink = 1.0 - eta * options_.lambda;
   if (shrink != 1.0) {
-    for (double& wi : model->w) wi *= shrink;
+    simd::Scale(model->w.data(), model->w.size(), shrink);
   }
   if (g != 0.0) {
     // z = w·x − b, so dL/dw = g·x and dL/db = −g.

@@ -1,0 +1,209 @@
+#include "ml/simd.h"
+
+#include <cmath>
+#include <cstring>
+
+// This translation unit is compiled WITHOUT AVX2 flags: it holds the
+// canonical scalar kernels and the runtime dispatch. The AVX2/FMA bodies
+// live in ml/simd_avx2.cc (the only TU built with -mavx2 -mfma), selected
+// here per call via a cached cpuid check — so one binary runs correctly on
+// pre-AVX2 hardware and fast on everything else, with bit-identical
+// results either way.
+
+namespace hazy::ml::simd {
+
+namespace {
+
+inline double LoadF64(const double* p) {
+  double v;
+  std::memcpy(&v, p, sizeof(double));
+  return v;
+}
+
+inline uint32_t LoadU32(const uint32_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(uint32_t));
+  return v;
+}
+
+#ifdef HAZY_HAVE_AVX2
+bool DetectAvx2() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+inline bool UseAvx2() {
+  static const bool have = DetectAvx2();
+  return have;
+}
+#endif
+
+// Pulls a view's whole payload toward the cache; shared by the scalar
+// strip loop (see the AVX2 twin in simd_avx2.cc).
+inline void PrefetchView(const FeatureVectorView& v) {
+  const char* p = reinterpret_cast<const char*>(v.values_ptr());
+  size_t bytes = static_cast<size_t>(v.size()) * sizeof(double);
+  if (bytes > 512) bytes = 512;
+  for (size_t off = 0; off < bytes; off += 64) __builtin_prefetch(p + off);
+}
+
+}  // namespace
+
+namespace detail {
+
+double DotSparseGuarded(const uint32_t* idx, const double* val, size_t nnz,
+                        const double* w, size_t wn) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= nnz; i += 4) {
+    uint32_t j0 = LoadU32(idx + i), j1 = LoadU32(idx + i + 1);
+    uint32_t j2 = LoadU32(idx + i + 2), j3 = LoadU32(idx + i + 3);
+    if (j0 < wn) acc0 = std::fma(LoadF64(val + i), w[j0], acc0);
+    if (j1 < wn) acc1 = std::fma(LoadF64(val + i + 1), w[j1], acc1);
+    if (j2 < wn) acc2 = std::fma(LoadF64(val + i + 2), w[j2], acc2);
+    if (j3 < wn) acc3 = std::fma(LoadF64(val + i + 3), w[j3], acc3);
+  }
+  double acc = (acc0 + acc2) + (acc1 + acc3);
+  for (; i < nnz; ++i) {
+    uint32_t j = LoadU32(idx + i);
+    if (j < wn) acc = std::fma(LoadF64(val + i), w[j], acc);
+  }
+  return acc;
+}
+
+}  // namespace detail
+
+const char* KernelName() {
+#ifdef HAZY_HAVE_AVX2
+  if (UseAvx2()) return "avx2-fma";
+#endif
+  return "scalar";
+}
+
+double DotDenseScalar(const double* x, const double* w, size_t n) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 = std::fma(LoadF64(x + i), w[i], acc0);
+    acc1 = std::fma(LoadF64(x + i + 1), w[i + 1], acc1);
+    acc2 = std::fma(LoadF64(x + i + 2), w[i + 2], acc2);
+    acc3 = std::fma(LoadF64(x + i + 3), w[i + 3], acc3);
+  }
+  double acc = (acc0 + acc2) + (acc1 + acc3);
+  for (; i < n; ++i) acc = std::fma(LoadF64(x + i), w[i], acc);
+  return acc;
+}
+
+double DotSparseScalar(const uint32_t* idx, const double* val, size_t nnz,
+                       const double* w, size_t wn) {
+  if (nnz == 0) return 0.0;
+  if (LoadU32(idx + nnz - 1) >= wn) {
+    return detail::DotSparseGuarded(idx, val, nnz, w, wn);
+  }
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= nnz; i += 4) {
+    acc0 = std::fma(LoadF64(val + i), w[LoadU32(idx + i)], acc0);
+    acc1 = std::fma(LoadF64(val + i + 1), w[LoadU32(idx + i + 1)], acc1);
+    acc2 = std::fma(LoadF64(val + i + 2), w[LoadU32(idx + i + 2)], acc2);
+    acc3 = std::fma(LoadF64(val + i + 3), w[LoadU32(idx + i + 3)], acc3);
+  }
+  double acc = (acc0 + acc2) + (acc1 + acc3);
+  for (; i < nnz; ++i) acc = std::fma(LoadF64(val + i), w[LoadU32(idx + i)], acc);
+  return acc;
+}
+
+double DotDense(const double* x, const double* w, size_t n) {
+#ifdef HAZY_HAVE_AVX2
+  if (UseAvx2()) return avx2::DotDense(x, w, n);
+#endif
+  return DotDenseScalar(x, w, n);
+}
+
+double DotSparse(const uint32_t* idx, const double* val, size_t nnz,
+                 const double* w, size_t wn) {
+#ifdef HAZY_HAVE_AVX2
+  if (UseAvx2()) return avx2::DotSparse(idx, val, nnz, w, wn);
+#endif
+  return DotSparseScalar(idx, val, nnz, w, wn);
+}
+
+void AxpyDense(double scale, const double* x, double* w, size_t n) {
+#ifdef HAZY_HAVE_AVX2
+  if (UseAvx2()) return avx2::AxpyDense(scale, x, w, n);
+#endif
+  for (size_t i = 0; i < n; ++i) w[i] = std::fma(scale, LoadF64(x + i), w[i]);
+}
+
+void AxpySparse(double scale, const uint32_t* idx, const double* val,
+                size_t nnz, double* w) {
+  for (size_t i = 0; i < nnz; ++i) {
+    uint32_t j = LoadU32(idx + i);
+    w[j] = std::fma(scale, LoadF64(val + i), w[j]);
+  }
+}
+
+void Scale(double* w, size_t n, double s) {
+#ifdef HAZY_HAVE_AVX2
+  if (UseAvx2()) return avx2::Scale(w, n, s);
+#endif
+  for (size_t i = 0; i < n; ++i) w[i] *= s;
+}
+
+double SquaredDistance(const double* x, const double* y, size_t n) {
+#ifdef HAZY_HAVE_AVX2
+  if (UseAvx2()) return avx2::SquaredDistance(x, y, n);
+#endif
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    double d0 = LoadF64(x + i) - LoadF64(y + i);
+    double d1 = LoadF64(x + i + 1) - LoadF64(y + i + 1);
+    double d2 = LoadF64(x + i + 2) - LoadF64(y + i + 2);
+    double d3 = LoadF64(x + i + 3) - LoadF64(y + i + 3);
+    acc0 = std::fma(d0, d0, acc0);
+    acc1 = std::fma(d1, d1, acc1);
+    acc2 = std::fma(d2, d2, acc2);
+    acc3 = std::fma(d3, d3, acc3);
+  }
+  double acc = (acc0 + acc2) + (acc1 + acc3);
+  for (; i < n; ++i) {
+    double d = LoadF64(x + i) - LoadF64(y + i);
+    acc = std::fma(d, d, acc);
+  }
+  return acc;
+}
+
+double L1Distance(const double* x, const double* y, size_t n) {
+#ifdef HAZY_HAVE_AVX2
+  if (UseAvx2()) return avx2::L1Distance(x, y, n);
+#endif
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += std::fabs(LoadF64(x + i) - LoadF64(y + i));
+    acc1 += std::fabs(LoadF64(x + i + 1) - LoadF64(y + i + 1));
+    acc2 += std::fabs(LoadF64(x + i + 2) - LoadF64(y + i + 2));
+    acc3 += std::fabs(LoadF64(x + i + 3) - LoadF64(y + i + 3));
+  }
+  double acc = (acc0 + acc2) + (acc1 + acc3);
+  for (; i < n; ++i) acc += std::fabs(LoadF64(x + i) - LoadF64(y + i));
+  return acc;
+}
+
+void ScoreStrip(const FeatureVectorView* views, size_t n, const double* w,
+                size_t wn, double b, double* eps_out) {
+#ifdef HAZY_HAVE_AVX2
+  if (UseAvx2()) return avx2::ScoreStrip(views, n, w, wn, b, eps_out);
+#endif
+  if (n > 0) PrefetchView(views[0]);
+  for (size_t i = 0; i < n; ++i) {
+    const FeatureVectorView& v = views[i];
+    if (i + 1 < n) PrefetchView(views[i + 1]);
+    double dot = v.is_dense()
+                     ? DotDenseScalar(v.values_ptr(), w, v.size() < wn ? v.size() : wn)
+                     : DotSparseScalar(v.indices_ptr(), v.values_ptr(), v.size(), w, wn);
+    eps_out[i] = dot - b;
+  }
+}
+
+}  // namespace hazy::ml::simd

@@ -1,0 +1,207 @@
+// AVX2/FMA kernel implementations. This is the only translation unit built
+// with -mavx2 -mfma (see CMakeLists.txt): keeping every AVX2 instruction
+// here lets ml/simd.cc dispatch on cpuid at runtime — the rest of the
+// binary (including the scalar fallback kernels) never emits AVX2, so the
+// same build runs on pre-AVX2 hardware.
+//
+// Bit-compatibility: every kernel realizes the canonical summation order
+// documented in ml/simd.h — a 256-bit fmadd over doubles is exactly the
+// four fma stripes of the scalar reference, and Reduce4 is the same
+// (a0 + a2) + (a1 + a3) tree.
+
+#include "ml/simd.h"
+
+#ifdef HAZY_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstring>
+
+namespace hazy::ml::simd::avx2 {
+
+namespace {
+
+inline double LoadF64(const double* p) {
+  double v;
+  std::memcpy(&v, p, sizeof(double));
+  return v;
+}
+
+inline uint32_t LoadU32(const uint32_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(uint32_t));
+  return v;
+}
+
+// Reduces a 4-lane accumulator as (l0 + l2) + (l1 + l3) — the same tree the
+// scalar reference uses, so the two paths agree bit for bit.
+inline double Reduce4(__m256d acc) {
+  __m128d lo = _mm256_castpd256_pd128(acc);    // l0, l1
+  __m128d hi = _mm256_extractf128_pd(acc, 1);  // l2, l3
+  __m128d s = _mm_add_pd(lo, hi);              // l0+l2, l1+l3
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+// Pulls a view's whole payload toward the cache (a dense 54-dim vector is
+// seven cache lines; touching only the first one leaves the dot stalled on
+// the other six).
+inline void PrefetchView(const FeatureVectorView& v) {
+  const char* p = reinterpret_cast<const char*>(v.values_ptr());
+  size_t bytes = static_cast<size_t>(v.size()) * sizeof(double);
+  if (bytes > 512) bytes = 512;  // cap the instruction overhead per view
+  for (size_t off = 0; off < bytes; off += 64) __builtin_prefetch(p + off);
+}
+
+// Scores four equal-length dense rows in one pass: each row keeps its own
+// 4-lane accumulator (so its summation order is exactly DotDense's), the
+// four fma chains are independent (hiding each other's load latency), and
+// the weight vector is loaded once per stripe instead of four times.
+inline void Score4DenseEqual(const double* x0, const double* x1, const double* x2,
+                             const double* x3, const double* w, size_t n, double b,
+                             double* eps) {
+  __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd();
+  __m256d a2 = _mm256_setzero_pd(), a3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d wv = _mm256_loadu_pd(w + i);
+    a0 = _mm256_fmadd_pd(_mm256_loadu_pd(x0 + i), wv, a0);
+    a1 = _mm256_fmadd_pd(_mm256_loadu_pd(x1 + i), wv, a1);
+    a2 = _mm256_fmadd_pd(_mm256_loadu_pd(x2 + i), wv, a2);
+    a3 = _mm256_fmadd_pd(_mm256_loadu_pd(x3 + i), wv, a3);
+  }
+  double d0 = Reduce4(a0), d1 = Reduce4(a1), d2 = Reduce4(a2), d3 = Reduce4(a3);
+  for (; i < n; ++i) {
+    d0 = std::fma(LoadF64(x0 + i), w[i], d0);
+    d1 = std::fma(LoadF64(x1 + i), w[i], d1);
+    d2 = std::fma(LoadF64(x2 + i), w[i], d2);
+    d3 = std::fma(LoadF64(x3 + i), w[i], d3);
+  }
+  eps[0] = d0 - b;
+  eps[1] = d1 - b;
+  eps[2] = d2 - b;
+  eps[3] = d3 - b;
+}
+
+}  // namespace
+
+double DotDense(const double* x, const double* w, size_t n) {
+  __m256d vacc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vacc = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(w + i), vacc);
+  }
+  double acc = Reduce4(vacc);
+  for (; i < n; ++i) acc = std::fma(LoadF64(x + i), w[i], acc);
+  return acc;
+}
+
+double DotSparse(const uint32_t* idx, const double* val, size_t nnz,
+                 const double* w, size_t wn) {
+  if (nnz == 0) return 0.0;
+  if (LoadU32(idx + nnz - 1) >= wn) {
+    return detail::DotSparseGuarded(idx, val, nnz, w, wn);
+  }
+  __m256d vacc = _mm256_setzero_pd();
+  // All-lanes mask + zeroed source: the masked gather form keeps GCC's
+  // uninitialized-value analysis quiet (the plain intrinsic seeds itself
+  // with _mm256_undefined_pd) at identical cost.
+  const __m256d gather_mask = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  size_t i = 0;
+  for (; i + 4 <= nnz; i += 4) {
+    __m128i j = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    __m256d gathered =
+        _mm256_mask_i32gather_pd(_mm256_setzero_pd(), w, j, gather_mask, 8);
+    vacc = _mm256_fmadd_pd(_mm256_loadu_pd(val + i), gathered, vacc);
+  }
+  double acc = Reduce4(vacc);
+  for (; i < nnz; ++i) acc = std::fma(LoadF64(val + i), w[LoadU32(idx + i)], acc);
+  return acc;
+}
+
+void AxpyDense(double scale, const double* x, double* w, size_t n) {
+  __m256d vs = _mm256_set1_pd(scale);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d r = _mm256_fmadd_pd(vs, _mm256_loadu_pd(x + i), _mm256_loadu_pd(w + i));
+    _mm256_storeu_pd(w + i, r);
+  }
+  for (; i < n; ++i) w[i] = std::fma(scale, LoadF64(x + i), w[i]);
+}
+
+void Scale(double* w, size_t n, double s) {
+  __m256d vs = _mm256_set1_pd(s);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(w + i, _mm256_mul_pd(_mm256_loadu_pd(w + i), vs));
+  }
+  for (; i < n; ++i) w[i] *= s;
+}
+
+double SquaredDistance(const double* x, const double* y, size_t n) {
+  __m256d vacc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d d = _mm256_sub_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    vacc = _mm256_fmadd_pd(d, d, vacc);
+  }
+  double acc = Reduce4(vacc);
+  for (; i < n; ++i) {
+    double d = LoadF64(x + i) - LoadF64(y + i);
+    acc = std::fma(d, d, acc);
+  }
+  return acc;
+}
+
+double L1Distance(const double* x, const double* y, size_t n) {
+  // |d| = clear the sign bit.
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d vacc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d d = _mm256_sub_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    vacc = _mm256_add_pd(vacc, _mm256_andnot_pd(sign_mask, d));
+  }
+  double acc = Reduce4(vacc);
+  for (; i < n; ++i) acc += std::fabs(LoadF64(x + i) - LoadF64(y + i));
+  return acc;
+}
+
+void ScoreStrip(const FeatureVectorView* views, size_t n, const double* w,
+                size_t wn, double b, double* eps_out) {
+  if (n > 0) PrefetchView(views[0]);
+  size_t i = 0;
+  while (i < n) {
+    // Four-row blocks when the next rows are dense with one common clamped
+    // length (the typical page of a fixed-dim corpus).
+    if (i + 4 <= n && views[i].is_dense()) {
+      size_t len = views[i].size() < wn ? views[i].size() : wn;
+      bool block_ok = true;
+      for (size_t k = 1; k < 4; ++k) {
+        const FeatureVectorView& vk = views[i + k];
+        if (!vk.is_dense() || (vk.size() < wn ? vk.size() : wn) != len) {
+          block_ok = false;
+          break;
+        }
+      }
+      if (block_ok) {
+        for (size_t k = 4; k < 8 && i + k < n; ++k) PrefetchView(views[i + k]);
+        Score4DenseEqual(views[i].values_ptr(), views[i + 1].values_ptr(),
+                         views[i + 2].values_ptr(), views[i + 3].values_ptr(), w,
+                         len, b, eps_out + i);
+        i += 4;
+        continue;
+      }
+    }
+    const FeatureVectorView& v = views[i];
+    if (i + 1 < n) PrefetchView(views[i + 1]);
+    double dot = v.is_dense() ? DotDense(v.values_ptr(), w, v.size() < wn ? v.size() : wn)
+                              : DotSparse(v.indices_ptr(), v.values_ptr(), v.size(), w, wn);
+    eps_out[i] = dot - b;
+    ++i;
+  }
+}
+
+}  // namespace hazy::ml::simd::avx2
+
+#endif  // HAZY_HAVE_AVX2

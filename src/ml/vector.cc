@@ -4,11 +4,11 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "ml/simd.h"
 #include "storage/coding.h"
 
 namespace hazy::ml {
 
-using storage::GetDouble;
 using storage::GetFixed32;
 using storage::PutDouble;
 using storage::PutFixed32;
@@ -53,26 +53,20 @@ size_t FeatureVector::nnz() const {
 }
 
 double FeatureVector::Dot(const std::vector<double>& w) const {
-  double acc = 0.0;
   if (dense_) {
-    size_t n = std::min(values_.size(), w.size());
-    for (size_t i = 0; i < n; ++i) acc += values_[i] * w[i];
-  } else {
-    for (size_t i = 0; i < indices_.size(); ++i) {
-      if (indices_[i] < w.size()) acc += values_[i] * w[indices_[i]];
-    }
+    return simd::DotDense(values_.data(), w.data(), std::min(values_.size(), w.size()));
   }
-  return acc;
+  return simd::DotSparse(indices_.data(), values_.data(), indices_.size(), w.data(),
+                         w.size());
 }
 
 void FeatureVector::AddTo(std::vector<double>* w, double scale) const {
   if (w->size() < dim_) w->resize(dim_, 0.0);
   if (dense_) {
-    for (size_t i = 0; i < values_.size(); ++i) (*w)[i] += scale * values_[i];
+    simd::AxpyDense(scale, values_.data(), w->data(), values_.size());
   } else {
-    for (size_t i = 0; i < indices_.size(); ++i) {
-      (*w)[indices_[i]] += scale * values_[i];
-    }
+    simd::AxpySparse(scale, indices_.data(), values_.data(), indices_.size(),
+                     w->data());
   }
 }
 
@@ -97,14 +91,6 @@ double FeatureVector::Norm(double p) const {
   return std::pow(s, 1.0 / p);
 }
 
-void FeatureVector::ForEach(const std::function<void(uint32_t, double)>& fn) const {
-  if (dense_) {
-    for (uint32_t i = 0; i < values_.size(); ++i) fn(i, values_[i]);
-  } else {
-    for (size_t i = 0; i < indices_.size(); ++i) fn(indices_[i], values_[i]);
-  }
-}
-
 double FeatureVector::At(uint32_t i) const {
   if (dense_) {
     return i < values_.size() ? values_[i] : 0.0;
@@ -124,41 +110,84 @@ void FeatureVector::EncodeTo(std::string* out) const {
   out->push_back(dense_ ? 1 : 0);
   PutFixed32(out, dim_);
   if (dense_) {
-    for (double v : values_) PutDouble(out, v);
-  } else {
-    PutFixed32(out, static_cast<uint32_t>(indices_.size()));
-    for (size_t i = 0; i < indices_.size(); ++i) {
-      PutFixed32(out, indices_[i]);
-      PutDouble(out, values_[i]);
-    }
+    out->append(reinterpret_cast<const char*>(values_.data()),
+                values_.size() * sizeof(double));
+    return;
   }
+  // Parallel arrays (all indices, then all values) so on-disk payloads can
+  // be scored through FeatureVectorView without materializing.
+  PutFixed32(out, static_cast<uint32_t>(indices_.size()));
+  out->append(reinterpret_cast<const char*>(indices_.data()),
+              indices_.size() * sizeof(uint32_t));
+  out->append(reinterpret_cast<const char*>(values_.data()),
+              values_.size() * sizeof(double));
+}
+
+bool FeatureVectorView::TryParse(std::string_view* src, FeatureVectorView* out) {
+  if (src->empty()) return false;
+  out->dense_ = (*src)[0] != 0;
+  src->remove_prefix(1);
+  if (!GetFixed32(src, &out->dim_)) return false;
+  if (out->dense_) {
+    out->nnz_ = out->dim_;
+    size_t bytes = static_cast<size_t>(out->dim_) * sizeof(double);
+    if (src->size() < bytes) return false;
+    out->values_ = src->data();
+    src->remove_prefix(bytes);
+    return true;
+  }
+  if (!GetFixed32(src, &out->nnz_)) return false;
+  size_t idx_bytes = static_cast<size_t>(out->nnz_) * sizeof(uint32_t);
+  size_t val_bytes = static_cast<size_t>(out->nnz_) * sizeof(double);
+  if (src->size() < idx_bytes + val_bytes) return false;
+  out->indices_ = src->data();
+  out->values_ = src->data() + idx_bytes;
+  // The sparse kernels bound-check only the LAST index (sortedness makes
+  // that cover the rest), so a view over untrusted bytes must verify the
+  // strictly-increasing invariant here or a corrupt tuple could gather far
+  // outside the weight vector. One sequential pass over indices the dot is
+  // about to read anyway.
+  uint32_t prev = 0;
+  for (uint32_t i = 0; i < out->nnz_; ++i) {
+    uint32_t idx = out->index(i);
+    if (idx >= out->dim_ || (i > 0 && idx <= prev)) return false;
+    prev = idx;
+  }
+  src->remove_prefix(idx_bytes + val_bytes);
+  return true;
+}
+
+StatusOr<FeatureVectorView> FeatureVectorView::Parse(std::string_view* src) {
+  FeatureVectorView v;
+  if (!TryParse(src, &v)) return Status::Corruption("feature vector truncated");
+  return v;
+}
+
+FeatureVector FeatureVectorView::Materialize() const {
+  if (dense_) {
+    std::vector<double> values(nnz_);
+    if (nnz_ > 0) std::memcpy(values.data(), values_, nnz_ * sizeof(double));
+    return FeatureVector::Dense(std::move(values));
+  }
+  std::vector<uint32_t> indices(nnz_);
+  std::vector<double> values(nnz_);
+  if (nnz_ > 0) {
+    std::memcpy(indices.data(), indices_, nnz_ * sizeof(uint32_t));
+    std::memcpy(values.data(), values_, nnz_ * sizeof(double));
+  }
+  return FeatureVector::Sparse(std::move(indices), std::move(values), dim_);
+}
+
+double FeatureVectorView::Dot(const double* w, size_t wn) const {
+  if (dense_) {
+    return simd::DotDense(values_ptr(), w, nnz_ < wn ? nnz_ : wn);
+  }
+  return simd::DotSparse(indices_ptr(), values_ptr(), nnz_, w, wn);
 }
 
 StatusOr<FeatureVector> FeatureVector::DecodeFrom(std::string_view* src) {
-  if (src->empty()) return Status::Corruption("feature vector truncated");
-  bool dense = (*src)[0] != 0;
-  src->remove_prefix(1);
-  uint32_t dim;
-  if (!GetFixed32(src, &dim)) return Status::Corruption("feature vector truncated (dim)");
-  if (dense) {
-    std::vector<double> values(dim);
-    for (uint32_t i = 0; i < dim; ++i) {
-      if (!GetDouble(src, &values[i])) {
-        return Status::Corruption("feature vector truncated (dense values)");
-      }
-    }
-    return Dense(std::move(values));
-  }
-  uint32_t nnz;
-  if (!GetFixed32(src, &nnz)) return Status::Corruption("feature vector truncated (nnz)");
-  std::vector<uint32_t> indices(nnz);
-  std::vector<double> values(nnz);
-  for (uint32_t i = 0; i < nnz; ++i) {
-    if (!GetFixed32(src, &indices[i]) || !GetDouble(src, &values[i])) {
-      return Status::Corruption("feature vector truncated (sparse entries)");
-    }
-  }
-  return Sparse(std::move(indices), std::move(values), dim);
+  HAZY_ASSIGN_OR_RETURN(FeatureVectorView view, FeatureVectorView::Parse(src));
+  return view.Materialize();
 }
 
 bool FeatureVector::operator==(const FeatureVector& o) const {

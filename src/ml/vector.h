@@ -1,12 +1,26 @@
 // Feature vectors: the f in In(id, f). Both representations the paper uses
 // are supported — dense (Forest: 54 doubles) and sparse (DBLife/Citeseer:
 // bag-of-words with ~7-60 non-zeros out of 41k-682k dimensions).
+//
+// Two forms:
+//   FeatureVector      owns its arrays (training examples, MM rows, models).
+//   FeatureVectorView  borrows bytes in place — either an owning vector's
+//                      arrays or the encoded payload of an on-disk tuple —
+//                      so the scan path scores records with zero per-tuple
+//                      allocations. Views are trivially copyable and valid
+//                      only while the backing bytes (page pin, string,
+//                      vector) are.
+//
+// Encoded layout (also the on-disk tuple payload; parallel arrays so views
+// are zero-copy):
+//   dense:  u8 tag=1, u32 dim, dim raw doubles
+//   sparse: u8 tag=0, u32 dim, u32 nnz, nnz raw u32 indices, nnz raw doubles
 
 #ifndef HAZY_ML_VECTOR_H_
 #define HAZY_ML_VECTOR_H_
 
 #include <cstdint>
-#include <functional>
+#include <cstring>
 #include <limits>
 #include <string>
 #include <string_view>
@@ -43,6 +57,11 @@ class FeatureVector {
   uint32_t dim() const { return dim_; }
   size_t nnz() const;
 
+  /// The value array (length dim() when dense, nnz() when sparse).
+  const std::vector<double>& values() const { return values_; }
+  /// The sorted index array (sparse only; empty when dense).
+  const std::vector<uint32_t>& indices() const { return indices_; }
+
   /// Dot product with a dense weight vector; weights beyond w.size() are 0.
   double Dot(const std::vector<double>& w) const;
 
@@ -53,7 +72,14 @@ class FeatureVector {
   double Norm(double p) const;
 
   /// Calls fn(index, value) for each (structurally) non-zero component.
-  void ForEach(const std::function<void(uint32_t, double)>& fn) const;
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (dense_) {
+      for (uint32_t i = 0; i < values_.size(); ++i) fn(i, values_[i]);
+    } else {
+      for (size_t i = 0; i < indices_.size(); ++i) fn(indices_[i], values_[i]);
+    }
+  }
 
   /// Component access (O(log nnz) for sparse).
   double At(uint32_t i) const;
@@ -74,6 +100,86 @@ class FeatureVector {
   uint32_t dim_ = 0;
   std::vector<double> values_;
   std::vector<uint32_t> indices_;  // sparse only
+};
+
+/// \brief Non-owning dense/sparse view over a feature vector's arrays.
+///
+/// The arrays are raw little-endian/host byte ranges: views parsed out of
+/// encoded tuple bytes point straight into the page (unaligned is fine —
+/// all access goes through memcpy loads or unaligned SIMD loads), and views
+/// over an owning FeatureVector point at its vectors. Scoring goes through
+/// the ml/simd.h kernels, so a view and the vector it was parsed from
+/// produce bit-identical eps values.
+class FeatureVectorView {
+ public:
+  FeatureVectorView() = default;
+
+  /// A view borrowing an owning vector's arrays (valid while `v` lives and
+  /// is not mutated).
+  static FeatureVectorView Of(const FeatureVector& v) {
+    FeatureVectorView view;
+    view.dense_ = v.is_dense();
+    view.dim_ = v.dim();
+    view.nnz_ = static_cast<uint32_t>(v.values().size());
+    view.values_ = reinterpret_cast<const char*>(v.values().data());
+    view.indices_ = reinterpret_cast<const char*>(v.indices().data());
+    return view;
+  }
+
+  /// Parses a view out of encoded bytes, advancing `src` past the consumed
+  /// prefix. Zero-copy: the view borrows `src`'s bytes.
+  static StatusOr<FeatureVectorView> Parse(std::string_view* src);
+
+  /// Status-free variant for the scan hot loop: false on truncation.
+  static bool TryParse(std::string_view* src, FeatureVectorView* out);
+
+  bool is_dense() const { return dense_; }
+  uint32_t dim() const { return dim_; }
+  /// Stored entry count (dim when dense, non-zeros when sparse).
+  uint32_t size() const { return nnz_; }
+
+  /// Entry i of the value array (unaligned-safe).
+  double value(size_t i) const {
+    double v;
+    std::memcpy(&v, values_ + i * sizeof(double), sizeof(double));
+    return v;
+  }
+  /// Entry i of the index array (sparse only).
+  uint32_t index(size_t i) const {
+    uint32_t v;
+    std::memcpy(&v, indices_ + i * sizeof(uint32_t), sizeof(uint32_t));
+    return v;
+  }
+
+  /// Raw byte pointers for the simd kernels.
+  const double* values_ptr() const { return reinterpret_cast<const double*>(values_); }
+  const uint32_t* indices_ptr() const {
+    return reinterpret_cast<const uint32_t*>(indices_);
+  }
+
+  /// Dot product with a dense weight vector (via the simd kernels).
+  double Dot(const double* w, size_t wn) const;
+  double Dot(const std::vector<double>& w) const { return Dot(w.data(), w.size()); }
+
+  /// Calls fn(index, value) per stored component.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (dense_) {
+      for (uint32_t i = 0; i < nnz_; ++i) fn(i, value(i));
+    } else {
+      for (uint32_t i = 0; i < nnz_; ++i) fn(index(i), value(i));
+    }
+  }
+
+  /// An owning copy (for the cold paths that must outlive the backing page).
+  FeatureVector Materialize() const;
+
+ private:
+  const char* values_ = nullptr;   // nnz_ unaligned doubles
+  const char* indices_ = nullptr;  // sparse: nnz_ unaligned u32s
+  uint32_t dim_ = 0;
+  uint32_t nnz_ = 0;
+  bool dense_ = true;
 };
 
 /// A training example: entity id, features, and a label in {-1, +1}.

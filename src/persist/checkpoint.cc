@@ -31,7 +31,11 @@ namespace {
 
 // The bytes "HAZYDB1\0" read as a little-endian u64.
 constexpr uint64_t kHeaderMagic = 0x00314244595A4148ull;
-constexpr uint32_t kFormatVersion = 1;
+// v2: sparse feature-vector payloads switched from interleaved (idx, val)
+// pairs to parallel arrays (all indices, then all values) for the
+// zero-copy scan path. v1 files would misparse, so they are rejected by
+// the version check rather than read.
+constexpr uint32_t kFormatVersion = 2;
 constexpr size_t kMagicOff = 0;
 constexpr size_t kVersionOff = 8;
 constexpr size_t kMasterHeadOff = 12;

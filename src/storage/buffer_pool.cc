@@ -65,6 +65,7 @@ BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
 }
 
 StatusOr<PageHandle> BufferPool::Fetch(uint32_t page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     ++stats_.hits;
@@ -89,6 +90,7 @@ StatusOr<PageHandle> BufferPool::Fetch(uint32_t page_id) {
 }
 
 StatusOr<PageHandle> BufferPool::New() {
+  std::lock_guard<std::mutex> lock(mu_);
   HAZY_ASSIGN_OR_RETURN(uint32_t page_id, pager_->Allocate());
   HAZY_ASSIGN_OR_RETURN(size_t f, GetVictim());
   Frame& frame = frames_[f];
@@ -101,6 +103,7 @@ StatusOr<PageHandle> BufferPool::New() {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& frame : frames_) {
     if (frame.page_id != kInvalidPageId && frame.dirty) {
       HAZY_RETURN_NOT_OK(pager_->Write(frame.page_id, frame.data.get()));
@@ -112,6 +115,7 @@ Status BufferPool::FlushAll() {
 }
 
 void BufferPool::FreePage(uint32_t page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     Frame& frame = frames_[it->second];
@@ -129,6 +133,7 @@ void BufferPool::FreePage(uint32_t page_id) {
 }
 
 void BufferPool::EvictAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (size_t f = 0; f < frames_.size(); ++f) {
     Frame& frame = frames_[f];
     if (frame.page_id == kInvalidPageId || frame.pin_count > 0) continue;
@@ -147,6 +152,7 @@ void BufferPool::EvictAll() {
 }
 
 void BufferPool::Unpin(size_t f) {
+  std::lock_guard<std::mutex> lock(mu_);
   Frame& frame = frames_[f];
   HAZY_CHECK(frame.pin_count > 0) << "unpin of unpinned frame";
   if (--frame.pin_count == 0) {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -64,8 +65,16 @@ class PageHandle {
 
 /// \brief Fixed-capacity LRU page cache.
 ///
-/// Not thread-safe; the on-disk engines are single-writer and the concurrent
-/// experiments use the main-memory architecture (as in the paper).
+/// Internally synchronized: the page table, LRU list, and pin counts are
+/// guarded by one mutex, so the page-striped parallel scans of the on-disk
+/// read path may Fetch/Release concurrently from pool workers. Page *bytes*
+/// are not locked — concurrent access to the same page's data is safe only
+/// when every accessor is a reader, or when writers own disjoint pages (the
+/// striped relabel sweep mutates only pages of its own stripe). The engines
+/// remain single-writer with respect to structural changes (Append, Free).
+/// Known limit: the mutex is held across pager I/O on a miss, so concurrent
+/// misses serialize — fine for the resident working sets the scans target,
+/// a future per-frame latch for out-of-core striping (see ROADMAP).
 class BufferPool {
  public:
   /// `capacity` is the number of resident frames (capacity * 8 KiB bytes).
@@ -106,11 +115,16 @@ class BufferPool {
   };
 
   void Unpin(size_t frame);
-  void MarkDirtyFrame(size_t frame) { frames_[frame].dirty = true; }
+  void MarkDirtyFrame(size_t frame) {
+    std::lock_guard<std::mutex> lock(mu_);
+    frames_[frame].dirty = true;
+  }
 
   /// Finds a frame to host a new page: a never-used frame, else LRU victim.
+  /// Caller holds mu_.
   StatusOr<size_t> GetVictim();
 
+  mutable std::mutex mu_;
   Pager* pager_;
   std::vector<Frame> frames_;
   std::vector<size_t> free_frames_;

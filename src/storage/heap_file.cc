@@ -7,6 +7,11 @@
 
 namespace hazy::storage {
 
+Status HeapFile::RecordNotFound(Rid rid) {
+  return Status::NotFound(
+      StrFormat("no record at page %u slot %u", rid.page_id, rid.slot));
+}
+
 Status HeapFile::Create() {
   if (first_page_ != kInvalidPageId) {
     return Status::InvalidArgument("heap file already created");
@@ -18,6 +23,7 @@ Status HeapFile::Create() {
   num_pages_ = 1;
   num_overflow_pages_ = 0;
   num_records_ = 0;
+  pages_.assign(1, first_page_);
   return Status::OK();
 }
 
@@ -33,6 +39,34 @@ Status HeapFile::Attach(const HeapFileMeta& meta) {
   num_records_ = meta.num_records;
   num_pages_ = meta.num_pages;
   num_overflow_pages_ = meta.num_overflow_pages;
+  pages_.clear();  // rebuilt lazily by EnsurePageIds on first striped scan
+  return Status::OK();
+}
+
+Status HeapFile::EnsurePageIds() const {
+  if (pages_.size() == num_pages_ || first_page_ == kInvalidPageId) {
+    return Status::OK();
+  }
+  // Rebuild the data-page list from the chain links. One pass over page
+  // headers; bounded by num_pages so a corrupt cycle cannot loop forever.
+  pages_.clear();
+  pages_.reserve(num_pages_);
+  uint32_t pid = first_page_;
+  while (pid != kInvalidPageId) {
+    if (pages_.size() >= num_pages_) {
+      pages_.clear();
+      return Status::Corruption("heap page chain longer than metadata count");
+    }
+    pages_.push_back(pid);
+    HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(pid));
+    pid = SlottedPage(h.data()).next_page();
+  }
+  if (pages_.size() != num_pages_) {
+    size_t got = pages_.size();
+    pages_.clear();
+    return Status::Corruption(StrFormat("heap page chain has %zu pages, metadata says %llu",
+                                        got, static_cast<unsigned long long>(num_pages_)));
+  }
   return Status::OK();
 }
 
@@ -72,6 +106,7 @@ StatusOr<Rid> HeapFile::Append(std::string_view rec) {
   SlottedPage(tail.data()).set_next_page(new_pid);
   tail.MarkDirty();
   last_page_ = new_pid;
+  pages_.push_back(new_pid);
   ++num_pages_;
   ++num_records_;
   return Rid{new_pid, static_cast<uint16_t>(slot)};
@@ -139,6 +174,7 @@ StatusOr<Rid> HeapFile::AppendOverflow(std::string_view rec) {
   SlottedPage(tail_h.data()).set_next_page(new_pid);
   tail_h.MarkDirty();
   last_page_ = new_pid;
+  pages_.push_back(new_pid);
   ++num_pages_;
   ++num_records_;
   return Rid{new_pid, static_cast<uint16_t>(slot)};
@@ -191,12 +227,44 @@ Status HeapFile::FreeOverflowChain(std::string_view stub) {
   return Status::OK();
 }
 
+StatusOr<HeapFile::PageCursor> HeapFile::OpenPage(uint32_t pid) const {
+  PageCursor cur;
+  HAZY_ASSIGN_OR_RETURN(cur.handle_, pool_->Fetch(pid));
+  cur.pid_ = pid;
+  cur.count_ = SlottedPage(cur.handle_.data()).slot_count();
+  return cur;
+}
+
+bool HeapFile::PageCursor::Next() {
+  SlottedPage page(handle_.data());
+  while (slot_ < count_) {
+    uint16_t s = static_cast<uint16_t>(slot_++);
+    uint16_t size = 0;
+    char* data = page.GetMutable(s, &size);
+    if (data == nullptr) continue;
+    if (data[0] == kInlineTag) {
+      head_ = data + 1;
+      bytes_ = std::string_view(head_, size - 1);
+      partial_ = false;
+      return true;
+    }
+    auto head = StubHead(std::string_view(data, size));
+    if (!head.ok()) {
+      status_ = head.status();
+      return false;
+    }
+    head_ = data + kStubHeaderSize;
+    bytes_ = *head;
+    partial_ = true;
+    return true;
+  }
+  return false;
+}
+
 Status HeapFile::Get(Rid rid, std::string* out) const {
   HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(rid.page_id));
   std::string_view rec = SlottedPage(h.data()).Get(rid.slot);
-  if (rec.empty()) {
-    return Status::NotFound(StrFormat("no record at page %u slot %u", rid.page_id, rid.slot));
-  }
+  if (rec.empty()) return RecordNotFound(rid);
   if (rec[0] == kInlineTag) {
     out->assign(rec.data() + 1, rec.size() - 1);
     return Status::OK();
@@ -204,30 +272,11 @@ Status HeapFile::Get(Rid rid, std::string* out) const {
   return MaterializeOverflow(rec, out);
 }
 
-Status HeapFile::Patch(Rid rid, const std::function<void(char*, size_t)>& fn) {
-  HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(rid.page_id));
-  uint16_t size = 0;
-  char* data = SlottedPage(h.data()).GetMutable(rid.slot, &size);
-  if (data == nullptr) {
-    return Status::NotFound(StrFormat("no record at page %u slot %u", rid.page_id, rid.slot));
-  }
-  if (data[0] == kInlineTag) {
-    fn(data + 1, size - 1);
-  } else {
-    uint16_t head_len = DecodeFixed16(data + kStubHeadLenOff);
-    fn(data + kStubHeaderSize, head_len);
-  }
-  h.MarkDirty();
-  return Status::OK();
-}
-
 Status HeapFile::Delete(Rid rid) {
   HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(rid.page_id));
   SlottedPage page(h.data());
   std::string_view rec = page.Get(rid.slot);
-  if (rec.empty()) {
-    return Status::NotFound(StrFormat("no record at page %u slot %u", rid.page_id, rid.slot));
-  }
+  if (rec.empty()) return RecordNotFound(rid);
   if (rec[0] == kOverflowTag) {
     std::string stub(rec);
     h.Release();
@@ -240,67 +289,6 @@ Status HeapFile::Delete(Rid rid) {
   }
   h.MarkDirty();
   --num_records_;
-  return Status::OK();
-}
-
-Status HeapFile::Scan(const std::function<bool(Rid, std::string_view)>& fn) const {
-  return ScanFrom(first_page_, fn);
-}
-
-Status HeapFile::ScanHeads(
-    const std::function<bool(Rid, std::string_view head, bool partial)>& fn) const {
-  uint32_t pid = first_page_;
-  while (pid != kInvalidPageId) {
-    HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(pid));
-    SlottedPage page(h.data());
-    uint16_t count = page.slot_count();
-    uint32_t next = page.next_page();
-    for (uint16_t s = 0; s < count; ++s) {
-      std::string_view rec = page.Get(s);
-      if (rec.empty()) continue;
-      if (rec[0] == kInlineTag) {
-        if (!fn(Rid{pid, s}, rec.substr(1), /*partial=*/false)) return Status::OK();
-      } else {
-        if (rec.size() < kStubHeaderSize) {
-          return Status::Corruption("overflow stub smaller than its header");
-        }
-        uint16_t head_len = DecodeFixed16(rec.data() + kStubHeadLenOff);
-        if (rec.size() < kStubHeaderSize + head_len) {
-          return Status::Corruption("overflow stub truncated");
-        }
-        if (!fn(Rid{pid, s}, rec.substr(kStubHeaderSize, head_len), /*partial=*/true)) {
-          return Status::OK();
-        }
-      }
-    }
-    pid = next;
-  }
-  return Status::OK();
-}
-
-Status HeapFile::ScanFrom(uint32_t start_page,
-                          const std::function<bool(Rid, std::string_view)>& fn) const {
-  uint32_t pid = start_page;
-  std::string scratch;
-  while (pid != kInvalidPageId) {
-    // Collect overflow stubs first so we never re-enter the pool while the
-    // scan page is pinned and the pool is near capacity.
-    HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(pid));
-    SlottedPage page(h.data());
-    uint16_t count = page.slot_count();
-    uint32_t next = page.next_page();
-    for (uint16_t s = 0; s < count; ++s) {
-      std::string_view rec = page.Get(s);
-      if (rec.empty()) continue;
-      if (rec[0] == kInlineTag) {
-        if (!fn(Rid{pid, s}, rec.substr(1))) return Status::OK();
-      } else {
-        HAZY_RETURN_NOT_OK(MaterializeOverflow(rec, &scratch));
-        if (!fn(Rid{pid, s}, scratch)) return Status::OK();
-      }
-    }
-    pid = next;
-  }
   return Status::OK();
 }
 
@@ -334,6 +322,7 @@ Status HeapFile::Destroy() {
   num_records_ = 0;
   num_pages_ = 0;
   num_overflow_pages_ = 0;
+  pages_.clear();
   return Status::OK();
 }
 

@@ -9,14 +9,21 @@
 // label, eps — still happen in place) and the rest lives in dedicated
 // overflow pages. This is what lets the feature-sensitivity experiment
 // store 1500-dimension dense vectors on disk.
+//
+// Scans are templates: the per-record callback is invoked directly, with no
+// std::function type erasure in the inner loop, and the record bytes handed
+// to the callback alias the pinned page (zero copies for inline records).
+// The page chain is tracked in `pages_`, so read-side scans can also be
+// striped across the shared thread pool (see core/scan_pipeline.h).
 
 #ifndef HAZY_STORAGE_HEAP_FILE_H_
 #define HAZY_STORAGE_HEAP_FILE_H_
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/buffer_pool.h"
@@ -51,7 +58,9 @@ class HeapFile {
   Status Create();
 
   /// Re-attaches to an existing page chain described by checkpointed
-  /// metadata (the recovery-time counterpart of Create).
+  /// metadata (the recovery-time counterpart of Create). O(1): the page
+  /// list used by striped scans is rebuilt lazily on first use
+  /// (EnsurePageIds), not at attach time.
   Status Attach(const HeapFileMeta& meta);
 
   /// Snapshot of the metadata needed to Attach later.
@@ -67,31 +76,187 @@ class HeapFile {
   /// Reads the record at `rid` into `out`. NotFound if deleted.
   Status Get(Rid rid, std::string* out) const;
 
+  /// Calls fn(std::string_view bytes) on the record at `rid` without copying
+  /// when the record is inline (the common case); overflow records are
+  /// materialized into a scratch buffer first. The view is valid only during
+  /// the callback (the page stays pinned for its duration).
+  template <typename Fn>
+  Status WithRecord(Rid rid, Fn&& fn) const {
+    HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(rid.page_id));
+    std::string_view rec = SlottedPage(h.data()).Get(rid.slot);
+    if (rec.empty()) return RecordNotFound(rid);
+    if (rec[0] == kInlineTag) {
+      fn(rec.substr(1));
+      return Status::OK();
+    }
+    std::string scratch;
+    HAZY_RETURN_NOT_OK(MaterializeOverflow(rec, &scratch));
+    fn(std::string_view(scratch));
+    return Status::OK();
+  }
+
+  /// Calls fn(std::string_view head, bool partial) on the record's leading
+  /// bytes — the whole record when inline (partial = false), else the
+  /// kOverflowHeadLen stub head (partial = true). Never touches overflow
+  /// pages; the fixed entity header always fits in the head.
+  template <typename Fn>
+  Status WithRecordHead(Rid rid, Fn&& fn) const {
+    HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(rid.page_id));
+    std::string_view rec = SlottedPage(h.data()).Get(rid.slot);
+    if (rec.empty()) return RecordNotFound(rid);
+    if (rec[0] == kInlineTag) {
+      fn(rec.substr(1), false);
+      return Status::OK();
+    }
+    HAZY_ASSIGN_OR_RETURN(std::string_view head, StubHead(rec));
+    fn(head, true);
+    return Status::OK();
+  }
+
   /// Applies `fn` to a mutable view of the record's leading bytes:
   /// the whole record when stored inline, else the first kOverflowHeadLen
   /// bytes. The Hazy engines use this for fixed-offset label/eps rewrites
   /// (the §B.1 "update without MVCC copy" fast path).
-  Status Patch(Rid rid, const std::function<void(char* data, size_t size)>& fn);
+  template <typename Fn>
+  Status Patch(Rid rid, Fn&& fn) {
+    HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(rid.page_id));
+    uint16_t size = 0;
+    char* data = SlottedPage(h.data()).GetMutable(rid.slot, &size);
+    if (data == nullptr) return RecordNotFound(rid);
+    if (data[0] == kInlineTag) {
+      fn(data + 1, static_cast<size_t>(size - 1));
+    } else {
+      uint16_t head_len = DecodeFixed16(data + kStubHeadLenOff);
+      fn(data + kStubHeaderSize, static_cast<size_t>(head_len));
+    }
+    h.MarkDirty();
+    return Status::OK();
+  }
 
   /// Deletes the record at `rid` (freeing any overflow chain).
   Status Delete(Rid rid);
 
   /// Sequentially scans every live record. `fn` receives (rid, bytes) —
   /// valid only during the callback — and returns true to continue.
-  Status Scan(const std::function<bool(Rid, std::string_view)>& fn) const;
+  template <typename Fn>
+  Status Scan(Fn&& fn) const {
+    return ScanFrom(first_page_, std::forward<Fn>(fn));
+  }
 
   /// Scans starting from the given page in chain order (used by the Hazy
   /// on-disk engine to start at the low-water page of a clustered heap).
-  Status ScanFrom(uint32_t start_page,
-                  const std::function<bool(Rid, std::string_view)>& fn) const;
+  template <typename Fn>
+  Status ScanFrom(uint32_t start_page, Fn&& fn) const {
+    uint32_t pid = start_page;
+    std::string scratch;
+    while (pid != kInvalidPageId) {
+      HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(pid));
+      SlottedPage page(h.data());
+      uint16_t count = page.slot_count();
+      uint32_t next = page.next_page();
+      for (uint16_t s = 0; s < count; ++s) {
+        std::string_view rec = page.Get(s);
+        if (rec.empty()) continue;
+        if (rec[0] == kInlineTag) {
+          if (!fn(Rid{pid, s}, rec.substr(1))) return Status::OK();
+        } else {
+          HAZY_RETURN_NOT_OK(MaterializeOverflow(rec, &scratch));
+          if (!fn(Rid{pid, s}, std::string_view(scratch))) return Status::OK();
+        }
+      }
+      pid = next;
+    }
+    return Status::OK();
+  }
 
   /// Like Scan, but never materializes overflow chains: the callback gets a
   /// record's leading bytes (the whole record when inline, else the
   /// kOverflowHeadLen head kept in the stub) and whether the view is
   /// partial. Recovery's primary-key index rebuild decodes fixed prefixes
   /// this way without copying multi-megabyte spilled records.
-  Status ScanHeads(
-      const std::function<bool(Rid, std::string_view head, bool partial)>& fn) const;
+  template <typename Fn>
+  Status ScanHeads(Fn&& fn) const {
+    uint32_t pid = first_page_;
+    while (pid != kInvalidPageId) {
+      HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(pid));
+      SlottedPage page(h.data());
+      uint16_t count = page.slot_count();
+      uint32_t next = page.next_page();
+      for (uint16_t s = 0; s < count; ++s) {
+        std::string_view rec = page.Get(s);
+        if (rec.empty()) continue;
+        if (rec[0] == kInlineTag) {
+          if (!fn(Rid{pid, s}, rec.substr(1), /*partial=*/false)) return Status::OK();
+        } else {
+          HAZY_ASSIGN_OR_RETURN(std::string_view head, StubHead(rec));
+          if (!fn(Rid{pid, s}, head, /*partial=*/true)) return Status::OK();
+        }
+      }
+      pid = next;
+    }
+    return Status::OK();
+  }
+
+  /// \brief Pinned iteration over one data page's live records.
+  ///
+  /// The page stays pinned for the cursor's lifetime, so every
+  /// bytes()/mutable_head() handed out — and any FeatureVectorView parsed
+  /// from them — stays valid until the cursor is destroyed. This is what
+  /// lets the scan pipeline batch a whole page of zero-copy views into one
+  /// ScoreStrip pass. Inline records expose their complete payload
+  /// (partial() == false); overflow records expose only the stub head
+  /// (partial() == true) and must be materialized via WithRecord.
+  class PageCursor {
+   public:
+    PageCursor() = default;
+
+    /// Advances to the next live record; false at the end. Must be called
+    /// before the first access.
+    bool Next();
+
+    Rid rid() const { return Rid{pid_, static_cast<uint16_t>(slot_ - 1)}; }
+    std::string_view bytes() const { return bytes_; }
+    bool partial() const { return partial_; }
+
+    /// Patchable leading bytes of the current record (for in-place label /
+    /// eps rewrites). Call MarkDirty() after mutating.
+    char* mutable_head() { return head_; }
+    size_t head_size() const { return bytes_.size(); }
+    void MarkDirty() { handle_.MarkDirty(); }
+
+    /// Corruption encountered while decoding a stub (terminates iteration).
+    const Status& status() const { return status_; }
+
+   private:
+    friend class HeapFile;
+    PageHandle handle_;
+    uint32_t pid_ = kInvalidPageId;
+    uint32_t slot_ = 0;  // next slot to visit
+    uint16_t count_ = 0;
+    std::string_view bytes_;
+    char* head_ = nullptr;
+    bool partial_ = false;
+    Status status_;
+  };
+
+  /// Opens a pinned cursor over one data page (a member of PageIds()).
+  StatusOr<PageCursor> OpenPage(uint32_t pid) const;
+
+  /// Number of data pages (excludes overflow pages); what PageIds() will
+  /// hold after EnsurePageIds. Available without any chain walk.
+  uint64_t num_data_pages() const { return num_pages_; }
+
+  /// Materializes the data-page list if it is not current (one bounded
+  /// chain walk; only ever needed after Attach — Create/Append maintain it
+  /// incrementally). Call before PageIds(). Not safe to race with itself;
+  /// the scan pipeline calls it from the single-threaded scan entry, before
+  /// fanning out.
+  Status EnsurePageIds() const;
+
+  /// The data-page chain in order (excludes overflow pages). Stable until
+  /// the next Append/Truncate/Destroy; striped scans partition this.
+  /// Requires EnsurePageIds() since the last Attach.
+  const std::vector<uint32_t>& PageIds() const { return pages_; }
 
   /// Frees every page back to the pool and re-creates an empty heap.
   Status Truncate();
@@ -102,6 +267,10 @@ class HeapFile {
   uint64_t num_records() const { return num_records_; }
   uint64_t num_pages() const { return num_pages_ + num_overflow_pages_; }
   uint32_t first_page() const { return first_page_; }
+
+  /// The pool this heap reads through (striped scans budget their pins and
+  /// worker counts against its capacity).
+  BufferPool* buffer_pool() const { return pool_; }
 
   /// Approximate on-disk footprint in bytes.
   uint64_t SizeBytes() const { return num_pages() * kPageSize; }
@@ -118,6 +287,20 @@ class HeapFile {
   static constexpr size_t kOvfHeaderSize = 8;
   static constexpr size_t kOvfCapacity = kPageSize - kOvfHeaderSize;
 
+  static Status RecordNotFound(Rid rid);
+
+  /// The head bytes kept inline in an overflow stub (validated).
+  static StatusOr<std::string_view> StubHead(std::string_view rec) {
+    if (rec.size() < kStubHeaderSize) {
+      return Status::Corruption("overflow stub smaller than its header");
+    }
+    uint16_t head_len = DecodeFixed16(rec.data() + kStubHeadLenOff);
+    if (rec.size() < kStubHeaderSize + head_len) {
+      return Status::Corruption("overflow stub truncated");
+    }
+    return rec.substr(kStubHeaderSize, head_len);
+  }
+
   StatusOr<Rid> AppendOverflow(std::string_view rec);
   Status MaterializeOverflow(std::string_view stub, std::string* out) const;
   Status FreeOverflowChain(std::string_view stub);
@@ -128,6 +311,9 @@ class HeapFile {
   uint64_t num_records_ = 0;
   uint64_t num_pages_ = 0;
   uint64_t num_overflow_pages_ = 0;
+  // Data-page chain in order; maintained incrementally by Create/Append,
+  // rebuilt lazily by EnsurePageIds after Attach (hence mutable).
+  mutable std::vector<uint32_t> pages_;
 };
 
 }  // namespace hazy::storage

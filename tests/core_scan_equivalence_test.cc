@@ -1,0 +1,178 @@
+// Cross-architecture equivalence through the vectorized scan pipeline:
+// after any interleaving of batched updates and entity arrivals, all five
+// architectures — eager and lazy — must agree on AllMembers, AllMembersCount
+// and SingleEntityRead. This pins down the PR-3 read-path rewrite (zero-copy
+// views, strip scoring, page-striped parallel scans): an off-by-one strip
+// flush, a dangling page pin, or a kernel summation-order bug shows up here
+// as a label disagreement.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <memory>
+#include <set>
+
+#include "common/random.h"
+#include "core/view_factory.h"
+#include "data/synthetic.h"
+#include "features/feature_function.h"
+#include "ml/simd.h"
+#include "storage/pager.h"
+
+namespace hazy::core {
+namespace {
+
+enum class Corpus { kDense, kSparseText };
+
+struct TestData {
+  std::vector<Entity> entities;
+  std::vector<ml::LabeledExample> stream;
+  std::vector<Entity> arrivals;  // entities held back for AddEntity
+  double holder_p = ml::kInf;
+};
+
+TestData MakeData(Corpus kind, size_t n, uint64_t seed) {
+  TestData out;
+  std::vector<ml::LabeledExample> examples;
+  if (kind == Corpus::kDense) {
+    data::DenseCorpusOptions opts;
+    opts.num_entities = n;
+    opts.dim = 12;
+    opts.separation = 1.5;
+    opts.seed = seed;
+    examples = data::ToBinary(data::GenerateDenseCorpus(opts), 0);
+    out.holder_p = 2.0;
+  } else {
+    data::TextCorpusOptions opts;
+    opts.num_entities = n;
+    opts.vocab_size = 2000;
+    opts.doc_len_mean = 8;
+    opts.seed = seed;
+    auto docs = data::GenerateTextCorpus(opts);
+    features::TfBagOfWords fn;
+    auto featurized = data::Featurize(docs, &fn);
+    EXPECT_TRUE(featurized.ok());
+    examples = *featurized;
+    out.holder_p = ml::kInf;
+  }
+  // Hold back every 7th entity as a mid-stream arrival.
+  for (size_t i = 0; i < examples.size(); ++i) {
+    if (i % 7 == 3) {
+      out.arrivals.push_back({examples[i].id, examples[i].features});
+    } else {
+      out.entities.push_back({examples[i].id, examples[i].features});
+    }
+  }
+  out.stream = data::ShuffledStream(examples, seed + 1);
+  return out;
+}
+
+class ScanEquivalenceTest : public ::testing::TestWithParam<std::tuple<Corpus, Mode>> {
+ protected:
+  void SetUp() override {
+    path_ = storage::TempFilePath("scan_equiv_test");
+    ASSERT_TRUE(pager_.Open(path_).ok());
+    pool_ = std::make_unique<storage::BufferPool>(&pager_, 1024);
+  }
+  void TearDown() override {
+    views_.clear();
+    pager_.Close().ok();
+    ::unlink(path_.c_str());
+  }
+
+  void BuildAllViews(const TestData& data, Corpus corpus, Mode mode) {
+    ViewOptions o;
+    o.mode = mode;
+    o.holder_p = corpus == Corpus::kDense ? 2.0 : ml::kInf;
+    o.cost_model = CostModel::kTupleCount;
+    o.hybrid_buffer_capacity = 48;
+    for (Architecture arch : kAllArchitectures) {
+      auto v = MakeView(arch, o, pool_.get());
+      ASSERT_TRUE(v.ok()) << ArchitectureToString(arch);
+      ASSERT_TRUE((*v)->BulkLoad(data.entities).ok()) << ArchitectureToString(arch);
+      views_.push_back(std::move(*v));
+    }
+  }
+
+  void CheckAgreement(const TestData& data, size_t live_entities,
+                      uint64_t sample_seed) {
+    auto ref_members = views_[0]->AllMembers(1);
+    ASSERT_TRUE(ref_members.ok());
+    std::set<int64_t> ref_set(ref_members->begin(), ref_members->end());
+    for (auto& view : views_) {
+      auto members = view->AllMembers(1);
+      ASSERT_TRUE(members.ok()) << view->name();
+      EXPECT_EQ(members->size(), ref_set.size()) << view->name();
+      std::set<int64_t> got(members->begin(), members->end());
+      EXPECT_EQ(got, ref_set) << view->name();
+      auto count_pos = view->AllMembersCount(1);
+      auto count_neg = view->AllMembersCount(-1);
+      ASSERT_TRUE(count_pos.ok() && count_neg.ok()) << view->name();
+      EXPECT_EQ(*count_pos, ref_set.size()) << view->name();
+      EXPECT_EQ(*count_pos + *count_neg, live_entities) << view->name();
+      // The negative side partitions the entity set.
+      auto neg_members = view->AllMembers(-1);
+      ASSERT_TRUE(neg_members.ok()) << view->name();
+      EXPECT_EQ(neg_members->size(), live_entities - ref_set.size()) << view->name();
+    }
+    Rng rng(sample_seed);
+    for (int i = 0; i < 25; ++i) {
+      int64_t id = data.entities[rng.Uniform(data.entities.size())].id;
+      int ref = ref_set.count(id) ? 1 : -1;
+      for (auto& view : views_) {
+        auto got = view->SingleEntityRead(id);
+        ASSERT_TRUE(got.ok()) << view->name();
+        EXPECT_EQ(*got, ref) << view->name() << " id " << id;
+      }
+    }
+  }
+
+  std::string path_;
+  storage::Pager pager_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::vector<std::unique_ptr<ClassificationView>> views_;
+};
+
+TEST_P(ScanEquivalenceTest, AgreeUnderInterleavedBatchesAndArrivals) {
+  auto [corpus, mode] = GetParam();
+  // Enough entities that the OD heaps span multiple pages and the parallel
+  // page-striped scans actually stripe (and strips actually flush).
+  TestData data = MakeData(corpus, 600, 42);
+  BuildAllViews(data, corpus, mode);
+
+  size_t live = data.entities.size();
+  size_t arrival = 0;
+  size_t off = 0;
+  const size_t batch_sizes[] = {1, 7, 32, 3, 64};
+  for (size_t round = 0; round < 5; ++round) {
+    size_t bs = batch_sizes[round];
+    Span<const ml::LabeledExample> batch(data.stream.data() + off, bs);
+    off += bs;
+    for (auto& view : views_) {
+      ASSERT_TRUE(view->UpdateBatch(batch).ok()) << view->name();
+    }
+    // Two entity arrivals between batches.
+    for (int a = 0; a < 2 && arrival < data.arrivals.size(); ++a, ++arrival) {
+      for (auto& view : views_) {
+        ASSERT_TRUE(view->AddEntity(data.arrivals[arrival]).ok()) << view->name();
+      }
+      ++live;
+    }
+    CheckAgreement(data, live, 100 + round);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCorporaAndModes, ScanEquivalenceTest,
+    ::testing::Combine(::testing::Values(Corpus::kDense, Corpus::kSparseText),
+                       ::testing::Values(Mode::kEager, Mode::kLazy)),
+    [](const ::testing::TestParamInfo<std::tuple<Corpus, Mode>>& info) {
+      std::string name = std::get<0>(info.param) == Corpus::kDense ? "Dense" : "Text";
+      name += std::get<1>(info.param) == Mode::kEager ? "Eager" : "Lazy";
+      name += hazy::ml::simd::KernelName()[0] == 'a' ? "Simd" : "Scalar";
+      return name;
+    });
+
+}  // namespace
+}  // namespace hazy::core

@@ -1,0 +1,247 @@
+// Bit-compatibility suite for the ml/simd.h kernel layer: whatever path the
+// build dispatches to (AVX2/FMA or portable scalar), every kernel must
+// reproduce the canonical scalar reference to the last bit — otherwise eps
+// values would drift between builds and with them every water-line bound
+// and Skiing decision. Also covers the zero-copy FeatureVectorView against
+// its owning vector.
+
+#include "ml/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "ml/model.h"
+#include "ml/vector.h"
+
+namespace hazy::ml {
+namespace {
+
+// Exact bit comparison (EXPECT_EQ on doubles would treat -0.0 == 0.0 and
+// NaN != NaN; the contract here is bitwise identity).
+::testing::AssertionResult BitEqual(double a, double b) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, 8);
+  std::memcpy(&bb, &b, 8);
+  if (ba == bb) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " (0x" << std::hex << ba << ") != " << b << " (0x" << bb << ")";
+}
+
+std::vector<double> RandomDoubles(size_t n, Rng* rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng->Gaussian();
+  return v;
+}
+
+FeatureVector RandomSparse(uint32_t dim, uint32_t nnz, Rng* rng) {
+  std::vector<uint32_t> idx;
+  std::vector<double> val;
+  uint32_t step = dim / (nnz + 1);
+  for (uint32_t i = 0; i < nnz; ++i) {
+    idx.push_back(i * step + static_cast<uint32_t>(rng->Uniform(step > 0 ? step : 1)));
+    val.push_back(rng->Gaussian());
+  }
+  return FeatureVector::Sparse(std::move(idx), std::move(val), dim);
+}
+
+// Sizes straddling the 4-wide stripe boundary plus realistic dims (Forest
+// 54, RFF 300/1500).
+constexpr size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 54, 123, 300, 1500};
+
+TEST(SimdKernelsTest, DenseDotMatchesScalarReference) {
+  Rng rng(7);
+  for (size_t n : kSizes) {
+    auto x = RandomDoubles(n, &rng);
+    auto w = RandomDoubles(n, &rng);
+    EXPECT_TRUE(BitEqual(simd::DotDense(x.data(), w.data(), n),
+                         simd::DotDenseScalar(x.data(), w.data(), n)))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdKernelsTest, SparseDotMatchesScalarReference) {
+  Rng rng(8);
+  for (size_t nnz : kSizes) {
+    if (nnz == 0) continue;
+    auto fv = RandomSparse(100000, static_cast<uint32_t>(nnz), &rng);
+    // Weight vectors both covering and truncating the index range, to hit
+    // the unguarded fast path and the guarded fallback.
+    for (size_t wn : {size_t{100000}, size_t{50000}, size_t{10}}) {
+      auto w = RandomDoubles(wn, &rng);
+      EXPECT_TRUE(BitEqual(
+          simd::DotSparse(fv.indices().data(), fv.values().data(), fv.nnz(),
+                          w.data(), w.size()),
+          simd::DotSparseScalar(fv.indices().data(), fv.values().data(), fv.nnz(),
+                                w.data(), w.size())))
+          << "nnz=" << nnz << " wn=" << wn;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, AxpyMatchesFmaLoop) {
+  Rng rng(9);
+  for (size_t n : kSizes) {
+    auto x = RandomDoubles(n, &rng);
+    auto w = RandomDoubles(n, &rng);
+    auto expect = w;
+    const double scale = 0.37;
+    for (size_t i = 0; i < n; ++i) expect[i] = std::fma(scale, x[i], expect[i]);
+    simd::AxpyDense(scale, x.data(), w.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(BitEqual(w[i], expect[i])) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, DistancesMatchAcrossSizes) {
+  Rng rng(10);
+  for (size_t n : kSizes) {
+    auto x = RandomDoubles(n, &rng);
+    auto y = RandomDoubles(n, &rng);
+    // The scalar references are the canonical order; the dispatched kernels
+    // must agree exactly.
+    double l2_ref = 0.0, l1_ref = 0.0;
+    {
+      double a0 = 0, a1 = 0, a2 = 0, a3 = 0, b0 = 0, b1 = 0, b2 = 0, b3 = 0;
+      size_t i = 0;
+      for (; i + 4 <= n; i += 4) {
+        double d0 = x[i] - y[i], d1 = x[i + 1] - y[i + 1];
+        double d2 = x[i + 2] - y[i + 2], d3 = x[i + 3] - y[i + 3];
+        a0 = std::fma(d0, d0, a0);
+        a1 = std::fma(d1, d1, a1);
+        a2 = std::fma(d2, d2, a2);
+        a3 = std::fma(d3, d3, a3);
+        b0 += std::fabs(d0);
+        b1 += std::fabs(d1);
+        b2 += std::fabs(d2);
+        b3 += std::fabs(d3);
+      }
+      l2_ref = (a0 + a2) + (a1 + a3);
+      l1_ref = (b0 + b2) + (b1 + b3);
+      for (; i < n; ++i) {
+        double d = x[i] - y[i];
+        l2_ref = std::fma(d, d, l2_ref);
+        l1_ref += std::fabs(d);
+      }
+    }
+    EXPECT_TRUE(BitEqual(simd::SquaredDistance(x.data(), y.data(), n), l2_ref));
+    EXPECT_TRUE(BitEqual(simd::L1Distance(x.data(), y.data(), n), l1_ref));
+  }
+}
+
+TEST(SimdKernelsTest, ScoreStripMatchesPerRowDot) {
+  Rng rng(11);
+  LinearModel model;
+  model.w = RandomDoubles(54, &rng);
+  model.b = 0.123;
+
+  std::vector<FeatureVector> owners;
+  for (int i = 0; i < 300; ++i) {
+    if (i % 2 == 0) {
+      owners.push_back(FeatureVector::Dense(RandomDoubles(54, &rng)));
+    } else {
+      owners.push_back(RandomSparse(54, 9, &rng));
+    }
+  }
+  std::vector<FeatureVectorView> views;
+  for (const auto& o : owners) views.push_back(FeatureVectorView::Of(o));
+
+  std::vector<double> eps(views.size());
+  simd::ScoreStrip(views.data(), views.size(), model.w, model.b, eps.data());
+  for (size_t i = 0; i < views.size(); ++i) {
+    EXPECT_TRUE(BitEqual(eps[i], owners[i].Dot(model.w) - model.b)) << "i=" << i;
+    EXPECT_TRUE(BitEqual(eps[i], model.Eps(owners[i]))) << "i=" << i;
+  }
+}
+
+TEST(SimdKernelsTest, DenseOnlyStripMatchesPerRowDot) {
+  // All-dense equal-dim strips take the four-rows-per-pass block kernel;
+  // its per-row summation order must still match DotDense exactly. Sizes
+  // off the 4-row boundary cover the per-row tail.
+  Rng rng(13);
+  for (size_t rows : {1, 3, 4, 5, 17, 64, 255}) {
+    LinearModel model;
+    model.w = RandomDoubles(54, &rng);
+    model.b = -0.5;
+    std::vector<FeatureVector> owners;
+    for (size_t i = 0; i < rows; ++i) {
+      owners.push_back(FeatureVector::Dense(RandomDoubles(54, &rng)));
+    }
+    std::vector<FeatureVectorView> views;
+    for (const auto& o : owners) views.push_back(FeatureVectorView::Of(o));
+    std::vector<double> eps(rows);
+    simd::ScoreStrip(views.data(), views.size(), model.w, model.b, eps.data());
+    for (size_t i = 0; i < rows; ++i) {
+      EXPECT_TRUE(BitEqual(eps[i], model.Eps(owners[i]))) << "rows=" << rows
+                                                          << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, ViewOverEncodedBytesMatchesOwningVector) {
+  Rng rng(12);
+  auto w = RandomDoubles(4000, &rng);
+  std::vector<FeatureVector> owners;
+  owners.push_back(FeatureVector::Dense(RandomDoubles(54, &rng)));
+  owners.push_back(RandomSparse(4000, 17, &rng));
+  owners.push_back(FeatureVector::Dense({}));
+  for (const auto& o : owners) {
+    // Offset the encoding inside a larger buffer so the view's doubles land
+    // misaligned — the kernels must not care.
+    std::string buf = "xyz";
+    o.EncodeTo(&buf);
+    std::string_view src(buf);
+    src.remove_prefix(3);
+    auto view = FeatureVectorView::Parse(&src);
+    ASSERT_TRUE(view.ok());
+    EXPECT_TRUE(src.empty());
+    EXPECT_EQ(view->dim(), o.dim());
+    EXPECT_TRUE(BitEqual(view->Dot(w), o.Dot(w)));
+    EXPECT_TRUE(o == view->Materialize());
+  }
+}
+
+TEST(SimdKernelsTest, ViewParseRejectsCorruptSparseIndices) {
+  // The sparse kernels bound-check only the last index (sortedness covers
+  // the rest), so Parse must reject unsorted or out-of-dimension index
+  // arrays — otherwise a corrupt tuple could gather outside the weight
+  // vector.
+  auto encode = [](std::vector<uint32_t> idx, uint32_t dim) {
+    std::string buf;
+    buf.push_back(0);  // sparse tag
+    uint32_t nnz = static_cast<uint32_t>(idx.size());
+    buf.append(reinterpret_cast<const char*>(&dim), 4);
+    buf.append(reinterpret_cast<const char*>(&nnz), 4);
+    buf.append(reinterpret_cast<const char*>(idx.data()), idx.size() * 4);
+    std::vector<double> vals(idx.size(), 1.0);
+    buf.append(reinterpret_cast<const char*>(vals.data()), vals.size() * 8);
+    return buf;
+  };
+  {
+    std::string buf = encode({500000, 3}, 600000);  // unsorted
+    std::string_view src(buf);
+    EXPECT_FALSE(FeatureVectorView::Parse(&src).ok());
+  }
+  {
+    std::string buf = encode({3, 10}, 5);  // index >= dim
+    std::string_view src(buf);
+    EXPECT_FALSE(FeatureVectorView::Parse(&src).ok());
+  }
+  {
+    std::string buf = encode({3, 10}, 11);  // valid
+    std::string_view src(buf);
+    EXPECT_TRUE(FeatureVectorView::Parse(&src).ok());
+  }
+}
+
+TEST(SimdKernelsTest, KernelNameIsReported) {
+  EXPECT_TRUE(std::string(simd::KernelName()) == "avx2-fma" ||
+              std::string(simd::KernelName()) == "scalar");
+}
+
+}  // namespace
+}  // namespace hazy::ml
