@@ -16,10 +16,11 @@
 // queue; reads flush), '\batch off' flushes and leaves it.
 //
 // Durability: 'CHECKPOINT;' persists all tables and classification views to
-// the session's backing file. '\save <path>' checkpoints and copies the
-// database file to <path>; '\open <path>' switches the session to the
-// database at <path>, recovering every view from its last checkpoint with
-// zero retraining.
+// the session's backing file. 'VACUUM;' checkpoints, then rewrites the file
+// compacted (reclaiming all fragmentation). '\save <path>' checkpoints and
+// copies the database file to <path>; '\open <path>' switches the session to
+// the database at <path>, recovering every view from its last checkpoint
+// (plus the write-ahead log's committed suffix) with zero retraining.
 
 #include <sys/stat.h>
 #include <unistd.h>
@@ -83,7 +84,8 @@ int main() {
       "hazy sql shell — statements end with ';', \\q quits, \\d lists, "
       "\\batch on|off toggles batched view maintenance, \\timing toggles "
       "per-statement wall time,\n"
-      "\\save <path> checkpoints to a file, \\open <path> recovers from one.\n");
+      "\\save <path> checkpoints to a file, \\open <path> recovers from one, "
+      "VACUUM; compacts the database file.\n");
   std::string buffer;
   std::string line;
   bool interactive = isatty(0);
@@ -96,6 +98,13 @@ int main() {
     }
     if (!std::getline(std::cin, line)) break;
     if (buffer.empty() && line == "\\q") break;
+    // After a failed same-file re-open the session may have no database;
+    // only \open (and \q above) make sense until one is attached.
+    if (db == nullptr && line.rfind("\\open ", 0) != 0) {
+      std::printf("error: no database open — use \\open <path>\n");
+      buffer.clear();
+      continue;
+    }
     if (buffer.empty() && (line == "\\batch on" || line == "\\batch off")) {
       bool want = line == "\\batch on";
       if (want && !batching) {
@@ -159,12 +168,46 @@ int main() {
                     path.c_str());
         continue;
       }
+      // Re-opening the file this session already has open (e.g. right after
+      // '\save' onto it) must close the live handle first: two pagers on one
+      // file would fight over pages and the recovery roll-back would undo
+      // writes the live handle still believes in.
+      const bool reopening_same = db != nullptr && SameFile(path, db->path());
+      std::string previous = db != nullptr ? db->path() : "";
+      if (reopening_same) {
+        if (batching) {
+          db->EndUpdateBatch().ok();
+          batching = false;
+        }
+        exec.reset();
+        db.reset();
+      }
       DatabaseOptions opts;
       opts.path = path;
       auto fresh = std::make_unique<Database>(opts);
       auto s = fresh->Open();
       if (!s.ok()) {
         std::printf("error: %s\n", s.ToString().c_str());
+        if (reopening_same) {
+          // The previous handle is gone; leave the shell in a clean state:
+          // either re-attached to the previous file or explicitly closed.
+          DatabaseOptions prev_opts;
+          prev_opts.path = previous;
+          auto back = std::make_unique<Database>(prev_opts);
+          auto rs = back->Open();
+          if (rs.ok()) {
+            db = std::move(back);
+            exec = std::make_unique<Executor>(db.get());
+            std::printf("re-opened previous database %s (checkpoint epoch %llu)\n",
+                        previous.c_str(),
+                        static_cast<unsigned long long>(db->checkpoint_epoch()));
+          } else {
+            std::printf(
+                "error: could not re-open previous database %s: %s\n"
+                "session closed — use \\open <path> to attach a database\n",
+                previous.c_str(), rs.ToString().c_str());
+          }
+        }
         continue;
       }
       if (batching) {
@@ -196,7 +239,7 @@ int main() {
     }
     if (timing) std::printf("Time: %.3f ms\n", elapsed_ms);
   }
-  if (batching) {
+  if (batching && db != nullptr) {
     auto s = db->EndUpdateBatch();
     if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
   }

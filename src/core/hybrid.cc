@@ -16,19 +16,33 @@ constexpr uint32_t kHybridTag = persist::MakeTag('H', 'Y', 'B', '1');
 Status HybridView::SaveState(persist::StateWriter* w) const {
   HAZY_RETURN_NOT_OK(HazyODView::SaveState(w));
   w->PutTag(kHybridTag);
+  // Both maps serialize in canonical id order, not hash-table order, so
+  // logically identical states are byte-identical (the crash-recovery
+  // exactness contract; same entry-pointer-sort pattern as
+  // Vocabulary::SaveState).
+  std::vector<const std::pair<const int64_t, double>*> eps_sorted;
+  eps_sorted.reserve(eps_map_.size());
+  for (const auto& entry : eps_map_) eps_sorted.push_back(&entry);
+  std::sort(eps_sorted.begin(), eps_sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
   w->PutU64(eps_map_.size());
-  for (const auto& [id, eps] : eps_map_) {
-    w->PutI64(id);
-    w->PutDouble(eps);
+  for (const auto* entry : eps_sorted) {
+    w->PutI64(entry->first);
+    w->PutDouble(entry->second);
   }
   // Buffer labels are the source of truth for buffered window tuples, so
   // the buffer must round-trip verbatim (features included — they may lag
   // the on-disk record only in label, but storing them keeps load simple).
+  std::vector<const std::pair<const int64_t, BufferedEntity>*> buf_sorted;
+  buf_sorted.reserve(buffer_.size());
+  for (const auto& entry : buffer_) buf_sorted.push_back(&entry);
+  std::sort(buf_sorted.begin(), buf_sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
   w->PutU64(buffer_.size());
-  for (const auto& [id, e] : buffer_) {
-    w->PutI64(id);
-    w->PutI32(e.label);
-    w->PutFeatureVector(e.features);
+  for (const auto* entry : buf_sorted) {
+    w->PutI64(entry->first);
+    w->PutI32(entry->second.label);
+    w->PutFeatureVector(entry->second.features);
   }
   return Status::OK();
 }

@@ -4,12 +4,15 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_map>
 
 #include "common/logging.h"
 #include "common/strings.h"
 #include "ml/model_selection.h"
 #include "persist/checkpoint.h"
+#include "persist/serde.h"
+#include "storage/coding.h"
 
 namespace hazy::engine {
 
@@ -18,6 +21,15 @@ using storage::Value;
 
 Status ManagedView::Flush() {
   if (pending_.empty()) return Status::OK();
+  // A mid-batch read is folding the queue early: log the fold point, so
+  // replay reproduces the exact same UpdateBatch boundaries (they are
+  // visible in eps/water bookkeeping, not just in answers).
+  if (db_ != nullptr && db_->wal() != nullptr && db_->in_update_batch()) {
+    std::string payload;
+    payload.push_back(static_cast<char>(storage::WalOp::kViewFlush));
+    storage::PutLengthPrefixed(&payload, def_.view_name);
+    HAZY_RETURN_NOT_OK(db_->wal()->AppendLogical(payload));
+  }
   std::vector<ml::LabeledExample> batch;
   batch.swap(pending_);
   // On failure the batch is NOT requeued: every architecture folds the
@@ -56,7 +68,11 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
 
 Database::~Database() {
   if (pager_ && pager_->is_open()) pager_->Close().ok();
-  if (owns_temp_file_ && !path_.empty()) ::unlink(path_.c_str());
+  if (wal_ && wal_->is_open()) wal_->Close().ok();
+  if (owns_temp_file_ && !path_.empty()) {
+    ::unlink(path_.c_str());
+    ::unlink(storage::WalPathFor(path_).c_str());
+  }
 }
 
 Status Database::Open() {
@@ -66,30 +82,44 @@ Status Database::Open() {
     // Leave the object closed and reusable; never leak a temp file created
     // by a failed open.
     if (pager_ && pager_->is_open()) pager_->Close().ok();
-    if (owns_temp_file_ && !path_.empty()) ::unlink(path_.c_str());
+    if (wal_ && wal_->is_open()) wal_->Close().ok();
+    if (owns_temp_file_ && !path_.empty()) {
+      ::unlink(path_.c_str());
+      ::unlink(storage::WalPathFor(path_).c_str());
+    } else if (created_wal_file_ && !path_.empty()) {
+      // Never leave a stray -wal next to a file we refused to open.
+      ::unlink(storage::WalPathFor(path_).c_str());
+    }
     views_.clear();
     catalog_.reset();
+    wal_.reset();
     pool_.reset();
     pager_.reset();
     path_.clear();
     owns_temp_file_ = false;
+    created_wal_file_ = false;
     checkpoint_epoch_ = 0;
   }
   return s;
 }
 
 Status Database::OpenImpl() {
-  path_ = options_.path;
+  if (path_.empty()) {
+    path_ = options_.path;
+  }
   if (path_.empty()) {
     path_ = storage::TempFilePath("db");
     owns_temp_file_ = true;
   }
   // An existing non-empty file must look like a database before we touch
-  // it: a size that is not a whole number of pages can only be some other
-  // file, and formatting it would clobber the first page.
+  // it. A size that is not a whole number of pages is either a foreign file
+  // (reject — formatting would clobber it) or a crash's torn write at the
+  // tail of a real database (valid header page: truncate the partial page
+  // away and recover; its content, if it mattered, is protected by the WAL).
   struct stat st;
-  if (::stat(path_.c_str(), &st) == 0 && st.st_size > 0 &&
-      static_cast<uint64_t>(st.st_size) % storage::kPageSize != 0) {
+  const bool misaligned = ::stat(path_.c_str(), &st) == 0 && st.st_size > 0 &&
+                          static_cast<uint64_t>(st.st_size) % storage::kPageSize != 0;
+  if (misaligned && static_cast<uint64_t>(st.st_size) < storage::kPageSize) {
     return Status::Corruption(
         StrFormat("%s is not a hazy database file (size %lld is not "
                   "page-aligned)",
@@ -98,11 +128,40 @@ Status Database::OpenImpl() {
   pager_ = std::make_unique<storage::Pager>();
   // Never truncate: an existing file is an existing database to recover.
   HAZY_RETURN_NOT_OK(pager_->Open(path_, /*preserve_existing=*/true));
+  if (misaligned) {
+    char hdr[storage::kPageSize];
+    HAZY_RETURN_NOT_OK(pager_->Read(0, hdr));
+    if (!persist::IsHazyHeaderPage(hdr)) {
+      return Status::Corruption(
+          StrFormat("%s is not a hazy database file (size %lld is not "
+                    "page-aligned)",
+                    path_.c_str(), static_cast<long long>(st.st_size)));
+    }
+    HAZY_RETURN_NOT_OK(pager_->TruncateTo(pager_->num_pages()));
+  }
   pool_ = std::make_unique<storage::BufferPool>(pager_.get(), options_.buffer_pool_pages);
+  wal_ = std::make_unique<storage::Wal>();
+  const std::string wal_path = storage::WalPathFor(path_);
+  struct stat wal_st;
+  created_wal_file_ = ::stat(wal_path.c_str(), &wal_st) != 0;
+  HAZY_RETURN_NOT_OK(wal_->Open(wal_path, options_.wal));
+  // Arm the write-ahead protocol before any page can be dirtied.
+  pool_->SetWal(wal_.get());
   catalog_ = std::make_unique<storage::Catalog>(pool_.get());
+  catalog_->SetWal(wal_.get());
   persist::ViewCheckpointer ckpt(this);
-  if (pager_->num_pages() == 0) return ckpt.InitFresh();
-  return ckpt.Recover();
+  if (pager_->num_pages() == 0) {
+    HAZY_RETURN_NOT_OK(ckpt.InitFresh());
+    // A freshly formatted file starts an epoch-0 log: committed work is
+    // durable (replayable onto the empty database) even before the first
+    // checkpoint.
+    return wal_->Reset(0);
+  }
+  HAZY_RETURN_NOT_OK(ckpt.Recover());
+  // Recovery has consumed the decoded log; drop the in-memory copy (the
+  // file itself stays authoritative for any later crash).
+  wal_->ClearRecords();
+  return Status::OK();
 }
 
 StatusOr<uint64_t> Database::Checkpoint() {
@@ -251,6 +310,18 @@ StatusOr<ManagedView*> Database::CreateClassificationView(
   HAZY_RETURN_NOT_OK(ArmTriggers(raw));
 
   views_.push_back(std::move(mv));
+
+  if (wal_) {
+    // The view is derived state, but its creation is DDL that must replay
+    // in order: a post-checkpoint CREATE VIEW re-trains deterministically
+    // from the (already replayed) tables during redo.
+    std::string payload;
+    payload.push_back(static_cast<char>(storage::WalOp::kCreateView));
+    persist::StateWriter w(&payload);
+    persist::PutViewDef(&w, def);
+    HAZY_RETURN_NOT_OK(wal_->AppendLogical(payload));
+    HAZY_RETURN_NOT_OK(wal_->AutoCommit());
+  }
   return raw;
 }
 
@@ -285,6 +356,12 @@ Status Database::EndUpdateBatch() {
   Status first_error;
   for (const auto& v : views_) {
     Status s = v->Flush();
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  if (wal_) {
+    // One commit marker covers the whole batch; replay re-brackets it in
+    // BeginUpdateBatch/EndUpdateBatch so the amortized fold is reproduced.
+    Status s = wal_->EndGroup();
     if (!s.ok() && first_error.ok()) first_error = s;
   }
   return first_error;
@@ -433,6 +510,238 @@ Status Database::RebuildFromScratch(ManagedView* mv) {
   HAZY_RETURN_NOT_OK(fresh->UpdateBatch(replay));
   mv->view_ = std::move(fresh);
   return Status::OK();
+}
+
+Status Database::ApplyWalOp(std::string_view payload) {
+  if (payload.empty()) return Status::Corruption("empty logical wal record");
+  const auto op = static_cast<storage::WalOp>(payload[0]);
+  std::string_view cur = payload.substr(1);
+  auto get_string = [&cur](std::string* out) -> Status {
+    std::string_view s;
+    if (!storage::GetLengthPrefixed(&cur, &s)) {
+      return Status::Corruption("truncated logical wal record");
+    }
+    out->assign(s);
+    return Status::OK();
+  };
+  switch (op) {
+    case storage::WalOp::kRowInsert:
+    case storage::WalOp::kRowDelete:
+    case storage::WalOp::kRowUpdate: {
+      std::string table_name;
+      HAZY_RETURN_NOT_OK(get_string(&table_name));
+      HAZY_ASSIGN_OR_RETURN(storage::Table * table, catalog_->GetTable(table_name));
+      uint64_t key = 0;
+      if (op != storage::WalOp::kRowInsert && !storage::GetFixed64(&cur, &key)) {
+        return Status::Corruption("truncated logical wal record");
+      }
+      if (op == storage::WalOp::kRowDelete) {
+        return table->DeleteByKey(static_cast<int64_t>(key));
+      }
+      std::string encoded;
+      HAZY_RETURN_NOT_OK(get_string(&encoded));
+      Row row;
+      HAZY_RETURN_NOT_OK(table->schema().DecodeRow(encoded, &row));
+      if (op == storage::WalOp::kRowInsert) return table->Insert(row);
+      return table->UpdateByKey(static_cast<int64_t>(key), row);
+    }
+    case storage::WalOp::kCreateTable: {
+      std::string name;
+      HAZY_RETURN_NOT_OK(get_string(&name));
+      uint32_t ncols = 0;
+      if (!storage::GetFixed32(&cur, &ncols) || ncols > cur.size()) {
+        return Status::Corruption("truncated logical wal record");
+      }
+      std::vector<storage::Column> cols;
+      cols.reserve(ncols);
+      for (uint32_t i = 0; i < ncols; ++i) {
+        storage::Column col;
+        HAZY_RETURN_NOT_OK(get_string(&col.name));
+        if (cur.empty()) return Status::Corruption("truncated logical wal record");
+        col.type = static_cast<storage::ColumnType>(cur[0]);
+        cur.remove_prefix(1);
+        cols.push_back(std::move(col));
+      }
+      if (cur.size() < 5) return Status::Corruption("truncated logical wal record");
+      bool has_pk = cur[0] != 0;
+      cur.remove_prefix(1);
+      uint32_t pk = 0;
+      storage::GetFixed32(&cur, &pk);
+      return catalog_
+          ->CreateTable(name, storage::Schema(std::move(cols)),
+                        has_pk ? std::optional<size_t>(pk) : std::nullopt)
+          .status();
+    }
+    case storage::WalOp::kCreateView: {
+      persist::StateReader r(cur);
+      ClassificationViewDef def;
+      HAZY_RETURN_NOT_OK(persist::GetViewDef(&r, &def));
+      return CreateClassificationView(def).status();
+    }
+    case storage::WalOp::kViewFlush: {
+      std::string name;
+      HAZY_RETURN_NOT_OK(get_string(&name));
+      HAZY_ASSIGN_OR_RETURN(ManagedView * mv, GetView(name));
+      return mv->Flush();
+    }
+  }
+  return Status::Corruption("unknown logical wal op");
+}
+
+Status Database::ReplayWal() {
+  // Redo must not re-log itself (the records already exist); before-image
+  // logging stays on, so a crash during redo rolls back and redoes again —
+  // replay is idempotent from the checkpoint baseline.
+  storage::WalLogicalPauseGuard pause(wal_.get());
+
+  const auto& records = wal_->records();
+  std::vector<std::string_view> group;
+  size_t replayed = 0;
+  for (const auto& rec : records) {
+    if (rec.type == storage::WalRecordType::kLogical) {
+      group.push_back(rec.payload);
+      continue;
+    }
+    if (rec.type == storage::WalRecordType::kAbort) {
+      // A crash's uncommitted tail, closed off by a previous recovery: the
+      // operation never acknowledged, so it is rolled back, not replayed.
+      group.clear();
+      continue;
+    }
+    if (rec.type != storage::WalRecordType::kCommit) continue;
+    const bool batched = !rec.payload.empty() && rec.payload[0] != 0;
+    if (batched) BeginUpdateBatch();
+    Status hard_error;
+    for (std::string_view payload : group) {
+      Status op_status = ApplyWalOp(payload);
+      if (op_status.ok()) {
+        ++replayed;
+        continue;
+      }
+      // A tolerated class of failure is the deterministic re-run of a
+      // trigger/constraint error the live system already saw and moved past
+      // — later operations in the group DID commit and must still replay.
+      // Anything else is real corruption and must stop recovery.
+      if (!op_status.IsInvalidArgument() && !op_status.IsAlreadyExists() &&
+          !op_status.IsNotFound()) {
+        hard_error = op_status;
+        break;
+      }
+      HAZY_LOG(Warning) << "wal redo: tolerated deterministic failure: "
+                        << op_status.ToString();
+    }
+    if (batched) {
+      Status flushed = EndUpdateBatch();
+      if (hard_error.ok() && !flushed.ok()) hard_error = flushed;
+    }
+    group.clear();
+    if (!hard_error.ok()) return hard_error;
+  }
+  // Records after the last commit marker stay un-replayed: the operation
+  // never committed, so it is rolled back — never a half-applied statement.
+  if (replayed > 0) {
+    HAZY_LOG(Info) << "wal redo: replayed " << replayed
+                   << " committed operations onto checkpoint epoch "
+                   << checkpoint_epoch_;
+  }
+  return Status::OK();
+}
+
+Status Database::CopyCompactInto(Database* fresh) {
+  HAZY_RETURN_NOT_OK(fresh->Open());
+  // The bulk copy needs no logical log: the final checkpoint below seals
+  // the compacted image, and the log is rebased on it.
+  storage::WalLogicalPauseGuard pause(fresh->wal_.get());
+
+  for (const auto& name : catalog_->TableNames()) {
+    if (persist::IsReservedTableName(name)) continue;  // rebuilt by checkpoint
+    HAZY_ASSIGN_OR_RETURN(storage::Table * src, catalog_->GetTable(name));
+    HAZY_ASSIGN_OR_RETURN(
+        storage::Table * dst,
+        fresh->catalog_->CreateTable(name, src->schema(), src->primary_key()));
+    Status inner;
+    HAZY_RETURN_NOT_OK(src->Scan([&](const Row& row) {
+      inner = dst->Insert(row);
+      return inner.ok();
+    }));
+    HAZY_RETURN_NOT_OK(inner);
+  }
+  // Views carry over bit-identically through their serialized state — the
+  // same blobs a checkpoint writes and recovery reads.
+  persist::ViewCheckpointer src_ckpt(this);
+  persist::ViewCheckpointer dst_ckpt(fresh);
+  for (const auto& mv : views_) {
+    std::string blob;
+    HAZY_RETURN_NOT_OK(src_ckpt.SerializeViewState(*mv, &blob));
+    HAZY_RETURN_NOT_OK(dst_ckpt.RestoreViewFromBlob(blob));
+  }
+  return fresh->Checkpoint().status();
+}
+
+void Database::ResetHandles() {
+  views_.clear();
+  catalog_.reset();
+  if (wal_ && wal_->is_open()) wal_->Close().ok();
+  wal_.reset();
+  pool_.reset();
+  if (pager_ && pager_->is_open()) pager_->Close().ok();
+  pager_.reset();
+  checkpoint_epoch_ = 0;
+}
+
+Status Database::Compact() {
+  if (!pager_) return Status::InvalidArgument("database not open");
+  if (in_update_batch()) {
+    return Status::InvalidArgument("cannot VACUUM inside an update batch");
+  }
+  // Baseline: everything pending becomes durable before the rewrite.
+  HAZY_RETURN_NOT_OK(Checkpoint().status());
+
+  const std::string tmp_path = path_ + ".compact";
+  const std::string tmp_wal = storage::WalPathFor(tmp_path);
+  ::unlink(tmp_path.c_str());
+  ::unlink(tmp_wal.c_str());
+  {
+    DatabaseOptions opts;
+    opts.path = tmp_path;
+    opts.buffer_pool_pages = options_.buffer_pool_pages;
+    opts.view_defaults = options_.view_defaults;
+    opts.wal = options_.wal;
+    Database fresh(opts);
+    Status s = CopyCompactInto(&fresh);
+    if (!s.ok()) {
+      ::unlink(tmp_path.c_str());
+      ::unlink(tmp_wal.c_str());
+      return s;
+    }
+  }  // fresh's destructor closes the compacted file
+
+  // Swap the compacted file in and recover from it in place. The rename is
+  // atomic (same directory), so a crash — or a failure below — leaves either
+  // the old complete database or the new complete one at path_; worst case
+  // we come back up on whichever it is.
+  const bool owns_temp = owns_temp_file_;
+  ResetHandles();
+  Status s;
+  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    s = Status::IOError(StrFormat("rename %s over %s failed", tmp_path.c_str(),
+                                  path_.c_str()));
+    ::unlink(tmp_path.c_str());
+    ::unlink(tmp_wal.c_str());
+  } else {
+    ::unlink(storage::WalPathFor(path_).c_str());
+    ::rename(tmp_wal.c_str(), storage::WalPathFor(path_).c_str());
+  }
+  if (s.ok()) s = OpenImpl();
+  if (!s.ok()) {
+    // Never leave a half-torn-down handle behind a returned error: recover
+    // onto whatever complete database sits at path_, or close out cleanly
+    // so every later call reports "database not open" instead of crashing.
+    ResetHandles();
+    if (!OpenImpl().ok()) ResetHandles();
+  }
+  owns_temp_file_ = owns_temp;
+  return s;
 }
 
 StatusOr<ManagedView*> Database::GetView(const std::string& name) const {

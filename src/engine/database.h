@@ -19,6 +19,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
 #include "storage/table.h"
+#include "storage/wal.h"
 
 namespace hazy::persist {
 class ViewCheckpointer;
@@ -114,6 +115,8 @@ struct DatabaseOptions {
   size_t buffer_pool_pages = 4096;
   /// Defaults applied to classification views.
   core::ViewOptions view_defaults;
+  /// Write-ahead-log durability policy (fsync per commit vs group commit).
+  storage::WalOptions wal;
 };
 
 /// \brief An embedded database: catalog + triggers + classification views.
@@ -124,17 +127,31 @@ class Database {
 
   /// Opens the backing file. A fresh file (or a fresh temp file when no path
   /// is configured) is formatted with the persist header page; an existing
-  /// database file is recovered from its last checkpoint — tables attach to
-  /// their heap chains and every classification view is rebuilt from its
-  /// checkpointed state with zero retraining, triggers rewired. On failure
-  /// the database is left closed and reusable, and a temp file it created is
-  /// removed.
+  /// database file is recovered to an *exact* point: the write-ahead log
+  /// first rolls the file back to the last checkpoint the views were saved
+  /// at, tables attach to their heap chains, every classification view is
+  /// rebuilt from its checkpointed state with zero retraining (triggers
+  /// rewired), and then every committed post-checkpoint operation is
+  /// replayed through the trigger machinery so the views re-train on the
+  /// redone rows exactly as they did live. Pages orphaned by the crash (the
+  /// pre-restart view structures, rolled-back allocations) are swept into
+  /// the free list, so the file does not grow across restart cycles. On
+  /// failure the database is left closed and reusable, and a temp file it
+  /// created is removed.
   Status Open();
 
   /// Checkpoints the full state of all tables and classification views to
-  /// the backing file (see persist/checkpoint.h for the on-disk scheme).
-  /// Returns the new checkpoint epoch.
+  /// the backing file (see persist/checkpoint.h for the on-disk scheme) and
+  /// rebases the write-ahead log on the new epoch. Returns the new epoch.
   StatusOr<uint64_t> Checkpoint();
+
+  /// VACUUM: checkpoints, then rewrites every live page into a fresh
+  /// compacted file (tables copied row-by-row, views carried over
+  /// bit-identically through their serialized state) and atomically swaps it
+  /// in, truncating away all fragmentation. Invalidates any Table* /
+  /// ManagedView* pointers previously handed out. The checkpoint epoch
+  /// restarts at 1 in the compacted lineage.
+  Status Compact();
 
   /// Epoch of the last durable checkpoint (0 = never checkpointed).
   uint64_t checkpoint_epoch() const { return checkpoint_epoch_; }
@@ -144,6 +161,7 @@ class Database {
 
   storage::Catalog* catalog() { return catalog_.get(); }
   storage::BufferPool* buffer_pool() { return pool_.get(); }
+  storage::Wal* wal() { return wal_.get(); }
 
   /// Creates and populates a classification view over existing tables,
   /// and wires the triggers that keep it maintained.
@@ -159,7 +177,11 @@ class Database {
   /// flushed to each view as one amortized UpdateBatch. Nestable; only the
   /// outermost EndUpdateBatch flushes. Reads against a view always flush
   /// its queue first, so answers are identical to unbatched execution.
-  void BeginUpdateBatch() { ++batch_depth_; }
+  /// The WAL groups the batch's mutations under one commit marker so replay
+  /// reproduces the batched fold boundaries bit-exactly.
+  void BeginUpdateBatch() {
+    if (batch_depth_++ == 0 && wal_) wal_->BeginGroup();
+  }
 
   /// Leaves batched-trigger mode, flushing every view's queue when the
   /// outermost batch ends.
@@ -172,6 +194,19 @@ class Database {
 
   /// Open() body; Open() wraps it with failure cleanup.
   Status OpenImpl();
+
+  /// Replays the WAL's committed logical records through the normal table /
+  /// trigger entry points (recovery redo; logical logging paused).
+  Status ReplayWal();
+  Status ApplyWalOp(std::string_view payload);
+
+  /// Compact() helper: copies every user table and view into `fresh` and
+  /// checkpoints it (the compacted image).
+  Status CopyCompactInto(Database* fresh);
+
+  /// Closes every handle (pager, wal, pool, catalog, views) without touching
+  /// any file — the in-place teardown Compact() uses before swapping files.
+  void ResetHandles();
 
   /// Registers the insert/update/delete triggers that keep `mv` maintained
   /// (shared by view creation and checkpoint recovery).
@@ -204,10 +239,14 @@ class Database {
   DatabaseOptions options_;
   std::string path_;
   bool owns_temp_file_ = false;
+  /// True when this Open created the -wal sidecar file (so a failed open
+  /// can remove it instead of leaving a stray next to a foreign file).
+  bool created_wal_file_ = false;
   int batch_depth_ = 0;
   uint64_t checkpoint_epoch_ = 0;
   std::unique_ptr<storage::Pager> pager_;
   std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<storage::Wal> wal_;
   std::unique_ptr<storage::Catalog> catalog_;
   std::vector<std::unique_ptr<ManagedView>> views_;
 };

@@ -19,9 +19,17 @@ constexpr uint32_t kFeatureFnTag = persist::MakeTag('F', 'E', 'A', 'T');
 void Vocabulary::SaveState(persist::StateWriter* w) const {
   w->PutTag(kVocabTag);
   w->PutU64(map_.size());
-  for (const auto& [word, idx] : map_) {
-    w->PutString(word);
-    w->PutU32(idx);
+  // Canonical order (by index = insertion order), not hash-table order: two
+  // logically identical vocabularies must serialize to identical bytes, or
+  // the crash-recovery exactness tests could never compare state blobs.
+  std::vector<const std::pair<const std::string, uint32_t>*> sorted;
+  sorted.reserve(map_.size());
+  for (const auto& entry : map_) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->second < b->second; });
+  for (const auto* entry : sorted) {
+    w->PutString(entry->first);
+    w->PutU32(entry->second);
   }
 }
 

@@ -13,6 +13,7 @@
 #include "persist/serde.h"
 #include "storage/coding.h"
 #include "storage/page.h"
+#include "storage/wal.h"
 
 namespace hazy::persist {
 
@@ -35,7 +36,10 @@ constexpr uint64_t kHeaderMagic = 0x00314244595A4148ull;
 // pairs to parallel arrays (all indices, then all values) for the
 // zero-copy scan path. v1 files would misparse, so they are rejected by
 // the version check rather than read.
-constexpr uint32_t kFormatVersion = 2;
+// v3: every page reserves a trailing LSN footer for the write-ahead log
+// (storage/page.h), and the master record persists the pager free list.
+// v2 page layouts would misparse, so they are rejected likewise.
+constexpr uint32_t kFormatVersion = 3;
 constexpr size_t kMagicOff = 0;
 constexpr size_t kVersionOff = 8;
 constexpr size_t kMasterHeadOff = 12;
@@ -46,11 +50,13 @@ constexpr uint32_t kViewStateTag = MakeTag('M', 'V', 'S', 'T');
 
 // Chain-page layout: u32 next page, u32 used bytes, payload.
 constexpr size_t kChainHeaderSize = 8;
-constexpr size_t kChainCapacity = storage::kPageSize - kChainHeaderSize;
+constexpr size_t kChainCapacity = storage::kPageUsableSize - kChainHeaderSize;
 
 int64_t RowKeyFor(uint64_t epoch, int64_t view_id) {
   return static_cast<int64_t>(epoch) * kMaxViewsPerDatabase + view_id;
 }
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Definition / options serialization.
@@ -99,6 +105,8 @@ Status GetViewDef(StateReader* r, ClassificationViewDef* def) {
   def->mode = static_cast<core::Mode>(u);
   return Status::OK();
 }
+
+namespace {
 
 void PutViewOptions(StateWriter* w, const core::ViewOptions& o) {
   w->PutU8(static_cast<uint8_t>(o.mode));
@@ -165,6 +173,10 @@ bool IsReservedTableName(std::string_view name) {
   return EqualsIgnoreCase(name.substr(0, kPrefix.size()), kPrefix);
 }
 
+bool IsHazyHeaderPage(const char* page0) {
+  return storage::DecodeFixed64(page0 + kMagicOff) == kHeaderMagic;
+}
+
 Status ViewCheckpointer::InitFresh() {
   HAZY_ASSIGN_OR_RETURN(storage::PageHandle h, db_->pool_->New());
   if (h.page_id() != 0) {
@@ -223,6 +235,63 @@ Status ViewCheckpointer::CollectGarbageRows(uint64_t keep_epoch) {
   return DeleteRowsWhere([&](uint64_t e) { return e != keep_epoch; });
 }
 
+Status ViewCheckpointer::SerializeViewState(const ManagedView& mv, std::string* blob) {
+  StateWriter w(blob);
+  w.PutTag(kViewStateTag);
+  PutViewDef(&w, mv.def_);
+  w.PutU32(static_cast<uint32_t>(mv.labels_.size()));
+  for (const auto& l : mv.labels_) w.PutString(l);
+  w.PutU64(mv.example_log_.size());
+  for (const auto& [id, sign] : mv.example_log_) {
+    w.PutI64(id);
+    w.PutI32(sign);
+  }
+  mv.feature_fn_->SaveState(&w);
+  PutViewOptions(&w, db_->EffectiveViewOptions(mv.def_));
+  return mv.view_->SaveState(&w);
+}
+
+Status ViewCheckpointer::RestoreViewFromBlob(std::string_view blob) {
+  StateReader r(blob);
+  HAZY_RETURN_NOT_OK(r.ExpectTag(kViewStateTag));
+
+  auto mv = std::make_unique<ManagedView>();
+  mv->db_ = db_;
+  HAZY_RETURN_NOT_OK(GetViewDef(&r, &mv->def_));
+
+  uint32_t num_labels = 0;
+  HAZY_RETURN_NOT_OK(r.GetU32(&num_labels));
+  HAZY_RETURN_NOT_OK(r.CheckCount(num_labels));
+  mv->labels_.assign(num_labels, {});
+  for (auto& l : mv->labels_) HAZY_RETURN_NOT_OK(r.GetString(&l));
+
+  uint64_t log_len = 0;
+  HAZY_RETURN_NOT_OK(r.GetU64(&log_len));
+  HAZY_RETURN_NOT_OK(r.CheckCount(log_len, 12));  // i64 id + i32 sign
+  mv->example_log_.reserve(log_len);
+  for (uint64_t i = 0; i < log_len; ++i) {
+    int64_t id = 0;
+    int32_t sign = 0;
+    HAZY_RETURN_NOT_OK(r.GetI64(&id));
+    HAZY_RETURN_NOT_OK(r.GetI32(&sign));
+    mv->example_log_.emplace_back(id, sign);
+  }
+
+  HAZY_ASSIGN_OR_RETURN(mv->feature_fn_,
+                        features::MakeFeatureFunction(mv->def_.feature_function));
+  HAZY_RETURN_NOT_OK(mv->feature_fn_->LoadState(&r));
+
+  core::ViewOptions vopts;
+  HAZY_RETURN_NOT_OK(GetViewOptions(&r, &vopts));
+  HAZY_ASSIGN_OR_RETURN(mv->view_, core::MakeView(mv->def_.architecture, vopts,
+                                                  db_->pool_.get()));
+  HAZY_RETURN_NOT_OK(mv->view_->LoadState(&r));
+
+  ManagedView* raw = mv.get();
+  db_->views_.push_back(std::move(mv));
+  return db_->ArmTriggers(raw);
+}
+
 Status ViewCheckpointer::WriteViewRows(uint64_t epoch) {
   HAZY_ASSIGN_OR_RETURN(storage::Table * views_table,
                         db_->catalog_->GetTable(kViewsTableName));
@@ -234,19 +303,7 @@ Status ViewCheckpointer::WriteViewRows(uint64_t epoch) {
     const int64_t row_key = RowKeyFor(epoch, view_id);
 
     std::string blob;
-    StateWriter w(&blob);
-    w.PutTag(kViewStateTag);
-    PutViewDef(&w, mv.def_);
-    w.PutU32(static_cast<uint32_t>(mv.labels_.size()));
-    for (const auto& l : mv.labels_) w.PutString(l);
-    w.PutU64(mv.example_log_.size());
-    for (const auto& [id, sign] : mv.example_log_) {
-      w.PutI64(id);
-      w.PutI32(sign);
-    }
-    mv.feature_fn_->SaveState(&w);
-    PutViewOptions(&w, db_->EffectiveViewOptions(mv.def_));
-    HAZY_RETURN_NOT_OK(mv.view_->SaveState(&w));
+    HAZY_RETURN_NOT_OK(SerializeViewState(mv, &blob));
 
     HAZY_RETURN_NOT_OK(state_table->Insert(
         Row{row_key, view_id, static_cast<int64_t>(epoch), std::move(blob)}));
@@ -284,21 +341,38 @@ Status ViewCheckpointer::WriteMasterRecord(uint64_t epoch, uint32_t* new_head) {
     w.PutU64(meta.num_overflow_pages);
   }
 
-  // Lay the record out over a fresh chain of raw pages; the header will be
-  // flipped to this chain only after it is fully written and synced.
-  const size_t num_chain_pages = std::max<size_t>(1, (rec.size() + kChainCapacity - 1) /
-                                                         kChainCapacity);
+  // The record ends with the pager free list, so a recovered database knows
+  // exactly which pages the durable image does NOT own. The chain pages are
+  // allocated *before* the list is serialized — each allocation either pops
+  // the free list (shrinking the record) or extends the file (leaving it
+  // unchanged), so the loop converges and the persisted list is exactly the
+  // post-commit free state. A trailing over-allocated page simply carries
+  // zero payload bytes.
+  storage::Pager* pager = db_->pager_.get();
+  auto record_size = [&]() {
+    return rec.size() + 4 +
+           4 * (pager->free_list().size() + pager->quarantined().size());
+  };
+  auto pages_for = [](size_t len) {
+    return std::max<size_t>(1, (len + kChainCapacity - 1) / kChainCapacity);
+  };
   std::vector<storage::PageHandle> pages;
-  pages.reserve(num_chain_pages);
-  for (size_t i = 0; i < num_chain_pages; ++i) {
+  while (pages.size() < pages_for(record_size())) {
     HAZY_ASSIGN_OR_RETURN(storage::PageHandle h, db_->pool_->New());
     pages.push_back(std::move(h));
   }
+  w.PutU32(static_cast<uint32_t>(pager->free_list().size() +
+                                 pager->quarantined().size()));
+  // Quarantined pages are released into the free list at this checkpoint's
+  // commit point, so they are free pages of the image being written.
+  for (uint32_t pid : pager->free_list()) w.PutU32(pid);
+  for (uint32_t pid : pager->quarantined()) w.PutU32(pid);
+
   size_t off = 0;
-  for (size_t i = 0; i < num_chain_pages; ++i) {
+  for (size_t i = 0; i < pages.size(); ++i) {
     char* d = pages[i].data();
-    uint32_t next = i + 1 < num_chain_pages ? pages[i + 1].page_id()
-                                            : storage::kInvalidPageId;
+    uint32_t next = i + 1 < pages.size() ? pages[i + 1].page_id()
+                                         : storage::kInvalidPageId;
     size_t chunk = std::min(kChainCapacity, rec.size() - off);
     storage::EncodeFixed32(d, next);
     storage::EncodeFixed32(d + 4, static_cast<uint32_t>(chunk));
@@ -310,7 +384,8 @@ Status ViewCheckpointer::WriteMasterRecord(uint64_t epoch, uint32_t* new_head) {
   return Status::OK();
 }
 
-Status ViewCheckpointer::ReadMasterRecord(uint32_t head, std::string* out) {
+Status ViewCheckpointer::ReadMasterRecord(uint32_t head, std::string* out,
+                                          std::vector<uint32_t>* chain_pages) {
   out->clear();
   uint32_t pid = head;
   // A chain can never be longer than the file; a corrupted next pointer
@@ -321,6 +396,7 @@ Status ViewCheckpointer::ReadMasterRecord(uint32_t head, std::string* out) {
     if (++visited > max_pages) {
       return Status::Corruption("master-catalog chain is cyclic or overlong");
     }
+    if (chain_pages != nullptr) chain_pages->push_back(pid);
     HAZY_ASSIGN_OR_RETURN(storage::PageHandle h, db_->pool_->Fetch(pid));
     const char* d = h.data();
     uint32_t next = storage::DecodeFixed32(d);
@@ -359,6 +435,12 @@ StatusOr<uint64_t> ViewCheckpointer::Checkpoint() {
   }
   // Queued trigger work must land in the views before their state is frozen.
   for (const auto& mv : db_->views_) HAZY_RETURN_NOT_OK(mv->Flush());
+
+  // The checkpoint's own system-table writes must not append logical WAL
+  // records (the checkpoint IS the durability point they would replay
+  // against). Before-image logging stays on: a crashed checkpoint's page
+  // writes roll back like any other torn work.
+  storage::WalLogicalPauseGuard pause(db_->wal_.get());
 
   HAZY_RETURN_NOT_OK(EnsureSystemTables());
 
@@ -401,6 +483,11 @@ StatusOr<uint64_t> ViewCheckpointer::Checkpoint() {
   // a failed FreeChain cannot leave a stale in-memory epoch whose next GC
   // pass would collect the rows the on-disk header actually points to.
   db_->checkpoint_epoch_ = epoch;
+  // Rebase the write-ahead log: everything it held is absorbed by the new
+  // checkpoint. A crash between the header flip above and this reset leaves
+  // a log whose base epoch trails the header — recovery rolls the file back
+  // to the log's base and replays, landing on the same logical state.
+  if (db_->wal_ != nullptr) HAZY_RETURN_NOT_OK(db_->wal_->Reset(epoch));
   // Pages freed (by any table or view) since the previous commit were
   // quarantined because the superseded image might still reference them;
   // that image is gone, so they can be recycled. From the first commit on,
@@ -418,7 +505,129 @@ StatusOr<uint64_t> ViewCheckpointer::Checkpoint() {
   return epoch;
 }
 
+Status ViewCheckpointer::DisposeWal(bool* replay_pending) {
+  *replay_pending = false;
+  storage::Wal* wal = db_->wal_.get();
+  if (wal == nullptr || !wal->is_open()) return Status::OK();
+
+  // Raw header read, bypassing the pool: the header itself may be torn or
+  // mid-flip and about to be rolled back.
+  char hdr[storage::kPageSize];
+  HAZY_RETURN_NOT_OK(db_->pager_->Read(0, hdr));
+  const uint64_t hdr_epoch = storage::DecodeFixed64(hdr + kEpochOff);
+  const bool hdr_valid = storage::DecodeFixed64(hdr + kMagicOff) == kHeaderMagic;
+
+  // A file that does not identify as a hazy database is never written to —
+  // not even by a rollback whose page-0 image looks plausible: the database
+  // may have been deleted and the path re-used by a foreign file while a
+  // stale sidecar log survived. (Recover's own magic check will report the
+  // corruption; an empty log loses nothing by being left alone.)
+  if (!hdr_valid) {
+    if (wal->records().empty()) return Status::OK();
+    return Status::Corruption(
+        StrFormat("%s is not a hazy database file (stale write-ahead log "
+                  "present at %s)",
+                  db_->path_.c_str(), wal->path().c_str()));
+  }
+
+  bool wal_current = false;
+  if (!wal->records().empty()) {
+    if (wal->base_epoch() == hdr_epoch) {
+      // Normal crash: the log is based on the durable checkpoint.
+      wal_current = true;
+    } else {
+      // The header advanced past the log's base (a crash inside or just
+      // after a checkpoint). If the log holds page 0's checkpoint image for
+      // its own base epoch, it belongs to this file's previous epoch: roll
+      // back to that checkpoint and replay — same logical state, exactly.
+      // Otherwise the log is stale (the newer checkpoint already absorbed
+      // it): discard it.
+      for (const auto& r : wal->records()) {
+        if (r.type != storage::WalRecordType::kBeforeImage) continue;
+        if (r.payload.size() < 4 + storage::kPageSize) continue;
+        if (storage::DecodeFixed32(r.payload.data()) != 0) continue;
+        const char* img = r.payload.data() + 4;
+        wal_current = storage::DecodeFixed64(img + kMagicOff) == kHeaderMagic &&
+                      storage::DecodeFixed64(img + kEpochOff) == wal->base_epoch();
+        break;
+      }
+    }
+  }
+  if (!wal_current) {
+    // Nothing to roll back or replay; rebase the log on the durable epoch.
+    return wal->Reset(hdr_epoch);
+  }
+
+  // Roll the file back to exactly the base checkpoint: every page dirtied
+  // since then has its checkpoint-time image in the log (at most one per
+  // page — later dirtyings of a logged page are not re-imaged).
+  size_t rolled_back = 0;
+  for (const auto& r : wal->records()) {
+    if (r.type != storage::WalRecordType::kBeforeImage) continue;
+    if (r.payload.size() != 4 + storage::kPageSize) {
+      return Status::Corruption("wal before-image record has wrong size");
+    }
+    uint32_t pid = storage::DecodeFixed32(r.payload.data());
+    HAZY_RETURN_NOT_OK(db_->pager_->Write(pid, r.payload.data() + 4));
+    ++rolled_back;
+  }
+  if (rolled_back > 0) HAZY_RETURN_NOT_OK(db_->pager_->Sync());
+  for (const auto& r : wal->records()) {
+    if (r.type == storage::WalRecordType::kLogical) {
+      *replay_pending = true;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status ViewCheckpointer::SweepFreePages(const std::vector<uint32_t>& chain_pages,
+                                        const std::vector<uint32_t>& persisted_free) {
+  const uint32_t num_pages = db_->pager_->num_pages();
+  std::vector<bool> live(num_pages, false);
+  if (num_pages > 0) live[0] = true;
+  auto mark = [&](uint32_t pid) -> Status {
+    if (pid >= num_pages) {
+      return Status::Corruption(
+          StrFormat("live page %u beyond end of file (%u pages)", pid, num_pages));
+    }
+    live[pid] = true;
+    return Status::OK();
+  };
+  for (uint32_t pid : chain_pages) HAZY_RETURN_NOT_OK(mark(pid));
+  std::vector<uint32_t> table_pages;
+  for (const auto& name : db_->catalog_->TableNames()) {
+    HAZY_ASSIGN_OR_RETURN(storage::Table * table, db_->catalog_->GetTable(name));
+    table_pages.clear();
+    HAZY_RETURN_NOT_OK(table->CollectPages(&table_pages));
+    for (uint32_t pid : table_pages) HAZY_RETURN_NOT_OK(mark(pid));
+  }
+  // Cross-check against the free list the checkpoint persisted: a page both
+  // declared free and reachable means the image is self-contradictory.
+  for (uint32_t pid : persisted_free) {
+    if (pid < num_pages && live[pid]) {
+      return Status::Corruption(
+          StrFormat("page %u is both reachable and on the persisted free list", pid));
+    }
+  }
+  // Everything unreachable — superseded view-state chains from before the
+  // restart, pages allocated after the checkpoint and rolled back — is free.
+  std::vector<uint32_t> free;
+  free.reserve(num_pages);
+  for (uint32_t pid = 1; pid < num_pages; ++pid) {
+    if (!live[pid]) free.push_back(pid);
+  }
+  db_->pager_->SetFreeList(std::move(free));
+  return Status::OK();
+}
+
 Status ViewCheckpointer::Recover() {
+  // Phase 1: settle the write-ahead log — roll the file back to the
+  // checkpoint its before-images protect, or discard it if a completed
+  // checkpoint already absorbed it.
+  bool replay_pending = false;
+  HAZY_RETURN_NOT_OK(DisposeWal(&replay_pending));
+
   uint32_t master_head = storage::kInvalidPageId;
   uint64_t epoch = 0;
   {
@@ -442,14 +651,21 @@ Status ViewCheckpointer::Recover() {
     epoch = storage::DecodeFixed64(d + kEpochOff);
   }
   db_->checkpoint_epoch_ = epoch;
-  // A formatted file that was never checkpointed has no catalog to restore.
-  if (master_head == storage::kInvalidPageId) return Status::OK();
+  // A formatted file that was never checkpointed has no catalog to restore —
+  // but the log may still hold its whole committed history, replayable onto
+  // the empty database.
+  if (master_head == storage::kInvalidPageId) {
+    HAZY_RETURN_NOT_OK(SweepFreePages({}, {}));
+    if (replay_pending) return db_->ReplayWal();
+    return Status::OK();
+  }
   // A durable image exists: freed pages must be quarantined until the next
   // commit supersedes it (see Pager::EnableFreeQuarantine).
   db_->pager_->EnableFreeQuarantine();
 
   std::string rec;
-  HAZY_RETURN_NOT_OK(ReadMasterRecord(master_head, &rec));
+  std::vector<uint32_t> chain_pages;
+  HAZY_RETURN_NOT_OK(ReadMasterRecord(master_head, &rec, &chain_pages));
   StateReader r(rec);
   HAZY_RETURN_NOT_OK(r.ExpectTag(kMasterTag));
   uint64_t rec_epoch = 0;
@@ -493,7 +709,31 @@ Status ViewCheckpointer::Recover() {
                                          meta)
                            .status());
   }
-  return RecoverViews(epoch);
+  uint32_t free_count = 0;
+  HAZY_RETURN_NOT_OK(r.GetU32(&free_count));
+  HAZY_RETURN_NOT_OK(r.CheckCount(free_count, 4));
+  std::vector<uint32_t> persisted_free;
+  persisted_free.reserve(free_count);
+  for (uint32_t i = 0; i < free_count; ++i) {
+    uint32_t pid = 0;
+    HAZY_RETURN_NOT_OK(r.GetU32(&pid));
+    persisted_free.push_back(pid);
+  }
+
+  // Phase 2: reclaim everything the image does not own — the pre-restart
+  // view-state chains and any rolled-back post-checkpoint allocations —
+  // *before* the views rebuild into (and the redo replays into) fresh pages,
+  // so a checkpoint+restart cycle reuses pages instead of growing the file.
+  HAZY_RETURN_NOT_OK(SweepFreePages(chain_pages, persisted_free));
+
+  // Phase 3: rebuild the views from the checkpoint (zero retraining).
+  HAZY_RETURN_NOT_OK(RecoverViews(epoch));
+
+  // Phase 4: redo — replay committed post-checkpoint operations through the
+  // trigger machinery so the views re-train on them exactly as they did
+  // live.
+  if (replay_pending) return db_->ReplayWal();
+  return Status::OK();
 }
 
 Status ViewCheckpointer::RecoverViews(uint64_t epoch) {
@@ -519,45 +759,7 @@ Status ViewCheckpointer::RecoverViews(uint64_t epoch) {
     if (!std::holds_alternative<std::string>(state_row[3])) {
       return Status::Corruption("view state row has no state blob");
     }
-    const std::string& blob = std::get<std::string>(state_row[3]);
-    StateReader r(blob);
-    HAZY_RETURN_NOT_OK(r.ExpectTag(kViewStateTag));
-
-    auto mv = std::make_unique<ManagedView>();
-    mv->db_ = db_;
-    HAZY_RETURN_NOT_OK(GetViewDef(&r, &mv->def_));
-
-    uint32_t num_labels = 0;
-    HAZY_RETURN_NOT_OK(r.GetU32(&num_labels));
-    HAZY_RETURN_NOT_OK(r.CheckCount(num_labels));
-    mv->labels_.assign(num_labels, {});
-    for (auto& l : mv->labels_) HAZY_RETURN_NOT_OK(r.GetString(&l));
-
-    uint64_t log_len = 0;
-    HAZY_RETURN_NOT_OK(r.GetU64(&log_len));
-    HAZY_RETURN_NOT_OK(r.CheckCount(log_len, 12));  // i64 id + i32 sign
-    mv->example_log_.reserve(log_len);
-    for (uint64_t i = 0; i < log_len; ++i) {
-      int64_t id = 0;
-      int32_t sign = 0;
-      HAZY_RETURN_NOT_OK(r.GetI64(&id));
-      HAZY_RETURN_NOT_OK(r.GetI32(&sign));
-      mv->example_log_.emplace_back(id, sign);
-    }
-
-    HAZY_ASSIGN_OR_RETURN(mv->feature_fn_,
-                          features::MakeFeatureFunction(mv->def_.feature_function));
-    HAZY_RETURN_NOT_OK(mv->feature_fn_->LoadState(&r));
-
-    core::ViewOptions vopts;
-    HAZY_RETURN_NOT_OK(GetViewOptions(&r, &vopts));
-    HAZY_ASSIGN_OR_RETURN(mv->view_, core::MakeView(mv->def_.architecture, vopts,
-                                                    db_->pool_.get()));
-    HAZY_RETURN_NOT_OK(mv->view_->LoadState(&r));
-
-    ManagedView* raw = mv.get();
-    db_->views_.push_back(std::move(mv));
-    HAZY_RETURN_NOT_OK(db_->ArmTriggers(raw));
+    HAZY_RETURN_NOT_OK(RestoreViewFromBlob(std::get<std::string>(state_row[3])));
   }
   return Status::OK();
 }

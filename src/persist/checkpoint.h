@@ -39,16 +39,23 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 
 namespace hazy::engine {
 class Database;
 class ManagedView;
+struct ClassificationViewDef;
 }  // namespace hazy::engine
 
 namespace hazy::persist {
+
+class StateReader;
+class StateWriter;
 
 /// System-table names (reserved; surfaced by the shell's \d like any table).
 inline constexpr char kViewsTableName[] = "__hazy_views";
@@ -62,6 +69,17 @@ inline constexpr int64_t kMaxViewsPerDatabase = 4096;
 /// persist subsystem's reserved namespace. User DDL/DML and classification
 /// views must not touch these tables.
 bool IsReservedTableName(std::string_view name);
+
+/// True when the buffer holds a hazy database header page (magic match).
+/// Lets Database::Open distinguish a crash's torn tail-page write (valid
+/// header, misaligned size — truncate and recover) from a foreign file that
+/// must never be touched.
+bool IsHazyHeaderPage(const char* page0);
+
+/// Serializers for a classification-view definition (shared between the
+/// checkpoint state blobs and the WAL's CREATE VIEW logical records).
+void PutViewDef(StateWriter* w, const engine::ClassificationViewDef& def);
+Status GetViewDef(StateReader* r, engine::ClassificationViewDef* def);
 
 /// \brief Checkpoints and recovers a Database's full classification-view
 /// stack through its own storage engine.
@@ -78,10 +96,26 @@ class ViewCheckpointer {
   /// new epoch.
   StatusOr<uint64_t> Checkpoint();
 
-  /// Rebuilds the catalog, tables, and managed views from the last durable
-  /// checkpoint of an existing database file — serving identical answers
-  /// with zero model retraining — and rewires the maintenance triggers.
+  /// Recovers an existing database file to an exact point. In order: the
+  /// write-ahead log rolls the file back to the checkpoint its before-images
+  /// protect (or is discarded when a completed checkpoint already absorbed
+  /// it); the catalog, tables, and managed views are rebuilt from the
+  /// durable checkpoint with zero model retraining and the maintenance
+  /// triggers rewired; unreachable pages — pre-restart view-state chains,
+  /// rolled-back post-checkpoint allocations — are swept into the pager free
+  /// list; and the log's committed logical records are replayed through the
+  /// trigger machinery so base tables AND views land on checkpoint +
+  /// committed suffix, never a mixed state.
   Status Recover();
+
+  /// Serializes one view's full durable state (definition, vocabulary,
+  /// replay log, feature statistics, architecture payload) — the row format
+  /// of __hazy_view_state, also used by Database::Compact.
+  Status SerializeViewState(const engine::ManagedView& mv, std::string* blob);
+
+  /// Inverse of SerializeViewState: rebuilds a managed view, registers it
+  /// with the database, and arms its triggers.
+  Status RestoreViewFromBlob(std::string_view blob);
 
  private:
   Status EnsureSystemTables();
@@ -89,9 +123,22 @@ class ViewCheckpointer {
   Status CollectGarbageRows(uint64_t keep_epoch);
   Status WriteViewRows(uint64_t epoch);
   Status WriteMasterRecord(uint64_t epoch, uint32_t* new_head);
-  Status ReadMasterRecord(uint32_t head, std::string* out);
+  Status ReadMasterRecord(uint32_t head, std::string* out,
+                          std::vector<uint32_t>* chain_pages = nullptr);
   Status FreeChain(uint32_t head);
   Status RecoverViews(uint64_t epoch);
+
+  /// Rolls the database file back to the log's base checkpoint (applies
+  /// every before-image) when the log is current, or discards a stale log.
+  /// Sets *replay_pending when committed logical records await replay.
+  Status DisposeWal(bool* replay_pending);
+
+  /// Mark-and-sweep over the recovered image: every page not reachable from
+  /// the header, master chain, or a table heap joins the pager free list.
+  /// `persisted_free` (the list saved in the master record) cross-checks
+  /// reachability: a page both declared free and reachable is corruption.
+  Status SweepFreePages(const std::vector<uint32_t>& chain_pages,
+                        const std::vector<uint32_t>& persisted_free);
 
   engine::Database* db_;
 };

@@ -71,8 +71,13 @@ struct UpdateStmt {
 /// state to the backing file (persist/checkpoint.h).
 struct CheckpointStmt {};
 
+/// VACUUM — checkpoints, then rewrites every live page into a compacted
+/// database file and truncates away all fragmentation (Database::Compact).
+struct VacuumStmt {};
+
 using Statement = std::variant<CreateTableStmt, CreateViewStmt, InsertStmt,
-                               SelectStmt, DeleteStmt, UpdateStmt, CheckpointStmt>;
+                               SelectStmt, DeleteStmt, UpdateStmt, CheckpointStmt,
+                               VacuumStmt>;
 
 }  // namespace hazy::sql
 

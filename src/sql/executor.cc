@@ -64,6 +64,11 @@ StatusOr<ResultSet> Executor::Execute(const std::string& sql) {
 }
 
 StatusOr<ResultSet> Executor::Execute(const Statement& stmt) {
+  if (db_->catalog() == nullptr) {
+    // A failed VACUUM swap (or failed Open) leaves the database cleanly
+    // closed; every statement must say so rather than dereference it.
+    return Status::InvalidArgument("database is not open");
+  }
   if (const auto* s = std::get_if<CreateTableStmt>(&stmt)) return ExecCreateTable(*s);
   if (const auto* s = std::get_if<CreateViewStmt>(&stmt)) return ExecCreateView(*s);
   if (const auto* s = std::get_if<InsertStmt>(&stmt)) return ExecInsert(*s);
@@ -71,6 +76,7 @@ StatusOr<ResultSet> Executor::Execute(const Statement& stmt) {
   if (const auto* s = std::get_if<DeleteStmt>(&stmt)) return ExecDelete(*s);
   if (const auto* s = std::get_if<UpdateStmt>(&stmt)) return ExecUpdate(*s);
   if (std::get_if<CheckpointStmt>(&stmt) != nullptr) return ExecCheckpoint();
+  if (std::get_if<VacuumStmt>(&stmt) != nullptr) return ExecVacuum();
   return Status::Internal("unhandled statement kind");
 }
 
@@ -79,6 +85,23 @@ StatusOr<ResultSet> Executor::ExecCheckpoint() {
   ResultSet rs;
   rs.message = StrFormat("checkpoint complete (epoch %llu)",
                          static_cast<unsigned long long>(epoch));
+  return rs;
+}
+
+StatusOr<ResultSet> Executor::ExecVacuum() {
+  const uint64_t before =
+      static_cast<uint64_t>(db_->buffer_pool()->pager()->num_pages()) *
+      storage::kPageSize;
+  HAZY_RETURN_NOT_OK(db_->Compact());
+  const uint64_t after =
+      static_cast<uint64_t>(db_->buffer_pool()->pager()->num_pages()) *
+      storage::kPageSize;
+  ResultSet rs;
+  rs.message = StrFormat(
+      "vacuum complete (%llu -> %llu KiB, reclaimed %llu KiB)",
+      static_cast<unsigned long long>(before / 1024),
+      static_cast<unsigned long long>(after / 1024),
+      static_cast<unsigned long long>(before > after ? (before - after) / 1024 : 0));
   return rs;
 }
 

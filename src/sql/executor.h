@@ -47,6 +47,7 @@ class Executor {
   StatusOr<ResultSet> ExecDelete(const DeleteStmt& stmt);
   StatusOr<ResultSet> ExecUpdate(const UpdateStmt& stmt);
   StatusOr<ResultSet> ExecCheckpoint();
+  StatusOr<ResultSet> ExecVacuum();
 
   engine::Database* db_;
 };

@@ -343,6 +343,8 @@ StatusOr<Statement> Parse(const std::string& sql) {
     result = ParseUpdate(&c);
   } else if (c.AcceptKeyword("CHECKPOINT")) {
     result = Statement(CheckpointStmt{});
+  } else if (c.AcceptKeyword("VACUUM")) {
+    result = Statement(VacuumStmt{});
   } else {
     return Status::InvalidArgument(
         StrFormat("unknown statement '%s'", c.Peek().text.c_str()));

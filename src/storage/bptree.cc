@@ -22,13 +22,14 @@ constexpr uint16_t kInternal = 2;
 
 // Leaf entries: key.k (8) + key.tie (8) + value (8).
 constexpr size_t kLeafEntrySize = 24;
-constexpr size_t kLeafCapacity = (kPageSize - kHeaderSize) / kLeafEntrySize;
+constexpr size_t kLeafCapacity = (kPageUsableSize - kHeaderSize) / kLeafEntrySize;
 
 // Internal: child0 (u32) then entries key.k (8) + key.tie (8) + child (u32).
 constexpr size_t kChild0Off = kHeaderSize;
 constexpr size_t kInternalEntriesOff = kChild0Off + 4;
 constexpr size_t kInternalEntrySize = 20;
-constexpr size_t kInternalCapacity = (kPageSize - kInternalEntriesOff) / kInternalEntrySize;
+constexpr size_t kInternalCapacity =
+    (kPageUsableSize - kInternalEntriesOff) / kInternalEntrySize;
 
 uint16_t NodeType(const char* p) { return DecodeFixed16(p + kTypeOff); }
 uint16_t NodeCount(const char* p) { return DecodeFixed16(p + kCountOff); }

@@ -64,29 +64,88 @@ BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
   }
 }
 
-StatusOr<PageHandle> BufferPool::Fetch(uint32_t page_id) {
+void BufferPool::MarkDirtyFrame(size_t f) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
-    ++stats_.hits;
-    size_t f = it->second;
-    Frame& frame = frames_[f];
-    if (frame.in_lru) {
-      lru_.erase(frame.lru_it);
-      frame.in_lru = false;
+  frames_[f].dirty = true;
+}
+
+Status BufferPool::LogBeforeImage(Frame& frame) {
+  if (wal_ == nullptr || wal_->PageLogged(frame.page_id)) return Status::OK();
+  // First write-back of this page since the checkpoint: the frame holds the
+  // mutated image, but the file still holds the checkpoint-time content —
+  // nothing may overwrite it before this record exists. Log what is on disk.
+  static thread_local std::unique_ptr<char[]> scratch;
+  if (!scratch) scratch = std::unique_ptr<char[]>(new char[kPageSize]);
+  HAZY_RETURN_NOT_OK(pager_->Read(frame.page_id, scratch.get()));
+  HAZY_ASSIGN_OR_RETURN(uint64_t lsn,
+                        wal_->AppendBeforeImage(frame.page_id, scratch.get()));
+  frame.lsn = lsn;
+  return Status::OK();
+}
+
+Status BufferPool::WriteBack(Frame& frame) {
+  HAZY_RETURN_NOT_OK(LogBeforeImage(frame));
+  if (wal_ != nullptr) {
+    // The write-ahead rule: the record protecting this page must be durable
+    // before the page image may replace the checkpoint-time content.
+    HAZY_RETURN_NOT_OK(wal_->EnsureDurable(frame.lsn));
+    SetPageLsn(frame.data.get(), frame.lsn);
+  }
+  HAZY_RETURN_NOT_OK(pager_->Write(frame.page_id, frame.data.get()));
+  ++stats_.dirty_writebacks;
+  frame.dirty = false;
+  return Status::OK();
+}
+
+StatusOr<PageHandle> BufferPool::Fetch(uint32_t page_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = page_table_.find(page_id);
+    if (it != page_table_.end()) {
+      Frame& frame = frames_[it->second];
+      if (frame.io_pending) {
+        // Another thread is faulting this page in; wait for its read to
+        // settle and re-check (a failed read evaporates the entry).
+        io_cv_.wait(lock);
+        continue;
+      }
+      ++stats_.hits;
+      if (frame.in_lru) {
+        lru_.erase(frame.lru_it);
+        frame.in_lru = false;
+      }
+      ++frame.pin_count;
+      return PageHandle(this, it->second);
     }
-    ++frame.pin_count;
+    ++stats_.misses;
+    HAZY_ASSIGN_OR_RETURN(size_t f, GetVictim());
+    Frame& frame = frames_[f];
+    frame.page_id = page_id;
+    frame.dirty = false;
+    frame.lsn = 0;
+    frame.pin_count = 1;  // pinned: cannot be victimized while the read runs
+    frame.io_pending = true;
+    page_table_[page_id] = f;
+    // Drop the mutex for the read so misses on distinct pages overlap their
+    // disk I/O (out-of-core striped scans fault in parallel). The frame is
+    // invisible to eviction (pinned) and fetchers of the same page wait on
+    // io_pending.
+    char* dest = frame.data.get();
+    lock.unlock();
+    Status s = pager_->Read(page_id, dest);
+    lock.lock();
+    frame.io_pending = false;
+    if (!s.ok()) {
+      page_table_.erase(page_id);
+      frame.page_id = kInvalidPageId;
+      frame.pin_count = 0;
+      free_frames_.push_back(f);
+      io_cv_.notify_all();
+      return s;
+    }
+    io_cv_.notify_all();
     return PageHandle(this, f);
   }
-  ++stats_.misses;
-  HAZY_ASSIGN_OR_RETURN(size_t f, GetVictim());
-  Frame& frame = frames_[f];
-  HAZY_RETURN_NOT_OK(pager_->Read(page_id, frame.data.get()));
-  frame.page_id = page_id;
-  frame.dirty = false;
-  frame.pin_count = 1;
-  page_table_[page_id] = f;
-  return PageHandle(this, f);
 }
 
 StatusOr<PageHandle> BufferPool::New() {
@@ -97,8 +156,13 @@ StatusOr<PageHandle> BufferPool::New() {
   std::memset(frame.data.get(), 0, kPageSize);
   frame.page_id = page_id;
   frame.dirty = true;  // must reach the file even if never touched again
+  frame.lsn = 0;
   frame.pin_count = 1;
   page_table_[page_id] = f;
+  // A page allocated after the checkpoint has no checkpoint-time content to
+  // preserve: exempt it from before-image logging for this epoch (recovery's
+  // mark-and-sweep reclaims it instead).
+  if (wal_ != nullptr) wal_->NotePageAllocated(page_id);
   return PageHandle(this, f);
 }
 
@@ -106,9 +170,7 @@ Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& frame : frames_) {
     if (frame.page_id != kInvalidPageId && frame.dirty) {
-      HAZY_RETURN_NOT_OK(pager_->Write(frame.page_id, frame.data.get()));
-      ++stats_.dirty_writebacks;
-      frame.dirty = false;
+      HAZY_RETURN_NOT_OK(WriteBack(frame));
     }
   }
   return Status::OK();
@@ -138,8 +200,7 @@ void BufferPool::EvictAll() {
     Frame& frame = frames_[f];
     if (frame.page_id == kInvalidPageId || frame.pin_count > 0) continue;
     if (frame.dirty) {
-      HAZY_CHECK_OK(pager_->Write(frame.page_id, frame.data.get()));
-      frame.dirty = false;
+      HAZY_CHECK_OK(WriteBack(frame));
     }
     if (frame.in_lru) {
       lru_.erase(frame.lru_it);
@@ -183,8 +244,7 @@ StatusOr<size_t> BufferPool::GetVictim() {
   frame.in_lru = false;
   ++stats_.evictions;
   if (frame.dirty) {
-    HAZY_RETURN_NOT_OK(pager_->Write(frame.page_id, frame.data.get()));
-    ++stats_.dirty_writebacks;
+    HAZY_RETURN_NOT_OK(WriteBack(frame));
   }
   page_table_.erase(frame.page_id);
   frame.page_id = kInvalidPageId;

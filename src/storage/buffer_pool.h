@@ -3,10 +3,18 @@
 // paper's PostgreSQL deployment: a scan of K tuples touches K/tuples-per-page
 // pages, a reorganization rewrites the whole structure, and a point read with
 // a cold cache is a real file read.
+//
+// When a Wal is attached (SetWal), the pool enforces the write-ahead
+// protocol: the first time a page is dirtied after a checkpoint its on-disk
+// (checkpoint-time) image is logged, each frame remembers the LSN of the
+// record protecting it, and a dirty frame reaches the database file only
+// after the log is durable past that LSN — with the LSN stamped into the
+// page footer (storage/page.h) as it goes out.
 
 #ifndef HAZY_STORAGE_BUFFER_POOL_H_
 #define HAZY_STORAGE_BUFFER_POOL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -16,6 +24,7 @@
 
 #include "common/status.h"
 #include "storage/pager.h"
+#include "storage/wal.h"
 
 namespace hazy::storage {
 
@@ -72,9 +81,14 @@ class PageHandle {
 /// when every accessor is a reader, or when writers own disjoint pages (the
 /// striped relabel sweep mutates only pages of its own stripe). The engines
 /// remain single-writer with respect to structural changes (Append, Free).
-/// Known limit: the mutex is held across pager I/O on a miss, so concurrent
-/// misses serialize — fine for the resident working sets the scans target,
-/// a future per-frame latch for out-of-core striping (see ROADMAP).
+///
+/// A miss drops the mutex for the duration of the pager read (the frame is
+/// marked io-in-progress and pinned so it cannot be victimized), so faults
+/// on distinct pages overlap their disk I/O instead of serializing —
+/// out-of-core striped scans fault in parallel. Concurrent fetches of the
+/// *same* missing page wait on the in-flight read. Eviction write-back and
+/// WAL before-image logging still happen under the mutex (write-side paths
+/// are single-threaded by the engine contract).
 class BufferPool {
  public:
   /// `capacity` is the number of resident frames (capacity * 8 KiB bytes).
@@ -97,6 +111,12 @@ class BufferPool {
   /// cache for benchmarks.
   void EvictAll();
 
+  /// Attaches the write-ahead log (nullptr to detach). The pool logs
+  /// first-dirty before-images through it and orders write-backs behind its
+  /// durable horizon.
+  void SetWal(Wal* wal) { wal_ = wal; }
+  Wal* wal() const { return wal_; }
+
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats{}; }
   size_t capacity() const { return frames_.size(); }
@@ -109,23 +129,32 @@ class BufferPool {
     uint32_t page_id = kInvalidPageId;
     uint32_t pin_count = 0;
     bool dirty = false;
+    bool io_pending = false;  // pager read in flight; bytes not valid yet
+    uint64_t lsn = 0;         // WAL record protecting this page (0 = none)
     std::unique_ptr<char[]> data;
     std::list<size_t>::iterator lru_it;  // valid iff pinned == 0 && resident
     bool in_lru = false;
   };
 
   void Unpin(size_t frame);
-  void MarkDirtyFrame(size_t frame) {
-    std::lock_guard<std::mutex> lock(mu_);
-    frames_[frame].dirty = true;
-  }
+  void MarkDirtyFrame(size_t frame);
+
+  /// Logs the page's on-disk (checkpoint-time) image if this epoch hasn't
+  /// yet; records the protecting LSN in the frame. Caller holds mu_.
+  Status LogBeforeImage(Frame& frame);
+
+  /// Write-ahead ordering + LSN stamp + pager write of one dirty frame.
+  /// Caller holds mu_.
+  Status WriteBack(Frame& frame);
 
   /// Finds a frame to host a new page: a never-used frame, else LRU victim.
   /// Caller holds mu_.
   StatusOr<size_t> GetVictim();
 
   mutable std::mutex mu_;
+  std::condition_variable io_cv_;
   Pager* pager_;
+  Wal* wal_ = nullptr;
   std::vector<Frame> frames_;
   std::vector<size_t> free_frames_;
   std::list<size_t> lru_;  // front = most recent

@@ -292,6 +292,42 @@ Status HeapFile::Delete(Rid rid) {
   return Status::OK();
 }
 
+Status HeapFile::CollectPages(std::vector<uint32_t>* out) const {
+  uint32_t pid = first_page_;
+  uint64_t visited = 0;
+  while (pid != kInvalidPageId) {
+    if (++visited > num_pages_) {
+      return Status::Corruption("heap page chain longer than metadata count");
+    }
+    out->push_back(pid);
+    HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(pid));
+    SlottedPage page(h.data());
+    uint32_t next = page.next_page();
+    // Walk every overflow chain hanging off this page's stubs.
+    uint16_t count = page.slot_count();
+    for (uint16_t s = 0; s < count; ++s) {
+      std::string_view rec = page.Get(s);
+      if (rec.empty() || rec[0] != kOverflowTag) continue;
+      std::string_view cur = rec.substr(1);
+      uint32_t total = 0, ovf = 0;
+      if (!GetFixed32(&cur, &total) || !GetFixed32(&cur, &ovf)) {
+        return Status::Corruption("malformed overflow stub");
+      }
+      uint64_t ovf_visited = 0;
+      while (ovf != kInvalidPageId) {
+        if (++ovf_visited > num_overflow_pages_) {
+          return Status::Corruption("overflow chain longer than metadata count");
+        }
+        out->push_back(ovf);
+        HAZY_ASSIGN_OR_RETURN(PageHandle oh, pool_->Fetch(ovf));
+        ovf = DecodeFixed32(oh.data());
+      }
+    }
+    pid = next;
+  }
+  return Status::OK();
+}
+
 Status HeapFile::Truncate() {
   HAZY_RETURN_NOT_OK(Destroy());
   return Create();

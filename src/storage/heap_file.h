@@ -258,6 +258,11 @@ class HeapFile {
   /// Requires EnsurePageIds() since the last Attach.
   const std::vector<uint32_t>& PageIds() const { return pages_; }
 
+  /// Appends every page this heap owns — the data chain plus all overflow
+  /// chains hanging off its stubs — to `out`. Recovery's mark-and-sweep uses
+  /// this to compute the live-page set of the durable image.
+  Status CollectPages(std::vector<uint32_t>* out) const;
+
   /// Frees every page back to the pool and re-creates an empty heap.
   Status Truncate();
 
@@ -285,7 +290,7 @@ class HeapFile {
   static constexpr size_t kStubHeaderSize = kStubHeadLenOff + 2;
   // Overflow page layout: u32 next_page, u32 used, then data.
   static constexpr size_t kOvfHeaderSize = 8;
-  static constexpr size_t kOvfCapacity = kPageSize - kOvfHeaderSize;
+  static constexpr size_t kOvfCapacity = kPageUsableSize - kOvfHeaderSize;
 
   static Status RecordNotFound(Rid rid);
 

@@ -10,6 +10,11 @@
 // its slot but does not compact the page: the Hazy workloads are
 // append-mostly with in-place same-size updates, and whole structures are
 // rebuilt at reorganization time, so fragmentation is reclaimed wholesale.
+//
+// The trailing 8 bytes of every page — slotted or raw — are reserved for the
+// page LSN: the WAL position that must be durable before this page image may
+// reach the database file (storage/wal.h). The buffer pool stamps it at
+// write-back; structures lay their data out inside kPageUsableSize.
 
 #ifndef HAZY_STORAGE_PAGE_H_
 #define HAZY_STORAGE_PAGE_H_
@@ -25,6 +30,14 @@ namespace hazy::storage {
 
 inline constexpr size_t kPageSize = 8192;
 inline constexpr uint32_t kInvalidPageId = 0xFFFFFFFFu;
+
+/// Every page reserves its last 8 bytes for the page LSN (write-ahead-log
+/// ordering stamp); page-resident data structures must stay within this.
+inline constexpr size_t kPageLsnOff = kPageSize - 8;
+inline constexpr size_t kPageUsableSize = kPageLsnOff;
+
+inline uint64_t PageLsn(const char* page) { return DecodeFixed64(page + kPageLsnOff); }
+inline void SetPageLsn(char* page, uint64_t lsn) { EncodeFixed64(page + kPageLsnOff, lsn); }
 
 /// Identifies a record: which page and which slot within it.
 struct Rid {
@@ -58,7 +71,7 @@ class SlottedPage {
   static constexpr size_t kSlotSize = 4;  // uint16 offset + uint16 size
 
   /// Largest record that can ever fit on one (empty) page.
-  static constexpr size_t kMaxRecordSize = kPageSize - kHeaderSize - kSlotSize;
+  static constexpr size_t kMaxRecordSize = kPageUsableSize - kHeaderSize - kSlotSize;
 
   explicit SlottedPage(char* data) : data_(data) {}
 
@@ -68,7 +81,7 @@ class SlottedPage {
     EncodeFixed32(data_ + kNextPageOff, kInvalidPageId);
     EncodeFixed16(data_ + kSlotCountOff, 0);
     EncodeFixed16(data_ + kFreeStartOff, kHeaderSize);
-    EncodeFixed16(data_ + kFreeEndOff, kPageSize);
+    EncodeFixed16(data_ + kFreeEndOff, kPageUsableSize);
   }
 
   uint32_t next_page() const { return DecodeFixed32(data_ + kNextPageOff); }

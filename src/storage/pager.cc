@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
@@ -24,7 +25,7 @@ Status Pager::Open(const std::string& path, bool preserve_existing) {
   }
   fd_ = fd;
   path_ = path;
-  num_pages_ = 0;
+  num_pages_.store(0, std::memory_order_release);
   if (preserve_existing) {
     off_t size = ::lseek(fd, 0, SEEK_END);
     if (size < 0) {
@@ -32,7 +33,8 @@ Status Pager::Open(const std::string& path, bool preserve_existing) {
       fd_ = -1;
       return Status::IOError(StrFormat("lseek %s: %s", path.c_str(), std::strerror(errno)));
     }
-    num_pages_ = static_cast<uint32_t>(static_cast<uint64_t>(size) / kPageSize);
+    num_pages_.store(static_cast<uint32_t>(static_cast<uint64_t>(size) / kPageSize),
+                     std::memory_order_release);
   }
   free_list_.clear();
   return Status::OK();
@@ -47,13 +49,13 @@ Status Pager::Close() {
 
 StatusOr<uint32_t> Pager::Allocate() {
   if (fd_ < 0) return Status::InvalidArgument("pager not open");
-  ++stats_.allocs;
+  stats_.allocs.fetch_add(1, std::memory_order_relaxed);
   if (!free_list_.empty()) {
     uint32_t pid = free_list_.back();
     free_list_.pop_back();
     return pid;
   }
-  uint32_t pid = num_pages_++;
+  uint32_t pid = num_pages_.fetch_add(1, std::memory_order_acq_rel);
   // Extend the file with a zero page so later reads are well-defined.
   static const char kZeros[kPageSize] = {};
   HAZY_RETURN_NOT_OK(Write(pid, kZeros));
@@ -70,33 +72,64 @@ void Pager::Free(uint32_t page_id) {
 
 Status Pager::Read(uint32_t page_id, char* buf) {
   if (fd_ < 0) return Status::InvalidArgument("pager not open");
-  if (page_id >= num_pages_) {
+  if (page_id >= num_pages()) {
     return Status::OutOfRange(StrFormat("read of page %u beyond end (%u pages)",
-                                        page_id, num_pages_));
+                                        page_id, num_pages()));
+  }
+  if (fault_hook_ && fault_hook_("page_read", page_id) != kFaultNone) {
+    return Status::IOError(StrFormat("injected fault reading page %u", page_id));
   }
   ssize_t n = ::pread(fd_, buf, kPageSize, static_cast<off_t>(page_id) * kPageSize);
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IOError(StrFormat("pread page %u: %s", page_id, std::strerror(errno)));
   }
-  ++stats_.reads;
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status Pager::Write(uint32_t page_id, const char* buf) {
   if (fd_ < 0) return Status::InvalidArgument("pager not open");
-  ssize_t n = ::pwrite(fd_, buf, kPageSize, static_cast<off_t>(page_id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
+  size_t len = kPageSize;
+  if (fault_hook_) {
+    int action = fault_hook_("page_write", page_id);
+    if (action == kFaultFail) {
+      return Status::IOError(StrFormat("injected fault writing page %u", page_id));
+    }
+    if (action >= 0) {
+      // Torn write: persist a prefix, then report the crash.
+      len = std::min<size_t>(static_cast<size_t>(action), kPageSize);
+      if (len > 0) {
+        ::pwrite(fd_, buf, len, static_cast<off_t>(page_id) * kPageSize);
+      }
+      return Status::IOError(StrFormat("injected torn write of page %u (%zu bytes)",
+                                       page_id, len));
+    }
+  }
+  ssize_t n = ::pwrite(fd_, buf, len, static_cast<off_t>(page_id) * kPageSize);
+  if (n != static_cast<ssize_t>(len)) {
     return Status::IOError(StrFormat("pwrite page %u: %s", page_id, std::strerror(errno)));
   }
-  ++stats_.writes;
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status Pager::Sync() {
   if (fd_ < 0) return Status::InvalidArgument("pager not open");
+  if (fault_hook_ && fault_hook_("fdatasync", kInvalidPageId) != kFaultNone) {
+    return Status::IOError("injected fault in fdatasync");
+  }
   if (::fdatasync(fd_) != 0) {
     return Status::IOError(StrFormat("fdatasync: %s", std::strerror(errno)));
   }
+  return Status::OK();
+}
+
+Status Pager::TruncateTo(uint32_t num_pages) {
+  if (fd_ < 0) return Status::InvalidArgument("pager not open");
+  if (::ftruncate(fd_, static_cast<off_t>(num_pages) * kPageSize) != 0) {
+    return Status::IOError(StrFormat("ftruncate: %s", std::strerror(errno)));
+  }
+  num_pages_.store(num_pages, std::memory_order_release);
   return Status::OK();
 }
 

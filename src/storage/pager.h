@@ -6,7 +6,9 @@
 #ifndef HAZY_STORAGE_PAGER_H_
 #define HAZY_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -16,17 +18,34 @@
 namespace hazy::storage {
 
 /// Cumulative I/O counters (exposed so benchmarks can report physical work).
+/// Atomic so concurrent read-side page faults (buffer-pool misses overlap
+/// their pager reads) can bump them without a data race.
 struct PagerStats {
-  uint64_t reads = 0;
-  uint64_t writes = 0;
-  uint64_t allocs = 0;
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> allocs{0};
 };
+
+/// Test-only fault injection on physical I/O (the crash-injection harness).
+/// Called with the operation name ("page_read", "page_write", "fdatasync",
+/// "wal_append", "wal_sync") and the page id (kInvalidPageId for non-page
+/// I/O) before the syscall. Return values:
+///   kFaultNone  proceed normally
+///   kFaultFail  fail with IOError, no bytes written
+///   n >= 0      (writes only) torn write: persist only the first n bytes,
+///               then fail with IOError — simulates a crash mid-write
+using FaultHook = std::function<int(const char* op, uint32_t page_id)>;
+inline constexpr int kFaultNone = -1;
+inline constexpr int kFaultFail = -2;
 
 /// \brief Allocates, reads and writes kPageSize pages in a single file.
 ///
 /// Freed pages go on an in-memory free list and are recycled by Allocate();
 /// this keeps reorganization-heavy workloads from growing the file without
-/// bound. Not thread-safe (the on-disk engines are single-writer).
+/// bound. Structural operations (Open/Close/Allocate/Free) are single-writer
+/// and must be externally serialized (the BufferPool calls them under its
+/// mutex); Read/Write are safe to issue concurrently — they are plain
+/// positioned syscalls — which is what lets buffer-pool misses overlap.
 class Pager {
  public:
   Pager() = default;
@@ -63,6 +82,12 @@ class Pager {
   }
   size_t quarantined_count() const { return quarantined_.size(); }
 
+  /// Recovery only: replaces the free list wholesale with the set computed
+  /// by the checkpoint subsystem's mark-and-sweep over the durable image.
+  void SetFreeList(std::vector<uint32_t> pages) { free_list_ = std::move(pages); }
+  const std::vector<uint32_t>& free_list() const { return free_list_; }
+  const std::vector<uint32_t>& quarantined() const { return quarantined_; }
+
   /// Reads page `page_id` into `buf` (must hold kPageSize bytes).
   Status Read(uint32_t page_id, char* buf);
 
@@ -72,7 +97,14 @@ class Pager {
   /// Flushes OS buffers (fdatasync).
   Status Sync();
 
-  uint32_t num_pages() const { return num_pages_; }
+  /// Truncates the file to `num_pages` pages (compaction).
+  Status TruncateTo(uint32_t num_pages);
+
+  /// Installs a fault hook for crash-injection tests (nullptr to clear).
+  void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  const FaultHook& fault_hook() const { return fault_hook_; }
+
+  uint32_t num_pages() const { return num_pages_.load(std::memory_order_acquire); }
   size_t free_list_size() const { return free_list_.size(); }
   const PagerStats& stats() const { return stats_; }
   bool is_open() const { return fd_ >= 0; }
@@ -81,10 +113,11 @@ class Pager {
  private:
   int fd_ = -1;
   std::string path_;
-  uint32_t num_pages_ = 0;
+  std::atomic<uint32_t> num_pages_{0};
   std::vector<uint32_t> free_list_;
   bool quarantine_frees_ = false;
   std::vector<uint32_t> quarantined_;
+  FaultHook fault_hook_;
   PagerStats stats_;
 };
 

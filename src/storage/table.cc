@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/strings.h"
+#include "storage/coding.h"
 
 namespace hazy::storage {
 
@@ -51,6 +52,42 @@ Status Table::Attach(const HeapFileMeta& meta) {
   return Status::OK();
 }
 
+Status Table::LogRowOp(WalOp op, int64_t key, std::string_view encoded_row) {
+  if (wal_ == nullptr) return Status::OK();
+  std::string payload;
+  payload.reserve(1 + 4 + name_.size() + 8 + 4 + encoded_row.size());
+  payload.push_back(static_cast<char>(op));
+  PutLengthPrefixed(&payload, name_);
+  if (op == WalOp::kRowDelete || op == WalOp::kRowUpdate) {
+    PutFixed64(&payload, static_cast<uint64_t>(key));
+  }
+  if (op == WalOp::kRowInsert || op == WalOp::kRowUpdate) {
+    PutLengthPrefixed(&payload, encoded_row);
+  }
+  return wal_->AppendLogical(payload);
+}
+
+Status Table::FireAndCommit(const std::vector<Trigger>& triggers, const Row& row) {
+  Status trigger_status;
+  for (const Trigger& t : triggers) {
+    trigger_status = t(row);
+    if (!trigger_status.ok()) break;
+  }
+  if (wal_ != nullptr) HAZY_RETURN_NOT_OK(wal_->AutoCommit());
+  return trigger_status;
+}
+
+Status Table::FireAndCommit(const std::vector<UpdateTrigger>& triggers,
+                            const Row& old_row, const Row& new_row) {
+  Status trigger_status;
+  for (const UpdateTrigger& t : triggers) {
+    trigger_status = t(old_row, new_row);
+    if (!trigger_status.ok()) break;
+  }
+  if (wal_ != nullptr) HAZY_RETURN_NOT_OK(wal_->AutoCommit());
+  return trigger_status;
+}
+
 Status Table::Insert(const Row& row) {
   std::string rec;
   HAZY_RETURN_NOT_OK(schema_.EncodeRow(row, &rec));
@@ -69,8 +106,10 @@ Status Table::Insert(const Row& row) {
   }
   HAZY_ASSIGN_OR_RETURN(Rid rid, heap_->Append(rec));
   if (primary_key_.has_value()) pk_index_.Put(key, rid);
-  for (const Trigger& t : insert_triggers_) HAZY_RETURN_NOT_OK(t(row));
-  return Status::OK();
+  // Logged before the triggers: replay re-runs the triggers itself, in the
+  // same position, by re-inserting through this entry point.
+  HAZY_RETURN_NOT_OK(LogRowOp(WalOp::kRowInsert, key, rec));
+  return FireAndCommit(insert_triggers_, row);
 }
 
 StatusOr<Row> Table::GetByKey(int64_t key) const {
@@ -96,8 +135,8 @@ Status Table::DeleteByKey(int64_t key) {
   HAZY_RETURN_NOT_OK(schema_.DecodeRow(rec, &row));
   HAZY_RETURN_NOT_OK(heap_->Delete(rid));
   pk_index_.Erase(key);
-  for (const Trigger& t : delete_triggers_) HAZY_RETURN_NOT_OK(t(row));
-  return Status::OK();
+  HAZY_RETURN_NOT_OK(LogRowOp(WalOp::kRowDelete, key, {}));
+  return FireAndCommit(delete_triggers_, row);
 }
 
 Status Table::UpdateByKey(int64_t key, const Row& new_row) {
@@ -136,8 +175,8 @@ Status Table::UpdateByKey(int64_t key, const Row& new_row) {
     HAZY_ASSIGN_OR_RETURN(Rid fresh, heap_->Append(new_rec));
     pk_index_.Put(key, fresh);
   }
-  for (const UpdateTrigger& t : update_triggers_) HAZY_RETURN_NOT_OK(t(old_row, new_row));
-  return Status::OK();
+  HAZY_RETURN_NOT_OK(LogRowOp(WalOp::kRowUpdate, key, new_rec));
+  return FireAndCommit(update_triggers_, old_row, new_row);
 }
 
 Status Table::Scan(const std::function<bool(const Row&)>& fn) const {
@@ -152,6 +191,11 @@ Status Table::Scan(const std::function<bool(const Row&)>& fn) const {
   return s;
 }
 
+void Catalog::SetWal(Wal* wal) {
+  wal_ = wal;
+  for (const auto& t : tables_) t->SetWal(wal);
+}
+
 StatusOr<Table*> Catalog::CreateTable(const std::string& name, Schema schema,
                                       std::optional<size_t> primary_key) {
   if (HasTable(name)) {
@@ -159,6 +203,23 @@ StatusOr<Table*> Catalog::CreateTable(const std::string& name, Schema schema,
   }
   auto table = std::make_unique<Table>(name, std::move(schema), pool_, primary_key);
   HAZY_RETURN_NOT_OK(table->Create());
+  if (wal_ != nullptr) {
+    // DDL after a checkpoint must replay before the rows that reference it.
+    std::string payload;
+    payload.push_back(static_cast<char>(WalOp::kCreateTable));
+    PutLengthPrefixed(&payload, name);
+    const Schema& s = table->schema();
+    PutFixed32(&payload, static_cast<uint32_t>(s.num_columns()));
+    for (const auto& col : s.columns()) {
+      PutLengthPrefixed(&payload, col.name);
+      payload.push_back(static_cast<char>(col.type));
+    }
+    payload.push_back(primary_key.has_value() ? '\1' : '\0');
+    PutFixed32(&payload, static_cast<uint32_t>(primary_key.value_or(0)));
+    HAZY_RETURN_NOT_OK(wal_->AppendLogical(payload));
+    HAZY_RETURN_NOT_OK(wal_->AutoCommit());
+    table->SetWal(wal_);
+  }
   tables_.push_back(std::move(table));
   return tables_.back().get();
 }
@@ -171,6 +232,7 @@ StatusOr<Table*> Catalog::AttachTable(const std::string& name, Schema schema,
   }
   auto table = std::make_unique<Table>(name, std::move(schema), pool_, primary_key);
   HAZY_RETURN_NOT_OK(table->Attach(meta));
+  table->SetWal(wal_);
   tables_.push_back(std::move(table));
   return tables_.back().get();
 }

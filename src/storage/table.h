@@ -15,6 +15,7 @@
 #include "storage/hash_index.h"
 #include "storage/heap_file.h"
 #include "storage/schema.h"
+#include "storage/wal.h"
 
 namespace hazy::storage {
 
@@ -62,17 +63,40 @@ class Table {
   void AddDeleteTrigger(Trigger t) { delete_triggers_.push_back(std::move(t)); }
   void AddUpdateTrigger(UpdateTrigger t) { update_triggers_.push_back(std::move(t)); }
 
+  /// Attaches the write-ahead log: row mutations append logical records and
+  /// auto-commit once the operation (triggers included) has fully applied.
+  /// Recovery replays the records through these same entry points.
+  void SetWal(Wal* wal) { wal_ = wal; }
+
+  /// Every page this table's heap owns (data + overflow chains); the
+  /// recovery mark-and-sweep's reachability input.
+  Status CollectPages(std::vector<uint32_t>* out) const {
+    return heap_->CollectPages(out);
+  }
+
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
   uint64_t num_rows() const { return heap_->num_records(); }
   std::optional<size_t> primary_key() const { return primary_key_; }
 
  private:
+  /// Appends a row-level logical WAL record (no-op without a WAL).
+  Status LogRowOp(WalOp op, int64_t key, std::string_view encoded_row);
+
+  /// Fires `triggers` then commits the mutation's logical record. Commits
+  /// even when a trigger fails: the heap mutation DID apply (the live state
+  /// the caller observes), and an uncommitted record would be swept into
+  /// the next statement's commit marker. Returns the first trigger error.
+  Status FireAndCommit(const std::vector<Trigger>& triggers, const Row& row);
+  Status FireAndCommit(const std::vector<UpdateTrigger>& triggers, const Row& old_row,
+                       const Row& new_row);
+
   std::string name_;
   Schema schema_;
   std::unique_ptr<HeapFile> heap_;
   std::optional<size_t> primary_key_;
   HashIndex pk_index_;
+  Wal* wal_ = nullptr;
   std::vector<Trigger> insert_triggers_;
   std::vector<Trigger> delete_triggers_;
   std::vector<UpdateTrigger> update_triggers_;
@@ -100,8 +124,13 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  /// Attaches the write-ahead log: CREATE TABLE is logged as DDL, and every
+  /// table (existing and future) logs its row mutations through it.
+  void SetWal(Wal* wal);
+
  private:
   BufferPool* pool_;
+  Wal* wal_ = nullptr;
   std::vector<std::unique_ptr<Table>> tables_;
 };
 

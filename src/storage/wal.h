@@ -1,0 +1,237 @@
+// Page-level write-ahead log (ARIES-lite) for the database engine.
+//
+// The checkpoint subsystem (persist/checkpoint.h) gives the engine a durable,
+// *internally consistent* snapshot: tables and classification views as of one
+// epoch. What it cannot give on its own is exactness between checkpoints — a
+// dirty base-table page evicted to the database file after the last
+// checkpoint survives a crash while the views never trained on its rows. The
+// WAL closes that gap with two record kinds:
+//
+//   before-images   The first time a page is dirtied after a checkpoint, its
+//                   *on-disk* content — which is by construction its content
+//                   at the checkpoint — is logged. Recovery applies every
+//                   before-image, rolling the database file back to exactly
+//                   the checkpoint the views were saved at. Pages allocated
+//                   after the checkpoint are exempt (their checkpoint-time
+//                   content is irrelevant; recovery's mark-and-sweep reclaims
+//                   them).
+//
+//   logical records Row/DDL mutations (insert, delete, update, create table,
+//                   create classification view, view-queue flush points),
+//                   grouped by commit markers. After the rollback, recovery
+//                   replays committed groups through the normal trigger
+//                   machinery, so the views re-train on the redone rows
+//                   exactly as they did live — base tables AND views land on
+//                   the same point: checkpoint + committed suffix.
+//
+// The write-ahead rule is enforced by the buffer pool: every page carries the
+// LSN of the record protecting it (storage/page.h footer), and a dirty page
+// may reach the database file only after the log is durable up to that LSN
+// (EnsureDurable). Commit durability is configurable: fsync per commit, or
+// group commit amortizing one fsync over N commits.
+//
+// The log is tied to the checkpoint epoch it protects (header field): a
+// checkpoint commit resets the log to the new epoch, and recovery discards a
+// log whose base epoch no longer matches the database header (the crash
+// happened after the checkpoint flip but before the log reset — the
+// checkpoint already absorbed everything the log holds).
+//
+// Record framing: [u32 len][u8 type][u64 checksum][payload]; the checksum
+// (FNV-1a over type+payload) makes a torn log tail — the expected shape of a
+// mid-commit crash — detectable: recovery stops at the first invalid record
+// and truncates the tail away.
+
+#ifndef HAZY_STORAGE_WAL_H_
+#define HAZY_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/pager.h"
+
+namespace hazy::storage {
+
+/// Record types in the log.
+enum class WalRecordType : uint8_t {
+  kBeforeImage = 1,  ///< payload: u32 page_id + kPageSize page bytes
+  kLogical = 2,      ///< payload: opaque logical op (WalOp-tagged, see below)
+  kCommit = 3,       ///< payload: u8 batched (1 = replay group as UpdateBatch)
+  kAbort = 4,        ///< discards the open group (a crash's uncommitted tail)
+};
+
+/// First byte of a kLogical payload. The payload layouts are owned by the
+/// layers that write them (storage/table.cc, engine/database.cc); the WAL
+/// treats them as opaque bytes.
+enum class WalOp : uint8_t {
+  kRowInsert = 1,    ///< table name, encoded row
+  kRowDelete = 2,    ///< table name, u64 primary key
+  kRowUpdate = 3,    ///< table name, u64 primary key, encoded new row
+  kCreateTable = 4,  ///< table name, schema columns, primary key
+  kCreateView = 5,   ///< serialized ClassificationViewDef
+  kViewFlush = 6,    ///< view name: mid-batch trigger-queue fold point
+};
+
+/// Durability policy for commit markers.
+struct WalOptions {
+  enum class SyncMode {
+    kEveryCommit,  ///< fsync on every commit marker (default, safest)
+    kGroupCommit,  ///< fsync once every `group_commit_interval` commits
+    kNever,        ///< only explicit Sync()/checkpoints fsync (benchmarks)
+  };
+  SyncMode sync_mode = SyncMode::kEveryCommit;
+  uint32_t group_commit_interval = 32;
+};
+
+struct WalStats {
+  uint64_t records = 0;
+  uint64_t before_images = 0;
+  uint64_t commits = 0;
+  uint64_t syncs = 0;
+  uint64_t bytes = 0;
+};
+
+/// \brief Append-only page/logical log bound to one database file.
+class Wal {
+ public:
+  /// One decoded record (recovery side).
+  struct Record {
+    uint64_t lsn = 0;
+    WalRecordType type = WalRecordType::kLogical;
+    std::string payload;
+  };
+
+  Wal() = default;
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Opens (creating if absent) the log file. An existing log is scanned:
+  /// valid records are retained for recovery (see records()), a torn tail is
+  /// truncated, and the logged-page set is rebuilt so pages already
+  /// protected this epoch are not re-imaged.
+  Status Open(const std::string& path, const WalOptions& options);
+
+  Status Close();
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// The checkpoint epoch this log's before-images roll back to.
+  uint64_t base_epoch() const { return base_epoch_; }
+
+  /// Records recovered by Open(), in log order. Cleared by Reset().
+  const std::vector<Record>& records() const { return records_; }
+
+  /// Releases the recovered-record buffer (call once recovery has consumed
+  /// it — a later crash re-reads the log file, never this vector; the
+  /// before-image payloads alone can be hundreds of megabytes).
+  void ClearRecords() {
+    records_.clear();
+    records_.shrink_to_fit();
+  }
+
+  /// Logs the page's checkpoint-time image (call before the first in-pool
+  /// mutation reaches the file). Returns the record's LSN; the page must not
+  /// be written back until the log is durable past it.
+  StatusOr<uint64_t> AppendBeforeImage(uint32_t page_id, const char* page);
+
+  /// Marks a page allocated after the base checkpoint: its checkpoint-time
+  /// content is irrelevant, so it never needs a before-image this epoch.
+  void NotePageAllocated(uint32_t page_id) { logged_pages_.insert(page_id); }
+
+  /// True when the page already has (or needs no) before-image this epoch.
+  bool PageLogged(uint32_t page_id) const {
+    return logged_pages_.count(page_id) != 0;
+  }
+
+  /// Appends a logical record; when not inside a group, the caller commits
+  /// separately via AutoCommit() once the operation (triggers included) has
+  /// fully applied. No-op while logical logging is paused.
+  Status AppendLogical(std::string_view payload);
+
+  /// Commit marker + fsync per policy. `batched` records whether the group
+  /// must be replayed inside BeginUpdateBatch/EndUpdateBatch to reproduce
+  /// the live fold boundaries bit-exactly.
+  Status Commit(bool batched);
+
+  /// Commits the current single-op group unless a batch group is open (or
+  /// logical logging is paused, or nothing was logged since the last
+  /// commit).
+  Status AutoCommit();
+
+  /// Batch-group bracketing, mirroring Database::Begin/EndUpdateBatch.
+  void BeginGroup() { in_group_ = true; }
+  Status EndGroup();
+
+  /// Suspends logical logging (checkpoint-internal system-table writes and
+  /// recovery replay must not re-log themselves). Before-image logging is
+  /// unaffected. Nestable.
+  void PauseLogical() { ++logical_pause_; }
+  void ResumeLogical() { --logical_pause_; }
+  bool logical_paused() const { return logical_pause_ > 0; }
+
+  /// Makes the log durable at least up to `lsn` (no-op if already durable).
+  Status EnsureDurable(uint64_t lsn);
+
+  /// Unconditional fsync of everything appended so far.
+  Status Sync();
+
+  /// Truncates the log to empty, rebasing it on checkpoint `epoch` — the
+  /// atomic hand-off at a checkpoint commit. Clears the logged-page set and
+  /// any recovered records.
+  Status Reset(uint64_t epoch);
+
+  /// Fault hook for crash-injection tests (ops "wal_append", "wal_sync").
+  void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  const WalStats& stats() const { return stats_; }
+
+ private:
+  Status AppendRecord(WalRecordType type, std::string_view payload, uint64_t* lsn);
+  Status WriteRaw(const char* data, size_t len);
+  Status ScanExisting();
+  Status WriteHeader(uint64_t epoch);
+
+  int fd_ = -1;
+  std::string path_;
+  WalOptions options_;
+  uint64_t base_epoch_ = 0;
+  uint64_t next_lsn_ = 0;     // byte offset of the next record
+  uint64_t durable_lsn_ = 0;  // everything below this offset is fsync'd
+  uint32_t commits_since_sync_ = 0;
+  bool in_group_ = false;
+  bool group_dirty_ = false;  // logical records appended since last commit
+  int logical_pause_ = 0;
+  std::unordered_set<uint32_t> logged_pages_;
+  std::vector<Record> records_;
+  FaultHook fault_hook_;
+  WalStats stats_;
+};
+
+/// Scoped Wal::PauseLogical/ResumeLogical (checkpoint-internal writes,
+/// recovery replay, compaction copies). Tolerates a null wal.
+class WalLogicalPauseGuard {
+ public:
+  explicit WalLogicalPauseGuard(Wal* wal) : wal_(wal) {
+    if (wal_ != nullptr) wal_->PauseLogical();
+  }
+  ~WalLogicalPauseGuard() {
+    if (wal_ != nullptr) wal_->ResumeLogical();
+  }
+  WalLogicalPauseGuard(const WalLogicalPauseGuard&) = delete;
+  WalLogicalPauseGuard& operator=(const WalLogicalPauseGuard&) = delete;
+
+ private:
+  Wal* wal_;
+};
+
+/// The log path conventionally paired with a database file.
+inline std::string WalPathFor(const std::string& db_path) { return db_path + "-wal"; }
+
+}  // namespace hazy::storage
+
+#endif  // HAZY_STORAGE_WAL_H_

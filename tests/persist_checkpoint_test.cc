@@ -15,6 +15,7 @@
 #include "engine/database.h"
 #include "persist/checkpoint.h"
 #include "storage/pager.h"
+#include "storage/wal.h"
 #include "test_corpus.h"
 
 namespace hazy::engine {
@@ -104,7 +105,10 @@ Snapshot Capture(ManagedView* mv) {
 class CheckpointRoundTripTest : public ::testing::Test {
  protected:
   void TearDown() override {
-    if (!path_.empty()) ::unlink(path_.c_str());
+    if (!path_.empty()) {
+      ::unlink(path_.c_str());
+      ::unlink(storage::WalPathFor(path_).c_str());
+    }
   }
   std::string path_;
 };
@@ -177,6 +181,7 @@ TEST_F(CheckpointRoundTripTest, AllArchitecturesAndModes) {
     EXPECT_EQ((*view)->view()->stats().updates, live.updates + 1);
 
     ::unlink(path_.c_str());
+    ::unlink(storage::WalPathFor(path_).c_str());
     path_.clear();
   }
 }
@@ -227,6 +232,7 @@ TEST_F(CheckpointRoundTripTest, RecoveredDatabaseLearnsIdenticallyToUninterrupte
     }
 
     ::unlink(path_.c_str());
+    ::unlink(storage::WalPathFor(path_).c_str());
     path_.clear();
   }
 }
@@ -267,7 +273,10 @@ TEST_F(CheckpointRoundTripTest, SecondCheckpointSupersedesFirst) {
   }
 }
 
-TEST_F(CheckpointRoundTripTest, ReopenWithoutCheckpointIsEmpty) {
+TEST_F(CheckpointRoundTripTest, ReopenWithoutCheckpointReplaysWal) {
+  // Since the write-ahead log, committed work is durable even before the
+  // first checkpoint: reopening replays the logical history onto the empty
+  // database.
   path_ = storage::TempFilePath("ckpt");
   {
     DatabaseOptions opts;
@@ -275,8 +284,20 @@ TEST_F(CheckpointRoundTripTest, ReopenWithoutCheckpointIsEmpty) {
     Database db(opts);
     ASSERT_TRUE(db.Open().ok());
     BuildTestCorpus(&db);
-    // No checkpoint: nothing is durable beyond the formatted header.
   }
+  {
+    DatabaseOptions opts;
+    opts.path = path_;
+    Database db(opts);
+    ASSERT_TRUE(db.Open().ok());
+    EXPECT_EQ(db.checkpoint_epoch(), 0u);
+    EXPECT_EQ(db.catalog()->TableNames().size(), 3u);
+    auto papers = db.catalog()->GetTable("Papers");
+    ASSERT_TRUE(papers.ok());
+    EXPECT_EQ((*papers)->num_rows(), static_cast<uint64_t>(kTestCorpusSize));
+  }
+  // Without the log, nothing is durable beyond the formatted header.
+  ::unlink(storage::WalPathFor(path_).c_str());
   DatabaseOptions opts;
   opts.path = path_;
   Database db(opts);
@@ -298,9 +319,12 @@ TEST_F(CheckpointRoundTripTest, NonHazyFileIsRejected) {
   Database db(opts);
   Status s = db.Open();
   EXPECT_TRUE(s.IsCorruption()) << s.ToString();
-  // The named file must survive the failed open untouched.
+  // The named file must survive the failed open untouched, and no stray
+  // -wal sidecar may be left next to it.
   std::ifstream f(path_, std::ios::binary);
   EXPECT_TRUE(f.good());
+  std::ifstream wal(storage::WalPathFor(path_), std::ios::binary);
+  EXPECT_FALSE(wal.good());
 }
 
 TEST_F(CheckpointRoundTripTest, SmallNonHazyFileIsRejectedNotClobbered) {

@@ -4,7 +4,13 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "storage/buffer_pool.h"
@@ -162,6 +168,87 @@ TEST_F(BufferPoolTest, MoveHandleTransfersPin) {
   EXPECT_TRUE(moved.valid());
   moved.Release();
   EXPECT_FALSE(moved.valid());
+}
+
+TEST_F(BufferPoolTest, ConcurrentMissesOnDistinctPagesOverlapTheirReads) {
+  // Regression test for the miss-path mutex: the pool must drop its lock for
+  // the duration of the pager read, so two threads faulting distinct pages
+  // have their disk reads in flight simultaneously. The pager's fault hook
+  // rendezvous-blocks inside the reads: if the pool still serialized misses
+  // under its mutex, the two hooks could never be inside pager reads at the
+  // same time and the barrier below would time out.
+  BufferPool setup_pool(&pager_, 8);
+  uint32_t pid_a, pid_b;
+  {
+    auto a = setup_pool.New();
+    auto b = setup_pool.New();
+    ASSERT_TRUE(a.ok() && b.ok());
+    pid_a = a->page_id();
+    pid_b = b->page_id();
+    a->MarkDirty();
+    b->MarkDirty();
+  }
+  ASSERT_TRUE(setup_pool.FlushAll().ok());
+
+  BufferPool pool(&pager_, 8);  // cold cache: both fetches miss
+  std::mutex mu;
+  std::condition_variable cv;
+  int readers_inside = 0;
+  bool both_seen = false;
+  pager_.SetFaultHook([&](const char* op, uint32_t) -> int {
+    if (std::string_view(op) != "page_read") return kFaultNone;
+    std::unique_lock<std::mutex> lock(mu);
+    if (++readers_inside == 2) {
+      both_seen = true;
+      cv.notify_all();
+    } else {
+      // Wait (bounded) for the second reader to arrive inside its read.
+      cv.wait_for(lock, std::chrono::seconds(10), [&] { return both_seen; });
+    }
+    return kFaultNone;
+  });
+
+  Status sa, sb;
+  std::thread ta([&] { sa = pool.Fetch(pid_a).status(); });
+  std::thread tb([&] { sb = pool.Fetch(pid_b).status(); });
+  ta.join();
+  tb.join();
+  pager_.SetFaultHook(nullptr);
+  EXPECT_TRUE(sa.ok()) << sa.ToString();
+  EXPECT_TRUE(sb.ok()) << sb.ToString();
+  EXPECT_TRUE(both_seen) << "the two misses never overlapped their pager reads";
+}
+
+TEST_F(BufferPoolTest, ConcurrentFetchesOfSameMissingPageReadOnce) {
+  BufferPool setup_pool(&pager_, 4);
+  uint32_t pid;
+  {
+    auto h = setup_pool.New();
+    ASSERT_TRUE(h.ok());
+    h->data()[0] = 'q';
+    h->MarkDirty();
+    pid = h->page_id();
+  }
+  ASSERT_TRUE(setup_pool.FlushAll().ok());
+
+  BufferPool pool(&pager_, 4);
+  std::atomic<int> reads{0};
+  pager_.SetFaultHook([&](const char* op, uint32_t) -> int {
+    if (std::string_view(op) == "page_read") ++reads;
+    return kFaultNone;
+  });
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      auto h = pool.Fetch(pid);
+      if (h.ok() && h->data()[0] == 'q') ++ok_count;
+    });
+  }
+  for (auto& t : threads) t.join();
+  pager_.SetFaultHook(nullptr);
+  EXPECT_EQ(ok_count.load(), 8);
+  EXPECT_EQ(reads.load(), 1) << "waiters must ride the in-flight read";
 }
 
 TEST_F(BufferPoolTest, HitRateAccounting) {

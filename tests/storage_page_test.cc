@@ -20,7 +20,21 @@ class SlottedPageTest : public ::testing::Test {
 TEST_F(SlottedPageTest, InitIsEmpty) {
   EXPECT_EQ(page_.slot_count(), 0);
   EXPECT_EQ(page_.next_page(), kInvalidPageId);
-  EXPECT_EQ(page_.FreeSpace(), kPageSize - SlottedPage::kHeaderSize);
+  // Cell data grows down from kPageUsableSize: the trailing bytes are the
+  // page-LSN footer stamped by the buffer pool at write-back.
+  EXPECT_EQ(page_.FreeSpace(), kPageUsableSize - SlottedPage::kHeaderSize);
+}
+
+TEST_F(SlottedPageTest, LsnFooterIsOutsideCellArea) {
+  // Fill the page completely, then stamp the LSN: no record may overlap it.
+  std::string rec(100, 'x');
+  while (page_.Insert(rec) >= 0) {
+  }
+  SetPageLsn(buf_, 0x1122334455667788ull);
+  EXPECT_EQ(PageLsn(buf_), 0x1122334455667788ull);
+  for (uint16_t s = 0; s < page_.slot_count(); ++s) {
+    EXPECT_EQ(page_.Get(s), std::string_view(rec));
+  }
 }
 
 TEST_F(SlottedPageTest, InsertAndGet) {
