@@ -85,7 +85,11 @@ int main() {
       "\\batch on|off toggles batched view maintenance, \\timing toggles "
       "per-statement wall time,\n"
       "\\save <path> checkpoints to a file, \\open <path> recovers from one, "
-      "VACUUM; compacts the database file.\n");
+      "VACUUM; compacts the database file.\n"
+      "PRAGMA knobs: wal_sync = every_commit|group_commit|never, "
+      "group_commit_interval = N, bg_writer = on|off, writer_batch_pages = N,\n"
+      "checkpoint_daemon = on|off, wal_checkpoint_bytes = N, "
+      "wal_checkpoint_seconds = S (bare 'PRAGMA name;' reads the setting).\n");
   std::string buffer;
   std::string line;
   bool interactive = isatty(0);

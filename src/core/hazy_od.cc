@@ -151,15 +151,17 @@ StatusOr<int> HazyODView::ReadWindowLabel(int64_t id, storage::Rid rid) {
 StatusOr<uint64_t> HazyODView::IncrementalStep() {
   const double lw = water_.low_water();
   const double hw = water_.high_water();
-  HAZY_ASSIGN_OR_RETURN(storage::BPlusTree::Iterator it, tree_->SeekGE(KeyFor(lw, 0)));
   // Collect the window first: reclassification patches pages and we keep
-  // the tree iteration pin-discipline simple.
+  // the tree iteration pin-discipline simple. Leaf-array iteration
+  // (ScanFrom) walks each leaf's packed entry array directly — no per-key
+  // cursor step — and stops at the high-water mark.
   std::vector<WindowEntry> window;
-  while (it.Valid() && it.key().k < hw) {
-    window.emplace_back(static_cast<int64_t>(it.key().tie),
-                        storage::Rid::Unpack(it.value()));
-    HAZY_RETURN_NOT_OK(it.Next());
-  }
+  HAZY_RETURN_NOT_OK(
+      tree_->ScanFrom(KeyFor(lw, 0), [&](const storage::BtKey& k, uint64_t v) {
+        if (k.k >= hw) return false;
+        window.emplace_back(static_cast<int64_t>(k.tie), storage::Rid::Unpack(v));
+        return true;
+      }));
   HAZY_ASSIGN_OR_RETURN(uint64_t flips, ReclassifyWindow(window));
   stats_.label_flips += flips;
   stats_.window_tuples += window.size();
@@ -282,32 +284,32 @@ StatusOr<uint64_t> HazyODView::LazyMembersScan(int label, std::vector<int64_t>* 
 
   if (label == -1) {
     // Everything below lw is certainly negative: ids come straight from the
-    // index entries, no heap access.
-    HAZY_ASSIGN_OR_RETURN(storage::BPlusTree::Iterator it,
-                          tree_->SeekGE(storage::BtKey::Min()));
-    while (it.Valid() && it.key().k < lw) {
-      if (out != nullptr) out->push_back(static_cast<int64_t>(it.key().tie));
-      ++matched;
-      HAZY_RETURN_NOT_OK(it.Next());
-    }
+    // index entries, no heap access (leaf-array iteration, early exit at lw).
+    HAZY_RETURN_NOT_OK(tree_->ScanFrom(
+        storage::BtKey::Min(), [&](const storage::BtKey& k, uint64_t) {
+          if (k.k >= lw) return false;
+          if (out != nullptr) out->push_back(static_cast<int64_t>(k.tie));
+          ++matched;
+          return true;
+        }));
   }
 
-  HAZY_ASSIGN_OR_RETURN(storage::BPlusTree::Iterator it, tree_->SeekGE(KeyFor(lw, 0)));
   std::vector<WindowEntry> window;
-  while (it.Valid()) {
-    ++nr;
-    int64_t id = static_cast<int64_t>(it.key().tie);
-    if (it.key().k >= hw) {
-      ++positives;
-      if (label == 1) {
-        if (out != nullptr) out->push_back(id);
-        ++matched;
-      }
-    } else {
-      window.emplace_back(id, storage::Rid::Unpack(it.value()));
-    }
-    HAZY_RETURN_NOT_OK(it.Next());
-  }
+  HAZY_RETURN_NOT_OK(
+      tree_->ScanFrom(KeyFor(lw, 0), [&](const storage::BtKey& k, uint64_t v) {
+        ++nr;
+        int64_t id = static_cast<int64_t>(k.tie);
+        if (k.k >= hw) {
+          ++positives;
+          if (label == 1) {
+            if (out != nullptr) out->push_back(id);
+            ++matched;
+          }
+        } else {
+          window.emplace_back(id, storage::Rid::Unpack(v));
+        }
+        return true;
+      }));
   // Only the window needs the current model: batch it through the parallel
   // zero-copy pipeline instead of fetching record copies one by one.
   std::vector<int8_t> window_labels;
@@ -338,27 +340,25 @@ StatusOr<uint64_t> HazyODView::EagerMembersScan(int label, std::vector<int64_t>*
   const double lw = water_.low_water();
   const double hw = water_.high_water();
   uint64_t matched = 0;
-  HAZY_ASSIGN_OR_RETURN(storage::BPlusTree::Iterator it,
-                        tree_->SeekGE(storage::BtKey::Min()));
   std::vector<WindowEntry> window;
-  while (it.Valid()) {
-    int64_t id = static_cast<int64_t>(it.key().tie);
-    double eps = it.key().k;
-    if (eps < lw) {
-      if (label == -1) {
-        if (out != nullptr) out->push_back(id);
-        ++matched;
-      }
-    } else if (eps >= hw) {
-      if (label == 1) {
-        if (out != nullptr) out->push_back(id);
-        ++matched;
-      }
-    } else {
-      window.emplace_back(id, storage::Rid::Unpack(it.value()));
-    }
-    HAZY_RETURN_NOT_OK(it.Next());
-  }
+  HAZY_RETURN_NOT_OK(tree_->ScanFrom(
+      storage::BtKey::Min(), [&](const storage::BtKey& k, uint64_t v) {
+        int64_t id = static_cast<int64_t>(k.tie);
+        if (k.k < lw) {
+          if (label == -1) {
+            if (out != nullptr) out->push_back(id);
+            ++matched;
+          }
+        } else if (k.k >= hw) {
+          if (label == 1) {
+            if (out != nullptr) out->push_back(id);
+            ++matched;
+          }
+        } else {
+          window.emplace_back(id, storage::Rid::Unpack(v));
+        }
+        return true;
+      }));
   // Window tuples: labels are materialized (eager invariant); read headers.
   for (const auto& [id, rid] : window) {
     HAZY_ASSIGN_OR_RETURN(int l, ReadWindowLabel(id, rid));

@@ -40,18 +40,24 @@ Status ManagedView::Flush() {
 }
 
 StatusOr<std::string> ManagedView::LabelOf(int64_t id) {
+  // View reads fold the pending trigger queue and may reorganize — they
+  // mutate view state, so they count as statements against the background
+  // checkpointer's commit section.
+  storage::StatementGate::SharedGuard gate(db_ != nullptr ? db_->statement_gate() : nullptr);
   HAZY_RETURN_NOT_OK(Flush());
   HAZY_ASSIGN_OR_RETURN(int sign, view_->SingleEntityRead(id));
   return LabelString(sign);
 }
 
 StatusOr<std::vector<int64_t>> ManagedView::MembersOf(const std::string& label) {
+  storage::StatementGate::SharedGuard gate(db_ != nullptr ? db_->statement_gate() : nullptr);
   HAZY_RETURN_NOT_OK(Flush());
   HAZY_ASSIGN_OR_RETURN(int sign, LabelSign(label));
   return view_->AllMembers(sign);
 }
 
 StatusOr<uint64_t> ManagedView::CountOf(const std::string& label) {
+  storage::StatementGate::SharedGuard gate(db_ != nullptr ? db_->statement_gate() : nullptr);
   HAZY_RETURN_NOT_OK(Flush());
   HAZY_ASSIGN_OR_RETURN(int sign, LabelSign(label));
   return view_->AllMembersCount(sign);
@@ -67,6 +73,10 @@ StatusOr<int> ManagedView::LabelSign(const std::string& label) const {
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
 
 Database::~Database() {
+  // Background threads first: the daemon would checkpoint into (and the
+  // writer flush into) the file handles being torn down.
+  if (ckpt_daemon_) ckpt_daemon_->Stop();
+  if (pool_) pool_->StopBackgroundWriter();
   if (pager_ && pager_->is_open()) pager_->Close().ok();
   if (wal_ && wal_->is_open()) wal_->Close().ok();
   if (owns_temp_file_ && !path_.empty()) {
@@ -81,6 +91,9 @@ Status Database::Open() {
   if (!s.ok()) {
     // Leave the object closed and reusable; never leak a temp file created
     // by a failed open.
+    if (ckpt_daemon_) ckpt_daemon_->Stop();
+    ckpt_daemon_.reset();
+    if (pool_) pool_->StopBackgroundWriter();
     if (pager_ && pager_->is_open()) pager_->Close().ok();
     if (wal_ && wal_->is_open()) wal_->Close().ok();
     if (owns_temp_file_ && !path_.empty()) {
@@ -149,23 +162,86 @@ Status Database::OpenImpl() {
   pool_->SetWal(wal_.get());
   catalog_ = std::make_unique<storage::Catalog>(pool_.get());
   catalog_->SetWal(wal_.get());
+  catalog_->SetGate(&gate_);
   persist::ViewCheckpointer ckpt(this);
   if (pager_->num_pages() == 0) {
     HAZY_RETURN_NOT_OK(ckpt.InitFresh());
     // A freshly formatted file starts an epoch-0 log: committed work is
     // durable (replayable onto the empty database) even before the first
     // checkpoint.
-    return wal_->Reset(0);
+    HAZY_RETURN_NOT_OK(wal_->Reset(0));
+    return StartBackgroundServices();
   }
   HAZY_RETURN_NOT_OK(ckpt.Recover());
   // Recovery has consumed the decoded log; drop the in-memory copy (the
   // file itself stays authoritative for any later crash).
   wal_->ClearRecords();
+  // Recovery stayed single-threaded; the async machinery comes up only for
+  // live traffic.
+  return StartBackgroundServices();
+}
+
+Status Database::StartBackgroundServices() {
+  if (options_.background_writer) {
+    HAZY_RETURN_NOT_OK(pool_->StartBackgroundWriter(options_.writer));
+  }
+  if (options_.checkpointer.enabled) {
+    ckpt_daemon_ = std::make_unique<persist::CheckpointDaemon>(this, options_.checkpointer);
+    ckpt_daemon_->Start();
+  }
   return Status::OK();
+}
+
+Status Database::SetCheckpointDaemonEnabled(bool enabled) {
+  if (!pager_) return Status::InvalidArgument("database not open");
+  options_.checkpointer.enabled = enabled;
+  if (enabled) {
+    if (ckpt_daemon_) return Status::OK();
+    ckpt_daemon_ = std::make_unique<persist::CheckpointDaemon>(this, options_.checkpointer);
+    ckpt_daemon_->Start();
+    return Status::OK();
+  }
+  if (ckpt_daemon_) {
+    ckpt_daemon_->Stop();
+    ckpt_daemon_.reset();
+  }
+  return Status::OK();
+}
+
+void Database::SetWalCheckpointBytes(uint64_t bytes) {
+  options_.checkpointer.wal_checkpoint_bytes = bytes;
+  if (ckpt_daemon_) ckpt_daemon_->set_wal_checkpoint_bytes(bytes);
+}
+
+void Database::SetWalCheckpointSeconds(double seconds) {
+  options_.checkpointer.interval_seconds = seconds;
+  if (ckpt_daemon_) ckpt_daemon_->set_interval_seconds(seconds);
+}
+
+void Database::SetWriterBatchPages(size_t pages) {
+  options_.writer.batch_pages = pages == 0 ? 1 : pages;
+  if (pool_) pool_->SetWriterBatchPages(options_.writer.batch_pages);
+}
+
+Status Database::SetBackgroundWriterEnabled(bool enabled) {
+  if (!pool_) return Status::InvalidArgument("database not open");
+  options_.background_writer = enabled;
+  if (enabled) {
+    if (pool_->background_writer_running()) return Status::OK();
+    return pool_->StartBackgroundWriter(options_.writer);
+  }
+  pool_->StopBackgroundWriter();
+  // Leftover queued buffers are written out so the synchronous path starts
+  // from a clean slate.
+  return pool_->DrainWriteQueue();
 }
 
 StatusOr<uint64_t> Database::Checkpoint() {
   if (!pager_) return Status::InvalidArgument("database not open");
+  // The commit section excludes foreground statements (the background
+  // checkpointer's "short pause"); its own system-table writes re-enter the
+  // gate as the exclusive owner.
+  storage::StatementGate::ExclusiveGuard gate(&gate_);
   if (in_update_batch()) {
     return Status::InvalidArgument("cannot checkpoint inside an update batch");
   }
@@ -218,6 +294,7 @@ StatusOr<std::unique_ptr<core::ClassificationView>> Database::BuildCoreView(
 
 StatusOr<ManagedView*> Database::CreateClassificationView(
     const ClassificationViewDef& def) {
+  storage::StatementGate::SharedGuard gate(&gate_);
   // The checkpoint system tables must never host a classification view —
   // its triggers would fire inside Checkpoint's own row writes.
   for (const std::string& name : {def.view_name, def.entity_table, def.label_table,
@@ -348,21 +425,50 @@ Status Database::ArmTriggers(ManagedView* raw) {
   return Status::OK();
 }
 
+void Database::BeginUpdateBatch() {
+  storage::StatementGate::SharedGuard gate(&gate_);
+  if (batch_depth_++ == 0 && wal_) wal_->BeginGroup();
+}
+
 Status Database::EndUpdateBatch() {
-  if (batch_depth_ == 0) {
-    return Status::InvalidArgument("EndUpdateBatch without BeginUpdateBatch");
-  }
-  if (--batch_depth_ > 0) return Status::OK();
+  bool outermost = false;
   Status first_error;
-  for (const auto& v : views_) {
-    Status s = v->Flush();
-    if (!s.ok() && first_error.ok()) first_error = s;
+  {
+    storage::StatementGate::SharedGuard gate(&gate_);
+    if (batch_depth_ == 0) {
+      return Status::InvalidArgument("EndUpdateBatch without BeginUpdateBatch");
+    }
+    if (--batch_depth_ > 0) return Status::OK();
+    outermost = true;
+    for (const auto& v : views_) {
+      Status s = v->Flush();
+      if (!s.ok() && first_error.ok()) first_error = s;
+    }
+    if (wal_) {
+      // One commit marker covers the whole batch; replay re-brackets it in
+      // BeginUpdateBatch/EndUpdateBatch so the amortized fold is reproduced.
+      Status s = wal_->EndGroup();
+      if (!s.ok() && first_error.ok()) first_error = s;
+    }
   }
-  if (wal_) {
-    // One commit marker covers the whole batch; replay re-brackets it in
-    // BeginUpdateBatch/EndUpdateBatch so the amortized fold is reproduced.
-    Status s = wal_->EndGroup();
-    if (!s.ok() && first_error.ok()) first_error = s;
+  // A checkpoint the daemon had to refuse mid-batch runs now, at the batch
+  // boundary (outside the shared gate hold — Checkpoint takes it
+  // exclusive). The boundary also consults the daemon's byte threshold
+  // directly, so the WAL bound holds deterministically for batched ingest
+  // even when a batch outpaces the daemon's poll. A failure does not fail
+  // the batch: its own work committed above, and the daemon retries.
+  bool checkpoint_now =
+      outermost && checkpoint_requested_.exchange(false, std::memory_order_relaxed);
+  if (outermost && !checkpoint_now && ckpt_daemon_ != nullptr && wal_) {
+    const uint64_t threshold = ckpt_daemon_->options().wal_checkpoint_bytes;
+    checkpoint_now = threshold > 0 && wal_->tail_bytes() >= threshold;
+  }
+  if (checkpoint_now) {
+    Status s = Checkpoint().status();
+    if (!s.ok()) {
+      HAZY_LOG(Warning) << "deferred batch-boundary checkpoint failed: "
+                        << s.ToString();
+    }
   }
   return first_error;
 }
@@ -528,22 +634,25 @@ Status Database::ApplyWalOp(std::string_view payload) {
     case storage::WalOp::kRowInsert:
     case storage::WalOp::kRowDelete:
     case storage::WalOp::kRowUpdate: {
-      std::string table_name;
-      HAZY_RETURN_NOT_OK(get_string(&table_name));
-      HAZY_ASSIGN_OR_RETURN(storage::Table * table, catalog_->GetTable(table_name));
-      uint64_t key = 0;
-      if (op != storage::WalOp::kRowInsert && !storage::GetFixed64(&cur, &key)) {
+      // Compact varint layout (WAL v2) — see Table::LogRowOp.
+      std::string_view name;
+      if (!storage::GetVarintLengthPrefixed(&cur, &name)) {
+        return Status::Corruption("truncated logical wal record");
+      }
+      HAZY_ASSIGN_OR_RETURN(storage::Table * table,
+                            catalog_->GetTable(std::string(name)));
+      int64_t key = 0;
+      if (op != storage::WalOp::kRowInsert &&
+          !storage::GetVarint64Signed(&cur, &key)) {
         return Status::Corruption("truncated logical wal record");
       }
       if (op == storage::WalOp::kRowDelete) {
-        return table->DeleteByKey(static_cast<int64_t>(key));
+        return table->DeleteByKey(key);
       }
-      std::string encoded;
-      HAZY_RETURN_NOT_OK(get_string(&encoded));
       Row row;
-      HAZY_RETURN_NOT_OK(table->schema().DecodeRow(encoded, &row));
+      HAZY_RETURN_NOT_OK(table->schema().DecodeRowCompact(cur, &row));
       if (op == storage::WalOp::kRowInsert) return table->Insert(row);
-      return table->UpdateByKey(static_cast<int64_t>(key), row);
+      return table->UpdateByKey(key, row);
     }
     case storage::WalOp::kCreateTable: {
       std::string name;
@@ -642,7 +751,7 @@ Status Database::ReplayWal() {
   if (replayed > 0) {
     HAZY_LOG(Info) << "wal redo: replayed " << replayed
                    << " committed operations onto checkpoint epoch "
-                   << checkpoint_epoch_;
+                   << checkpoint_epoch();
   }
   return Status::OK();
 }
@@ -679,6 +788,9 @@ Status Database::CopyCompactInto(Database* fresh) {
 }
 
 void Database::ResetHandles() {
+  if (ckpt_daemon_) ckpt_daemon_->Stop();
+  ckpt_daemon_.reset();
+  if (pool_) pool_->StopBackgroundWriter();
   views_.clear();
   catalog_.reset();
   if (wal_ && wal_->is_open()) wal_->Close().ok();
@@ -693,6 +805,14 @@ Status Database::Compact() {
   if (!pager_) return Status::InvalidArgument("database not open");
   if (in_update_batch()) {
     return Status::InvalidArgument("cannot VACUUM inside an update batch");
+  }
+  // The checkpoint daemon must not run during the compaction copy: its
+  // checkpoints mutate view state (Flush) while CopyCompactInto serializes
+  // the same objects without the gate. It restarts with the reopened file
+  // (options_.checkpointer is unchanged).
+  if (ckpt_daemon_) {
+    ckpt_daemon_->Stop();
+    ckpt_daemon_.reset();
   }
   // Baseline: everything pending becomes durable before the rewrite.
   HAZY_RETURN_NOT_OK(Checkpoint().status());

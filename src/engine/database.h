@@ -16,8 +16,10 @@
 #include "core/view_factory.h"
 #include "features/feature_function.h"
 #include "ml/loss.h"
+#include "persist/checkpoint_daemon.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
+#include "storage/statement_gate.h"
 #include "storage/table.h"
 #include "storage/wal.h"
 
@@ -117,6 +119,14 @@ struct DatabaseOptions {
   core::ViewOptions view_defaults;
   /// Write-ahead-log durability policy (fsync per commit vs group commit).
   storage::WalOptions wal;
+  /// Asynchronous eviction write-back (storage/bg_writer.h). On by default;
+  /// turning it off restores the synchronous per-eviction fsync path (the
+  /// micro_outofcore_ingest baseline).
+  bool background_writer = true;
+  storage::BgWriterOptions writer;
+  /// Background checkpointer (persist/checkpoint_daemon.h); off by default,
+  /// also switchable at runtime via PRAGMA checkpoint_daemon.
+  persist::CheckpointDaemonOptions checkpointer;
 };
 
 /// \brief An embedded database: catalog + triggers + classification views.
@@ -154,7 +164,9 @@ class Database {
   Status Compact();
 
   /// Epoch of the last durable checkpoint (0 = never checkpointed).
-  uint64_t checkpoint_epoch() const { return checkpoint_epoch_; }
+  uint64_t checkpoint_epoch() const {
+    return checkpoint_epoch_.load(std::memory_order_relaxed);
+  }
 
   /// Path of the backing file.
   const std::string& path() const { return path_; }
@@ -162,6 +174,34 @@ class Database {
   storage::Catalog* catalog() { return catalog_.get(); }
   storage::BufferPool* buffer_pool() { return pool_.get(); }
   storage::Wal* wal() { return wal_.get(); }
+  const storage::Wal* wal() const { return wal_.get(); }
+
+  /// The background checkpointer, when one is running (nullptr otherwise).
+  persist::CheckpointDaemon* checkpoint_daemon() { return ckpt_daemon_.get(); }
+
+  /// The statement gate (shared by tables and views; exclusive for the
+  /// checkpoint commit section).
+  storage::StatementGate* statement_gate() { return &gate_; }
+
+  /// Starts/stops the background checkpointer at runtime (PRAGMA
+  /// checkpoint_daemon = on|off). Thresholds come from (and persist in)
+  /// options().checkpointer.
+  Status SetCheckpointDaemonEnabled(bool enabled);
+
+  /// Starts/stops the asynchronous write-back thread at runtime (PRAGMA
+  /// bg_writer = on|off).
+  Status SetBackgroundWriterEnabled(bool enabled);
+
+  /// Live option state (reflects runtime PRAGMA changes).
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Checkpoint-daemon thresholds (PRAGMA wal_checkpoint_bytes/_seconds);
+  /// applied to a running daemon immediately, remembered otherwise.
+  void SetWalCheckpointBytes(uint64_t bytes);
+  void SetWalCheckpointSeconds(double seconds);
+
+  /// Write-back batch size (PRAGMA writer_batch_pages).
+  void SetWriterBatchPages(size_t pages);
 
   /// Creates and populates a classification view over existing tables,
   /// and wires the triggers that keep it maintained.
@@ -179,21 +219,33 @@ class Database {
   /// its queue first, so answers are identical to unbatched execution.
   /// The WAL groups the batch's mutations under one commit marker so replay
   /// reproduces the batched fold boundaries bit-exactly.
-  void BeginUpdateBatch() {
-    if (batch_depth_++ == 0 && wal_) wal_->BeginGroup();
-  }
+  void BeginUpdateBatch();
 
   /// Leaves batched-trigger mode, flushing every view's queue when the
-  /// outermost batch ends.
+  /// outermost batch ends. If the background checkpointer tripped its
+  /// threshold mid-batch (checkpoints are refused inside a batch), the
+  /// deferred checkpoint runs here, at the batch boundary.
   Status EndUpdateBatch();
 
-  bool in_update_batch() const { return batch_depth_ > 0; }
+  /// Background-checkpointer hand-off: asks the next outermost
+  /// EndUpdateBatch to checkpoint on its way out.
+  void RequestCheckpointAtBatchEnd() {
+    checkpoint_requested_.store(true, std::memory_order_relaxed);
+  }
+
+  bool in_update_batch() const {
+    return batch_depth_.load(std::memory_order_relaxed) > 0;
+  }
 
  private:
   friend class persist::ViewCheckpointer;
 
   /// Open() body; Open() wraps it with failure cleanup.
   Status OpenImpl();
+
+  /// Brings up the async write-back thread and (when enabled) the
+  /// checkpoint daemon once recovery has the database consistent.
+  Status StartBackgroundServices();
 
   /// Replays the WAL's committed logical records through the normal table /
   /// trigger entry points (recovery redo; logical logging paused).
@@ -238,16 +290,25 @@ class Database {
 
   DatabaseOptions options_;
   std::string path_;
+  /// Statement boundary between foreground mutations (shared holds) and the
+  /// background checkpointer's commit section (exclusive hold).
+  storage::StatementGate gate_;
   bool owns_temp_file_ = false;
   /// True when this Open created the -wal sidecar file (so a failed open
   /// can remove it instead of leaving a stray next to a foreign file).
   bool created_wal_file_ = false;
-  int batch_depth_ = 0;
-  uint64_t checkpoint_epoch_ = 0;
+  /// Mutated under the gate (shared) by Begin/EndUpdateBatch; atomic so the
+  /// checkpoint daemon can peek without taking the gate.
+  std::atomic<int> batch_depth_{0};
+  std::atomic<bool> checkpoint_requested_{false};
+  /// Advanced under the exclusive gate by checkpoints; atomic so observers
+  /// (tests, shell banners) can read it without one.
+  std::atomic<uint64_t> checkpoint_epoch_{0};
   std::unique_ptr<storage::Pager> pager_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<storage::Wal> wal_;
   std::unique_ptr<storage::Catalog> catalog_;
+  std::unique_ptr<persist::CheckpointDaemon> ckpt_daemon_;
   std::vector<std::unique_ptr<ManagedView>> views_;
 };
 

@@ -1,0 +1,141 @@
+#include "persist/checkpoint_daemon.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "engine/database.h"
+#include "storage/buffer_pool.h"
+#include "storage/wal.h"
+
+namespace hazy::persist {
+
+CheckpointDaemon::CheckpointDaemon(engine::Database* db,
+                                   CheckpointDaemonOptions options)
+    : db_(db), options_(options) {}
+
+CheckpointDaemon::~CheckpointDaemon() { Stop(); }
+
+void CheckpointDaemon::Start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void CheckpointDaemon::Stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  {
+    // Taking the mutex before notifying closes the race with a thread that
+    // checked stop_ and is about to wait (same discipline as the
+    // background writer's Stop).
+    std::lock_guard<std::mutex> lock(mu_);
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void CheckpointDaemon::set_wal_checkpoint_bytes(uint64_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_.wal_checkpoint_bytes = bytes;
+  }
+  cv_.notify_all();
+}
+
+void CheckpointDaemon::set_interval_seconds(double seconds) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_.interval_seconds = seconds;
+  }
+  cv_.notify_all();
+}
+
+CheckpointDaemonOptions CheckpointDaemon::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+void CheckpointDaemon::Poke() { cv_.notify_all(); }
+
+Status CheckpointDaemon::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+bool CheckpointDaemon::ShouldCheckpointLocked(double since_last_seconds) const {
+  const storage::Wal* wal = db_->wal();
+  if (wal == nullptr) return false;
+  if (options_.wal_checkpoint_bytes > 0 &&
+      wal->tail_bytes() >= options_.wal_checkpoint_bytes) {
+    return true;
+  }
+  return options_.interval_seconds > 0 &&
+         since_last_seconds >= options_.interval_seconds;
+}
+
+void CheckpointDaemon::ThreadMain() {
+  Timer since_last;
+  uint64_t last_epoch = db_->checkpoint_epoch();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const auto poll =
+        std::chrono::duration<double>(options_.poll_seconds <= 0 ? 0.05
+                                                                 : options_.poll_seconds);
+    cv_.wait_for(lock, poll);
+    if (stop_.load(std::memory_order_relaxed)) break;
+    // A checkpoint taken by anyone — manual CHECKPOINT, the batch-boundary
+    // hand-off — restarts the interval clock; the daemon must not follow
+    // it with an immediate redundant one.
+    const uint64_t epoch = db_->checkpoint_epoch();
+    if (epoch != last_epoch) {
+      last_epoch = epoch;
+      since_last.Reset();
+    }
+    if (!ShouldCheckpointLocked(since_last.ElapsedSeconds())) continue;
+    lock.unlock();
+
+    // Checkpoints are refused inside an update batch; post the batch-
+    // boundary hand-off FIRST (so a long batch checkpoints the moment it
+    // ends, not a poll later), then still run the pre-flush below — it is
+    // useful concurrent work either way.
+    const bool mid_batch = db_->in_update_batch();
+    if (mid_batch) db_->RequestCheckpointAtBatchEnd();
+
+    // Copy phase: flush the dirty pool (pending write-back queue included)
+    // concurrently with foreground statements. Safe without the gate —
+    // pinned frames (bytes possibly mid-mutation) are skipped, page-level
+    // write-back of the rest is idempotent and WAL-protected, and a frame
+    // re-dirtied mid-flush keeps its dirty bit. This drains the bulk of
+    // the checkpoint's I/O before anything pauses.
+    Status s = db_->buffer_pool()->FlushUnpinned();
+
+    // Commit section: the ordinary exact checkpoint, under the exclusive
+    // statement gate (taken inside Database::Checkpoint). Foreground
+    // statements pause only for this part.
+    if (s.ok() && !mid_batch) s = db_->Checkpoint().status();
+
+    lock.lock();
+    if (mid_batch) {
+      // Handed off; the boundary runs it. Keep polling in case the batch
+      // outlives several trips. A failing pre-flush must still be visible.
+      if (!s.ok()) {
+        last_error_ = s;
+        HAZY_LOG(Warning) << "background pre-flush failed: " << s.ToString();
+      }
+    } else if (s.ok()) {
+      checkpoints_.fetch_add(1, std::memory_order_relaxed);
+      last_error_ = Status::OK();
+      since_last.Reset();
+    } else if (s.IsInvalidArgument() && db_->in_update_batch()) {
+      // Raced into a batch between the peek and the gate: hand off. Any
+      // other InvalidArgument is a real failure and must stay visible.
+      db_->RequestCheckpointAtBatchEnd();
+    } else {
+      last_error_ = s;
+      HAZY_LOG(Warning) << "background checkpoint failed: " << s.ToString();
+    }
+  }
+}
+
+}  // namespace hazy::persist

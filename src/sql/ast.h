@@ -75,9 +75,21 @@ struct CheckpointStmt {};
 /// database file and truncates away all fragmentation (Database::Compact).
 struct VacuumStmt {};
 
+/// PRAGMA name [= value] — engine knobs. With a value, sets the knob; bare,
+/// reports the current setting. Knobs: wal_sync (every_commit | group_commit
+/// | never), group_commit_interval, wal_checkpoint_bytes,
+/// wal_checkpoint_seconds, checkpoint_daemon (on | off), bg_writer
+/// (on | off), writer_batch_pages.
+struct PragmaStmt {
+  std::string name;
+  /// Integers arrive as int64, identifiers/strings as std::string; absent
+  /// for the read form.
+  std::optional<storage::Value> value;
+};
+
 using Statement = std::variant<CreateTableStmt, CreateViewStmt, InsertStmt,
                                SelectStmt, DeleteStmt, UpdateStmt, CheckpointStmt,
-                               VacuumStmt>;
+                               VacuumStmt, PragmaStmt>;
 
 }  // namespace hazy::sql
 

@@ -77,7 +77,140 @@ StatusOr<ResultSet> Executor::Execute(const Statement& stmt) {
   if (const auto* s = std::get_if<UpdateStmt>(&stmt)) return ExecUpdate(*s);
   if (std::get_if<CheckpointStmt>(&stmt) != nullptr) return ExecCheckpoint();
   if (std::get_if<VacuumStmt>(&stmt) != nullptr) return ExecVacuum();
+  if (const auto* s = std::get_if<PragmaStmt>(&stmt)) return ExecPragma(*s);
   return Status::Internal("unhandled statement kind");
+}
+
+namespace {
+
+StatusOr<int64_t> PragmaInt(const PragmaStmt& stmt) {
+  if (!stmt.value.has_value() || !std::holds_alternative<int64_t>(*stmt.value)) {
+    return Status::InvalidArgument(
+        StrFormat("PRAGMA %s expects an integer value", stmt.name.c_str()));
+  }
+  return std::get<int64_t>(*stmt.value);
+}
+
+StatusOr<double> PragmaDouble(const PragmaStmt& stmt) {
+  if (stmt.value.has_value() && std::holds_alternative<double>(*stmt.value)) {
+    return std::get<double>(*stmt.value);
+  }
+  if (stmt.value.has_value() && std::holds_alternative<int64_t>(*stmt.value)) {
+    return static_cast<double>(std::get<int64_t>(*stmt.value));
+  }
+  return Status::InvalidArgument(
+      StrFormat("PRAGMA %s expects a numeric value", stmt.name.c_str()));
+}
+
+StatusOr<std::string> PragmaWord(const PragmaStmt& stmt) {
+  if (!stmt.value.has_value() || !std::holds_alternative<std::string>(*stmt.value)) {
+    return Status::InvalidArgument(
+        StrFormat("PRAGMA %s expects an identifier value", stmt.name.c_str()));
+  }
+  return std::get<std::string>(*stmt.value);
+}
+
+StatusOr<bool> PragmaOnOff(const PragmaStmt& stmt) {
+  HAZY_ASSIGN_OR_RETURN(std::string word, PragmaWord(stmt));
+  if (EqualsIgnoreCase(word, "on")) return true;
+  if (EqualsIgnoreCase(word, "off")) return false;
+  return Status::InvalidArgument(
+      StrFormat("PRAGMA %s expects on or off", stmt.name.c_str()));
+}
+
+const char* SyncModeName(storage::WalOptions::SyncMode mode) {
+  switch (mode) {
+    case storage::WalOptions::SyncMode::kEveryCommit:
+      return "every_commit";
+    case storage::WalOptions::SyncMode::kGroupCommit:
+      return "group_commit";
+    case storage::WalOptions::SyncMode::kNever:
+      return "never";
+  }
+  return "?";
+}
+
+ResultSet PragmaRow(const std::string& name, storage::Value value) {
+  ResultSet rs;
+  rs.columns = {"pragma", "value"};
+  rs.rows.push_back(storage::Row{name, std::move(value)});
+  return rs;
+}
+
+}  // namespace
+
+StatusOr<ResultSet> Executor::ExecPragma(const PragmaStmt& stmt) {
+  const std::string& name = stmt.name;
+  const bool has_value = stmt.value.has_value();
+
+  if (EqualsIgnoreCase(name, "wal_sync")) {
+    if (has_value) {
+      HAZY_ASSIGN_OR_RETURN(std::string word, PragmaWord(stmt));
+      storage::WalOptions::SyncMode mode;
+      if (EqualsIgnoreCase(word, "every_commit")) {
+        mode = storage::WalOptions::SyncMode::kEveryCommit;
+      } else if (EqualsIgnoreCase(word, "group_commit")) {
+        mode = storage::WalOptions::SyncMode::kGroupCommit;
+      } else if (EqualsIgnoreCase(word, "never")) {
+        mode = storage::WalOptions::SyncMode::kNever;
+      } else {
+        return Status::InvalidArgument(
+            "PRAGMA wal_sync expects every_commit, group_commit or never");
+      }
+      db_->wal()->set_sync_mode(mode);
+    }
+    return PragmaRow(name, std::string(SyncModeName(db_->wal()->options().sync_mode)));
+  }
+  if (EqualsIgnoreCase(name, "group_commit_interval")) {
+    if (has_value) {
+      HAZY_ASSIGN_OR_RETURN(int64_t n, PragmaInt(stmt));
+      if (n <= 0) return Status::InvalidArgument("interval must be positive");
+      db_->wal()->set_group_commit_interval(static_cast<uint32_t>(n));
+    }
+    return PragmaRow(name, static_cast<int64_t>(db_->wal()->options().group_commit_interval));
+  }
+  if (EqualsIgnoreCase(name, "wal_checkpoint_bytes")) {
+    if (has_value) {
+      HAZY_ASSIGN_OR_RETURN(int64_t n, PragmaInt(stmt));
+      if (n < 0) return Status::InvalidArgument("threshold must be non-negative");
+      db_->SetWalCheckpointBytes(static_cast<uint64_t>(n));
+    }
+    return PragmaRow(name, static_cast<int64_t>(
+                               db_->options().checkpointer.wal_checkpoint_bytes));
+  }
+  if (EqualsIgnoreCase(name, "wal_checkpoint_seconds")) {
+    if (has_value) {
+      HAZY_ASSIGN_OR_RETURN(double secs, PragmaDouble(stmt));
+      if (secs < 0) return Status::InvalidArgument("interval must be non-negative");
+      db_->SetWalCheckpointSeconds(secs);
+    }
+    return PragmaRow(name, db_->options().checkpointer.interval_seconds);
+  }
+  if (EqualsIgnoreCase(name, "checkpoint_daemon")) {
+    if (has_value) {
+      HAZY_ASSIGN_OR_RETURN(bool on, PragmaOnOff(stmt));
+      HAZY_RETURN_NOT_OK(db_->SetCheckpointDaemonEnabled(on));
+    }
+    return PragmaRow(name, std::string(db_->checkpoint_daemon() != nullptr ? "on" : "off"));
+  }
+  if (EqualsIgnoreCase(name, "bg_writer")) {
+    if (has_value) {
+      HAZY_ASSIGN_OR_RETURN(bool on, PragmaOnOff(stmt));
+      HAZY_RETURN_NOT_OK(db_->SetBackgroundWriterEnabled(on));
+    }
+    return PragmaRow(
+        name, std::string(db_->buffer_pool()->background_writer_running() ? "on" : "off"));
+  }
+  if (EqualsIgnoreCase(name, "writer_batch_pages")) {
+    if (has_value) {
+      HAZY_ASSIGN_OR_RETURN(int64_t n, PragmaInt(stmt));
+      if (n <= 0) return Status::InvalidArgument("batch size must be positive");
+      db_->SetWriterBatchPages(static_cast<size_t>(n));
+    }
+    return PragmaRow(name,
+                     static_cast<int64_t>(db_->options().writer.batch_pages));
+  }
+  return Status::InvalidArgument(StrFormat("unknown pragma '%s'", name.c_str()));
 }
 
 StatusOr<ResultSet> Executor::ExecCheckpoint() {

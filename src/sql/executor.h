@@ -48,6 +48,7 @@ class Executor {
   StatusOr<ResultSet> ExecUpdate(const UpdateStmt& stmt);
   StatusOr<ResultSet> ExecCheckpoint();
   StatusOr<ResultSet> ExecVacuum();
+  StatusOr<ResultSet> ExecPragma(const PragmaStmt& stmt);
 
   engine::Database* db_;
 };

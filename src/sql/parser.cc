@@ -291,6 +291,22 @@ StatusOr<Statement> ParseSelect(Cursor* c) {
   return Statement(std::move(stmt));
 }
 
+// PRAGMA name [= literal | identifier]. Identifier values (on, off,
+// group_commit, ...) come through as strings.
+StatusOr<Statement> ParsePragma(Cursor* c) {
+  PragmaStmt stmt;
+  HAZY_ASSIGN_OR_RETURN(stmt.name, c->ExpectIdentifier("pragma name"));
+  if (c->AcceptSymbol("=")) {
+    if (c->Peek().type == TokenType::kIdentifier) {
+      stmt.value = storage::Value(c->Advance().text);
+    } else {
+      HAZY_ASSIGN_OR_RETURN(storage::Value v, ParseValue(c));
+      stmt.value = std::move(v);
+    }
+  }
+  return Statement(std::move(stmt));
+}
+
 StatusOr<Statement> ParseDelete(Cursor* c) {
   DeleteStmt stmt;
   HAZY_RETURN_NOT_OK(c->ExpectKeyword("FROM"));
@@ -345,6 +361,8 @@ StatusOr<Statement> Parse(const std::string& sql) {
     result = Statement(CheckpointStmt{});
   } else if (c.AcceptKeyword("VACUUM")) {
     result = Statement(VacuumStmt{});
+  } else if (c.AcceptKeyword("PRAGMA")) {
+    result = ParsePragma(&c);
   } else {
     return Status::InvalidArgument(
         StrFormat("unknown statement '%s'", c.Peek().text.c_str()));

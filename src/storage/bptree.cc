@@ -9,45 +9,12 @@
 
 namespace hazy::storage {
 
+// Shared node-layout accessors live in bptree.h (bptree_detail) so the
+// header's ScanFrom template can decode leaf arrays directly.
+using namespace bptree_detail;
+
 namespace {
 
-// Node layout. Header: type (u16), count (u16), next (u32, leaf sibling).
-constexpr size_t kTypeOff = 0;
-constexpr size_t kCountOff = 2;
-constexpr size_t kNextOff = 4;
-constexpr size_t kHeaderSize = 8;
-
-constexpr uint16_t kLeaf = 1;
-constexpr uint16_t kInternal = 2;
-
-// Leaf entries: key.k (8) + key.tie (8) + value (8).
-constexpr size_t kLeafEntrySize = 24;
-constexpr size_t kLeafCapacity = (kPageUsableSize - kHeaderSize) / kLeafEntrySize;
-
-// Internal: child0 (u32) then entries key.k (8) + key.tie (8) + child (u32).
-constexpr size_t kChild0Off = kHeaderSize;
-constexpr size_t kInternalEntriesOff = kChild0Off + 4;
-constexpr size_t kInternalEntrySize = 20;
-constexpr size_t kInternalCapacity =
-    (kPageUsableSize - kInternalEntriesOff) / kInternalEntrySize;
-
-uint16_t NodeType(const char* p) { return DecodeFixed16(p + kTypeOff); }
-uint16_t NodeCount(const char* p) { return DecodeFixed16(p + kCountOff); }
-uint32_t NodeNext(const char* p) { return DecodeFixed32(p + kNextOff); }
-void SetNodeType(char* p, uint16_t t) { EncodeFixed16(p + kTypeOff, t); }
-void SetNodeCount(char* p, uint16_t c) { EncodeFixed16(p + kCountOff, c); }
-void SetNodeNext(char* p, uint32_t n) { EncodeFixed32(p + kNextOff, n); }
-
-char* LeafEntry(char* p, size_t i) { return p + kHeaderSize + i * kLeafEntrySize; }
-const char* LeafEntry(const char* p, size_t i) {
-  return p + kHeaderSize + i * kLeafEntrySize;
-}
-
-BtKey LeafKey(const char* p, size_t i) {
-  const char* e = LeafEntry(p, i);
-  return BtKey{DecodeDouble(e), DecodeFixed64(e + 8)};
-}
-uint64_t LeafValue(const char* p, size_t i) { return DecodeFixed64(LeafEntry(p, i) + 16); }
 void SetLeafEntry(char* p, size_t i, const BtKey& k, uint64_t v) {
   char* e = LeafEntry(p, i);
   EncodeDouble(e, k.k);
@@ -78,20 +45,6 @@ void SetInternalEntry(char* p, size_t i, const BtKey& k, uint32_t child) {
   EncodeDouble(e, k.k);
   EncodeFixed64(e + 8, k.tie);
   EncodeFixed32(e + 16, child);
-}
-
-// First index in the leaf whose key is >= `key` (binary search).
-uint16_t LeafLowerBound(const char* p, const BtKey& key) {
-  uint16_t lo = 0, hi = NodeCount(p);
-  while (lo < hi) {
-    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
-    if (LeafKey(p, mid) < key) {
-      lo = static_cast<uint16_t>(mid + 1);
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
 }
 
 // Child slot to descend into: number of separator keys <= `key`.

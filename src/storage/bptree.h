@@ -46,6 +46,66 @@ struct BtKey {
   static BtKey Min() { return BtKey{-std::numeric_limits<double>::infinity(), 0}; }
 };
 
+namespace bptree_detail {
+
+// Node layout. Header: type (u16), count (u16), next (u32, leaf sibling).
+// In the header (not bptree.cc) so ScanFrom below can iterate a leaf's
+// entry array directly in a template body.
+inline constexpr size_t kTypeOff = 0;
+inline constexpr size_t kCountOff = 2;
+inline constexpr size_t kNextOff = 4;
+inline constexpr size_t kHeaderSize = 8;
+
+inline constexpr uint16_t kLeaf = 1;
+inline constexpr uint16_t kInternal = 2;
+
+// Leaf entries: key.k (8) + key.tie (8) + value (8).
+inline constexpr size_t kLeafEntrySize = 24;
+inline constexpr size_t kLeafCapacity = (kPageUsableSize - kHeaderSize) / kLeafEntrySize;
+
+// Internal: child0 (u32) then entries key.k (8) + key.tie (8) + child (u32).
+inline constexpr size_t kChild0Off = kHeaderSize;
+inline constexpr size_t kInternalEntriesOff = kChild0Off + 4;
+inline constexpr size_t kInternalEntrySize = 20;
+inline constexpr size_t kInternalCapacity =
+    (kPageUsableSize - kInternalEntriesOff) / kInternalEntrySize;
+
+inline uint16_t NodeType(const char* p) { return DecodeFixed16(p + kTypeOff); }
+inline uint16_t NodeCount(const char* p) { return DecodeFixed16(p + kCountOff); }
+inline uint32_t NodeNext(const char* p) { return DecodeFixed32(p + kNextOff); }
+inline void SetNodeType(char* p, uint16_t t) { EncodeFixed16(p + kTypeOff, t); }
+inline void SetNodeCount(char* p, uint16_t c) { EncodeFixed16(p + kCountOff, c); }
+inline void SetNodeNext(char* p, uint32_t n) { EncodeFixed32(p + kNextOff, n); }
+
+inline char* LeafEntry(char* p, size_t i) { return p + kHeaderSize + i * kLeafEntrySize; }
+inline const char* LeafEntry(const char* p, size_t i) {
+  return p + kHeaderSize + i * kLeafEntrySize;
+}
+
+inline BtKey LeafKey(const char* p, size_t i) {
+  const char* e = LeafEntry(p, i);
+  return BtKey{DecodeDouble(e), DecodeFixed64(e + 8)};
+}
+inline uint64_t LeafValue(const char* p, size_t i) {
+  return DecodeFixed64(LeafEntry(p, i) + 16);
+}
+
+// First index in the leaf whose key is >= `key` (binary search).
+inline uint16_t LeafLowerBound(const char* p, const BtKey& key) {
+  uint16_t lo = 0, hi = NodeCount(p);
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    if (LeafKey(p, mid) < key) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace bptree_detail
+
 /// \brief B+-tree over (BtKey -> uint64).
 class BPlusTree {
  public:
@@ -93,6 +153,39 @@ class BPlusTree {
 
   /// Positions an iterator at the first entry with key >= `key`.
   StatusOr<Iterator> SeekGE(const BtKey& key) const;
+
+  /// Leaf-array range scan: starting at the first entry with key >= `lo`,
+  /// calls fn(key, value) for each entry in order until fn returns false or
+  /// the tree is exhausted.
+  ///
+  /// This is the fast path for the hazy-OD window scans: where the Iterator
+  /// pays a pin move, bounds re-check and decode per Next(), this decodes
+  /// each leaf's packed key/rid array directly — one Fetch and one
+  /// lower-bound per leaf page, then a tight pointer walk over its entries.
+  /// `fn` must not touch the tree or its buffer pool (the leaf stays pinned
+  /// across the callbacks).
+  template <typename Fn>
+  Status ScanFrom(const BtKey& lo, Fn&& fn) const {
+    namespace bd = bptree_detail;
+    if (root_ == kInvalidPageId) return Status::InvalidArgument("tree not created");
+    HAZY_ASSIGN_OR_RETURN(uint32_t pid, FindLeaf(lo));
+    bool first = true;
+    while (pid != kInvalidPageId) {
+      HAZY_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(pid));
+      const char* p = h.data();
+      const uint16_t count = bd::NodeCount(p);
+      uint16_t i = first ? bd::LeafLowerBound(p, lo) : 0;
+      first = false;
+      const char* e = bd::LeafEntry(p, i);
+      for (; i < count; ++i, e += bd::kLeafEntrySize) {
+        if (!fn(BtKey{DecodeDouble(e), DecodeFixed64(e + 8)}, DecodeFixed64(e + 16))) {
+          return Status::OK();
+        }
+      }
+      pid = bd::NodeNext(p);
+    }
+    return Status::OK();
+  }
 
   /// Rebuilds the tree from sorted (key, value) pairs, replacing all current
   /// contents. Leaves are packed to `fill` fraction (default 1.0: the tree

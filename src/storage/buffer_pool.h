@@ -10,12 +10,33 @@
 // record protecting it, and a dirty frame reaches the database file only
 // after the log is durable past that LSN — with the LSN stamped into the
 // page footer (storage/page.h) as it goes out.
+//
+// Write-back runs in one of two modes:
+//
+//   synchronous   (default) an evicted dirty frame is imaged, EnsureDurable'd
+//                 and written inline, under the pool mutex — simple, but
+//                 write-heavy out-of-core workloads pay one fsync per evicted
+//                 page on the faulting thread.
+//
+//   asynchronous  (StartBackgroundWriter, storage/bg_writer.h) eviction
+//                 *detaches* the dirty frame's buffer onto a write queue and
+//                 recycles the frame immediately; a background writer batches
+//                 before-image logging and coalesces Wal::EnsureDurable into
+//                 one fsync per batch, entirely outside the pool mutex. The
+//                 writer also keeps a low-water target of free frames stocked
+//                 ahead of demand, so foreground faults never block on the
+//                 I/O of unrelated pages. A fetch of a page whose buffer is
+//                 still queued reclaims the buffer directly (no disk read,
+//                 no lost update); a fetch racing the in-flight write waits
+//                 for it and then reads the file.
 
 #ifndef HAZY_STORAGE_BUFFER_POOL_H_
 #define HAZY_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -29,18 +50,43 @@
 namespace hazy::storage {
 
 /// Hit/miss/eviction counters (reported by the experiment harnesses).
+/// Atomic: the background writer completes write-backs concurrently with
+/// foreground fetch accounting.
 struct BufferPoolStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-  uint64_t dirty_writebacks = 0;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> dirty_writebacks{0};
 
   double HitRate() const {
-    uint64_t total = hits + misses;
-    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    uint64_t total = hits.load(std::memory_order_relaxed) +
+                     misses.load(std::memory_order_relaxed);
+    return total == 0
+               ? 0.0
+               : static_cast<double>(hits.load(std::memory_order_relaxed)) /
+                     static_cast<double>(total);
   }
 };
 
+/// Tuning for the background write-back thread (storage/bg_writer.h).
+struct BgWriterOptions {
+  /// Max dirty pages per write-back batch; each batch costs at most one
+  /// wal fsync (Wal::EnsureDurable coalesced over the batch).
+  size_t batch_pages = 64;
+  /// Low-water mark of free frames the writer keeps stocked ahead of
+  /// demand (clamped to a quarter of the pool's capacity).
+  size_t free_target = 16;
+  /// Max detached dirty buffers awaiting write-back; evictions beyond this
+  /// apply backpressure (wait for the writer) instead of growing memory.
+  size_t max_queue = 256;
+  /// Every N batches the writer fdatasyncs the database file (0 = never):
+  /// continuously draining the OS write-back debt in the background keeps
+  /// the checkpoint commit section's own fsync — which pauses foreground
+  /// statements — from paying for the whole epoch's page writes at once.
+  size_t sync_interval_batches = 4;
+};
+
+class BackgroundWriter;
 class BufferPool;
 
 /// \brief RAII pin on one page frame. Unpins when destroyed.
@@ -86,13 +132,14 @@ class PageHandle {
 /// marked io-in-progress and pinned so it cannot be victimized), so faults
 /// on distinct pages overlap their disk I/O instead of serializing —
 /// out-of-core striped scans fault in parallel. Concurrent fetches of the
-/// *same* missing page wait on the in-flight read. Eviction write-back and
-/// WAL before-image logging still happen under the mutex (write-side paths
-/// are single-threaded by the engine contract).
+/// *same* missing page wait on the in-flight read. With the background
+/// writer attached, eviction write-back and its fsync leave the mutex too
+/// (see the mode description above).
 class BufferPool {
  public:
   /// `capacity` is the number of resident frames (capacity * 8 KiB bytes).
   BufferPool(Pager* pager, size_t capacity);
+  ~BufferPool();
 
   /// Fetches a page, reading it from the pager on a miss. Pins it.
   StatusOr<PageHandle> Fetch(uint32_t page_id);
@@ -100,16 +147,46 @@ class BufferPool {
   /// Allocates a fresh zeroed page and pins it.
   StatusOr<PageHandle> New();
 
-  /// Writes back all dirty frames.
+  /// Writes back all dirty state — the pending write-back queue first, then
+  /// every dirty resident frame — with before-image logging batched and the
+  /// write-ahead fsync coalesced (never issued under the pool mutex).
+  /// Includes pinned frames, so it must run at a quiesced point (a
+  /// checkpoint under the exclusive statement gate): a pin means the owner
+  /// may be mutating the bytes mid-write.
   Status FlushAll();
 
+  /// FlushAll minus user-pinned frames: safe to run concurrently with
+  /// foreground statements (the checkpoint daemon's pre-flush). A pinned
+  /// frame's bytes may be in the middle of a mutation; skipping it just
+  /// leaves it for the next flush.
+  Status FlushUnpinned();
+
   /// Drops a page from the cache (if resident and unpinned) and returns it
-  /// to the pager's free list.
+  /// to the pager's free list. Cancels any pending write-back of the page.
   void FreePage(uint32_t page_id);
 
   /// Drops every unpinned frame without freeing pages — simulates a cold
-  /// cache for benchmarks.
+  /// cache for benchmarks. Flushes (FlushAll) first.
   void EvictAll();
+
+  /// Starts the asynchronous write-back thread. Evictions detach dirty
+  /// buffers to it instead of writing inline.
+  Status StartBackgroundWriter(const BgWriterOptions& options = {});
+
+  /// Stops (joins) the writer thread. Buffers still queued are NOT written —
+  /// they stay reclaimable by Fetch and are flushed by the next FlushAll,
+  /// mirroring crash semantics (the WAL protects their contents).
+  void StopBackgroundWriter();
+
+  bool background_writer_running() const;
+
+  /// Blocks until the pending write-back queue is empty (writing it inline
+  /// when no writer thread is running). Surfaces any deferred writer error.
+  Status DrainWriteQueue();
+
+  /// Runtime knob (PRAGMA writer_batch_pages).
+  void SetWriterBatchPages(size_t n);
+  BgWriterOptions writer_options() const;
 
   /// Attaches the write-ahead log (nullptr to detach). The pool logs
   /// first-dirty before-images through it and orders write-backs behind its
@@ -118,47 +195,111 @@ class BufferPool {
   Wal* wal() const { return wal_; }
 
   const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  void ResetStats();
   size_t capacity() const { return frames_.size(); }
   Pager* pager() { return pager_; }
 
  private:
   friend class PageHandle;
+  friend class BackgroundWriter;
 
   struct Frame {
     uint32_t page_id = kInvalidPageId;
     uint32_t pin_count = 0;
     bool dirty = false;
     bool io_pending = false;  // pager read in flight; bytes not valid yet
+    bool flushing = false;    // flush write in flight; fetches wait (no new
+                              // pin may mutate bytes mid-write)
+    uint64_t dirty_gen = 0;   // bumped by MarkDirty; guards concurrent flush
     uint64_t lsn = 0;         // WAL record protecting this page (0 = none)
     std::unique_ptr<char[]> data;
     std::list<size_t>::iterator lru_it;  // valid iff pinned == 0 && resident
     bool in_lru = false;
   };
 
+  /// One detached dirty buffer awaiting write-back (owned by write_queue_
+  /// until the writer pops it into a batch).
+  struct PendingWrite {
+    uint32_t page_id = kInvalidPageId;
+    uint64_t lsn = 0;      // protecting LSN if the before-image exists already
+    bool writing = false;  // popped by the writer; I/O may be in flight
+    bool canceled = false; // reclaimed/freed while queued; writer drops it
+    bool done = false;     // page write reached the file
+    std::unique_ptr<char[]> data;
+  };
+
   void Unpin(size_t frame);
+  void UnpinLocked(size_t frame);
   void MarkDirtyFrame(size_t frame);
 
   /// Logs the page's on-disk (checkpoint-time) image if this epoch hasn't
-  /// yet; records the protecting LSN in the frame. Caller holds mu_.
+  /// yet; records the protecting LSN in the frame. The frame must be pinned
+  /// or otherwise unevictable; the pool mutex is NOT required (pager reads
+  /// and wal appends synchronize themselves).
   Status LogBeforeImage(Frame& frame);
 
-  /// Write-ahead ordering + LSN stamp + pager write of one dirty frame.
-  /// Caller holds mu_.
+  /// Synchronous-mode write-back: image + EnsureDurable + pager write of one
+  /// dirty frame. Caller holds mu_ (pre-writer legacy path and benches).
   Status WriteBack(Frame& frame);
 
   /// Finds a frame to host a new page: a never-used frame, else LRU victim.
-  /// Caller holds mu_.
-  StatusOr<size_t> GetVictim();
+  /// With the writer running, a dirty victim is detached to the write queue
+  /// instead of being written inline (waiting for queue space if the writer
+  /// is behind). Caller holds `lock` on mu_.
+  StatusOr<size_t> GetVictim(std::unique_lock<std::mutex>& lock);
+
+  /// Detaches the (unpinned, off-LRU) dirty frame's buffer onto the write
+  /// queue and leaves the frame empty. Caller holds mu_ and has ensured
+  /// queue space.
+  void DetachToWriteQueueLocked(Frame& frame);
+
+  /// Writes one popped batch out: before-images for first-dirty pages, ONE
+  /// Wal::EnsureDurable over the batch, then the page writes (LSN-stamped).
+  /// Runs WITHOUT the pool mutex; marks each entry done as it lands.
+  Status WritePendingBatch(std::vector<std::unique_ptr<PendingWrite>>* batch);
+
+  /// Re-integrates a processed batch under mu_: completed entries leave the
+  /// pending map and recycle their buffers; failed ones are re-queued.
+  void CompleteBatchLocked(std::vector<std::unique_ptr<PendingWrite>>* batch,
+                           const Status& s);
+
+  /// True when the queue holds work or the free-frame stock is low.
+  bool WriterHasWorkLocked() const;
+
+  /// Pops up to `limit` queue entries into `batch` (skipping canceled
+  /// ones), marking them writing. The single pop protocol shared by the
+  /// writer thread and the inline drain. Caller holds mu_.
+  void PopBatchLocked(size_t limit,
+                      std::vector<std::unique_ptr<PendingWrite>>* batch);
+
+  Status FlushImpl(bool include_pinned);
+  Status DrainWriteQueueLocked(std::unique_lock<std::mutex>& lock);
+
+  std::unique_ptr<char[]> TakeBufferLocked();
+  void RecycleBufferLocked(std::unique_ptr<char[]> buf);
 
   mutable std::mutex mu_;
+  std::mutex flush_mu_;  // serializes FlushAll/EvictAll bodies
   std::condition_variable io_cv_;
+  std::condition_variable writer_cv_;     // wakes the writer thread
+  std::condition_variable writeback_cv_;  // wakes drain/backpressure/reclaim waiters
   Pager* pager_;
   Wal* wal_ = nullptr;
   std::vector<Frame> frames_;
   std::vector<size_t> free_frames_;
   std::list<size_t> lru_;  // front = most recent
   std::unordered_map<uint32_t, size_t> page_table_;
+
+  // Background write-back state (all guarded by mu_ except the thread).
+  std::unique_ptr<BackgroundWriter> writer_;
+  BgWriterOptions writer_options_;
+  std::deque<std::unique_ptr<PendingWrite>> write_queue_;
+  std::unordered_map<uint32_t, PendingWrite*> pending_pages_;
+  std::vector<std::unique_ptr<char[]>> spare_buffers_;
+  size_t writing_count_ = 0;     // entries popped by the writer, not complete
+  bool writer_stalled_ = false;  // writer hit an I/O error; cleared on drain
+  Status writer_error_;
+
   BufferPoolStats stats_;
 };
 

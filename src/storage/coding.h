@@ -119,6 +119,69 @@ inline double DecodeDouble(const char* p) {
   return v;
 }
 
+// LEB128 varints (7 bits per byte, high bit = continuation) and zigzag
+// signed mapping. The write-ahead log's logical row records use these: a
+// bulk-load epoch logs millions of small ints and short strings whose
+// fixed-width encodings are mostly zero bytes, and replay reads the log
+// back once per recovery — a size win with no hot-path decode cost.
+
+inline void PutVarint64(std::string* dst, uint64_t v) {
+  char buf[10];
+  size_t n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<char>(v | 0x80);
+    v >>= 7;
+  }
+  buf[n++] = static_cast<char>(v);
+  dst->append(buf, n);
+}
+
+inline bool GetVarint64(std::string_view* src, uint64_t* v) {
+  uint64_t result = 0;
+  for (unsigned shift = 0; shift < 64 && !src->empty(); shift += 7) {
+    uint8_t byte = static_cast<uint8_t>(src->front());
+    src->remove_prefix(1);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+  }
+  return false;  // truncated or overlong
+}
+
+/// Zigzag: small-magnitude signed values (either sign) stay short.
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+inline void PutVarint64Signed(std::string* dst, int64_t v) {
+  PutVarint64(dst, ZigzagEncode(v));
+}
+inline bool GetVarint64Signed(std::string_view* src, int64_t* v) {
+  uint64_t u = 0;
+  if (!GetVarint64(src, &u)) return false;
+  *v = ZigzagDecode(u);
+  return true;
+}
+
+inline void PutVarintLengthPrefixed(std::string* dst, std::string_view s) {
+  PutVarint64(dst, s.size());
+  dst->append(s.data(), s.size());
+}
+
+inline bool GetVarintLengthPrefixed(std::string_view* src, std::string_view* out) {
+  uint64_t len = 0;
+  if (!GetVarint64(src, &len)) return false;
+  if (src->size() < len) return false;
+  *out = src->substr(0, len);
+  src->remove_prefix(len);
+  return true;
+}
+
 inline void EncodeFixed16(char* p, uint16_t v) { std::memcpy(p, &v, 2); }
 inline void EncodeFixed32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
 inline void EncodeFixed64(char* p, uint64_t v) { std::memcpy(p, &v, 8); }

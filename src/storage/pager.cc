@@ -76,7 +76,8 @@ Status Pager::Read(uint32_t page_id, char* buf) {
     return Status::OutOfRange(StrFormat("read of page %u beyond end (%u pages)",
                                         page_id, num_pages()));
   }
-  if (fault_hook_ && fault_hook_("page_read", page_id) != kFaultNone) {
+  auto hook = fault_hook();
+  if (hook && (*hook)("page_read", page_id) != kFaultNone) {
     return Status::IOError(StrFormat("injected fault reading page %u", page_id));
   }
   ssize_t n = ::pread(fd_, buf, kPageSize, static_cast<off_t>(page_id) * kPageSize);
@@ -90,8 +91,9 @@ Status Pager::Read(uint32_t page_id, char* buf) {
 Status Pager::Write(uint32_t page_id, const char* buf) {
   if (fd_ < 0) return Status::InvalidArgument("pager not open");
   size_t len = kPageSize;
-  if (fault_hook_) {
-    int action = fault_hook_("page_write", page_id);
+  auto hook = fault_hook();
+  if (hook) {
+    int action = (*hook)("page_write", page_id);
     if (action == kFaultFail) {
       return Status::IOError(StrFormat("injected fault writing page %u", page_id));
     }
@@ -115,7 +117,8 @@ Status Pager::Write(uint32_t page_id, const char* buf) {
 
 Status Pager::Sync() {
   if (fd_ < 0) return Status::InvalidArgument("pager not open");
-  if (fault_hook_ && fault_hook_("fdatasync", kInvalidPageId) != kFaultNone) {
+  auto hook = fault_hook();
+  if (hook && (*hook)("fdatasync", kInvalidPageId) != kFaultNone) {
     return Status::IOError("injected fault in fdatasync");
   }
   if (::fdatasync(fd_) != 0) {

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -101,8 +102,17 @@ class Pager {
   Status TruncateTo(uint32_t num_pages);
 
   /// Installs a fault hook for crash-injection tests (nullptr to clear).
-  void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
-  const FaultHook& fault_hook() const { return fault_hook_; }
+  /// Atomically swapped: tests arm hooks while the background writer /
+  /// checkpoint daemon issue concurrent I/O.
+  void SetFaultHook(FaultHook hook) {
+    auto ptr = hook ? std::make_shared<const FaultHook>(std::move(hook))
+                    : std::shared_ptr<const FaultHook>();
+    std::atomic_store_explicit(&fault_hook_, std::move(ptr),
+                               std::memory_order_release);
+  }
+  std::shared_ptr<const FaultHook> fault_hook() const {
+    return std::atomic_load_explicit(&fault_hook_, std::memory_order_acquire);
+  }
 
   uint32_t num_pages() const { return num_pages_.load(std::memory_order_acquire); }
   size_t free_list_size() const { return free_list_.size(); }
@@ -117,7 +127,7 @@ class Pager {
   std::vector<uint32_t> free_list_;
   bool quarantine_frees_ = false;
   std::vector<uint32_t> quarantined_;
-  FaultHook fault_hook_;
+  std::shared_ptr<const FaultHook> fault_hook_;
   PagerStats stats_;
 };
 

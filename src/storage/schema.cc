@@ -151,6 +151,90 @@ Status Schema::DecodeRow(std::string_view data, Row* out) const {
   return Status::OK();
 }
 
+Status Schema::EncodeRowCompact(const Row& row, std::string* out) const {
+  if (row.size() != cols_.size()) {
+    return Status::InvalidArgument(StrFormat("row has %zu values, schema has %zu columns",
+                                             row.size(), cols_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (std::holds_alternative<std::monostate>(v)) {
+      out->push_back(0);  // null marker
+      continue;
+    }
+    out->push_back(1);
+    switch (cols_[i].type) {
+      case ColumnType::kInt64:
+        if (!std::holds_alternative<int64_t>(v)) {
+          return Status::InvalidArgument(
+              StrFormat("column '%s' expects INT", cols_[i].name.c_str()));
+        }
+        PutVarint64Signed(out, std::get<int64_t>(v));
+        break;
+      case ColumnType::kDouble: {
+        double d;
+        if (std::holds_alternative<double>(v)) {
+          d = std::get<double>(v);
+        } else if (std::holds_alternative<int64_t>(v)) {
+          d = static_cast<double>(std::get<int64_t>(v));
+        } else {
+          return Status::InvalidArgument(
+              StrFormat("column '%s' expects REAL", cols_[i].name.c_str()));
+        }
+        PutDouble(out, d);
+        break;
+      }
+      case ColumnType::kText:
+        if (!std::holds_alternative<std::string>(v)) {
+          return Status::InvalidArgument(
+              StrFormat("column '%s' expects TEXT", cols_[i].name.c_str()));
+        }
+        PutVarintLengthPrefixed(out, std::get<std::string>(v));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status Schema::DecodeRowCompact(std::string_view data, Row* out) const {
+  out->clear();
+  out->reserve(cols_.size());
+  for (const Column& col : cols_) {
+    if (data.empty()) return Status::Corruption("compact row truncated");
+    char marker = data[0];
+    data.remove_prefix(1);
+    if (marker == 0) {
+      out->emplace_back(std::monostate{});
+      continue;
+    }
+    switch (col.type) {
+      case ColumnType::kInt64: {
+        int64_t v;
+        if (!GetVarint64Signed(&data, &v)) {
+          return Status::Corruption("compact row truncated (int)");
+        }
+        out->emplace_back(v);
+        break;
+      }
+      case ColumnType::kDouble: {
+        double v;
+        if (!GetDouble(&data, &v)) return Status::Corruption("compact row truncated (real)");
+        out->emplace_back(v);
+        break;
+      }
+      case ColumnType::kText: {
+        std::string_view s;
+        if (!GetVarintLengthPrefixed(&data, &s)) {
+          return Status::Corruption("compact row truncated (text)");
+        }
+        out->emplace_back(std::string(s));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status Schema::DecodeInt64Column(std::string_view data, size_t col, int64_t* out) const {
   if (col >= cols_.size() || cols_[col].type != ColumnType::kInt64) {
     return Status::InvalidArgument("DecodeInt64Column needs an INT column");

@@ -61,6 +61,15 @@ class Schema {
   Status EncodeRow(const Row& row, std::string* out) const;
   Status DecodeRow(std::string_view data, Row* out) const;
 
+  /// Compact (varint) row codec used by the write-ahead log's logical
+  /// records: ints are zigzag varints, text lengths are varints, doubles
+  /// stay fixed 8 bytes. Bulk-load-heavy epochs log one encoded row per
+  /// insert, so the fixed-width padding of EncodeRow would dominate the log;
+  /// this cuts log volume (and therefore replay length) without touching
+  /// the heap-page format. Appends to *out (does not clear it).
+  Status EncodeRowCompact(const Row& row, std::string* out) const;
+  Status DecodeRowCompact(std::string_view data, Row* out) const;
+
   /// Reads just column `col` (which must be kInt64 and non-null) from an
   /// encoded row, skipping earlier columns without materializing them. The
   /// recovery-time index rebuild uses this to avoid decoding wide TEXT

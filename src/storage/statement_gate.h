@@ -1,0 +1,85 @@
+// Statement-level reader/writer gate between foreground mutations and the
+// background checkpointer.
+//
+// The engine's write side is single-threaded by contract, but the checkpoint
+// daemon (persist/checkpoint_daemon.h) introduced a second thread that must
+// observe the database at a statement boundary: a checkpoint serializes view
+// state and snapshots heap metadata, which must not interleave with a
+// half-applied INSERT. Every mutating statement entry point holds the gate
+// shared (statements never block each other — the engine contract already
+// serializes them); a checkpoint holds it exclusive for its commit section.
+//
+// The exclusive owner is recorded so work the checkpoint itself performs
+// through the same entry points (system-table row writes, WAL bookkeeping)
+// re-enters without self-deadlock — a shared acquisition from the exclusive
+// owner's thread is a no-op.
+
+#ifndef HAZY_STORAGE_STATEMENT_GATE_H_
+#define HAZY_STORAGE_STATEMENT_GATE_H_
+
+#include <atomic>
+#include <shared_mutex>
+#include <thread>
+
+namespace hazy::storage {
+
+class StatementGate {
+ public:
+  StatementGate() = default;
+  StatementGate(const StatementGate&) = delete;
+  StatementGate& operator=(const StatementGate&) = delete;
+
+  /// Shared hold for the duration of one statement. Tolerates a null gate
+  /// (tables used without an engine) and re-entry from the exclusive owner.
+  class SharedGuard {
+   public:
+    explicit SharedGuard(StatementGate* gate) : gate_(gate) {
+      if (gate_ != nullptr &&
+          gate_->exclusive_owner_.load(std::memory_order_relaxed) !=
+              std::this_thread::get_id()) {
+        gate_->mu_.lock_shared();
+        locked_ = true;
+      }
+    }
+    ~SharedGuard() {
+      if (locked_) gate_->mu_.unlock_shared();
+    }
+    SharedGuard(const SharedGuard&) = delete;
+    SharedGuard& operator=(const SharedGuard&) = delete;
+
+   private:
+    StatementGate* gate_;
+    bool locked_ = false;
+  };
+
+  /// Exclusive hold for a checkpoint's commit section.
+  class ExclusiveGuard {
+   public:
+    explicit ExclusiveGuard(StatementGate* gate) : gate_(gate) {
+      if (gate_ != nullptr) {
+        gate_->mu_.lock();
+        gate_->exclusive_owner_.store(std::this_thread::get_id(),
+                                      std::memory_order_relaxed);
+      }
+    }
+    ~ExclusiveGuard() {
+      if (gate_ != nullptr) {
+        gate_->exclusive_owner_.store(std::thread::id{}, std::memory_order_relaxed);
+        gate_->mu_.unlock();
+      }
+    }
+    ExclusiveGuard(const ExclusiveGuard&) = delete;
+    ExclusiveGuard& operator=(const ExclusiveGuard&) = delete;
+
+   private:
+    StatementGate* gate_;
+  };
+
+ private:
+  std::shared_mutex mu_;
+  std::atomic<std::thread::id> exclusive_owner_{};
+};
+
+}  // namespace hazy::storage
+
+#endif  // HAZY_STORAGE_STATEMENT_GATE_H_

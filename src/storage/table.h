@@ -15,6 +15,7 @@
 #include "storage/hash_index.h"
 #include "storage/heap_file.h"
 #include "storage/schema.h"
+#include "storage/statement_gate.h"
 #include "storage/wal.h"
 
 namespace hazy::storage {
@@ -68,6 +69,10 @@ class Table {
   /// Recovery replays the records through these same entry points.
   void SetWal(Wal* wal) { wal_ = wal; }
 
+  /// Attaches the statement gate: row mutations hold it shared so the
+  /// background checkpointer can exclude them at its commit section.
+  void SetGate(StatementGate* gate) { gate_ = gate; }
+
   /// Every page this table's heap owns (data + overflow chains); the
   /// recovery mark-and-sweep's reachability input.
   Status CollectPages(std::vector<uint32_t>* out) const {
@@ -80,8 +85,9 @@ class Table {
   std::optional<size_t> primary_key() const { return primary_key_; }
 
  private:
-  /// Appends a row-level logical WAL record (no-op without a WAL).
-  Status LogRowOp(WalOp op, int64_t key, std::string_view encoded_row);
+  /// Appends a row-level logical WAL record in the compact varint layout
+  /// (no-op without a WAL). `row` is required for insert/update ops.
+  Status LogRowOp(WalOp op, int64_t key, const Row* row);
 
   /// Fires `triggers` then commits the mutation's logical record. Commits
   /// even when a trigger fails: the heap mutation DID apply (the live state
@@ -97,6 +103,7 @@ class Table {
   std::optional<size_t> primary_key_;
   HashIndex pk_index_;
   Wal* wal_ = nullptr;
+  StatementGate* gate_ = nullptr;
   std::vector<Trigger> insert_triggers_;
   std::vector<Trigger> delete_triggers_;
   std::vector<UpdateTrigger> update_triggers_;
@@ -128,9 +135,13 @@ class Catalog {
   /// table (existing and future) logs its row mutations through it.
   void SetWal(Wal* wal);
 
+  /// Attaches the statement gate to every table (existing and future).
+  void SetGate(StatementGate* gate);
+
  private:
   BufferPool* pool_;
   Wal* wal_ = nullptr;
+  StatementGate* gate_ = nullptr;
   std::vector<std::unique_ptr<Table>> tables_;
 };
 

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/logging.h"
 #include "common/strings.h"
 #include "storage/coding.h"
 
@@ -16,7 +17,9 @@ namespace {
 
 // The bytes "HAZYWAL1" read as a little-endian u64.
 constexpr uint64_t kWalMagic = 0x314C4157595A4148ull;
-constexpr uint32_t kWalVersion = 1;
+// v2: row-level logical payloads switched to the compact varint layout
+// (Table::LogRowOp); a v1 log would misparse at replay, so it is rejected.
+constexpr uint32_t kWalVersion = 2;
 // Header: u64 magic, u32 version, u64 base epoch, u32 pad.
 constexpr size_t kWalHeaderSize = 24;
 // Record framing: u32 payload len, u8 type, u64 checksum.
@@ -26,6 +29,9 @@ constexpr size_t kRecordHeaderSize = 4 + 1 + 8;
 // the real torn-tail guards are the within-file-size bound and the
 // checksum; this only stops a garbage length from driving a huge resize.
 constexpr size_t kMaxPayload = 1u << 30;
+// Append-buffer flush threshold: a bulk-load batch logs thousands of rows
+// under one commit marker, and one pwrite per flush beats one per record.
+constexpr size_t kWalBufferCap = 1u << 20;
 
 uint64_t Fnv1a64(uint8_t type, std::string_view payload) {
   uint64_t h = 0xcbf29ce484222325ull;
@@ -71,14 +77,36 @@ Status Wal::Open(const std::string& path, const WalOptions& options) {
   if (DecodeFixed64(hdr) != kWalMagic) {
     return Status::Corruption(StrFormat("%s is not a hazy WAL file", path.c_str()));
   }
-  if (DecodeFixed32(hdr + 8) != kWalVersion) {
-    return Status::NotSupported(
-        StrFormat("unsupported WAL version %u", DecodeFixed32(hdr + 8)));
+  const uint32_t version = DecodeFixed32(hdr + 8);
+  if (version != kWalVersion && version != 1) {
+    return Status::NotSupported(StrFormat("unsupported WAL version %u", version));
   }
   base_epoch_ = DecodeFixed64(hdr + 12);
   next_lsn_ = kWalHeaderSize;
   durable_lsn_ = kWalHeaderSize;
-  return ScanExisting();
+  buffer_start_ = next_lsn_;
+  tail_bytes_.store(next_lsn_, std::memory_order_relaxed);
+  HAZY_RETURN_NOT_OK(ScanExisting());
+  if (version == 1) {
+    // v1 differs from v2 only in the logical row-payload layout; the record
+    // framing and before-images are identical. A v1 log is therefore still
+    // good for rollback — unless it holds logical records, which v2 replay
+    // would misparse.
+    for (const Record& rec : records_) {
+      if (rec.type == WalRecordType::kLogical) {
+        return Status::NotSupported(
+            StrFormat("%s is a version-1 WAL with unreplayed logical records; "
+                      "upgrade requires a clean checkpoint on the old build",
+                      path.c_str()));
+      }
+    }
+    // Rebase the on-disk header to v2 now: new appends are v2 logical
+    // records, and a reopen before the next checkpoint must not re-judge
+    // them under the old version. (Not fsynced — a crash first simply
+    // re-runs this acceptance path.)
+    HAZY_RETURN_NOT_OK(WriteHeaderLocked(base_epoch_));
+  }
+  return Status::OK();
 }
 
 Status Wal::ScanExisting() {
@@ -130,6 +158,8 @@ Status Wal::ScanExisting() {
   }
   next_lsn_ = valid_end;
   durable_lsn_ = valid_end;
+  buffer_start_ = valid_end;
+  tail_bytes_.store(next_lsn_, std::memory_order_relaxed);
 
   // Logical records after the last commit/abort marker belong to an
   // operation that never committed. They must not replay — and must not be
@@ -150,8 +180,8 @@ Status Wal::ScanExisting() {
     uint64_t lsn = 0;
     Record abort_rec;
     abort_rec.type = WalRecordType::kAbort;
-    HAZY_RETURN_NOT_OK(AppendRecord(WalRecordType::kAbort, {}, &lsn));
-    HAZY_RETURN_NOT_OK(Sync());
+    HAZY_RETURN_NOT_OK(AppendRecordLocked(WalRecordType::kAbort, {}, &lsn));
+    HAZY_RETURN_NOT_OK(SyncLocked());
     abort_rec.lsn = lsn;
     valid.push_back(std::move(abort_rec));
   }
@@ -167,13 +197,34 @@ Status Wal::ScanExisting() {
 }
 
 Status Wal::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::InvalidArgument("wal not open");
+  // Flush (no fsync) so a clean close keeps group-commit records the OS
+  // page cache would have carried anyway; a crash simply loses the buffered
+  // tail like any un-synced suffix. A poisoned buffer — one whose statement
+  // already reported failure — must NOT be persisted on the way out: the
+  // caller was told that work never happened (and nothing acknowledged can
+  // sit behind it; AppendRecordLocked heals or fails before stacking more).
+  Status flush;
+  if (!buffer_poisoned_) {
+    flush = FlushBufferLocked();
+  } else if (acked_len_ > 0) {
+    // The failed statement's bytes all sit past the acknowledged prefix:
+    // persist the prefix (every group a caller was told committed), drop
+    // the rest.
+    flush = WriteRawLocked(buffer_start_, buffer_.data(), acked_len_);
+  }
+  if (!flush.ok()) {
+    // A clean shutdown losing acknowledged group-commit records must not
+    // be silent, even though destructor-path callers cannot act on it.
+    HAZY_LOG(Warning) << "wal close: buffered records lost: " << flush.ToString();
+  }
   ::close(fd_);
   fd_ = -1;
-  return Status::OK();
+  return flush;
 }
 
-Status Wal::WriteRaw(const char* data, size_t len) {
+Status Wal::WriteRawLocked(uint64_t offset, const char* data, size_t len) {
   size_t write_len = len;
   if (fault_hook_) {
     int action = fault_hook_("wal_append", kInvalidPageId);
@@ -181,98 +232,158 @@ Status Wal::WriteRaw(const char* data, size_t len) {
     if (action >= 0) {
       write_len = std::min<size_t>(static_cast<size_t>(action), len);
       if (write_len > 0) {
-        ::pwrite(fd_, data, write_len, static_cast<off_t>(next_lsn_));
+        ::pwrite(fd_, data, write_len, static_cast<off_t>(offset));
       }
       return Status::IOError(
           StrFormat("injected torn wal append (%zu bytes)", write_len));
     }
   }
-  ssize_t n = ::pwrite(fd_, data, len, static_cast<off_t>(next_lsn_));
+  ssize_t n = ::pwrite(fd_, data, len, static_cast<off_t>(offset));
   if (n != static_cast<ssize_t>(len)) {
     return Status::IOError(StrFormat("wal pwrite: %s", std::strerror(errno)));
   }
   return Status::OK();
 }
 
-Status Wal::AppendRecord(WalRecordType type, std::string_view payload, uint64_t* lsn) {
+Status Wal::FlushBufferLocked() {
+  if (buffer_.empty()) return Status::OK();
+  // On failure (including an injected torn write) the buffer is retained —
+  // a retry rewrites the same offsets — but marked poisoned: it now holds
+  // records of a statement that reported failure, so it must only reach
+  // the file through a later statement's successful flush (whose commit
+  // re-acknowledges the swept-in records), never through Close().
+  Status s = WriteRawLocked(buffer_start_, buffer_.data(), buffer_.size());
+  if (!s.ok()) {
+    buffer_poisoned_ = true;
+    return s;
+  }
+  buffer_start_ += buffer_.size();
+  buffer_.clear();
+  buffer_poisoned_ = false;
+  acked_len_ = 0;
+  return Status::OK();
+}
+
+Status Wal::AppendRecordLocked(WalRecordType type, std::string_view payload,
+                               uint64_t* lsn) {
   if (fd_ < 0) return Status::InvalidArgument("wal not open");
   if (payload.size() > kMaxPayload) {
     // Fail the statement rather than write a record recovery would reject.
     return Status::InvalidArgument("wal record payload too large");
   }
-  std::string rec;
-  rec.reserve(kRecordHeaderSize + payload.size());
-  PutFixed32(&rec, static_cast<uint32_t>(payload.size()));
-  rec.push_back(static_cast<char>(type));
-  PutFixed64(&rec, Fnv1a64(static_cast<uint8_t>(type), payload));
-  rec.append(payload.data(), payload.size());
-  HAZY_RETURN_NOT_OK(WriteRaw(rec.data(), rec.size()));
+  if (buffer_poisoned_) {
+    // A previous statement's flush failed and its un-acknowledged records
+    // still sit in the buffer. Heal (retry the flush) before accepting new
+    // records: a success must never stack on top of a reported failure —
+    // otherwise a clean Close would have to choose between persisting the
+    // failed statement and dropping the successful ones. If the retry
+    // fails, this statement fails loudly too.
+    HAZY_RETURN_NOT_OK(FlushBufferLocked());
+  }
+  const size_t rec_size = kRecordHeaderSize + payload.size();
+  if (!buffer_.empty() && buffer_.size() + rec_size > kWalBufferCap) {
+    HAZY_RETURN_NOT_OK(FlushBufferLocked());
+  }
+  const size_t base = buffer_.size();
+  buffer_.reserve(base + rec_size);
+  PutFixed32(&buffer_, static_cast<uint32_t>(payload.size()));
+  buffer_.push_back(static_cast<char>(type));
+  PutFixed64(&buffer_, Fnv1a64(static_cast<uint8_t>(type), payload));
+  buffer_.append(payload.data(), payload.size());
+  if (buffer_.size() >= kWalBufferCap) {
+    Status s = FlushBufferLocked();
+    if (!s.ok()) {
+      // The record never reached the file; drop it from the buffer so the
+      // failed statement leaves no half-appended tail behind.
+      buffer_.resize(base);
+      return s;
+    }
+  }
   *lsn = next_lsn_;
-  next_lsn_ += rec.size();
-  ++stats_.records;
-  stats_.bytes += rec.size();
+  next_lsn_ += rec_size;
+  tail_bytes_.store(next_lsn_, std::memory_order_relaxed);
+  stats_.records.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes.fetch_add(rec_size, std::memory_order_relaxed);
   return Status::OK();
 }
 
 StatusOr<uint64_t> Wal::AppendBeforeImage(uint32_t page_id, const char* page) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string payload;
   payload.reserve(4 + kPageSize);
   PutFixed32(&payload, page_id);
   payload.append(page, kPageSize);
   uint64_t lsn = 0;
-  HAZY_RETURN_NOT_OK(AppendRecord(WalRecordType::kBeforeImage, payload, &lsn));
+  HAZY_RETURN_NOT_OK(AppendRecordLocked(WalRecordType::kBeforeImage, payload, &lsn));
   logged_pages_.insert(page_id);
-  ++stats_.before_images;
+  stats_.before_images.fetch_add(1, std::memory_order_relaxed);
   return lsn;
 }
 
 Status Wal::AppendLogical(std::string_view payload) {
   if (logical_paused()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t lsn = 0;
-  HAZY_RETURN_NOT_OK(AppendRecord(WalRecordType::kLogical, payload, &lsn));
+  HAZY_RETURN_NOT_OK(AppendRecordLocked(WalRecordType::kLogical, payload, &lsn));
   group_dirty_ = true;
   return Status::OK();
 }
 
-Status Wal::Commit(bool batched) {
+Status Wal::CommitLocked(bool batched) {
   uint64_t lsn = 0;
   std::string payload(1, batched ? '\1' : '\0');
-  HAZY_RETURN_NOT_OK(AppendRecord(WalRecordType::kCommit, payload, &lsn));
+  HAZY_RETURN_NOT_OK(AppendRecordLocked(WalRecordType::kCommit, payload, &lsn));
   group_dirty_ = false;
-  ++stats_.commits;
+  stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  Status s;
   switch (options_.sync_mode) {
     case WalOptions::SyncMode::kEveryCommit:
-      return Sync();
+      s = SyncLocked();
+      break;
     case WalOptions::SyncMode::kGroupCommit:
       if (++commits_since_sync_ >= options_.group_commit_interval) {
-        return Sync();
+        s = SyncLocked();
       }
-      return Status::OK();
+      break;
     case WalOptions::SyncMode::kNever:
-      return Status::OK();
+      break;
   }
-  return Status::OK();
+  // Only a commit that returns OK is acknowledged: advancing the prefix on
+  // a torn sync would let a poisoned-buffer Close persist the very marker
+  // whose statement reported failure.
+  if (s.ok()) acked_len_ = buffer_.size();
+  return s;
+}
+
+Status Wal::Commit(bool batched) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CommitLocked(batched);
 }
 
 Status Wal::AutoCommit() {
-  if (logical_paused() || in_group_ || !group_dirty_) return Status::OK();
-  return Commit(/*batched=*/false);
+  if (logical_paused()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_group_ || !group_dirty_) return Status::OK();
+  return CommitLocked(/*batched=*/false);
 }
 
 Status Wal::EndGroup() {
+  std::lock_guard<std::mutex> lock(mu_);
   in_group_ = false;
   if (!group_dirty_) return Status::OK();
-  return Commit(/*batched=*/true);
+  return CommitLocked(/*batched=*/true);
 }
 
 Status Wal::EnsureDurable(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::InvalidArgument("wal not open");
   if (lsn < durable_lsn_) return Status::OK();
-  return Sync();
+  return SyncLocked();
 }
 
-Status Wal::Sync() {
+Status Wal::SyncLocked() {
   if (fd_ < 0) return Status::InvalidArgument("wal not open");
+  HAZY_RETURN_NOT_OK(FlushBufferLocked());
   if (fault_hook_ && fault_hook_("wal_sync", kInvalidPageId) != kFaultNone) {
     return Status::IOError("injected fault in wal sync");
   }
@@ -281,11 +392,16 @@ Status Wal::Sync() {
   }
   durable_lsn_ = next_lsn_;
   commits_since_sync_ = 0;
-  ++stats_.syncs;
+  stats_.syncs.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Status Wal::WriteHeader(uint64_t epoch) {
+Status Wal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SyncLocked();
+}
+
+Status Wal::WriteHeaderLocked(uint64_t epoch) {
   char hdr[kWalHeaderSize] = {};
   EncodeFixed64(hdr, kWalMagic);
   EncodeFixed32(hdr + 8, kWalVersion);
@@ -297,22 +413,32 @@ Status Wal::WriteHeader(uint64_t epoch) {
   return Status::OK();
 }
 
-Status Wal::Reset(uint64_t epoch) {
+Status Wal::ResetLocked(uint64_t epoch) {
   if (fd_ < 0) return Status::InvalidArgument("wal not open");
   if (::ftruncate(fd_, 0) != 0) {
     return Status::IOError(StrFormat("wal ftruncate: %s", std::strerror(errno)));
   }
-  HAZY_RETURN_NOT_OK(WriteHeader(epoch));
+  HAZY_RETURN_NOT_OK(WriteHeaderLocked(epoch));
   base_epoch_ = epoch;
   next_lsn_ = kWalHeaderSize;
   durable_lsn_ = kWalHeaderSize;
+  buffer_.clear();
+  buffer_start_ = kWalHeaderSize;
+  buffer_poisoned_ = false;
+  acked_len_ = 0;
+  tail_bytes_.store(next_lsn_, std::memory_order_relaxed);
   commits_since_sync_ = 0;
   group_dirty_ = false;
   logged_pages_.clear();
   records_.clear();
-  // Through Sync(), not a raw fdatasync: the rebase at a checkpoint commit
-  // is a fault point the crash-injection hook must be able to reach.
-  return Sync();
+  // Through SyncLocked, not a raw fdatasync: the rebase at a checkpoint
+  // commit is a fault point the crash-injection hook must be able to reach.
+  return SyncLocked();
+}
+
+Status Wal::Reset(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ResetLocked(epoch);
 }
 
 }  // namespace hazy::storage

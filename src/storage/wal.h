@@ -40,11 +40,19 @@
 // (FNV-1a over type+payload) makes a torn log tail — the expected shape of a
 // mid-commit crash — detectable: recovery stops at the first invalid record
 // and truncates the tail away.
+//
+// Format v2: row-level logical payloads are varint-compressed (zigzag ints,
+// varint string lengths — see Table::LogRowOp / Schema::EncodeRowCompact),
+// cutting the log volume of bulk-load-heavy epochs and with it replay
+// length. v1 logs would misparse at replay, so they are rejected by the
+// version check.
 
 #ifndef HAZY_STORAGE_WAL_H_
 #define HAZY_STORAGE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -86,15 +94,23 @@ struct WalOptions {
   uint32_t group_commit_interval = 32;
 };
 
+/// Atomic so the background writer / checkpoint daemon can report while
+/// foreground commits append (same pattern as PagerStats).
 struct WalStats {
-  uint64_t records = 0;
-  uint64_t before_images = 0;
-  uint64_t commits = 0;
-  uint64_t syncs = 0;
-  uint64_t bytes = 0;
+  std::atomic<uint64_t> records{0};
+  std::atomic<uint64_t> before_images{0};
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> syncs{0};
+  std::atomic<uint64_t> bytes{0};
 };
 
 /// \brief Append-only page/logical log bound to one database file.
+///
+/// Internally synchronized: the background write-back thread appends
+/// before-images and coalesces EnsureDurable while foreground statements
+/// append logical records and commit, so every mutating entry point takes
+/// the log's own mutex. Open()/ScanExisting() and records() remain
+/// single-threaded recovery-phase API.
 class Wal {
  public:
   /// One decoded record (recovery side).
@@ -141,11 +157,33 @@ class Wal {
 
   /// Marks a page allocated after the base checkpoint: its checkpoint-time
   /// content is irrelevant, so it never needs a before-image this epoch.
-  void NotePageAllocated(uint32_t page_id) { logged_pages_.insert(page_id); }
+  void NotePageAllocated(uint32_t page_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    logged_pages_.insert(page_id);
+  }
 
   /// True when the page already has (or needs no) before-image this epoch.
   bool PageLogged(uint32_t page_id) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return logged_pages_.count(page_id) != 0;
+  }
+
+  /// Bytes appended since the last Reset (header included) — the length a
+  /// crash would have to replay. The checkpoint daemon's size trigger.
+  uint64_t tail_bytes() const { return tail_bytes_.load(std::memory_order_relaxed); }
+
+  /// Runtime knobs (PRAGMA wal_sync / group_commit_interval).
+  void set_sync_mode(WalOptions::SyncMode mode) {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_.sync_mode = mode;
+  }
+  void set_group_commit_interval(uint32_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_.group_commit_interval = n == 0 ? 1 : n;
+  }
+  WalOptions options() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return options_;
   }
 
   /// Appends a logical record; when not inside a group, the caller commits
@@ -164,15 +202,20 @@ class Wal {
   Status AutoCommit();
 
   /// Batch-group bracketing, mirroring Database::Begin/EndUpdateBatch.
-  void BeginGroup() { in_group_ = true; }
+  void BeginGroup() {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_group_ = true;
+  }
   Status EndGroup();
 
   /// Suspends logical logging (checkpoint-internal system-table writes and
   /// recovery replay must not re-log themselves). Before-image logging is
   /// unaffected. Nestable.
-  void PauseLogical() { ++logical_pause_; }
-  void ResumeLogical() { --logical_pause_; }
-  bool logical_paused() const { return logical_pause_ > 0; }
+  void PauseLogical() { logical_pause_.fetch_add(1, std::memory_order_relaxed); }
+  void ResumeLogical() { logical_pause_.fetch_sub(1, std::memory_order_relaxed); }
+  bool logical_paused() const {
+    return logical_pause_.load(std::memory_order_relaxed) > 0;
+  }
 
   /// Makes the log durable at least up to `lsn` (no-op if already durable).
   Status EnsureDurable(uint64_t lsn);
@@ -186,26 +229,49 @@ class Wal {
   Status Reset(uint64_t epoch);
 
   /// Fault hook for crash-injection tests (ops "wal_append", "wal_sync").
-  void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  void SetFaultHook(FaultHook hook) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fault_hook_ = std::move(hook);
+  }
 
   const WalStats& stats() const { return stats_; }
 
  private:
-  Status AppendRecord(WalRecordType type, std::string_view payload, uint64_t* lsn);
-  Status WriteRaw(const char* data, size_t len);
+  // Unlocked bodies; callers hold mu_.
+  Status AppendRecordLocked(WalRecordType type, std::string_view payload,
+                            uint64_t* lsn);
+  Status CommitLocked(bool batched);
+  Status SyncLocked();
+  Status FlushBufferLocked();
+  Status WriteRawLocked(uint64_t offset, const char* data, size_t len);
   Status ScanExisting();
-  Status WriteHeader(uint64_t epoch);
+  Status WriteHeaderLocked(uint64_t epoch);
+  Status ResetLocked(uint64_t epoch);
 
+  mutable std::mutex mu_;
   int fd_ = -1;
   std::string path_;
   WalOptions options_;
   uint64_t base_epoch_ = 0;
   uint64_t next_lsn_ = 0;     // byte offset of the next record
   uint64_t durable_lsn_ = 0;  // everything below this offset is fsync'd
+  std::atomic<uint64_t> tail_bytes_{0};  // mirror of next_lsn_ for lock-free polls
+  /// Append buffer: records accumulate here and reach the file in one
+  /// pwrite per flush (at sync points, the size cap, or close) instead of
+  /// one syscall per record — a bulk-load batch logs thousands of rows per
+  /// commit marker. Invariant: buffer_start_ + buffer_.size() == next_lsn_.
+  std::string buffer_;
+  uint64_t buffer_start_ = 0;  // file offset the buffer's first byte lands at
+  bool buffer_poisoned_ = false;  // holds a failed statement's records
+  /// Buffer prefix covered by acknowledged commit markers. When a poisoned
+  /// buffer must be dropped at Close, this prefix — every group a caller
+  /// was told committed — is still flushable (the failed bytes all sit
+  /// after it).
+  size_t acked_len_ = 0;
   uint32_t commits_since_sync_ = 0;
   bool in_group_ = false;
   bool group_dirty_ = false;  // logical records appended since last commit
-  int logical_pause_ = 0;
+  std::atomic<int> logical_pause_{0};
   std::unordered_set<uint32_t> logged_pages_;
   std::vector<Record> records_;
   FaultHook fault_hook_;

@@ -6,10 +6,12 @@
 // that never crashed. Also covers the file-growth fixes: stable file size
 // across checkpoint+reopen cycles and VACUUM compaction.
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -324,12 +326,14 @@ TEST_F(WalCrashInjectionTest, DoubleCrashAndUncommittedTailStayExact) {
     Database db(DeterministicOptions(path));
     ASSERT_TRUE(db.Open().ok());
     ASSERT_TRUE(RunWorkload(&db, am).ok());
-    // Tear the NEXT commit marker: the insert's logical record lands, its
-    // commit marker is half-written, and the process "crashes".
+    // Tear the NEXT statement's flush: with the buffered append path the
+    // insert's logical record and its commit marker reach the file in one
+    // pwrite at the commit fsync — tear it a few bytes in, and the process
+    // "crashes" with a half-written statement on disk.
     int appends = 0;
     db.wal()->SetFaultHook([&](const char* op, uint32_t) -> int {
       if (std::string_view(op) != "wal_append") return storage::kFaultNone;
-      return ++appends == 2 ? 5 : storage::kFaultNone;  // torn commit record
+      return ++appends == 1 ? 5 : storage::kFaultNone;  // torn statement flush
     });
     Status s = AddPaper(&db, 999, "torn away by the crash");
     EXPECT_FALSE(s.ok());  // the commit never acknowledged
@@ -515,6 +519,45 @@ TEST_F(WalFileSizeTest, VacuumThroughSql) {
   auto count = exec.Execute("SELECT COUNT(*) FROM t;");
   ASSERT_TRUE(count.ok());
   EXPECT_EQ(std::get<int64_t>(count->rows[0][0]), 2);
+}
+
+TEST_F(WalCrashInjectionTest, Version1SidecarAcceptedUnlessItNeedsLogicalReplay) {
+  // v2 changed only the logical row-payload layout. A v1 log with no
+  // logical records (the state after any clean checkpoint) must open and
+  // recover fine; one that still needs logical replay must be refused
+  // rather than misparsed.
+  const std::string path = NewPath("walv1");
+  {
+    Database db(DeterministicOptions(path));
+    ASSERT_TRUE(db.Open().ok());
+    BuildTestCorpus(&db);
+    ASSERT_TRUE(db.Checkpoint().ok());
+  }
+  auto patch_version = [&](uint32_t v) {
+    int fd = ::open(storage::WalPathFor(path).c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0);
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    ASSERT_EQ(::pwrite(fd, buf, 4, 8), 4);
+    ::close(fd);
+  };
+  patch_version(1);
+  {
+    Database db(DeterministicOptions(path));
+    EXPECT_TRUE(db.Open().ok()) << "empty v1 sidecar must not brick the database";
+    // Post-checkpoint work after the reopen (the log is rebased to v2).
+    ASSERT_TRUE(AddPaper(&db, 400, "btree page splits and recovery").ok());
+  }
+  {
+    // Leave an unreplayed logical record in the log, then mark it v1.
+    Database db(DeterministicOptions(path));
+    ASSERT_TRUE(db.Open().ok());
+    ASSERT_TRUE(AddPaper(&db, 401, "write ahead logging protocols").ok());
+  }
+  patch_version(1);
+  Database db(DeterministicOptions(path));
+  Status s = db.Open();
+  EXPECT_EQ(s.code(), StatusCode::kNotSupported) << s.ToString();
 }
 
 TEST_F(WalCrashInjectionTest, PagesCarryLsnStamps) {

@@ -128,6 +128,67 @@ TEST_F(BPlusTreeTest, BulkLoadMatchesIteration) {
   EXPECT_EQ(i, entries.size());
 }
 
+TEST_F(BPlusTreeTest, ScanFromMatchesIteratorEverywhere) {
+  // Leaf-array iteration (the hazy-OD range-scan fast path) must enumerate
+  // exactly what the per-key Iterator does, from any starting bound —
+  // including bounds between keys, before the first and past the last.
+  std::vector<std::pair<BtKey, uint64_t>> entries;
+  for (int i = 0; i < 5000; ++i) {
+    entries.push_back({{static_cast<double>(i) * 0.25, static_cast<uint64_t>(i)},
+                       static_cast<uint64_t>(i * 11)});
+  }
+  ASSERT_TRUE(tree_->BulkLoad(entries).ok());
+  // A few post-load inserts so leaves are not uniformly packed.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        tree_->Insert({static_cast<double>(i) * 0.25 + 0.125, 90000u + i}, i).ok());
+  }
+  for (double lo : {-1.0, 0.0, 0.1, 313.37, 1249.75, 1250.0, 99999.0}) {
+    SCOPED_TRACE(lo);
+    std::vector<std::pair<BtKey, uint64_t>> via_scan;
+    ASSERT_TRUE(tree_
+                    ->ScanFrom(BtKey{lo, 0},
+                               [&](const BtKey& k, uint64_t v) {
+                                 via_scan.emplace_back(k, v);
+                                 return true;
+                               })
+                    .ok());
+    std::vector<std::pair<BtKey, uint64_t>> via_iter;
+    auto it = tree_->SeekGE(BtKey{lo, 0});
+    ASSERT_TRUE(it.ok());
+    while (it->Valid()) {
+      via_iter.emplace_back(it->key(), it->value());
+      ASSERT_TRUE(it->Next().ok());
+    }
+    ASSERT_EQ(via_scan.size(), via_iter.size());
+    for (size_t i = 0; i < via_scan.size(); ++i) {
+      EXPECT_EQ(via_scan[i].first, via_iter[i].first);
+      EXPECT_EQ(via_scan[i].second, via_iter[i].second);
+    }
+  }
+}
+
+TEST_F(BPlusTreeTest, ScanFromEarlyExitStopsExactlyAtBound) {
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(
+        tree_->Insert({static_cast<double>(i), 0}, static_cast<uint64_t>(i)).ok());
+  }
+  // The hazy-OD window pattern: [lw, hw) with an early exit at hw.
+  const double lw = 500, hw = 1500;
+  std::vector<uint64_t> window;
+  ASSERT_TRUE(tree_
+                  ->ScanFrom(BtKey{lw, 0},
+                             [&](const BtKey& k, uint64_t v) {
+                               if (k.k >= hw) return false;
+                               window.push_back(v);
+                               return true;
+                             })
+                  .ok());
+  ASSERT_EQ(window.size(), 1000u);
+  EXPECT_EQ(window.front(), 500u);
+  EXPECT_EQ(window.back(), 1499u);
+}
+
 TEST_F(BPlusTreeTest, BulkLoadThenInsertAndDelete) {
   std::vector<std::pair<BtKey, uint64_t>> entries;
   for (int i = 0; i < 2000; ++i) {
