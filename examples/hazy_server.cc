@@ -1,0 +1,87 @@
+// hazy_server: serves one Hazy database over the binary wire protocol.
+//
+//   $ ./hazy_server [--port N] [--db path] [--workers N] [--max-in-flight N]
+//                   [--max-connections N]
+//
+// Connect with sql_shell ('\connect 127.0.0.1:<port>') or the client
+// library (client/hazy_client.h). The server prints the bound port on
+// stdout (useful with --port 0), then serves until SIGINT/SIGTERM.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "engine/database.h"
+#include "server/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+bool ParseFlag(int argc, char** argv, const char* name, const char** value) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      *value = argv[i + 1];
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hazy::engine::DatabaseOptions db_opts;
+  hazy::server::ServerOptions srv_opts;
+  srv_opts.port = 7621;
+
+  const char* v = nullptr;
+  if (ParseFlag(argc, argv, "--db", &v)) db_opts.path = v;
+  if (ParseFlag(argc, argv, "--port", &v)) {
+    srv_opts.port = static_cast<uint16_t>(std::atoi(v));
+  }
+  if (ParseFlag(argc, argv, "--workers", &v)) {
+    srv_opts.worker_threads = static_cast<size_t>(std::atoi(v));
+  }
+  if (ParseFlag(argc, argv, "--max-in-flight", &v)) {
+    srv_opts.max_in_flight = static_cast<size_t>(std::atoi(v));
+  }
+  if (ParseFlag(argc, argv, "--max-connections", &v)) {
+    srv_opts.max_connections = static_cast<size_t>(std::atoi(v));
+  }
+
+  hazy::engine::Database db(db_opts);
+  hazy::Status s = db.Open();
+  if (!s.ok()) {
+    std::fprintf(stderr, "failed to open database: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  hazy::server::Server server(&db, srv_opts);
+  s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "failed to start server: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("hazy_server listening on %s:%u (db=%s, workers=%zu, "
+              "max_in_flight=%zu)\n",
+              srv_opts.host.c_str(), server.port(), db.path().c_str(),
+              srv_opts.worker_threads, srv_opts.max_in_flight);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) {
+    struct timespec ts = {0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+
+  std::printf("shutting down (%llu busy rejections, %zu connections open)\n",
+              static_cast<unsigned long long>(server.busy_rejections()),
+              server.num_connections());
+  server.Stop();
+  return 0;
+}

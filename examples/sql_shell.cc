@@ -15,6 +15,13 @@
 // '\batch on' holds the whole session in batched-trigger mode (updates
 // queue; reads flush), '\batch off' flushes and leaves it.
 //
+// Remote serving: '\connect <host>:<port>' points the shell at a running
+// hazy_server — statements travel as wire-protocol frames and results come
+// back as decoded ResultSets (identical output to a local session, because
+// both transports share the same session code). '\connect local' returns to
+// the in-process loopback. Database-local commands (\d, \batch, \save,
+// \open) need the embedded database and refuse while remote.
+//
 // Durability: 'CHECKPOINT;' persists all tables and classification views to
 // the session's backing file. 'VACUUM;' checkpoints, then rewrites the file
 // compacted (reclaiming all fragmentation). '\save <path>' checkpoints and
@@ -26,18 +33,19 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include "client/hazy_client.h"
 #include "common/timer.h"
 #include "engine/database.h"
-#include "sql/executor.h"
 
+using hazy::client::HazyClient;
 using hazy::engine::Database;
 using hazy::engine::DatabaseOptions;
-using hazy::sql::Executor;
 
 namespace {
 
@@ -78,12 +86,19 @@ int main() {
     std::fprintf(stderr, "failed to open database\n");
     return 1;
   }
-  auto exec = std::make_unique<Executor>(db.get());
+  auto loopback = HazyClient::Loopback(db.get(), "sql_shell");
+  if (!loopback.ok()) {
+    std::fprintf(stderr, "failed to start session: %s\n",
+                 loopback.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<HazyClient> client = std::move(*loopback);
 
   std::printf(
       "hazy sql shell — statements end with ';', \\q quits, \\d lists, "
-      "\\batch on|off toggles batched view maintenance, \\timing toggles "
-      "per-statement wall time,\n"
+      "\\connect host:port attaches to a hazy_server (\\connect local "
+      "returns), \\batch on|off toggles batched view maintenance, "
+      "\\timing toggles per-statement wall time,\n"
       "\\save <path> checkpoints to a file, \\open <path> recovers from one, "
       "VACUUM; compacts the database file.\n"
       "PRAGMA knobs: wal_sync = every_commit|group_commit|never, "
@@ -104,9 +119,57 @@ int main() {
     if (buffer.empty() && line == "\\q") break;
     // After a failed same-file re-open the session may have no database;
     // only \open (and \q above) make sense until one is attached.
-    if (db == nullptr && line.rfind("\\open ", 0) != 0) {
+    if (db == nullptr && line.rfind("\\open ", 0) != 0 &&
+        line.rfind("\\connect ", 0) != 0 &&
+        !(client != nullptr && !client->is_loopback())) {
       std::printf("error: no database open — use \\open <path>\n");
       buffer.clear();
+      continue;
+    }
+    if (buffer.empty() && line.rfind("\\connect ", 0) == 0) {
+      std::string target = line.substr(9);
+      if (target == "local") {
+        if (db == nullptr) {
+          std::printf("error: no local database — use \\open <path> first\n");
+          continue;
+        }
+        auto local = HazyClient::Loopback(db.get(), "sql_shell");
+        if (!local.ok()) {
+          std::printf("error: %s\n", local.status().ToString().c_str());
+          continue;
+        }
+        client = std::move(*local);
+        std::printf("back on the local session\n");
+        continue;
+      }
+      auto colon = target.rfind(':');
+      if (colon == std::string::npos) {
+        std::printf("usage: \\connect <host>:<port> | \\connect local\n");
+        continue;
+      }
+      std::string host = target.substr(0, colon);
+      int port = std::atoi(target.c_str() + colon + 1);
+      if (host.empty() || port <= 0 || port > 65535) {
+        std::printf("usage: \\connect <host>:<port> | \\connect local\n");
+        continue;
+      }
+      auto remote = HazyClient::Connect(host, static_cast<uint16_t>(port),
+                                        "sql_shell");
+      if (!remote.ok()) {
+        std::printf("error: %s\n", remote.status().ToString().c_str());
+        continue;
+      }
+      client = std::move(*remote);
+      std::printf("connected to %s (server '%s')\n", target.c_str(),
+                  client->server_name().c_str());
+      continue;
+    }
+    const bool remote_session = client != nullptr && !client->is_loopback();
+    if (remote_session && buffer.empty() &&
+        (line == "\\d" || line.rfind("\\batch", 0) == 0 ||
+         line.rfind("\\save ", 0) == 0 || line.rfind("\\open ", 0) == 0)) {
+      std::printf("error: %s needs the local session — \\connect local first\n",
+                  line.substr(0, line.find(' ')).c_str());
       continue;
     }
     if (buffer.empty() && (line == "\\batch on" || line == "\\batch off")) {
@@ -183,7 +246,7 @@ int main() {
           db->EndUpdateBatch().ok();
           batching = false;
         }
-        exec.reset();
+        client.reset();
         db.reset();
       }
       DatabaseOptions opts;
@@ -201,7 +264,8 @@ int main() {
           auto rs = back->Open();
           if (rs.ok()) {
             db = std::move(back);
-            exec = std::make_unique<Executor>(db.get());
+            auto lb = HazyClient::Loopback(db.get(), "sql_shell");
+            client = lb.ok() ? std::move(*lb) : nullptr;
             std::printf("re-opened previous database %s (checkpoint epoch %llu)\n",
                         previous.c_str(),
                         static_cast<unsigned long long>(db->checkpoint_epoch()));
@@ -219,7 +283,10 @@ int main() {
         batching = false;
       }
       db = std::move(fresh);
-      exec = std::make_unique<Executor>(db.get());
+      {
+        auto lb = HazyClient::Loopback(db.get(), "sql_shell");
+        client = lb.ok() ? std::move(*lb) : nullptr;
+      }
       std::printf("opened %s (checkpoint epoch %llu)\n", path.c_str(),
                   static_cast<unsigned long long>(db->checkpoint_epoch()));
       ListCatalog(db.get());
@@ -233,8 +300,12 @@ int main() {
     std::string stmt = buffer.substr(0, pos + 1);
     buffer.clear();
     if (!interactive) std::printf("hazy> %s\n", stmt.c_str());
+    if (client == nullptr) {
+      std::printf("error: no session — \\open or \\connect first\n");
+      continue;
+    }
     hazy::Timer stmt_timer;
-    auto rs = exec->Execute(stmt);
+    auto rs = client->Query(stmt);
     double elapsed_ms = stmt_timer.ElapsedSeconds() * 1e3;
     if (!rs.ok()) {
       std::printf("error: %s\n", rs.status().ToString().c_str());

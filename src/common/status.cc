@@ -30,6 +30,77 @@ const char* StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+uint8_t StatusCodeToWire(StatusCode code) {
+  // Frozen wire numbering — see status.h. Spelled out case by case (instead
+  // of casting the enum value) so that reordering the enum cannot silently
+  // change what goes on the wire.
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 1;
+    case StatusCode::kNotFound:
+      return 2;
+    case StatusCode::kAlreadyExists:
+      return 3;
+    case StatusCode::kOutOfRange:
+      return 4;
+    case StatusCode::kIOError:
+      return 5;
+    case StatusCode::kCorruption:
+      return 6;
+    case StatusCode::kNotSupported:
+      return 7;
+    case StatusCode::kResourceExhausted:
+      return 8;
+    case StatusCode::kInternal:
+      return 9;
+    case StatusCode::kAborted:
+      return 10;
+  }
+  return 9;  // unreachable; map to Internal
+}
+
+bool StatusCodeFromWire(uint8_t wire, StatusCode* code) {
+  switch (wire) {
+    case 0:
+      *code = StatusCode::kOk;
+      return true;
+    case 1:
+      *code = StatusCode::kInvalidArgument;
+      return true;
+    case 2:
+      *code = StatusCode::kNotFound;
+      return true;
+    case 3:
+      *code = StatusCode::kAlreadyExists;
+      return true;
+    case 4:
+      *code = StatusCode::kOutOfRange;
+      return true;
+    case 5:
+      *code = StatusCode::kIOError;
+      return true;
+    case 6:
+      *code = StatusCode::kCorruption;
+      return true;
+    case 7:
+      *code = StatusCode::kNotSupported;
+      return true;
+    case 8:
+      *code = StatusCode::kResourceExhausted;
+      return true;
+    case 9:
+      *code = StatusCode::kInternal;
+      return true;
+    case 10:
+      *code = StatusCode::kAborted;
+      return true;
+    default:
+      return false;
+  }
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeToString(code_);

@@ -33,6 +33,26 @@ enum class StatusCode : uint8_t {
 /// Returns a human-readable name for a status code, e.g. "NotFound".
 const char* StatusCodeToString(StatusCode code);
 
+// --------------------------------------------------------------------------
+// Wire codes (rpc/protocol.h error frames).
+//
+// Every StatusCode has a stable numeric wire code so a client can act on the
+// *code* of a remote failure, not just its message. The table below is
+// FROZEN: codes are part of the network protocol and must never be renumbered
+// or reused — new StatusCodes get the next free number appended at the end.
+// --------------------------------------------------------------------------
+
+/// Largest assigned wire code (tests iterate [0, kMaxStatusWireCode]).
+constexpr uint8_t kMaxStatusWireCode = 10;
+
+/// Maps a status code to its frozen wire number.
+uint8_t StatusCodeToWire(StatusCode code);
+
+/// Maps a wire number back to the status code. Returns false (and leaves
+/// `*code` untouched) for unassigned numbers — a forward-compatibility guard
+/// against frames from a newer peer.
+bool StatusCodeFromWire(uint8_t wire, StatusCode* code);
+
 /// \brief Result of a fallible operation: a code plus an optional message.
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy (the
@@ -84,6 +104,12 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -8,6 +8,7 @@
 #define HAZY_ENGINE_DATABASE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -183,6 +184,12 @@ class Database {
   /// checkpoint commit section).
   storage::StatementGate* statement_gate() { return &gate_; }
 
+  /// Serializes whole SQL statements from concurrent sessions. The engine is
+  /// single-writer (triggers mutate shared view state), so the server layer
+  /// holds this for the duration of each statement; in-process callers that
+  /// never share a Database across threads can ignore it.
+  std::mutex* statement_mutex() { return &statement_mu_; }
+
   /// Starts/stops the background checkpointer at runtime (PRAGMA
   /// checkpoint_daemon = on|off). Thresholds come from (and persist in)
   /// options().checkpointer.
@@ -290,6 +297,8 @@ class Database {
 
   DatabaseOptions options_;
   std::string path_;
+  /// See statement_mutex().
+  std::mutex statement_mu_;
   /// Statement boundary between foreground mutations (shared holds) and the
   /// background checkpointer's commit section (exclusive hold).
   storage::StatementGate gate_;

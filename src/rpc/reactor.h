@@ -1,0 +1,124 @@
+// Single-threaded epoll event loop for the Hazy server: non-blocking
+// accept/read/write with per-connection input/output buffers. The reactor
+// owns the sockets and the framing; everything above it (sessions, SQL
+// execution) sees only whole frames via ReactorHandler and answers through
+// the thread-safe Send(), so slow statements running on the worker pool
+// never stall the I/O thread.
+
+#ifndef HAZY_RPC_REACTOR_H_
+#define HAZY_RPC_REACTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rpc/protocol.h"
+
+namespace hazy::rpc {
+
+/// Callbacks invoked on the reactor thread. OnFrame receives a FrameView
+/// aliasing the connection's input buffer — copy (Frame::Copy) before handing
+/// off to another thread.
+class ReactorHandler {
+ public:
+  virtual ~ReactorHandler() = default;
+  virtual void OnConnect(uint64_t conn_id) { (void)conn_id; }
+  virtual void OnFrame(uint64_t conn_id, const FrameView& frame) = 0;
+  /// Fires exactly once per accepted connection, whatever closed it.
+  virtual void OnDisconnect(uint64_t conn_id) { (void)conn_id; }
+};
+
+struct ReactorOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 binds an ephemeral port; read it back via port().
+  /// Accepted connections beyond this are closed immediately.
+  size_t max_connections = 65536;
+};
+
+/// \brief epoll reactor: one thread runs Run(); any thread may call Send(),
+/// CloseConnection(), or Stop() — they enqueue work and wake the loop via an
+/// eventfd.
+class Reactor {
+ public:
+  Reactor(ReactorOptions options, ReactorHandler* handler);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Binds + listens + sets up epoll. Call once before Run().
+  Status Open();
+
+  /// Runs the event loop on the calling thread until Stop().
+  void Run();
+
+  /// Thread-safe; Run() returns soon after.
+  void Stop();
+
+  /// Port actually bound (resolves an ephemeral request). Valid after Open().
+  uint16_t port() const { return bound_port_; }
+
+  /// Connections currently open (accepted, not yet closed).
+  size_t num_connections() const {
+    return num_connections_.load(std::memory_order_relaxed);
+  }
+
+  /// Queues `bytes` (one or more encoded frames) for `conn_id`. Thread-safe.
+  /// With `close_after_flush`, the connection closes once the bytes are on
+  /// the wire (the GOODBYE handshake). Unknown conn ids are dropped silently:
+  /// the peer may have disconnected while its response was being computed.
+  void Send(uint64_t conn_id, std::string bytes, bool close_after_flush = false);
+
+  /// Thread-safe immediate close (pending output is discarded).
+  void CloseConnection(uint64_t conn_id);
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    size_t out_off = 0;
+    bool close_after_flush = false;
+    bool want_write = false;
+  };
+
+  struct PendingSend {
+    uint64_t conn_id;
+    std::string bytes;
+    bool close_after_flush;
+  };
+
+  void Wake();
+  void DrainPending();
+  void AcceptAll();
+  void HandleReadable(uint64_t conn_id);
+  void HandleWritable(uint64_t conn_id);
+  void FlushOutput(uint64_t conn_id, Conn* conn);
+  void UpdateInterest(uint64_t conn_id, Conn* conn);
+  void DestroyConn(uint64_t conn_id);
+
+  ReactorOptions options_;
+  ReactorHandler* handler_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t bound_port_ = 0;
+
+  uint64_t next_conn_id_ = 2;  // 0 = listen sentinel, 1 = wake sentinel
+  std::unordered_map<uint64_t, Conn> conns_;
+  std::atomic<size_t> num_connections_{0};
+
+  std::mutex mu_;
+  std::vector<PendingSend> pending_sends_;
+  std::vector<uint64_t> pending_closes_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace hazy::rpc
+
+#endif  // HAZY_RPC_REACTOR_H_

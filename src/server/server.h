@@ -1,0 +1,85 @@
+// The Hazy network server: an epoll reactor feeding an admission-controlled
+// worker pool, one Session per connection. This is the network analogue of
+// the paper's §B.1 architecture — PostgreSQL talked to the Hazy process over
+// IPC; remote clients talk to this server over the rpc/protocol.h framing.
+//
+//   reactor thread ──frames──▶ Dispatcher (bounded) ──▶ ThreadPool workers
+//        ▲                          │ full? BUSY            │
+//        └────────── Send ──────────┴────── response ───────┘
+
+#ifndef HAZY_SERVER_SERVER_H_
+#define HAZY_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "engine/database.h"
+#include "rpc/reactor.h"
+#include "server/dispatch.h"
+#include "server/session.h"
+
+namespace hazy::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral; read back via port().
+  /// Worker threads executing statements (the engine is single-writer, so
+  /// extra workers mainly overlap parsing/encoding with execution).
+  size_t worker_threads = 4;
+  /// Admission depth: statements in flight (queued + running) before BUSY.
+  size_t max_in_flight = 256;
+  /// Connections accepted before new ones are turned away at accept().
+  size_t max_connections = 65536;
+};
+
+/// \brief Socket server over one Database. Start() spawns the reactor
+/// thread and returns; Stop() (or the destructor) drains and joins.
+class Server : private rpc::ReactorHandler {
+ public:
+  Server(engine::Database* db, ServerOptions options = {});
+  ~Server() override;
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and starts serving. Fails on bind/listen errors.
+  Status Start();
+
+  /// Stops accepting, drains in-flight statements, joins the reactor.
+  /// Idempotent.
+  void Stop();
+
+  /// Port actually bound (valid after Start()).
+  uint16_t port() const { return reactor_.port(); }
+
+  size_t num_connections() const { return reactor_.num_connections(); }
+
+  /// Requests shed with BUSY since Start().
+  uint64_t busy_rejections() const { return dispatcher_.rejected(); }
+
+ private:
+  // rpc::ReactorHandler (reactor thread).
+  void OnConnect(uint64_t conn_id) override;
+  void OnFrame(uint64_t conn_id, const rpc::FrameView& frame) override;
+  void OnDisconnect(uint64_t conn_id) override;
+
+  std::shared_ptr<Session> FindSession(uint64_t conn_id);
+
+  engine::Database* db_;
+  ServerOptions options_;
+  Dispatcher dispatcher_;
+  rpc::Reactor reactor_;
+  std::thread reactor_thread_;
+  bool started_ = false;
+
+  std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace hazy::server
+
+#endif  // HAZY_SERVER_SERVER_H_

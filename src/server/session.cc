@@ -1,0 +1,163 @@
+#include "server/session.h"
+
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace hazy::server {
+
+namespace {
+
+/// Cap on prepared statements per session — a leaked PREPARE loop must not
+/// grow server memory without bound.
+constexpr size_t kMaxPreparedPerSession = 1024;
+
+}  // namespace
+
+Session::Session(uint64_t id, engine::Database* db)
+    : id_(id), db_(db), executor_(db) {}
+
+std::string Session::BusyFrame(uint32_t request_id) {
+  std::string payload;
+  rpc::EncodeErrorPayload(
+      Status::ResourceExhausted("admission queue full; retry"), &payload);
+  std::string frame;
+  rpc::EncodeFrame(rpc::Opcode::kBusy, request_id, payload, &frame);
+  return frame;
+}
+
+std::string Session::ErrorFrame(uint32_t request_id, const Status& status) {
+  std::string payload;
+  rpc::EncodeErrorPayload(status, &payload);
+  std::string frame;
+  rpc::EncodeFrame(rpc::Opcode::kError, request_id, payload, &frame);
+  return frame;
+}
+
+std::string Session::EmptyFrame(rpc::Opcode op, uint32_t request_id) {
+  std::string frame;
+  rpc::EncodeFrame(op, request_id, {}, &frame);
+  return frame;
+}
+
+std::string Session::ResultFrame(uint32_t request_id, const sql::ResultSet& rs) {
+  std::string payload;
+  Status s = rs.Encode(&payload);
+  if (!s.ok()) return ErrorFrame(request_id, s);
+  std::string frame;
+  rpc::EncodeFrame(rpc::Opcode::kResult, request_id, payload, &frame);
+  return frame;
+}
+
+size_t Session::num_prepared() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return prepared_.size();
+}
+
+StatusOr<sql::ResultSet> Session::RunQuery(const std::string& sql) {
+  std::lock_guard<std::mutex> stmt_lock(*db_->statement_mutex());
+  return executor_.Execute(sql);
+}
+
+StatusOr<sql::ResultSet> Session::RunPrepared(
+    const sql::PreparedStatement& stmt,
+    const std::vector<storage::Value>& params) {
+  std::lock_guard<std::mutex> stmt_lock(*db_->statement_mutex());
+  return executor_.Execute(stmt, params);
+}
+
+std::string Session::HandleFrame(const rpc::FrameView& frame, bool* close_after) {
+  *close_after = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return HandleLocked(frame, close_after);
+}
+
+std::string Session::HandleLocked(const rpc::FrameView& frame, bool* close_after) {
+  switch (frame.opcode) {
+    case rpc::Opcode::kHello: {
+      uint32_t version = 0;
+      std::string client_name;
+      Status s = rpc::DecodeHelloPayload(frame.payload, &version, &client_name);
+      if (!s.ok()) return ErrorFrame(frame.request_id, s);
+      if (version > rpc::kProtocolVersion) {
+        return ErrorFrame(
+            frame.request_id,
+            Status::NotSupported(StrFormat(
+                "client speaks protocol %u, server speaks %u", version,
+                rpc::kProtocolVersion)));
+      }
+      std::string payload;
+      rpc::EncodeHelloPayload(rpc::kProtocolVersion, "hazy", &payload);
+      std::string out;
+      rpc::EncodeFrame(rpc::Opcode::kHelloOk, frame.request_id, payload, &out);
+      return out;
+    }
+
+    case rpc::Opcode::kQuery: {
+      auto rs = RunQuery(std::string(frame.payload));
+      if (!rs.ok()) return ErrorFrame(frame.request_id, rs.status());
+      return ResultFrame(frame.request_id, *rs);
+    }
+
+    case rpc::Opcode::kPrepare: {
+      if (prepared_.size() >= kMaxPreparedPerSession) {
+        return ErrorFrame(frame.request_id,
+                          Status::ResourceExhausted(StrFormat(
+                              "session holds %zu prepared statements",
+                              prepared_.size())));
+      }
+      auto tmpl = sql::ParseTemplate(std::string(frame.payload));
+      if (!tmpl.ok()) return ErrorFrame(frame.request_id, tmpl.status());
+      const uint32_t stmt_id = next_stmt_id_++;
+      const uint32_t num_params = static_cast<uint32_t>(tmpl->num_params());
+      prepared_.emplace(stmt_id, std::move(*tmpl));
+      std::string payload;
+      rpc::EncodePreparedPayload(stmt_id, num_params, &payload);
+      std::string out;
+      rpc::EncodeFrame(rpc::Opcode::kPrepared, frame.request_id, payload, &out);
+      return out;
+    }
+
+    case rpc::Opcode::kExecPrepared: {
+      uint32_t stmt_id = 0;
+      std::vector<storage::Value> params;
+      Status s = rpc::DecodeExecPayload(frame.payload, &stmt_id, &params);
+      if (!s.ok()) return ErrorFrame(frame.request_id, s);
+      auto it = prepared_.find(stmt_id);
+      if (it == prepared_.end()) {
+        return ErrorFrame(frame.request_id,
+                          Status::NotFound(StrFormat(
+                              "no prepared statement with id %u", stmt_id)));
+      }
+      auto rs = RunPrepared(it->second, params);
+      if (!rs.ok()) return ErrorFrame(frame.request_id, rs.status());
+      return ResultFrame(frame.request_id, *rs);
+    }
+
+    case rpc::Opcode::kCloseStmt: {
+      uint32_t stmt_id = 0;
+      Status s = rpc::DecodeCloseStmtPayload(frame.payload, &stmt_id);
+      if (!s.ok()) return ErrorFrame(frame.request_id, s);
+      if (prepared_.erase(stmt_id) == 0) {
+        return ErrorFrame(frame.request_id,
+                          Status::NotFound(StrFormat(
+                              "no prepared statement with id %u", stmt_id)));
+      }
+      return EmptyFrame(rpc::Opcode::kStmtClosed, frame.request_id);
+    }
+
+    case rpc::Opcode::kPing:
+      return EmptyFrame(rpc::Opcode::kPong, frame.request_id);
+
+    case rpc::Opcode::kGoodbye:
+      *close_after = true;
+      return EmptyFrame(rpc::Opcode::kGoodbyeOk, frame.request_id);
+
+    default:
+      return ErrorFrame(
+          frame.request_id,
+          Status::InvalidArgument(StrFormat("opcode %s is not a request",
+                                            rpc::OpcodeName(frame.opcode))));
+  }
+}
+
+}  // namespace hazy::server

@@ -91,6 +91,29 @@ using Statement = std::variant<CreateTableStmt, CreateViewStmt, InsertStmt,
                                SelectStmt, DeleteStmt, UpdateStmt, CheckpointStmt,
                                VacuumStmt, PragmaStmt>;
 
+/// Where a '?' placeholder sits inside a parsed statement. Slots are recorded
+/// in left-to-right SQL order, so parameter i of an EXEC binds to slot i.
+struct ParamSlot {
+  enum class Kind : uint8_t {
+    kInsertValue,  ///< INSERT row `a`, column `b`
+    kWhereValue,   ///< the WHERE predicate's comparison value
+    kSetValue,     ///< UPDATE assignment `a`'s value
+  };
+  Kind kind = Kind::kWhereValue;
+  uint32_t a = 0;
+  uint32_t b = 0;
+};
+
+/// \brief A parsed statement template: the AST with '?' placeholders left as
+/// NULL values plus the slot list needed to bind real parameters later.
+/// This is what PREPARE stores and EXEC_PREPARED binds against.
+struct PreparedStatement {
+  Statement stmt;
+  std::vector<ParamSlot> params;
+
+  size_t num_params() const { return params.size(); }
+};
+
 }  // namespace hazy::sql
 
 #endif  // HAZY_SQL_AST_H_

@@ -12,30 +12,6 @@ namespace hazy::sql {
 using storage::Row;
 using storage::Value;
 
-std::string ResultSet::ToString() const {
-  std::ostringstream out;
-  if (!columns.empty()) {
-    for (size_t i = 0; i < columns.size(); ++i) {
-      if (i > 0) out << " | ";
-      out << columns[i];
-    }
-    out << "\n";
-    for (const auto& row : rows) {
-      for (size_t i = 0; i < row.size(); ++i) {
-        if (i > 0) out << " | ";
-        out << storage::ValueToString(row[i]);
-      }
-      out << "\n";
-    }
-    out << "(" << rows.size() << (rows.size() == 1 ? " row)" : " rows)");
-  }
-  if (!message.empty()) {
-    if (!columns.empty()) out << "\n";
-    out << message;
-  }
-  return out.str();
-}
-
 StatusOr<bool> MatchesPredicate(const storage::Schema& schema, const Row& row,
                                 const Predicate& pred) {
   HAZY_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(pred.column));
@@ -60,6 +36,12 @@ StatusOr<bool> MatchesPredicate(const storage::Schema& schema, const Row& row,
 
 StatusOr<ResultSet> Executor::Execute(const std::string& sql) {
   HAZY_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  return Execute(stmt);
+}
+
+StatusOr<ResultSet> Executor::Execute(const PreparedStatement& prepared,
+                                      const std::vector<storage::Value>& params) {
+  HAZY_ASSIGN_OR_RETURN(Statement stmt, BindParams(prepared, params));
   return Execute(stmt);
 }
 
@@ -132,7 +114,10 @@ const char* SyncModeName(storage::WalOptions::SyncMode mode) {
 
 ResultSet PragmaRow(const std::string& name, storage::Value value) {
   ResultSet rs;
-  rs.columns = {"pragma", "value"};
+  storage::ColumnType value_type = storage::ColumnType::kText;
+  if (std::holds_alternative<int64_t>(value)) value_type = storage::ColumnType::kInt64;
+  if (std::holds_alternative<double>(value)) value_type = storage::ColumnType::kDouble;
+  rs.columns = {{"pragma", storage::ColumnType::kText}, {"value", value_type}};
   rs.rows.push_back(storage::Row{name, std::move(value)});
   return rs;
 }
@@ -315,6 +300,7 @@ StatusOr<ResultSet> Executor::ExecInsert(const InsertStmt& stmt) {
     }
   }
   ResultSet rs;
+  rs.affected_rows = static_cast<int64_t>(stmt.rows.size());
   rs.message = StrFormat("%zu row%s inserted%s", stmt.rows.size(),
                          stmt.rows.size() == 1 ? "" : "s",
                          batch && monitored ? " (batched view maintenance)" : "");
@@ -362,7 +348,7 @@ StatusOr<ResultSet> Executor::ExecSelectView(const SelectStmt& stmt,
     } else {
       HAZY_RETURN_NOT_OK(label.status());
       if (stmt.count_star) {
-        rs.columns = {"count"};
+        rs.columns = {{"count", storage::ColumnType::kInt64}};
         rs.rows.push_back(Row{static_cast<int64_t>(1)});
         return rs;
       }
@@ -377,7 +363,7 @@ StatusOr<ResultSet> Executor::ExecSelectView(const SelectStmt& stmt,
     const std::string& label = std::get<std::string>(stmt.where->value);
     if (stmt.count_star) {
       HAZY_ASSIGN_OR_RETURN(uint64_t n, view->CountOf(label));
-      rs.columns = {"count"};
+      rs.columns = {{"count", storage::ColumnType::kInt64}};
       rs.rows.push_back(Row{static_cast<int64_t>(n)});
       return rs;
     }
@@ -399,7 +385,7 @@ StatusOr<ResultSet> Executor::ExecSelectView(const SelectStmt& stmt,
     }
     std::sort(all.begin(), all.end());
     if (stmt.count_star) {
-      rs.columns = {"count"};
+      rs.columns = {{"count", storage::ColumnType::kInt64}};
       rs.rows.push_back(Row{static_cast<int64_t>(all.size())});
       return rs;
     }
@@ -416,11 +402,16 @@ StatusOr<ResultSet> Executor::ExecSelectView(const SelectStmt& stmt,
   }
 
   if (stmt.count_star) {
-    rs.columns = {"count"};
+    rs.columns = {{"count", storage::ColumnType::kInt64}};
     rs.rows = {Row{static_cast<int64_t>(rs.rows.size())}};
     return rs;
   }
-  rs.columns = proj;
+  for (const auto& col : proj) {
+    // A view's schema is (entity key INT, class TEXT).
+    rs.columns.push_back({col, EqualsIgnoreCase(col, key_col)
+                                   ? storage::ColumnType::kInt64
+                                   : storage::ColumnType::kText});
+  }
   return rs;
 }
 
@@ -438,13 +429,13 @@ StatusOr<ResultSet> Executor::ExecSelect(const SelectStmt& stmt) {
     if (stmt.columns.empty()) {
       for (size_t i = 0; i < schema.num_columns(); ++i) {
         proj_idx.push_back(i);
-        rs.columns.push_back(schema.column(i).name);
+        rs.columns.push_back({schema.column(i).name, schema.column(i).type});
       }
     } else {
       for (const auto& col : stmt.columns) {
         HAZY_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(col));
         proj_idx.push_back(idx);
-        rs.columns.push_back(schema.column(idx).name);
+        rs.columns.push_back({schema.column(idx).name, schema.column(idx).type});
       }
     }
   }
@@ -474,7 +465,7 @@ StatusOr<ResultSet> Executor::ExecSelect(const SelectStmt& stmt) {
   HAZY_RETURN_NOT_OK(inner);
 
   if (stmt.count_star) {
-    rs.columns = {"count"};
+    rs.columns = {{"count", storage::ColumnType::kInt64}};
     rs.rows.push_back(Row{static_cast<int64_t>(count)});
   }
   return rs;
@@ -511,6 +502,7 @@ StatusOr<ResultSet> Executor::ExecUpdate(const UpdateStmt& stmt) {
     HAZY_RETURN_NOT_OK(table->UpdateByKey(key, row));
   }
   ResultSet rs;
+  rs.affected_rows = static_cast<int64_t>(keys.size());
   rs.message = StrFormat("%zu row%s updated", keys.size(), keys.size() == 1 ? "" : "s");
   return rs;
 }
@@ -541,6 +533,7 @@ StatusOr<ResultSet> Executor::ExecDelete(const DeleteStmt& stmt) {
     HAZY_RETURN_NOT_OK(table->DeleteByKey(key));
   }
   ResultSet rs;
+  rs.affected_rows = static_cast<int64_t>(keys.size());
   rs.message = StrFormat("%zu row%s deleted", keys.size(), keys.size() == 1 ? "" : "s");
   return rs;
 }

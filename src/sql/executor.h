@@ -14,29 +14,31 @@
 #include "common/status.h"
 #include "engine/database.h"
 #include "sql/ast.h"
+#include "sql/parser.h"
+#include "sql/result_set.h"
 
 namespace hazy::sql {
 
-/// \brief Result of one statement.
-struct ResultSet {
-  std::vector<std::string> columns;
-  std::vector<storage::Row> rows;
-  /// For DDL/DML: a human-readable confirmation ("1 row inserted").
-  std::string message;
-
-  std::string ToString() const;
-};
-
 /// \brief Statement executor bound to one Database.
+///
+/// Parsing and execution are split: Parse/ParseTemplate (sql/parser.h) turn
+/// text into a Statement once, Execute(const Statement&) runs it — so a
+/// prepared statement parses once and executes many times with BindParams.
+/// The string overload is the convenience composition of the two.
 class Executor {
  public:
   explicit Executor(engine::Database* db) : db_(db) {}
 
-  /// Parses and executes one statement.
+  /// Parses and executes one statement (Parse + Execute).
   StatusOr<ResultSet> Execute(const std::string& sql);
 
   /// Executes an already-parsed statement.
   StatusOr<ResultSet> Execute(const Statement& stmt);
+
+  /// Executes a prepared template with `params` bound to its '?' slots
+  /// (BindParams + Execute).
+  StatusOr<ResultSet> Execute(const PreparedStatement& prepared,
+                              const std::vector<storage::Value>& params);
 
  private:
   StatusOr<ResultSet> ExecCreateTable(const CreateTableStmt& stmt);

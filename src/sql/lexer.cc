@@ -85,7 +85,7 @@ StatusOr<std::vector<Token>> Lex(const std::string& sql) {
       continue;
     }
     if (c == '(' || c == ')' || c == ',' || c == ';' || c == '*' || c == '=' ||
-        c == '<' || c == '>') {
+        c == '<' || c == '>' || c == '?') {
       tokens.push_back({TokenType::kSymbol, std::string(1, c), i});
       ++i;
       continue;

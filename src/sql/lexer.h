@@ -17,7 +17,7 @@ enum class TokenType {
   kString,      ///< 'single quoted'
   kInteger,
   kFloat,
-  kSymbol,  ///< ( ) , ; * = != < <= > >=
+  kSymbol,  ///< ( ) , ; * = != < <= > >= ? (prepared-statement parameter)
   kEnd,
 };
 

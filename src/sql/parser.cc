@@ -56,13 +56,51 @@ class Cursor {
     return Advance().text;
   }
 
+  // Parameter ('?') support: ParseTemplate enables collection, and each value
+  // position arms the slot descriptor recorded when a '?' is consumed there.
+  void EnableParams(std::vector<ParamSlot>* slots) { slots_ = slots; }
+  void ArmParamSlot(ParamSlot slot) {
+    next_slot_ = slot;
+    slot_armed_ = true;
+  }
+  std::vector<ParamSlot>* slots() { return slots_; }
+  bool TakeArmedSlot(ParamSlot* slot) {
+    if (!slot_armed_) return false;
+    slot_armed_ = false;
+    *slot = next_slot_;
+    return true;
+  }
+
  private:
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  std::vector<ParamSlot>* slots_ = nullptr;
+  ParamSlot next_slot_;
+  bool slot_armed_ = false;
 };
 
 StatusOr<storage::Value> ParseValue(Cursor* c) {
+  // Consume any armed slot up front so it cannot leak past a literal into a
+  // later, unarmed value position.
+  ParamSlot slot;
+  const bool armed = c->TakeArmedSlot(&slot);
   const Token& t = c->Peek();
+  if (t.type == TokenType::kSymbol && t.text == "?") {
+    if (c->slots() == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("'?' parameters are only allowed in prepared statements "
+                    "(offset %zu)",
+                    t.offset));
+    }
+    if (!armed) {
+      return Status::InvalidArgument(
+          StrFormat("'?' is not allowed in this position (offset %zu)", t.offset));
+    }
+    c->slots()->push_back(slot);
+    c->Advance();
+    // Placeholder: NULL until BindParams substitutes the real value.
+    return storage::Value(std::monostate{});
+  }
   switch (t.type) {
     case TokenType::kString: {
       std::string s = t.text;
@@ -117,6 +155,7 @@ StatusOr<Predicate> ParsePredicate(Cursor* c) {
         StrFormat("unsupported comparison '%s'", op.text.c_str()));
   }
   c->Advance();
+  c->ArmParamSlot({ParamSlot::Kind::kWhereValue, 0, 0});
   HAZY_ASSIGN_OR_RETURN(pred.value, ParseValue(c));
   return pred;
 }
@@ -246,6 +285,9 @@ StatusOr<Statement> ParseInsert(Cursor* c) {
     HAZY_RETURN_NOT_OK(c->ExpectSymbol("("));
     storage::Row row;
     for (;;) {
+      c->ArmParamSlot({ParamSlot::Kind::kInsertValue,
+                       static_cast<uint32_t>(stmt.rows.size()),
+                       static_cast<uint32_t>(row.size())});
       HAZY_ASSIGN_OR_RETURN(storage::Value v, ParseValue(c));
       row.push_back(std::move(v));
       if (c->AcceptSymbol(",")) continue;
@@ -324,6 +366,8 @@ StatusOr<Statement> ParseUpdate(Cursor* c) {
     std::pair<std::string, storage::Value> assign;
     HAZY_ASSIGN_OR_RETURN(assign.first, c->ExpectIdentifier("column name"));
     HAZY_RETURN_NOT_OK(c->ExpectSymbol("="));
+    c->ArmParamSlot({ParamSlot::Kind::kSetValue,
+                     static_cast<uint32_t>(stmt.assignments.size()), 0});
     HAZY_ASSIGN_OR_RETURN(assign.second, ParseValue(c));
     stmt.assignments.push_back(std::move(assign));
     if (!c->AcceptSymbol(",")) break;
@@ -333,11 +377,10 @@ StatusOr<Statement> ParseUpdate(Cursor* c) {
   return Statement(std::move(stmt));
 }
 
-}  // namespace
-
-StatusOr<Statement> Parse(const std::string& sql) {
+StatusOr<Statement> ParseImpl(const std::string& sql, std::vector<ParamSlot>* slots) {
   HAZY_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
   Cursor c(std::move(tokens));
+  if (slots != nullptr) c.EnableParams(slots);
 
   StatusOr<Statement> result = Status::InvalidArgument("empty statement");
   if (c.AcceptKeyword("CREATE")) {
@@ -374,6 +417,68 @@ StatusOr<Statement> Parse(const std::string& sql) {
         StrFormat("trailing input near '%s'", c.Peek().text.c_str()));
   }
   return result;
+}
+
+}  // namespace
+
+StatusOr<Statement> Parse(const std::string& sql) { return ParseImpl(sql, nullptr); }
+
+StatusOr<PreparedStatement> ParseTemplate(const std::string& sql) {
+  PreparedStatement prepared;
+  HAZY_ASSIGN_OR_RETURN(prepared.stmt, ParseImpl(sql, &prepared.params));
+  return prepared;
+}
+
+namespace {
+
+/// Resolves a slot to the value cell it names inside `stmt`, or nullptr when
+/// the slot does not match the statement's shape (corrupt template).
+storage::Value* LocateSlot(Statement* stmt, const ParamSlot& slot) {
+  switch (slot.kind) {
+    case ParamSlot::Kind::kInsertValue: {
+      auto* ins = std::get_if<InsertStmt>(stmt);
+      if (ins == nullptr || slot.a >= ins->rows.size() ||
+          slot.b >= ins->rows[slot.a].size()) {
+        return nullptr;
+      }
+      return &ins->rows[slot.a][slot.b];
+    }
+    case ParamSlot::Kind::kWhereValue: {
+      if (auto* sel = std::get_if<SelectStmt>(stmt)) {
+        return sel->where.has_value() ? &sel->where->value : nullptr;
+      }
+      if (auto* del = std::get_if<DeleteStmt>(stmt)) return &del->where.value;
+      if (auto* upd = std::get_if<UpdateStmt>(stmt)) return &upd->where.value;
+      return nullptr;
+    }
+    case ParamSlot::Kind::kSetValue: {
+      auto* upd = std::get_if<UpdateStmt>(stmt);
+      if (upd == nullptr || slot.a >= upd->assignments.size()) return nullptr;
+      return &upd->assignments[slot.a].second;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+StatusOr<Statement> BindParams(const PreparedStatement& prepared,
+                               const std::vector<storage::Value>& params) {
+  if (params.size() != prepared.params.size()) {
+    return Status::InvalidArgument(
+        StrFormat("statement expects %zu parameter%s, got %zu",
+                  prepared.params.size(), prepared.params.size() == 1 ? "" : "s",
+                  params.size()));
+  }
+  Statement stmt = prepared.stmt;
+  for (size_t i = 0; i < params.size(); ++i) {
+    storage::Value* dst = LocateSlot(&stmt, prepared.params[i]);
+    if (dst == nullptr) {
+      return Status::Internal("parameter slot does not match statement shape");
+    }
+    *dst = params[i];
+  }
+  return stmt;
 }
 
 }  // namespace hazy::sql

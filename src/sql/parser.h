@@ -4,14 +4,28 @@
 #define HAZY_SQL_PARSER_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "sql/ast.h"
+#include "storage/schema.h"
 
 namespace hazy::sql {
 
-/// Parses exactly one statement (a trailing ';' is allowed).
+/// Parses exactly one statement (a trailing ';' is allowed). '?' parameter
+/// placeholders are rejected — use ParseTemplate for PREPARE.
 StatusOr<Statement> Parse(const std::string& sql);
+
+/// Parses one statement allowing '?' placeholders in value positions
+/// (INSERT values, WHERE comparison values, UPDATE SET values). The returned
+/// template is executed by binding parameters with BindParams.
+StatusOr<PreparedStatement> ParseTemplate(const std::string& sql);
+
+/// Produces an executable Statement from a template by substituting
+/// `params[i]` into placeholder slot i. The parameter count must match
+/// exactly; values are type-checked by execution, like literals.
+StatusOr<Statement> BindParams(const PreparedStatement& prepared,
+                               const std::vector<storage::Value>& params);
 
 }  // namespace hazy::sql
 

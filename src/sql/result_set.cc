@@ -1,0 +1,198 @@
+#include "sql/result_set.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace hazy::sql {
+
+namespace {
+
+constexpr uint32_t kResultSetTag = persist::MakeTag('R', 'S', 'E', 'T');
+constexpr uint8_t kResultSetVersion = 1;
+
+// Value kind tags (wire-frozen, like the status codes).
+constexpr uint8_t kValNull = 0;
+constexpr uint8_t kValInt64 = 1;
+constexpr uint8_t kValDouble = 2;
+constexpr uint8_t kValText = 3;
+
+Status CellError(const char* what, size_t row, size_t col) {
+  return Status::InvalidArgument(
+      StrFormat("%s at result cell (%zu, %zu)", what, row, col));
+}
+
+}  // namespace
+
+void EncodeValue(persist::StateWriter* w, const storage::Value& v) {
+  if (std::holds_alternative<std::monostate>(v)) {
+    w->PutU8(kValNull);
+  } else if (const auto* i = std::get_if<int64_t>(&v)) {
+    w->PutU8(kValInt64);
+    w->PutI64(*i);
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    w->PutU8(kValDouble);
+    w->PutDouble(*d);
+  } else {
+    w->PutU8(kValText);
+    w->PutString(std::get<std::string>(v));
+  }
+}
+
+Status DecodeValue(persist::StateReader* r, storage::Value* v) {
+  uint8_t kind = 0;
+  HAZY_RETURN_NOT_OK(r->GetU8(&kind));
+  switch (kind) {
+    case kValNull:
+      *v = std::monostate{};
+      return Status::OK();
+    case kValInt64: {
+      int64_t i = 0;
+      HAZY_RETURN_NOT_OK(r->GetI64(&i));
+      *v = i;
+      return Status::OK();
+    }
+    case kValDouble: {
+      double d = 0;
+      HAZY_RETURN_NOT_OK(r->GetDouble(&d));
+      *v = d;
+      return Status::OK();
+    }
+    case kValText: {
+      std::string s;
+      HAZY_RETURN_NOT_OK(r->GetString(&s));
+      *v = std::move(s);
+      return Status::OK();
+    }
+    default:
+      return Status::Corruption(StrFormat("unknown value kind %u", kind));
+  }
+}
+
+bool ResultSet::IsNull(size_t row, size_t col) const {
+  return row < rows.size() && col < rows[row].size() &&
+         std::holds_alternative<std::monostate>(rows[row][col]);
+}
+
+StatusOr<int64_t> ResultSet::Int64At(size_t row, size_t col) const {
+  if (row >= rows.size() || col >= rows[row].size()) {
+    return CellError("no value", row, col);
+  }
+  if (const auto* i = std::get_if<int64_t>(&rows[row][col])) return *i;
+  return CellError("not an INT value", row, col);
+}
+
+StatusOr<double> ResultSet::DoubleAt(size_t row, size_t col) const {
+  if (row >= rows.size() || col >= rows[row].size()) {
+    return CellError("no value", row, col);
+  }
+  if (const auto* d = std::get_if<double>(&rows[row][col])) return *d;
+  // An INT widens losslessly enough for typed reads of COUNT-style columns.
+  if (const auto* i = std::get_if<int64_t>(&rows[row][col])) {
+    return static_cast<double>(*i);
+  }
+  return CellError("not a REAL value", row, col);
+}
+
+StatusOr<std::string> ResultSet::TextAt(size_t row, size_t col) const {
+  if (row >= rows.size() || col >= rows[row].size()) {
+    return CellError("no value", row, col);
+  }
+  if (const auto* s = std::get_if<std::string>(&rows[row][col])) return *s;
+  return CellError("not a TEXT value", row, col);
+}
+
+Status ResultSet::Encode(std::string* out) const {
+  persist::StateWriter w(out);
+  w.PutTag(kResultSetTag);
+  w.PutU8(kResultSetVersion);
+  w.PutU32(static_cast<uint32_t>(columns.size()));
+  for (const auto& col : columns) {
+    w.PutString(col.name);
+    w.PutU8(static_cast<uint8_t>(col.type));
+  }
+  w.PutI64(affected_rows);
+  w.PutString(message);
+  w.PutU64(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != columns.size()) {
+      return Status::Internal(
+          StrFormat("result row %zu has %zu values for %zu columns", i,
+                    rows[i].size(), columns.size()));
+    }
+    for (const auto& v : rows[i]) EncodeValue(&w, v);
+  }
+  return Status::OK();
+}
+
+StatusOr<ResultSet> ResultSet::Decode(std::string_view data) {
+  persist::StateReader r(data);
+  HAZY_RETURN_NOT_OK(r.ExpectTag(kResultSetTag));
+  uint8_t version = 0;
+  HAZY_RETURN_NOT_OK(r.GetU8(&version));
+  if (version != kResultSetVersion) {
+    return Status::Corruption(StrFormat("unknown ResultSet version %u", version));
+  }
+  ResultSet rs;
+  uint32_t ncols = 0;
+  HAZY_RETURN_NOT_OK(r.GetU32(&ncols));
+  HAZY_RETURN_NOT_OK(r.CheckCount(ncols, 5));  // name len prefix + type byte
+  rs.columns.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    ColumnDesc col;
+    HAZY_RETURN_NOT_OK(r.GetString(&col.name));
+    uint8_t type = 0;
+    HAZY_RETURN_NOT_OK(r.GetU8(&type));
+    if (type > static_cast<uint8_t>(storage::ColumnType::kText)) {
+      return Status::Corruption(StrFormat("unknown column type %u", type));
+    }
+    col.type = static_cast<storage::ColumnType>(type);
+    rs.columns.push_back(std::move(col));
+  }
+  HAZY_RETURN_NOT_OK(r.GetI64(&rs.affected_rows));
+  HAZY_RETURN_NOT_OK(r.GetString(&rs.message));
+  uint64_t nrows = 0;
+  HAZY_RETURN_NOT_OK(r.GetU64(&nrows));
+  HAZY_RETURN_NOT_OK(r.CheckCount(nrows, ncols == 0 ? 1 : ncols));
+  rs.rows.reserve(nrows);
+  for (uint64_t i = 0; i < nrows; ++i) {
+    storage::Row row;
+    row.reserve(ncols);
+    for (uint32_t c = 0; c < ncols; ++c) {
+      storage::Value v;
+      HAZY_RETURN_NOT_OK(DecodeValue(&r, &v));
+      row.push_back(std::move(v));
+    }
+    rs.rows.push_back(std::move(row));
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption("trailing bytes after encoded ResultSet");
+  }
+  return rs;
+}
+
+std::string ResultSet::ToString() const {
+  std::ostringstream out;
+  if (!columns.empty()) {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i > 0) out << " | ";
+      out << columns[i].name;
+    }
+    out << "\n";
+    for (const auto& row : rows) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) out << " | ";
+        out << storage::ValueToString(row[i]);
+      }
+      out << "\n";
+    }
+    out << "(" << rows.size() << (rows.size() == 1 ? " row)" : " rows)");
+  }
+  if (!message.empty()) {
+    if (!columns.empty()) out << "\n";
+    out << message;
+  }
+  return out.str();
+}
+
+}  // namespace hazy::sql

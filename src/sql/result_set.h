@@ -1,0 +1,71 @@
+// Typed statement results — the unit of data the engine hands back to every
+// client, local or remote.
+//
+// Before the serving layer, ResultSet was a print-oriented struct (untyped
+// column names plus a free-form message string). The network protocol needs
+// results a client can *decode*, so ResultSet now carries per-column types, a
+// typed affected-row count for DML, and a deterministic binary Encode/Decode
+// (persist/serde conventions: tagged sections, fail-fast Corruption on
+// truncation). The same bytes travel over a socket and through the in-process
+// loopback transport, byte-identically.
+
+#ifndef HAZY_SQL_RESULT_SET_H_
+#define HAZY_SQL_RESULT_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/serde.h"
+#include "storage/schema.h"
+
+namespace hazy::sql {
+
+/// One result column: name plus the value type every row holds in it.
+struct ColumnDesc {
+  std::string name;
+  storage::ColumnType type = storage::ColumnType::kText;
+};
+
+/// \brief Result of one statement.
+///
+/// Queries populate `columns` + `rows`; DML/DDL populate `affected_rows` and
+/// a human-readable `message` ("2 rows updated"). Executor paths always give
+/// every column its real type, so remote clients get typed accessors instead
+/// of string parsing.
+struct ResultSet {
+  std::vector<ColumnDesc> columns;
+  std::vector<storage::Row> rows;
+  /// Rows written by DML (0 for queries/DDL).
+  int64_t affected_rows = 0;
+  /// For DDL/DML: a human-readable confirmation ("1 row inserted").
+  std::string message;
+
+  // Typed row accessors (bounds- and type-checked; NULL is InvalidArgument
+  // for the typed getters — check IsNull first).
+  bool IsNull(size_t row, size_t col) const;
+  StatusOr<int64_t> Int64At(size_t row, size_t col) const;
+  StatusOr<double> DoubleAt(size_t row, size_t col) const;
+  StatusOr<std::string> TextAt(size_t row, size_t col) const;
+
+  /// Serializes to the wire format (appends to *out). Deterministic: equal
+  /// ResultSets encode to equal bytes.
+  Status Encode(std::string* out) const;
+
+  /// Parses an encoded ResultSet; Corruption on truncation/garbage.
+  static StatusOr<ResultSet> Decode(std::string_view data);
+
+  /// Shell rendering: header row, value rows, "(N rows)", then the message.
+  std::string ToString() const;
+};
+
+/// Wire codec for a single storage::Value (used inside ResultSet rows and for
+/// prepared-statement parameter lists): u8 kind tag + payload.
+void EncodeValue(persist::StateWriter* w, const storage::Value& v);
+Status DecodeValue(persist::StateReader* r, storage::Value* v);
+
+}  // namespace hazy::sql
+
+#endif  // HAZY_SQL_RESULT_SET_H_

@@ -1,0 +1,263 @@
+// Wire-protocol tests: frame encode/decode round-trips, rejection of torn /
+// oversized / garbage frames without crashing, request-id matching, payload
+// codecs, and the frozen Status wire-code table.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rpc/protocol.h"
+#include "sql/result_set.h"
+
+namespace hazy::rpc {
+namespace {
+
+TEST(FrameTest, EncodeDecodeRoundTrip) {
+  std::string buf;
+  EncodeFrame(Opcode::kQuery, 42, "SELECT 1;", &buf);
+  ASSERT_EQ(buf.size(), kFrameHeaderBytes + 9);
+
+  FrameView frame;
+  size_t frame_bytes = 0;
+  std::string error;
+  ASSERT_EQ(TryDecodeFrame(buf, &frame, &frame_bytes, &error), FrameDecode::kFrame);
+  EXPECT_EQ(frame.opcode, Opcode::kQuery);
+  EXPECT_EQ(frame.request_id, 42u);
+  EXPECT_EQ(frame.payload, "SELECT 1;");
+  EXPECT_EQ(frame_bytes, buf.size());
+}
+
+TEST(FrameTest, EmptyPayload) {
+  std::string buf;
+  EncodeFrame(Opcode::kPing, 7, {}, &buf);
+  FrameView frame;
+  size_t frame_bytes = 0;
+  ASSERT_EQ(TryDecodeFrame(buf, &frame, &frame_bytes, nullptr), FrameDecode::kFrame);
+  EXPECT_EQ(frame.opcode, Opcode::kPing);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(FrameTest, RequestIdEchoedPerFrame) {
+  // Multiple frames back-to-back decode in order with their own ids.
+  std::string buf;
+  for (uint32_t id : {1u, 99u, 0xFFFFFFFFu}) {
+    EncodeFrame(Opcode::kPing, id, {}, &buf);
+  }
+  std::string_view rest = buf;
+  for (uint32_t id : {1u, 99u, 0xFFFFFFFFu}) {
+    FrameView frame;
+    size_t frame_bytes = 0;
+    ASSERT_EQ(TryDecodeFrame(rest, &frame, &frame_bytes, nullptr),
+              FrameDecode::kFrame);
+    EXPECT_EQ(frame.request_id, id);
+    rest = rest.substr(frame_bytes);
+  }
+  EXPECT_TRUE(rest.empty());
+}
+
+TEST(FrameTest, TornFramesNeedMore) {
+  std::string buf;
+  EncodeFrame(Opcode::kQuery, 5, "SELECT COUNT(*) FROM t;", &buf);
+  // Every strict prefix is a torn frame: kNeedMore, never kBad/kFrame.
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    FrameView frame;
+    size_t frame_bytes = 0;
+    EXPECT_EQ(TryDecodeFrame(std::string_view(buf).substr(0, cut), &frame,
+                             &frame_bytes, nullptr),
+              FrameDecode::kNeedMore)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(FrameTest, OversizedFrameRejected) {
+  std::string buf;
+  // Hand-build a header claiming a payload beyond kMaxFrameBytes.
+  const uint32_t huge = kMaxFrameBytes + 1;
+  buf.push_back(static_cast<char>(huge & 0xFF));
+  buf.push_back(static_cast<char>((huge >> 8) & 0xFF));
+  buf.push_back(static_cast<char>((huge >> 16) & 0xFF));
+  buf.push_back(static_cast<char>((huge >> 24) & 0xFF));
+  FrameView frame;
+  size_t frame_bytes = 0;
+  std::string error;
+  EXPECT_EQ(TryDecodeFrame(buf, &frame, &frame_bytes, &error), FrameDecode::kBad);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FrameTest, UndersizedLengthRejected) {
+  // length < 5 cannot hold opcode + request id.
+  const std::string buf = {4, 0, 0, 0};
+  FrameView frame;
+  size_t frame_bytes = 0;
+  EXPECT_EQ(TryDecodeFrame(buf, &frame, &frame_bytes, nullptr), FrameDecode::kBad);
+}
+
+TEST(FrameTest, GarbageOpcodeRejectedEarly) {
+  // A valid length but an unknown opcode fails as soon as the opcode byte
+  // arrives — no waiting for the (never-arriving) payload.
+  std::string buf = {16, 0, 0, 0, 0x55};
+  FrameView frame;
+  size_t frame_bytes = 0;
+  std::string error;
+  EXPECT_EQ(TryDecodeFrame(buf, &frame, &frame_bytes, &error), FrameDecode::kBad);
+  EXPECT_NE(error.find("opcode"), std::string::npos);
+}
+
+TEST(FrameTest, RandomGarbageNeverCrashes) {
+  // Feed pseudo-random byte soup; every outcome must be one of the three
+  // enum values with no crash or over-read (ASan is the real assertion).
+  uint64_t state = 0x9E3779B97F4A7C15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<char>(state & 0xFF);
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string soup;
+    for (int i = 0; i < 64; ++i) soup.push_back(next());
+    FrameView frame;
+    size_t frame_bytes = 0;
+    const FrameDecode rc = TryDecodeFrame(soup, &frame, &frame_bytes, nullptr);
+    if (rc == FrameDecode::kFrame) {
+      EXPECT_LE(frame_bytes, soup.size());
+    }
+  }
+}
+
+TEST(OpcodeTest, KnownOpcodesHaveNames) {
+  for (uint8_t op = 0; op != 0xFF; ++op) {
+    if (IsKnownOpcode(op)) {
+      EXPECT_STRNE(OpcodeName(static_cast<Opcode>(op)), "?");
+    }
+  }
+  EXPECT_FALSE(IsKnownOpcode(0x00));
+  EXPECT_FALSE(IsKnownOpcode(0x7F));
+  EXPECT_TRUE(IsKnownOpcode(0xE1));
+}
+
+TEST(PayloadTest, HelloRoundTrip) {
+  std::string payload;
+  EncodeHelloPayload(kProtocolVersion, "shell", &payload);
+  uint32_t version = 0;
+  std::string name;
+  ASSERT_TRUE(DecodeHelloPayload(payload, &version, &name).ok());
+  EXPECT_EQ(version, kProtocolVersion);
+  EXPECT_EQ(name, "shell");
+  EXPECT_TRUE(DecodeHelloPayload("ab", &version, &name).IsCorruption());
+}
+
+TEST(PayloadTest, PreparedRoundTrip) {
+  std::string payload;
+  EncodePreparedPayload(9, 3, &payload);
+  uint32_t stmt_id = 0, num_params = 0;
+  ASSERT_TRUE(DecodePreparedPayload(payload, &stmt_id, &num_params).ok());
+  EXPECT_EQ(stmt_id, 9u);
+  EXPECT_EQ(num_params, 3u);
+  payload.push_back('x');
+  EXPECT_TRUE(DecodePreparedPayload(payload, &stmt_id, &num_params).IsCorruption());
+}
+
+TEST(PayloadTest, ExecRoundTrip) {
+  std::vector<storage::Value> params;
+  params.emplace_back(int64_t{41});
+  params.emplace_back(std::string("hello"));
+  params.emplace_back(3.5);
+  params.emplace_back();  // NULL
+  std::string payload;
+  EncodeExecPayload(12, params, &payload);
+
+  uint32_t stmt_id = 0;
+  std::vector<storage::Value> decoded;
+  ASSERT_TRUE(DecodeExecPayload(payload, &stmt_id, &decoded).ok());
+  EXPECT_EQ(stmt_id, 12u);
+  ASSERT_EQ(decoded.size(), 4u);
+  EXPECT_EQ(std::get<int64_t>(decoded[0]), 41);
+  EXPECT_EQ(std::get<std::string>(decoded[1]), "hello");
+  EXPECT_EQ(std::get<double>(decoded[2]), 3.5);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(decoded[3]));
+
+  // Truncation anywhere inside the payload is Corruption, not a crash.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    uint32_t id = 0;
+    std::vector<storage::Value> vals;
+    EXPECT_FALSE(DecodeExecPayload(std::string_view(payload).substr(0, cut),
+                                   &id, &vals)
+                     .ok())
+        << "cut " << cut;
+  }
+}
+
+TEST(PayloadTest, CloseStmtRoundTrip) {
+  std::string payload;
+  EncodeCloseStmtPayload(77, &payload);
+  uint32_t stmt_id = 0;
+  ASSERT_TRUE(DecodeCloseStmtPayload(payload, &stmt_id).ok());
+  EXPECT_EQ(stmt_id, 77u);
+}
+
+TEST(PayloadTest, ErrorPayloadKeepsCategory) {
+  std::string payload;
+  EncodeErrorPayload(Status::NotFound("no table named 't'"), &payload);
+  Status decoded = DecodeErrorPayload(payload);
+  EXPECT_TRUE(decoded.IsNotFound());
+  EXPECT_EQ(decoded.message(), "no table named 't'");
+}
+
+TEST(PayloadTest, UnknownWireCodeBecomesInternal) {
+  std::string payload;
+  payload.push_back(static_cast<char>(200));  // beyond kMaxStatusWireCode
+  payload.append("mystery");
+  Status decoded = DecodeErrorPayload(payload);
+  EXPECT_TRUE(decoded.IsInternal());
+  EXPECT_NE(decoded.message().find("mystery"), std::string::npos);
+}
+
+// The frozen table: every StatusCode must survive a wire round-trip with its
+// exact frozen number. A renumbering (protocol break) fails here.
+TEST(StatusWireTest, EveryCodeRoundTrips) {
+  const std::pair<StatusCode, uint8_t> frozen[] = {
+      {StatusCode::kOk, 0},
+      {StatusCode::kInvalidArgument, 1},
+      {StatusCode::kNotFound, 2},
+      {StatusCode::kAlreadyExists, 3},
+      {StatusCode::kOutOfRange, 4},
+      {StatusCode::kIOError, 5},
+      {StatusCode::kCorruption, 6},
+      {StatusCode::kNotSupported, 7},
+      {StatusCode::kResourceExhausted, 8},
+      {StatusCode::kInternal, 9},
+      {StatusCode::kAborted, 10},
+  };
+  for (const auto& [code, wire] : frozen) {
+    EXPECT_EQ(StatusCodeToWire(code), wire) << StatusCodeToString(code);
+    StatusCode back;
+    ASSERT_TRUE(StatusCodeFromWire(wire, &back)) << int{wire};
+    EXPECT_EQ(back, code);
+  }
+  EXPECT_EQ(sizeof(frozen) / sizeof(frozen[0]), size_t{kMaxStatusWireCode} + 1)
+      << "new StatusCode values must extend this table and the wire mapping";
+  StatusCode unused;
+  EXPECT_FALSE(StatusCodeFromWire(kMaxStatusWireCode + 1, &unused));
+  EXPECT_FALSE(StatusCodeFromWire(0xFF, &unused));
+}
+
+// BUSY and ERROR frames carry the same payload shape; a shed request must
+// decode to ResourceExhausted so clients can back off programmatically.
+TEST(StatusWireTest, BusyDecodesToResourceExhausted) {
+  std::string payload;
+  EncodeErrorPayload(Status::ResourceExhausted("admission queue full"), &payload);
+  std::string frame_bytes;
+  EncodeFrame(Opcode::kBusy, 3, payload, &frame_bytes);
+
+  FrameView frame;
+  size_t consumed = 0;
+  ASSERT_EQ(TryDecodeFrame(frame_bytes, &frame, &consumed, nullptr),
+            FrameDecode::kFrame);
+  EXPECT_EQ(frame.opcode, Opcode::kBusy);
+  EXPECT_TRUE(DecodeErrorPayload(frame.payload).IsResourceExhausted());
+}
+
+}  // namespace
+}  // namespace hazy::rpc

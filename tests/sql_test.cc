@@ -247,7 +247,8 @@ TEST_F(SqlEndToEndTest, Example21EndToEnd) {
   // Full view scan.
   rs = MustExec("SELECT * FROM Labeled_Papers");
   EXPECT_EQ(rs.rows.size(), 10u);
-  EXPECT_EQ(rs.columns[1], "class");
+  EXPECT_EQ(rs.columns[1].name, "class");
+  EXPECT_EQ(rs.columns[1].type, storage::ColumnType::kText);
 
   // Withdrawing an example retrains (footnote 2) and the view still works.
   MustExec("DELETE FROM Example_Papers WHERE id = 3");
