@@ -7,6 +7,8 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/stats_collectors.h"
 
 namespace hazy::bench {
 
@@ -134,10 +136,19 @@ std::unique_ptr<ViewHarness> ViewHarness::Create(core::Architecture arch,
   HAZY_CHECK(v.ok()) << v.status().ToString();
   h->view_ = std::move(*v);
   HAZY_CHECK_OK(h->view_->BulkLoad(corpus.entities));
+  // Publish the harness's storage/view stats into the registry so the
+  // --json report's registry snapshot covers bench work too.
+  const std::string labels = StrFormat(
+      "src=\"bench\",arch=\"%s\"", core::ArchitectureToString(arch));
+  h->collectors_.push_back(obs::RegisterBufferPoolStats(h->pool_.get(), labels));
+  h->collectors_.push_back(obs::RegisterPagerStats(h->pager_.get(), labels));
+  h->collectors_.push_back(obs::RegisterViewStats(
+      [view = h->view_.get()]() { return view; }, labels));
   return h;
 }
 
 ViewHarness::~ViewHarness() {
+  for (uint64_t id : collectors_) obs::UnregisterStats(id);
   view_.reset();
   pool_.reset();
   if (pager_) {
@@ -299,6 +310,14 @@ void ReportMetric(const std::string& bench, const std::string& metric, double va
 
 int FlushBenchReport() {
   if (!g_json_enabled) return 0;
+  // Fold in the registry: every sample becomes a "registry" bench entry
+  // whose metric is `name{labels}` and whose unit is the sample kind. The
+  // CI dead-metric lint greps these to prove each family was exercised.
+  for (const obs::Sample& s : obs::Registry::Global().Snapshot()) {
+    std::string name = s.labels.empty() ? s.name : s.name + "{" + s.labels + "}";
+    g_metrics.push_back(
+        Metric{"registry", std::move(name), s.value, obs::SampleKindName(s.kind)});
+  }
   std::string out = "[\n";
   for (size_t i = 0; i < g_metrics.size(); ++i) {
     const Metric& m = g_metrics[i];

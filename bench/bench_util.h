@@ -98,6 +98,10 @@ class ViewHarness {
   std::unique_ptr<storage::Pager> pager_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<core::ClassificationView> view_;
+  /// Registry collectors for the harness's pool/pager/view stats, so a
+  /// bench's --json report carries the registry view of its storage work
+  /// (fsync counts, pool hit rates, water lines).
+  std::vector<uint64_t> collectors_;
 };
 
 /// Default view options for a corpus (mode, Hölder norm, warm-model SGD).
@@ -140,7 +144,11 @@ bool JsonEnabled();
 void ReportMetric(const std::string& bench, const std::string& metric, double value,
                   const std::string& unit);
 
-/// Writes the collected metrics as JSON. Returns 0 (for `return Flush...`).
+/// Writes the collected metrics as JSON, appending a snapshot of the
+/// process-wide metrics registry (bench "registry", one entry per sample,
+/// unit = the sample kind) so every report carries fsync counts, pool hit
+/// rates, water lines, and span latency quantiles alongside its headline
+/// numbers. Returns 0 (for `return Flush...`).
 int FlushBenchReport();
 
 }  // namespace hazy::bench

@@ -13,6 +13,12 @@
 //             fills, and the surplus is shed as BUSY frames — counted here
 //             to prove overload degrades to load-shedding, not to collapse.
 //
+// Both phases run with a STATS-opcode prober attached: a side connection
+// round-trips registry snapshots throughout, recording the BUSY-shed count
+// and peak admission-queue depth (hazy_server_inflight) from the server's
+// own metrics — and proving STATS stays answerable while every worker is
+// saturated, since the reactor thread serves it without admission.
+//
 // Environment knobs:
 //   HAZY_RTT_CONNS     rtt-phase connections        (default 1000)
 //   HAZY_RTT_INFLIGHT  pipelined requests/conn      (default 2)
@@ -29,16 +35,19 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "client/hazy_client.h"
 #include "engine/database.h"
 #include "rpc/protocol.h"
 #include "server/server.h"
@@ -195,6 +204,59 @@ double Percentile(std::vector<double>* v, double p) {
   return (*v)[idx];
 }
 
+/// Value of a registry metric from a STATS result set (-1 if absent).
+/// Columns: (metric, labels, kind, value).
+double RegistryValue(const hazy::sql::ResultSet& rs, const std::string& name) {
+  for (size_t i = 0; i < rs.rows.size(); ++i) {
+    auto metric = rs.TextAt(i, 0);
+    auto value = rs.DoubleAt(i, 3);
+    if (metric.ok() && value.ok() && *metric == name) return *value;
+  }
+  return -1;
+}
+
+/// What a STATS-opcode side channel observed while a load phase ran: the
+/// probe thread round-trips Stats() continuously, so `ok` counts snapshots
+/// that got through while the worker pool was saturated (STATS is answered
+/// on the reactor thread and is never shed as BUSY).
+struct StatsProbeResult {
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  double peak_inflight = 0;   // max hazy_server_inflight gauge seen
+  double peak_connections = 0;  // max hazy_server_connections gauge seen
+};
+
+/// Runs `body` with a concurrent STATS prober attached to `port`.
+StatsProbeResult WithStatsProbe(uint16_t port,
+                                const std::function<void()>& body) {
+  StatsProbeResult probe;
+  std::atomic<bool> stop{false};
+  std::thread prober([&] {
+    auto client = hazy::client::HazyClient::Connect("127.0.0.1", port);
+    if (!client.ok()) {
+      ++probe.failed;
+      return;
+    }
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto rs = (*client)->Stats("hazy_server_");
+      if (rs.ok()) {
+        ++probe.ok;
+        probe.peak_inflight =
+            std::max(probe.peak_inflight, RegistryValue(*rs, "hazy_server_inflight"));
+        probe.peak_connections = std::max(
+            probe.peak_connections, RegistryValue(*rs, "hazy_server_connections"));
+      } else {
+        ++probe.failed;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  body();
+  stop.store(true, std::memory_order_relaxed);
+  prober.join();
+  return probe;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -219,6 +281,7 @@ int main(int argc, char** argv) {
   opts.max_in_flight = 256;
   opts.max_connections = conns + 16;
   LoadResult rtt;
+  StatsProbeResult rtt_probe;
   {
     hazy::server::Server server(&db, opts);
     if (!server.Start().ok()) {
@@ -230,7 +293,12 @@ int main(int argc, char** argv) {
       hazy::rpc::EncodeFrame(hazy::rpc::Opcode::kPing, id, {}, &c->out);
       c->sent.emplace(id, Clock::now());
     };
-    rtt = DriveLoad(server.port(), conns, inflight, target_requests, ping);
+    // A STATS prober rides along: every snapshot that comes back while the
+    // full connection count is pounding PING proves the opcode stays
+    // answerable under load.
+    rtt_probe = WithStatsProbe(server.port(), [&] {
+      rtt = DriveLoad(server.port(), conns, inflight, target_requests, ping);
+    });
     server.Stop();
   }
   if (rtt.connected < conns) {
@@ -245,6 +313,8 @@ int main(int argc, char** argv) {
   small.max_in_flight = 8;
   small.max_connections = 128;
   LoadResult overload;
+  StatsProbeResult overload_probe;
+  double registry_shed = -1;
   {
     hazy::server::Server server(&db, small);
     if (!server.Start().ok()) {
@@ -275,7 +345,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "overload setup failed\n");
       return 1;
     }
-    overload = DriveLoad(server.port(), 64, 4, overload_target, insert);
+    // The prober watches the admission queue (hazy_server_inflight) fill
+    // while the 1-worker server sheds, then a final snapshot records the
+    // registry's own count of BUSY-shed requests.
+    overload_probe = WithStatsProbe(server.port(), [&] {
+      overload = DriveLoad(server.port(), 64, 4, overload_target, insert);
+    });
+    auto client = hazy::client::HazyClient::Connect("127.0.0.1", server.port());
+    if (client.ok()) {
+      auto rs = (*client)->Stats("hazy_server_");
+      if (rs.ok()) {
+        registry_shed = RegistryValue(*rs, "hazy_server_busy_shed_total");
+      }
+    }
     server.Stop();
   }
 
@@ -301,7 +383,21 @@ int main(int argc, char** argv) {
                                overload.latencies_us.size())});
   table.AddRow({"overload_busy_frames", std::to_string(overload.busy)});
   table.AddRow({"overload_errors", std::to_string(overload.errors)});
+  table.AddRow({"stats_probe_ok (rtt)", std::to_string(rtt_probe.ok)});
+  table.AddRow({"stats_probe_ok (overload)", std::to_string(overload_probe.ok)});
+  table.AddRow({"stats_probe_failures",
+                std::to_string(rtt_probe.failed + overload_probe.failed)});
+  table.AddRow({"registry_busy_shed_total", std::to_string(registry_shed)});
+  table.AddRow({"admission_inflight_peak",
+                std::to_string(overload_probe.peak_inflight)});
   table.Print();
+  std::printf(
+      "STATS snapshots answered under load: %llu at %zu conns, %llu during "
+      "overload (%llu failures).\n",
+      static_cast<unsigned long long>(rtt_probe.ok), rtt.connected,
+      static_cast<unsigned long long>(overload_probe.ok),
+      static_cast<unsigned long long>(rtt_probe.failed +
+                                      overload_probe.failed));
 
   hazy::bench::ReportMetric("micro_server_rtt", "connections",
                             static_cast<double>(rtt.connected), "count");
@@ -310,5 +406,15 @@ int main(int argc, char** argv) {
   hazy::bench::ReportMetric("micro_server_rtt", "p99", p99, "us");
   hazy::bench::ReportMetric("micro_server_rtt", "busy_frames",
                             static_cast<double>(overload.busy), "count");
+  hazy::bench::ReportMetric("micro_server_rtt", "registry_busy_shed_total",
+                            registry_shed, "count");
+  hazy::bench::ReportMetric("micro_server_rtt", "admission_inflight_peak",
+                            overload_probe.peak_inflight, "count");
+  hazy::bench::ReportMetric("micro_server_rtt", "stats_probe_ok",
+                            static_cast<double>(rtt_probe.ok + overload_probe.ok),
+                            "count");
+  hazy::bench::ReportMetric(
+      "micro_server_rtt", "stats_probe_failures",
+      static_cast<double>(rtt_probe.failed + overload_probe.failed), "count");
   return hazy::bench::FlushBenchReport();
 }

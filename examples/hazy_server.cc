@@ -1,7 +1,10 @@
 // hazy_server: serves one Hazy database over the binary wire protocol.
 //
 //   $ ./hazy_server [--port N] [--db path] [--workers N] [--max-in-flight N]
-//                   [--max-connections N]
+//                   [--max-connections N] [--metrics-port N]
+//
+// --metrics-port starts a Prometheus scrape endpoint on that port (0 =
+// ephemeral, printed at startup): `curl http://127.0.0.1:<port>/metrics`.
 //
 // Connect with sql_shell ('\connect 127.0.0.1:<port>') or the client
 // library (client/hazy_client.h). The server prints the bound port on
@@ -13,6 +16,7 @@
 #include <cstring>
 
 #include "engine/database.h"
+#include "obs/exporter.h"
 #include "server/server.h"
 
 namespace {
@@ -52,6 +56,8 @@ int main(int argc, char** argv) {
   if (ParseFlag(argc, argv, "--max-connections", &v)) {
     srv_opts.max_connections = static_cast<size_t>(std::atoi(v));
   }
+  int metrics_port = -1;
+  if (ParseFlag(argc, argv, "--metrics-port", &v)) metrics_port = std::atoi(v);
 
   hazy::engine::Database db(db_opts);
   hazy::Status s = db.Open();
@@ -70,6 +76,19 @@ int main(int argc, char** argv) {
               "max_in_flight=%zu)\n",
               srv_opts.host.c_str(), server.port(), db.path().c_str(),
               srv_opts.worker_threads, srv_opts.max_in_flight);
+
+  hazy::obs::PrometheusExporter exporter;
+  if (metrics_port >= 0) {
+    s = exporter.Start(srv_opts.host, static_cast<uint16_t>(metrics_port));
+    if (!s.ok()) {
+      std::fprintf(stderr, "failed to start metrics endpoint: %s\n",
+                   s.ToString().c_str());
+      server.Stop();
+      return 1;
+    }
+    std::printf("metrics endpoint on http://%s:%u/metrics\n",
+                srv_opts.host.c_str(), exporter.port());
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, OnSignal);

@@ -8,7 +8,9 @@
 //
 // Statements end with ';'. '\q' quits, '\d' lists tables and views,
 // '\timing' toggles per-statement wall-time reporting (how you watch the
-// vectorized read path pay off interactively).
+// vectorized read path pay off interactively; on a remote session it also
+// prints the server-side span breakdown via SHOW TRACE), and '\metrics
+// [filter]' dumps the metrics registry over either transport.
 //
 // Batched view maintenance: a multi-row INSERT applies all its training
 // examples to each classification view as one UpdateBatch automatically.
@@ -67,6 +69,22 @@ bool CopyFile(const std::string& from, const std::string& to) {
   return dst.good();
 }
 
+// Pretty-prints a SHOW TRACE / EXPLAIN TRACE result (depth, span, count,
+// total_ms) as an indented span tree.
+void PrintTrace(const hazy::sql::ResultSet& rs) {
+  for (size_t i = 0; i < rs.rows.size(); ++i) {
+    auto depth = rs.Int64At(i, 0);
+    auto span = rs.TextAt(i, 1);
+    auto count = rs.Int64At(i, 2);
+    auto ms = rs.DoubleAt(i, 3);
+    if (!depth.ok() || !span.ok() || !count.ok() || !ms.ok()) continue;
+    std::printf("  %*s%s  %.3f ms", static_cast<int>(*depth * 2), "",
+                span->c_str(), *ms);
+    if (*count > 1) std::printf("  (x%lld)", static_cast<long long>(*count));
+    std::printf("\n");
+  }
+}
+
 void ListCatalog(Database* db) {
   std::printf("tables:\n");
   for (const auto& t : db->catalog()->TableNames()) {
@@ -98,7 +116,9 @@ int main() {
       "hazy sql shell — statements end with ';', \\q quits, \\d lists, "
       "\\connect host:port attaches to a hazy_server (\\connect local "
       "returns), \\batch on|off toggles batched view maintenance, "
-      "\\timing toggles per-statement wall time,\n"
+      "\\timing toggles per-statement wall time (plus the server-side span "
+      "breakdown when remote), \\metrics [filter] dumps the metrics registry "
+      "(SHOW METRICS / EXPLAIN TRACE <stmt> work as SQL too),\n"
       "\\save <path> checkpoints to a file, \\open <path> recovers from one, "
       "VACUUM; compacts the database file.\n"
       "PRAGMA knobs: wal_sync = every_commit|group_commit|never, "
@@ -193,6 +213,21 @@ int main() {
         (line == "\\timing" || line == "\\timing on" || line == "\\timing off")) {
       timing = line == "\\timing" ? !timing : line == "\\timing on";
       std::printf("timing %s\n", timing ? "on" : "off");
+      continue;
+    }
+    if (buffer.empty() &&
+        (line == "\\metrics" || line.rfind("\\metrics ", 0) == 0)) {
+      if (client == nullptr) {
+        std::printf("error: no session — \\open or \\connect first\n");
+        continue;
+      }
+      std::string filter = line.size() > 9 ? line.substr(9) : "";
+      auto rs = client->Stats(filter);
+      if (!rs.ok()) {
+        std::printf("error: %s\n", rs.status().ToString().c_str());
+      } else {
+        std::printf("%s\n", rs->ToString().c_str());
+      }
       continue;
     }
     if (buffer.empty() && line.rfind("\\save ", 0) == 0) {
@@ -312,7 +347,15 @@ int main() {
     } else {
       std::printf("%s\n", rs->ToString().c_str());
     }
-    if (timing) std::printf("Time: %.3f ms\n", elapsed_ms);
+    if (timing) {
+      std::printf("Time: %.3f ms\n", elapsed_ms);
+      // Remotely, wall time includes the network; ask the server how the
+      // statement's time actually broke down (its previous-statement trace).
+      if (rs.ok() && remote_session) {
+        auto trace = client->Query("SHOW TRACE;");
+        if (trace.ok() && !trace->rows.empty()) PrintTrace(*trace);
+      }
+    }
   }
   if (batching && db != nullptr) {
     auto s = db->EndUpdateBatch();

@@ -224,6 +224,15 @@ Status HazyClient::CloseStmt(const PreparedHandle& handle) {
   return Status::OK();
 }
 
+StatusOr<sql::ResultSet> HazyClient::Stats(const std::string& like) {
+  HAZY_ASSIGN_OR_RETURN(rpc::Frame reply, RoundTrip(rpc::Opcode::kStats, like));
+  if (reply.opcode != rpc::Opcode::kResult) {
+    return Status::Internal(StrFormat("STATS answered with %s",
+                                      rpc::OpcodeName(reply.opcode)));
+  }
+  return sql::ResultSet::Decode(reply.payload);
+}
+
 Status HazyClient::Ping() {
   HAZY_ASSIGN_OR_RETURN(rpc::Frame reply, RoundTrip(rpc::Opcode::kPing, {}));
   if (reply.opcode != rpc::Opcode::kPong) {

@@ -63,6 +63,12 @@ class HazyClient {
 
   Status CloseStmt(const PreparedHandle& handle);
 
+  /// Fetches the server's metrics-registry snapshot (STATS opcode). `like`
+  /// is a substring filter on metric names; "" returns everything. Over a
+  /// socket this is answered on the reactor thread, so it succeeds even
+  /// when QUERY would be shed with BUSY.
+  StatusOr<sql::ResultSet> Stats(const std::string& like = "");
+
   Status Ping();
 
   /// GOODBYE handshake + transport teardown. Idempotent; the destructor

@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace hazy {
 
@@ -63,6 +64,10 @@ void RunChunks(size_t n, size_t chunks, Fn&& fn) {
   std::condition_variable done_cv;
   size_t outstanding = 0;
   ThreadPool* pool = SharedThreadPool();
+  // Propagate the caller's statement trace into the workers so events they
+  // record (pool misses, evictions) are attributed to the statement. Workers
+  // only AddEvent — span open/close stays on the calling thread.
+  obs::TraceContext* parent_trace = obs::CurrentTrace();
   size_t index = 0;
   for (size_t begin = 0; begin < n; begin += chunk, ++index) {
     size_t end = begin + chunk < n ? begin + chunk : n;
@@ -70,7 +75,8 @@ void RunChunks(size_t n, size_t chunks, Fn&& fn) {
       std::lock_guard<std::mutex> lock(mu);
       ++outstanding;
     }
-    pool->Submit([&, index, begin, end] {
+    pool->Submit([&, index, begin, end, parent_trace] {
+      obs::ScopedTraceInstall install(parent_trace);
       fn(index, begin, end);
       std::lock_guard<std::mutex> lock(mu);
       if (--outstanding == 0) done_cv.notify_all();

@@ -36,21 +36,41 @@ Status ViewBase::LoadBaseState(persist::StateReader* r) {
   uint64_t steps = 0;
   HAZY_RETURN_NOT_OK(r->GetU64(&steps));
   trainer_.RestoreSteps(steps);
-  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.updates));
-  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.batches));
-  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.reorgs));
-  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.incremental_steps));
-  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.window_tuples));
-  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.tuples_scanned));
-  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.label_flips));
-  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.single_reads));
-  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.reads_by_bounds));
-  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.reads_by_buffer));
-  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.reads_from_store));
-  HAZY_RETURN_NOT_OK(r->GetU64(&stats_.all_members_queries));
-  HAZY_RETURN_NOT_OK(r->GetDouble(&stats_.total_update_seconds));
-  HAZY_RETURN_NOT_OK(r->GetDouble(&stats_.total_reorg_seconds));
-  return r->GetDouble(&stats_.last_reorg_cost);
+  // Stats fields are relaxed-atomic cells; deserialize through plain
+  // temporaries (the reader wants raw uint64_t*/double* slots).
+  uint64_t u = 0;
+  double d = 0;
+  HAZY_RETURN_NOT_OK(r->GetU64(&u));
+  stats_.updates = u;
+  HAZY_RETURN_NOT_OK(r->GetU64(&u));
+  stats_.batches = u;
+  HAZY_RETURN_NOT_OK(r->GetU64(&u));
+  stats_.reorgs = u;
+  HAZY_RETURN_NOT_OK(r->GetU64(&u));
+  stats_.incremental_steps = u;
+  HAZY_RETURN_NOT_OK(r->GetU64(&u));
+  stats_.window_tuples = u;
+  HAZY_RETURN_NOT_OK(r->GetU64(&u));
+  stats_.tuples_scanned = u;
+  HAZY_RETURN_NOT_OK(r->GetU64(&u));
+  stats_.label_flips = u;
+  HAZY_RETURN_NOT_OK(r->GetU64(&u));
+  stats_.single_reads = u;
+  HAZY_RETURN_NOT_OK(r->GetU64(&u));
+  stats_.reads_by_bounds = u;
+  HAZY_RETURN_NOT_OK(r->GetU64(&u));
+  stats_.reads_by_buffer = u;
+  HAZY_RETURN_NOT_OK(r->GetU64(&u));
+  stats_.reads_from_store = u;
+  HAZY_RETURN_NOT_OK(r->GetU64(&u));
+  stats_.all_members_queries = u;
+  HAZY_RETURN_NOT_OK(r->GetDouble(&d));
+  stats_.total_update_seconds = d;
+  HAZY_RETURN_NOT_OK(r->GetDouble(&d));
+  stats_.total_reorg_seconds = d;
+  HAZY_RETURN_NOT_OK(r->GetDouble(&d));
+  stats_.last_reorg_cost = d;
+  return Status::OK();
 }
 
 }  // namespace hazy::core

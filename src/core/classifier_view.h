@@ -27,6 +27,7 @@
 #include "ml/model.h"
 #include "ml/sgd.h"
 #include "ml/vector.h"
+#include "obs/metrics.h"
 
 namespace hazy::persist {
 class StateWriter;
@@ -68,22 +69,27 @@ struct ViewOptions {
 };
 
 /// \brief Counters every view maintains (benchmarks report these).
+///
+/// Fields are relaxed-atomic cells (obs::RelaxedU64/F64) so the metrics
+/// registry's scrape thread can read them while statement threads mutate:
+/// each field is independently consistent, a copied struct is a per-field
+/// snapshot, and the arithmetic call sites read exactly as before.
 struct ViewStats {
-  uint64_t updates = 0;
-  uint64_t batches = 0;            ///< UpdateBatch calls (each >= 1 update)
-  uint64_t reorgs = 0;
-  uint64_t incremental_steps = 0;
-  uint64_t window_tuples = 0;      ///< tuples inspected inside water windows
-  uint64_t tuples_scanned = 0;     ///< tuples touched by full scans
-  uint64_t label_flips = 0;
-  uint64_t single_reads = 0;
-  uint64_t reads_by_bounds = 0;    ///< answered by the ε-map/water test alone
-  uint64_t reads_by_buffer = 0;    ///< hybrid: answered from the buffer
-  uint64_t reads_from_store = 0;   ///< had to touch the backing store
-  uint64_t all_members_queries = 0;
-  double total_update_seconds = 0.0;
-  double total_reorg_seconds = 0.0;
-  double last_reorg_cost = 0.0;    ///< S in the Skiing accounting
+  obs::RelaxedU64 updates;
+  obs::RelaxedU64 batches;          ///< UpdateBatch calls (each >= 1 update)
+  obs::RelaxedU64 reorgs;
+  obs::RelaxedU64 incremental_steps;
+  obs::RelaxedU64 window_tuples;    ///< tuples inspected inside water windows
+  obs::RelaxedU64 tuples_scanned;   ///< tuples touched by full scans
+  obs::RelaxedU64 label_flips;
+  obs::RelaxedU64 single_reads;
+  obs::RelaxedU64 reads_by_bounds;  ///< answered by the ε-map/water test alone
+  obs::RelaxedU64 reads_by_buffer;  ///< hybrid: answered from the buffer
+  obs::RelaxedU64 reads_from_store;  ///< had to touch the backing store
+  obs::RelaxedU64 all_members_queries;
+  obs::RelaxedF64 total_update_seconds;
+  obs::RelaxedF64 total_reorg_seconds;
+  obs::RelaxedF64 last_reorg_cost;  ///< S in the Skiing accounting
 };
 
 /// \brief Abstract classification view.
@@ -131,6 +137,15 @@ class ClassificationView {
 
   /// Count of entities currently labeled `label` (the Fig 4(B) query).
   virtual StatusOr<uint64_t> AllMembersCount(int label) = 0;
+
+  /// Current Skiing water lines when the architecture maintains them
+  /// (Hazy MM/OD); false otherwise. Exported as gauges by the metrics
+  /// registry's view collector.
+  virtual bool WaterLines(double* low, double* high) const {
+    (void)low;
+    (void)high;
+    return false;
+  }
 
   /// The current model (reflects every Update so far).
   virtual const ml::LinearModel& model() const = 0;

@@ -243,6 +243,7 @@ StatusOr<int> HazyMMView::SingleEntityRead(int64_t id) {
 template <typename Emit>
 StatusOr<uint64_t> HazyMMView::LazyMembersScan(int label, Emit emit) {
   if (strategy_->ShouldReorganize(reorg_cost_)) Reorganize();
+  obs::TraceScope scan_span(obs::SpanKind::kLazyScan);
   Timer timer;
   const size_t begin = LowerBound(water_.low_water());
   const size_t wend = LowerBound(water_.high_water());

@@ -45,6 +45,12 @@ class HazyMMView : public ViewBase {
   /// Current water lines (exposed for experiments like Fig 13).
   const WaterLineTracker& water() const { return water_; }
 
+  bool WaterLines(double* low, double* high) const override {
+    *low = water_.low_water();
+    *high = water_.high_water();
+    return true;
+  }
+
   /// Number of tuples currently inside [lw, hw) — the Fig 13 series.
   size_t WindowSize() const;
 

@@ -77,6 +77,7 @@ Status HazyODView::BulkLoad(const std::vector<Entity>& entities) {
 }
 
 Status HazyODView::Reorganize() {
+  obs::TraceScope sweep_span(obs::SpanKind::kRelabelSweep);
   Timer timer;
   // Materialize everything, re-score under the current model, re-cluster.
   std::vector<EntityRecord> records;
@@ -275,6 +276,7 @@ StatusOr<int> HazyODView::SingleEntityRead(int64_t id) {
 
 StatusOr<uint64_t> HazyODView::LazyMembersScan(int label, std::vector<int64_t>* out) {
   if (strategy_->ShouldReorganize(reorg_cost_)) HAZY_RETURN_NOT_OK(Reorganize());
+  obs::TraceScope scan_span(obs::SpanKind::kLazyScan);
   Timer timer;
   const double lw = water_.low_water();
   const double hw = water_.high_water();

@@ -59,6 +59,12 @@ class HazyODView : public ViewBase {
   Status LoadState(persist::StateReader* r) override;
 
   const WaterLineTracker& water() const { return water_; }
+
+  bool WaterLines(double* low, double* high) const override {
+    *low = water_.low_water();
+    *high = water_.high_water();
+    return true;
+  }
   uint64_t DiskBytes() const { return (heap_->num_pages() + tree_->num_pages()) *
                                       storage::kPageSize; }
   uint64_t num_rows() const { return num_rows_; }

@@ -42,6 +42,7 @@ void NaiveMMView::ClassifyAllRows(std::vector<int8_t>* labels) const {
 }
 
 void NaiveMMView::ReclassifyAll() {
+  obs::TraceScope sweep_span(obs::SpanKind::kRelabelSweep);
   std::vector<int8_t> labels;
   ClassifyAllRows(&labels);
   uint64_t flips = 0;
@@ -100,6 +101,7 @@ StatusOr<std::vector<int64_t>> NaiveMMView::AllMembers(int label) {
   } else {
     // Lazy: the classification pass dominates; shard it, then collect ids
     // in row order.
+    obs::TraceScope scan_span(obs::SpanKind::kLazyScan);
     std::vector<int8_t> labels;
     ClassifyAllRows(&labels);
     for (size_t i = 0; i < rows_.size(); ++i) {
@@ -118,6 +120,7 @@ StatusOr<uint64_t> NaiveMMView::AllMembersCount(int label) {
       if (r.label == label) ++n;
     }
   } else {
+    obs::TraceScope scan_span(obs::SpanKind::kLazyScan);
     std::vector<int8_t> labels;
     ClassifyAllRows(&labels);
     for (int8_t l : labels) {

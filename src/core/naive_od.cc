@@ -54,8 +54,10 @@ Status NaiveODView::AddEntity(const Entity& entity) {
 Status NaiveODView::ReclassifyAll() {
   // The eager relabel sweep, page-striped and strip-scored through the scan
   // pipeline (labels are patched in place on each worker's own pages).
+  uint64_t scanned = 0;
   HAZY_ASSIGN_OR_RETURN(uint64_t flips,
-                        RelabelHeapScan(&heap_, model_, &stats_.tuples_scanned));
+                        RelabelHeapScan(&heap_, model_, &scanned));
+  stats_.tuples_scanned += scanned;
   stats_.label_flips += flips;
   return Status::OK();
 }

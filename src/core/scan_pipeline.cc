@@ -20,6 +20,7 @@ size_t HeapScanChunks(const storage::HeapFile& heap) {
 StatusOr<uint64_t> RelabelHeapScan(storage::HeapFile* heap,
                                    const ml::LinearModel& model,
                                    uint64_t* rows_scanned) {
+  obs::TraceScope sweep_span(obs::SpanKind::kRelabelSweep);
 #ifdef HAZY_SCALAR_ONLY
   // Pre-pipeline baseline: sequential scan + per-record Patch round trips.
   uint64_t flips = 0;
@@ -156,6 +157,7 @@ StatusOr<uint64_t> RelabelHeapScan(storage::HeapFile* heap,
 Status ClassifyRids(const storage::HeapFile& heap, const ml::LinearModel& model,
                     const std::vector<std::pair<int64_t, storage::Rid>>& rids,
                     std::vector<int8_t>* labels) {
+  obs::TraceScope window_span(obs::SpanKind::kWindowStep);
   labels->resize(rids.size());
 #ifdef HAZY_SCALAR_ONLY
   std::string buf;
@@ -200,6 +202,7 @@ Status ClassifyRids(const storage::HeapFile& heap, const ml::LinearModel& model,
 
 StatusOr<uint64_t> RelabelRids(storage::HeapFile* heap, const ml::LinearModel& model,
                                const std::vector<std::pair<int64_t, storage::Rid>>& rids) {
+  obs::TraceScope window_span(obs::SpanKind::kWindowStep);
 #ifdef HAZY_SCALAR_ONLY
   uint64_t flips = 0;
   std::string buf;

@@ -33,6 +33,7 @@
 #include "ml/model.h"
 #include "ml/simd.h"
 #include "ml/vector.h"
+#include "obs/trace.h"
 #include "storage/heap_file.h"
 
 namespace hazy::core {
@@ -121,6 +122,9 @@ class StripScorer {
 template <typename Emit>
 Status ScoreHeapScan(const storage::HeapFile& heap, const ml::LinearModel& model,
                      Emit emit) {
+  // Every caller of a scoring heap scan is computing labels on demand — the
+  // lazy read path — so the span lives here rather than in each view.
+  obs::TraceScope scan_span(obs::SpanKind::kLazyScan);
 #ifdef HAZY_SCALAR_ONLY
   // Pre-pipeline baseline: sequential scan, per-tuple materializing decode.
   Status inner;

@@ -9,7 +9,11 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "common/timer.h"
+#include "core/view_factory.h"
 #include "ml/model_selection.h"
+#include "obs/stats_collectors.h"
+#include "obs/trace.h"
 #include "persist/checkpoint.h"
 #include "persist/serde.h"
 #include "storage/coding.h"
@@ -21,6 +25,7 @@ using storage::Value;
 
 Status ManagedView::Flush() {
   if (pending_.empty()) return Status::OK();
+  obs::TraceScope drain_span(obs::SpanKind::kTriggerDrain);
   // A mid-batch read is folding the queue early: log the fold point, so
   // replay reproduces the exact same UpdateBatch boundaries (they are
   // visible in eps/water bookkeeping, not just in answers).
@@ -73,7 +78,9 @@ StatusOr<int> ManagedView::LabelSign(const std::string& label) const {
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
 
 Database::~Database() {
-  // Background threads first: the daemon would checkpoint into (and the
+  // Collectors first: the registry must stop polling handles about to die.
+  UnregisterStatsCollectors();
+  // Background threads next: the daemon would checkpoint into (and the
   // writer flush into) the file handles being torn down.
   if (ckpt_daemon_) ckpt_daemon_->Stop();
   if (pool_) pool_->StopBackgroundWriter();
@@ -91,6 +98,7 @@ Status Database::Open() {
   if (!s.ok()) {
     // Leave the object closed and reusable; never leak a temp file created
     // by a failed open.
+    UnregisterStatsCollectors();
     if (ckpt_daemon_) ckpt_daemon_->Stop();
     ckpt_daemon_.reset();
     if (pool_) pool_->StopBackgroundWriter();
@@ -189,7 +197,46 @@ Status Database::StartBackgroundServices() {
     ckpt_daemon_ = std::make_unique<persist::CheckpointDaemon>(this, options_.checkpointer);
     ckpt_daemon_->Start();
   }
+  RegisterStatsCollectors();
   return Status::OK();
+}
+
+namespace {
+
+/// Label body identifying this database: the backing file's basename.
+std::string DbLabel(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  return StrFormat("db=\"%s\"", base.c_str());
+}
+
+std::string ViewLabel(const ClassificationViewDef& def) {
+  return StrFormat("view=\"%s\",arch=\"%s\"", def.view_name.c_str(),
+                   core::ArchitectureToString(def.architecture));
+}
+
+}  // namespace
+
+void Database::RegisterStatsCollectors() {
+  if (!stats_collectors_.empty()) return;  // idempotent per open
+  const std::string labels = DbLabel(path_);
+  stats_collectors_.push_back(obs::RegisterWalStats(wal_.get(), labels));
+  stats_collectors_.push_back(obs::RegisterBufferPoolStats(pool_.get(), labels));
+  stats_collectors_.push_back(obs::RegisterPagerStats(pager_.get(), labels));
+  for (const auto& mv : views_) {
+    // Provider, not pointer: delete/relabel rebuilds swap the inner view
+    // object; the ManagedView wrapper is the stable identity.
+    view_collectors_.push_back(obs::RegisterViewStats(
+        [p = mv.get()]() { return p->view(); }, ViewLabel(mv->def())));
+  }
+}
+
+void Database::UnregisterStatsCollectors() {
+  for (uint64_t id : view_collectors_) obs::UnregisterStats(id);
+  view_collectors_.clear();
+  for (uint64_t id : stats_collectors_) obs::UnregisterStats(id);
+  stats_collectors_.clear();
 }
 
 Status Database::SetCheckpointDaemonEnabled(bool enabled) {
@@ -238,14 +285,23 @@ Status Database::SetBackgroundWriterEnabled(bool enabled) {
 
 StatusOr<uint64_t> Database::Checkpoint() {
   if (!pager_) return Status::InvalidArgument("database not open");
+  obs::TraceScope ckpt_span(obs::SpanKind::kCheckpoint);
   // The commit section excludes foreground statements (the background
   // checkpointer's "short pause"); its own system-table writes re-enter the
   // gate as the exclusive owner.
+  const int64_t commit_t0 = NowNanos();
   storage::StatementGate::ExclusiveGuard gate(&gate_);
   if (in_update_batch()) {
     return Status::InvalidArgument("cannot checkpoint inside an update batch");
   }
-  return persist::ViewCheckpointer(this).Checkpoint();
+  obs::TraceScope commit_span(obs::SpanKind::kCheckpointCommit);
+  StatusOr<uint64_t> epoch = persist::ViewCheckpointer(this).Checkpoint();
+  // Always-on pause accounting (the daemon thread carries no trace): how
+  // long foreground statements were excluded, gate wait included.
+  static obs::Histogram* commit_hist =
+      obs::Registry::Global().GetHistogram("hazy_checkpoint_commit_us");
+  commit_hist->Observe(static_cast<double>(NowNanos() - commit_t0) / 1000.0);
+  return epoch;
 }
 
 StatusOr<std::string> Database::EntityDocument(const ManagedView& mv,
@@ -387,6 +443,12 @@ StatusOr<ManagedView*> Database::CreateClassificationView(
   HAZY_RETURN_NOT_OK(ArmTriggers(raw));
 
   views_.push_back(std::move(mv));
+  // During recovery replay the collectors are not yet registered;
+  // RegisterStatsCollectors picks the view up once the database is live.
+  if (!stats_collectors_.empty()) {
+    view_collectors_.push_back(obs::RegisterViewStats(
+        [raw]() { return raw->view(); }, ViewLabel(def)));
+  }
 
   if (wal_) {
     // The view is derived state, but its creation is DDL that must replay
@@ -788,6 +850,7 @@ Status Database::CopyCompactInto(Database* fresh) {
 }
 
 void Database::ResetHandles() {
+  UnregisterStatsCollectors();
   if (ckpt_daemon_) ckpt_daemon_->Stop();
   ckpt_daemon_.reset();
   if (pool_) pool_->StopBackgroundWriter();

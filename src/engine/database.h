@@ -210,6 +210,16 @@ class Database {
   /// Write-back batch size (PRAGMA writer_batch_pages).
   void SetWriterBatchPages(size_t pages);
 
+  /// Slow-statement log threshold in milliseconds (PRAGMA
+  /// slow_statement_ms). Statements whose traced wall clock meets the
+  /// threshold dump their span tree to the log. Negative = disabled.
+  int64_t slow_statement_ms() const {
+    return slow_statement_ms_.load(std::memory_order_relaxed);
+  }
+  void set_slow_statement_ms(int64_t ms) {
+    slow_statement_ms_.store(ms, std::memory_order_relaxed);
+  }
+
   /// Creates and populates a classification view over existing tables,
   /// and wires the triggers that keep it maintained.
   StatusOr<ManagedView*> CreateClassificationView(const ClassificationViewDef& def);
@@ -253,6 +263,14 @@ class Database {
   /// Brings up the async write-back thread and (when enabled) the
   /// checkpoint daemon once recovery has the database consistent.
   Status StartBackgroundServices();
+
+  /// Publishes the WAL/pool/pager stats and every live view's stats to the
+  /// global metrics registry (obs/stats_collectors.h). Idempotent per open.
+  void RegisterStatsCollectors();
+
+  /// Withdraws all registry collectors before their subsystems die;
+  /// lifetime counters fold into the registry's retired totals.
+  void UnregisterStatsCollectors();
 
   /// Replays the WAL's committed logical records through the normal table /
   /// trigger entry points (recovery redo; logical logging paused).
@@ -310,6 +328,12 @@ class Database {
   /// checkpoint daemon can peek without taking the gate.
   std::atomic<int> batch_depth_{0};
   std::atomic<bool> checkpoint_requested_{false};
+  std::atomic<int64_t> slow_statement_ms_{-1};
+  /// Registry collector handles for the storage-layer stats (WAL, pool,
+  /// pager) registered by Open and released by ResetHandles. View
+  /// collectors live in view_collectors_ keyed alongside views_.
+  std::vector<uint64_t> stats_collectors_;
+  std::vector<uint64_t> view_collectors_;
   /// Advanced under the exclusive gate by checkpoints; atomic so observers
   /// (tests, shell banners) can read it without one.
   std::atomic<uint64_t> checkpoint_epoch_{0};

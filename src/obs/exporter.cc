@@ -1,0 +1,118 @@
+#include "obs/exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace hazy::obs {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+void SendAll(int fd, std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // scraper went away; nothing to do about it
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+PrometheusExporter::~PrometheusExporter() { Stop(); }
+
+Status PrometheusExporter::Start(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrFormat("bad metrics address '%s'", host.c_str()));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Errno("bind");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status s = Errno("getsockname");
+    ::close(fd);
+    return s;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Serve(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void PrometheusExporter::Stop() {
+  if (!started_) return;
+  started_ = false;
+  stop_.store(true, std::memory_order_relaxed);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void PrometheusExporter::Serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      if (stop_.load(std::memory_order_relaxed)) return;
+      continue;  // transient (EMFILE, ECONNABORTED): keep serving
+    }
+    // A stalled scraper must not wedge Stop() behind a blocked recv.
+    timeval tv{/*tv_sec=*/2, /*tv_usec=*/0};
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    // Read whatever request line the scraper sent (one recv is enough for
+    // any real `GET /metrics HTTP/1.1` request; the content is ignored).
+    char buf[4096];
+    const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+    if (n > 0) {
+      const std::string body = Registry::Global().RenderPrometheus();
+      std::string response = StrFormat(
+          "HTTP/1.1 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+          "Content-Length: %zu\r\n"
+          "Connection: close\r\n"
+          "\r\n",
+          body.size());
+      response += body;
+      SendAll(conn, response);
+    }
+    ::close(conn);
+  }
+}
+
+}  // namespace hazy::obs

@@ -1,0 +1,57 @@
+// A minimal Prometheus scrape endpoint: one background thread, a blocking
+// accept loop over a listening socket, one request per connection. Every
+// HTTP request — the path is not even inspected — is answered with the
+// registry's text exposition (format 0.0.4). That is deliberately crude and
+// deliberately dependency-free: a scraper issues `GET /metrics` every few
+// seconds; it does not need keep-alive, TLS, or routing.
+
+#ifndef HAZY_OBS_EXPORTER_H_
+#define HAZY_OBS_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace hazy::obs {
+
+/// \brief Serves Registry::Global().RenderPrometheus() over HTTP.
+///
+/// Start() binds and spawns the serving thread; Stop() (or the destructor)
+/// shuts the listener down and joins. One exporter per process is typical
+/// but nothing enforces it — each instance owns its own socket.
+class PrometheusExporter {
+ public:
+  PrometheusExporter() = default;
+  ~PrometheusExporter();
+
+  PrometheusExporter(const PrometheusExporter&) = delete;
+  PrometheusExporter& operator=(const PrometheusExporter&) = delete;
+
+  /// Binds `host:port` (port 0 = ephemeral, read back via port()) and
+  /// starts answering scrapes. Fails on bind/listen errors.
+  Status Start(const std::string& host, uint16_t port);
+
+  /// Closes the listener and joins the serving thread. Idempotent.
+  void Stop();
+
+  /// Port actually bound (valid after Start()).
+  uint16_t port() const { return port_; }
+
+ private:
+  void Serve();
+
+  int listen_fd_ = -1;
+  /// Stop() raises this, then shutdown()s the listener so the blocked
+  /// accept() in Serve() returns and observes it.
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  uint16_t port_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace hazy::obs
+
+#endif  // HAZY_OBS_EXPORTER_H_

@@ -1,0 +1,291 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace hazy::obs {
+
+namespace {
+
+// A family's Prometheus TYPE given the kinds of its samples.
+const char* PromType(SampleKind k) {
+  switch (k) {
+    case SampleKind::kCounter:
+    case SampleKind::kHistCount:
+    case SampleKind::kHistSum:
+      return "counter";
+    case SampleKind::kGauge:
+    case SampleKind::kHistQuantile:
+      return "gauge";
+  }
+  return "untyped";
+}
+
+std::string FormatValue(double v) {
+  // Integral values print without a fraction; everything else keeps enough
+  // digits to round-trip monitoring math.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* SampleKindName(SampleKind k) {
+  switch (k) {
+    case SampleKind::kCounter:
+      return "counter";
+    case SampleKind::kGauge:
+      return "gauge";
+    case SampleKind::kHistCount:
+      return "hist_count";
+    case SampleKind::kHistSum:
+      return "hist_sum";
+    case SampleKind::kHistQuantile:
+      return "hist_quantile";
+  }
+  return "unknown";
+}
+
+void Histogram::Observe(double value) {
+  buckets_[BucketIndex(value)] += 1;
+  count_ += 1;
+  sum_ += value < 0 ? 0 : value;
+}
+
+int Histogram::BucketIndex(double value) {
+  if (!(value >= 1)) return 0;  // negatives and NaN land in bucket 0
+  if (value >= 9.223372036854776e18) return kNumBuckets - 1;  // >= 2^63
+  uint64_t v = static_cast<uint64_t>(value);
+  int log2 = 63 - __builtin_clzll(v);
+  return std::min(1 + log2, kNumBuckets - 1);
+}
+
+double Histogram::BucketUpperBound(int i) {
+  if (i <= 0) return 1.0;
+  return std::ldexp(1.0, i);  // 2^i
+}
+
+std::array<uint64_t, Histogram::kNumBuckets> Histogram::BucketCounts() const {
+  std::array<uint64_t, kNumBuckets> out;
+  for (int i = 0; i < kNumBuckets; ++i) out[i] = buckets_[i].load();
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  std::array<uint64_t, kNumBuckets> b = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : b) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  double target = q * static_cast<double>(total);
+  double cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (b[i] == 0) continue;
+    double next = cum + static_cast<double>(b[i]);
+    if (next >= target) {
+      double lower = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
+      double width = i == 0 ? 1.0 : lower;  // bucket i spans [2^(i-1), 2^i)
+      double frac = (target - cum) / static_cast<double>(b[i]);
+      return lower + frac * width;
+    }
+    cum = next;
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    uint64_t c = other.buckets_[i].load();
+    if (c != 0) buckets_[i] += c;
+  }
+  count_ += other.count_.load();
+  sum_ += other.sum_.load();
+}
+
+Registry& Registry::Global() {
+  static Registry* r = new Registry();  // never destroyed: outlive all users
+  return *r;
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[{name, labels}];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[{name, labels}];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[{name, labels}];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+uint64_t Registry::RegisterCollector(CollectorFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_collector_id_++;
+  collectors_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Registry::UnregisterCollector(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collectors_.find(id);
+  if (it == collectors_.end()) return;
+  SampleList last;
+  it->second(&last);
+  for (const Sample& s : last.samples) {
+    if (s.kind == SampleKind::kCounter) {
+      retired_counters_[{s.name, s.labels}] += s.value;
+    }
+  }
+  collectors_.erase(it);
+}
+
+std::vector<Sample> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Counter samples merge by (name, labels): live collector output plus
+  // retired totals from unregistered collectors.
+  std::map<Key, double> counter_vals;
+  std::vector<Sample> out;
+  for (const auto& [key, c] : counters_) {
+    counter_vals[key] += static_cast<double>(c->value());
+  }
+  for (const auto& [key, v] : retired_counters_) counter_vals[key] += v;
+  for (const auto& [key, g] : gauges_) {
+    out.push_back({key.first, key.second, SampleKind::kGauge,
+                   static_cast<double>(g->value())});
+  }
+  for (const auto& [key, h] : histograms_) {
+    out.push_back({key.first + "_count", key.second, SampleKind::kHistCount,
+                   static_cast<double>(h->count())});
+    out.push_back({key.first + "_sum", key.second, SampleKind::kHistSum,
+                   h->sum()});
+    out.push_back({key.first + "_p50", key.second, SampleKind::kHistQuantile,
+                   h->Quantile(0.50)});
+    out.push_back({key.first + "_p95", key.second, SampleKind::kHistQuantile,
+                   h->Quantile(0.95)});
+    out.push_back({key.first + "_p99", key.second, SampleKind::kHistQuantile,
+                   h->Quantile(0.99)});
+  }
+  SampleList collected;
+  for (const auto& entry : collectors_) entry.second(&collected);
+  for (Sample& s : collected.samples) {
+    if (s.kind == SampleKind::kCounter) {
+      counter_vals[{s.name, s.labels}] += s.value;
+    } else {
+      out.push_back(std::move(s));
+    }
+  }
+  for (const auto& [key, v] : counter_vals) {
+    out.push_back({key.first, key.second, SampleKind::kCounter, v});
+  }
+  std::sort(out.begin(), out.end(), [](const Sample& a, const Sample& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.labels < b.labels;
+  });
+  return out;
+}
+
+std::string Registry::RenderPrometheus() const {
+  // One line family grouping pass over a snapshot, except histograms which
+  // render as proper summaries (quantile label, _sum, _count) from the raw
+  // instruments.
+  struct Family {
+    const char* type = "untyped";
+    std::vector<std::string> lines;
+  };
+  std::map<std::string, Family> families;
+  auto add = [&families](const std::string& name, const std::string& labels,
+                         SampleKind kind, double value) {
+    Family& f = families[name];
+    f.type = PromType(kind);
+    std::string line = name;
+    if (!labels.empty()) line += "{" + labels + "}";
+    line += " " + FormatValue(value);
+    f.lines.push_back(std::move(line));
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<Key, double> counter_vals;
+    for (const auto& [key, c] : counters_) {
+      counter_vals[key] += static_cast<double>(c->value());
+    }
+    for (const auto& [key, v] : retired_counters_) counter_vals[key] += v;
+    SampleList collected;
+    for (const auto& entry : collectors_) entry.second(&collected);
+    for (const Sample& s : collected.samples) {
+      if (s.kind == SampleKind::kCounter) {
+        counter_vals[{s.name, s.labels}] += s.value;
+      } else {
+        add(s.name, s.labels, s.kind, s.value);
+      }
+    }
+    for (const auto& [key, v] : counter_vals) {
+      add(key.first, key.second, SampleKind::kCounter, v);
+    }
+    for (const auto& [key, g] : gauges_) {
+      add(key.first, key.second, SampleKind::kGauge,
+          static_cast<double>(g->value()));
+    }
+    for (const auto& [key, h] : histograms_) {
+      Family& f = families[key.first];
+      f.type = "summary";
+      static constexpr struct {
+        const char* label;
+        double q;
+      } kQuantiles[] = {{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}};
+      for (const auto& [qlabel, q] : kQuantiles) {
+        std::string labels = key.second.empty()
+                                 ? std::string("quantile=\"") + qlabel + "\""
+                                 : key.second + ",quantile=\"" + qlabel + "\"";
+        std::string line = key.first + "{" + labels + "} " +
+                           FormatValue(h->Quantile(q));
+        f.lines.push_back(std::move(line));
+      }
+      auto suffixed = [&key](const char* suffix, double v) {
+        std::string line = key.first + suffix;
+        if (!key.second.empty()) line += "{" + key.second + "}";
+        line += " " + FormatValue(v);
+        return line;
+      };
+      f.lines.push_back(suffixed("_sum", h->sum()));
+      f.lines.push_back(
+          suffixed("_count", static_cast<double>(h->count())));
+    }
+  }
+
+  std::string out;
+  for (const auto& [name, family] : families) {
+    out += "# TYPE " + name + " " + family.type + "\n";
+    for (const std::string& line : family.lines) out += line + "\n";
+  }
+  return out;
+}
+
+void Registry::ResetValuesForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : counters_) *entry.second = Counter();
+  for (auto& entry : gauges_) entry.second->Set(0);
+  for (auto& entry : histograms_) *entry.second = Histogram();
+  retired_counters_.clear();
+}
+
+}  // namespace hazy::obs

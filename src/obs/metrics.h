@@ -1,0 +1,256 @@
+// Process-wide metrics registry: lock-free counters and gauges over relaxed
+// atomics, log-bucketed latency histograms with quantile extraction, and
+// labeled metric families.
+//
+// Two ways for a subsystem to publish:
+//
+//  1. Native instruments — `Registry::GetCounter/GetGauge/GetHistogram`
+//     return stable pointers owned by the registry for the life of the
+//     process. Hot paths hold the pointer and bump it with relaxed atomics.
+//
+//  2. Collectors — a callback registered with `RegisterCollector` that is
+//     polled at snapshot time and appends samples from existing stats
+//     structs (`WalStats`, `BufferPoolStats`, `PagerStats`, `ViewStats`).
+//     This keeps those structs as the source of truth (tests keep reading
+//     them directly) while the registry becomes the single export surface.
+//     When a collector is unregistered (its subsystem is being torn down),
+//     its final counter samples are folded into persistent "retired"
+//     totals, so process-lifetime counters survive e.g. a `Database` close.
+//
+// Every sample is (name, labels, kind, value). Labels are a preformatted
+// Prometheus label body without braces, e.g. `view="spam",arch="hazy_mm"`,
+// or empty. All reads are relaxed: each field is independently consistent,
+// not a cross-field atomic snapshot — fine for monitoring, documented here
+// once so call sites don't re-litigate it.
+
+#ifndef HAZY_OBS_METRICS_H_
+#define HAZY_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hazy::obs {
+
+/// \brief A uint64 counter cell: copyable, relaxed-atomic, and usable as a
+/// drop-in replacement for a plain `uint64_t` stats field.
+///
+/// Copy/assignment transfer the value (relaxed load + store), so stats
+/// structs containing these remain value types: `ViewStats s = view.stats()`
+/// takes an independently-consistent per-field snapshot.
+class RelaxedU64 {
+ public:
+  RelaxedU64() = default;
+  RelaxedU64(uint64_t v) : v_(v) {}  // NOLINT: implicit by design
+  RelaxedU64(const RelaxedU64& o) : v_(o.load()) {}
+  RelaxedU64& operator=(const RelaxedU64& o) {
+    store(o.load());
+    return *this;
+  }
+  RelaxedU64& operator=(uint64_t v) {
+    store(v);
+    return *this;
+  }
+  operator uint64_t() const { return load(); }  // NOLINT: implicit by design
+  RelaxedU64& operator+=(uint64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedU64& operator-=(uint64_t d) {
+    v_.fetch_sub(d, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedU64& operator++() { return *this += 1; }
+  uint64_t operator++(int) { return v_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t load() const { return v_.load(std::memory_order_relaxed); }
+  void store(uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// \brief A double accumulator cell with the same copy/relaxed semantics as
+/// RelaxedU64. `+=` is a CAS loop (no atomic<double>::fetch_add pre-C++20).
+class RelaxedF64 {
+ public:
+  RelaxedF64() = default;
+  RelaxedF64(double v) : v_(v) {}  // NOLINT: implicit by design
+  RelaxedF64(const RelaxedF64& o) : v_(o.load()) {}
+  RelaxedF64& operator=(const RelaxedF64& o) {
+    store(o.load());
+    return *this;
+  }
+  RelaxedF64& operator=(double v) {
+    store(v);
+    return *this;
+  }
+  operator double() const { return load(); }  // NOLINT: implicit by design
+  RelaxedF64& operator+=(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+    }
+    return *this;
+  }
+  double load() const { return v_.load(std::memory_order_relaxed); }
+  void store(double v) { v_.store(v, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+enum class SampleKind : uint8_t {
+  kCounter,        // monotonically increasing
+  kGauge,          // instantaneous level
+  kHistCount,      // histogram observation count (monotonic)
+  kHistSum,        // histogram observation sum (monotonic)
+  kHistQuantile,   // interpolated quantile (gauge-like)
+};
+
+const char* SampleKindName(SampleKind k);
+
+struct Sample {
+  std::string name;    // Prometheus-safe family name, e.g. "hazy_wal_syncs_total"
+  std::string labels;  // label body without braces; "" for none
+  SampleKind kind = SampleKind::kCounter;
+  double value = 0;
+};
+
+/// \brief Append-only sample sink handed to collectors.
+class SampleList {
+ public:
+  void Counter(std::string name, std::string labels, double value) {
+    samples.push_back({std::move(name), std::move(labels),
+                       SampleKind::kCounter, value});
+  }
+  void Gauge(std::string name, std::string labels, double value) {
+    samples.push_back({std::move(name), std::move(labels), SampleKind::kGauge,
+                       value});
+  }
+  std::vector<Sample> samples;
+};
+
+/// \brief Registry-owned monotonic counter.
+class Counter {
+ public:
+  void Add(uint64_t d) { v_ += d; }
+  void Increment() { v_ += 1; }
+  uint64_t value() const { return v_.load(); }
+
+ private:
+  RelaxedU64 v_;
+};
+
+/// \brief Registry-owned instantaneous gauge (signed).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief Log-bucketed (base-2) histogram for non-negative values.
+///
+/// Bucket 0 holds [0,1); bucket i (i>=1) holds [2^(i-1), 2^i). 64 buckets
+/// cover the full uint64 range, so microsecond latencies up to ~584 000
+/// years never saturate. Observations are relaxed-atomic bumps — concurrent
+/// writers race only on the accuracy of `sum` vs `count` skew, never on
+/// bucket integrity.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(); }
+  double sum() const { return sum_.load(); }
+
+  /// Interpolated quantile (q in [0,1]) assuming uniform distribution
+  /// within a bucket. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  /// Folds `other`'s buckets/count/sum into this one (relaxed; accurate when
+  /// `other` is quiescent).
+  void MergeFrom(const Histogram& other);
+
+  /// Per-bucket counts (relaxed loads).
+  std::array<uint64_t, kNumBuckets> BucketCounts() const;
+
+  /// Index of the bucket that holds `value` (exposed for tests).
+  static int BucketIndex(double value);
+
+  /// Inclusive upper bound of bucket `i` ( = 2^i - epsilon conceptually;
+  /// returned as 2^i, the exclusive bound, except bucket 0 which returns 1).
+  static double BucketUpperBound(int i);
+
+ private:
+  std::array<RelaxedU64, kNumBuckets> buckets_;
+  RelaxedU64 count_;
+  RelaxedF64 sum_;
+};
+
+/// \brief The process-wide registry. All methods are thread-safe.
+class Registry {
+ public:
+  static Registry& Global();
+
+  /// Returns the named instrument, creating it on first use. The pointer is
+  /// stable for the life of the process. (name, labels) identifies the cell;
+  /// `name` alone identifies the family.
+  Counter* GetCounter(const std::string& name, const std::string& labels = "");
+  Gauge* GetGauge(const std::string& name, const std::string& labels = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& labels = "");
+
+  using CollectorFn = std::function<void(SampleList*)>;
+
+  /// Registers `fn` to be polled at snapshot time; returns a handle for
+  /// Unregister. Collector callbacks must not call back into the registry.
+  uint64_t RegisterCollector(CollectorFn fn);
+
+  /// Removes the collector, folding its final kCounter samples into
+  /// persistent retired totals so lifetime counts survive subsystem
+  /// teardown.
+  void UnregisterCollector(uint64_t id);
+
+  /// One coherent-enough view of everything: native instruments (histograms
+  /// expanded into _count/_sum/quantile samples), live collectors, and
+  /// retired totals (merged into same-keyed counter samples). Sorted by
+  /// (name, labels).
+  std::vector<Sample> Snapshot() const;
+
+  /// Prometheus text exposition format 0.0.4. Histograms render as
+  /// summaries with quantile labels.
+  std::string RenderPrometheus() const;
+
+  /// Test hook: zeroes native instrument values and drops retired totals.
+  /// Instrument pointers stay valid; registered collectors are untouched.
+  void ResetValuesForTest();
+
+ private:
+  Registry() = default;
+
+  using Key = std::pair<std::string, std::string>;  // (name, labels)
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  std::map<uint64_t, CollectorFn> collectors_;
+  std::map<Key, double> retired_counters_;
+  uint64_t next_collector_id_ = 1;
+};
+
+}  // namespace hazy::obs
+
+#endif  // HAZY_OBS_METRICS_H_

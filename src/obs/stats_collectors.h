@@ -1,0 +1,47 @@
+// Bridges the existing per-subsystem stats structs (WalStats,
+// BufferPoolStats, PagerStats, ViewStats) into the metrics registry as
+// collector callbacks. The structs stay the source of truth — tests and
+// benches keep reading them directly — and the registry polls them at
+// snapshot time. Each Register* returns the collector handle; the owner
+// unregisters it before destroying the subsystem (the registry folds the
+// final counter values into retired totals, so lifetime counts survive).
+
+#ifndef HAZY_OBS_STATS_COLLECTORS_H_
+#define HAZY_OBS_STATS_COLLECTORS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace hazy::core {
+class ClassificationView;
+}  // namespace hazy::core
+namespace hazy::storage {
+class BufferPool;
+class Pager;
+class Wal;
+}  // namespace hazy::storage
+
+namespace hazy::obs {
+
+// `labels` is a preformatted Prometheus label body (no braces), e.g.
+// `db="spam.hz"`, attached to every sample the collector emits.
+
+uint64_t RegisterWalStats(const storage::Wal* wal, std::string labels);
+uint64_t RegisterBufferPoolStats(const storage::BufferPool* pool,
+                                 std::string labels);
+uint64_t RegisterPagerStats(const storage::Pager* pager, std::string labels);
+/// `view` is a provider, not a pointer: a delete/relabel retrains the model
+/// from scratch (paper footnote 2), which REPLACES the underlying view
+/// object — the provider re-resolves it at every poll (and at the final
+/// fold inside UnregisterCollector), so the collector never holds a pointer
+/// the rebuild invalidated. May return null (view being torn down): the
+/// collector emits nothing that poll.
+uint64_t RegisterViewStats(
+    std::function<const core::ClassificationView*()> view, std::string labels);
+
+void UnregisterStats(uint64_t id);
+
+}  // namespace hazy::obs
+
+#endif  // HAZY_OBS_STATS_COLLECTORS_H_

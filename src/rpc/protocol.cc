@@ -15,6 +15,7 @@ bool IsKnownOpcode(uint8_t op) {
     case Opcode::kCloseStmt:
     case Opcode::kPing:
     case Opcode::kGoodbye:
+    case Opcode::kStats:
     case Opcode::kHelloOk:
     case Opcode::kResult:
     case Opcode::kPrepared:
@@ -44,6 +45,8 @@ const char* OpcodeName(Opcode op) {
       return "PING";
     case Opcode::kGoodbye:
       return "GOODBYE";
+    case Opcode::kStats:
+      return "STATS";
     case Opcode::kHelloOk:
       return "HELLO_OK";
     case Opcode::kResult:

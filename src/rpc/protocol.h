@@ -50,6 +50,10 @@ enum class Opcode : uint8_t {
   kCloseStmt = 0x05,     ///< u32 stmt id
   kPing = 0x06,          ///< empty
   kGoodbye = 0x07,       ///< empty; server acks then closes
+  kStats = 0x08,         ///< metrics snapshot; payload = substring filter
+                         ///< ("" = all). Answered with kResult. Served on
+                         ///< the reactor thread, bypassing admission, so it
+                         ///< works while the server is saturated.
 
   // Responses (server -> client).
   kHelloOk = 0x81,    ///< u32 version, string server name

@@ -1,5 +1,7 @@
 #include "server/server.h"
 
+#include "obs/metrics.h"
+
 namespace hazy::server {
 
 namespace {
@@ -26,12 +28,22 @@ Status Server::Start() {
   HAZY_RETURN_NOT_OK(reactor_.Open());
   reactor_thread_ = std::thread([this] { reactor_.Run(); });
   started_ = true;
+  stats_collector_ =
+      obs::Registry::Global().RegisterCollector([this](obs::SampleList* out) {
+        out->Counter("hazy_server_busy_shed_total", "",
+                     static_cast<double>(dispatcher_.rejected()));
+        out->Gauge("hazy_server_inflight", "",
+                   static_cast<double>(dispatcher_.in_flight()));
+        out->Gauge("hazy_server_connections", "",
+                   static_cast<double>(reactor_.num_connections()));
+      });
   return Status::OK();
 }
 
 void Server::Stop() {
   if (!started_) return;
   started_ = false;
+  obs::Registry::Global().UnregisterCollector(stats_collector_);
   reactor_.Stop();
   reactor_thread_.join();
   // Workers may still hold responses for connections the reactor no longer
@@ -61,6 +73,13 @@ void Server::OnDisconnect(uint64_t conn_id) {
 }
 
 void Server::OnFrame(uint64_t conn_id, const rpc::FrameView& frame) {
+  if (frame.opcode == rpc::Opcode::kStats) {
+    // Answered right here on the reactor thread: STATS never queues behind
+    // statements and never sheds as BUSY, so the metrics snapshot stays
+    // reachable while the worker pool is saturated (or wedged).
+    reactor_.Send(conn_id, Session::StatsFrame(frame));
+    return;
+  }
   std::shared_ptr<Session> session = FindSession(conn_id);
   if (session == nullptr) return;  // raced a close
   rpc::Frame owned = rpc::Frame::Copy(frame);

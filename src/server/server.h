@@ -75,6 +75,9 @@ class Server : private rpc::ReactorHandler {
   rpc::Reactor reactor_;
   std::thread reactor_thread_;
   bool started_ = false;
+  /// Registry collector exporting shed/in-flight/connection levels
+  /// (registered in Start, unregistered in Stop).
+  uint64_t stats_collector_ = 0;
 
   std::mutex mu_;
   std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;

@@ -1,6 +1,7 @@
 #include "server/session.h"
 
 #include "common/strings.h"
+#include "sql/metrics_result.h"
 #include "sql/parser.h"
 
 namespace hazy::server {
@@ -23,6 +24,16 @@ std::string Session::BusyFrame(uint32_t request_id) {
   std::string frame;
   rpc::EncodeFrame(rpc::Opcode::kBusy, request_id, payload, &frame);
   return frame;
+}
+
+std::string Session::StatsFrame(const rpc::FrameView& frame) {
+  sql::ResultSet rs = sql::MetricsResultSet(std::string(frame.payload));
+  std::string payload;
+  Status s = rs.Encode(&payload);
+  if (!s.ok()) return ErrorFrame(frame.request_id, s);
+  std::string out;
+  rpc::EncodeFrame(rpc::Opcode::kResult, frame.request_id, payload, &out);
+  return out;
 }
 
 std::string Session::ErrorFrame(uint32_t request_id, const Status& status) {
@@ -144,6 +155,11 @@ std::string Session::HandleLocked(const rpc::FrameView& frame, bool* close_after
       }
       return EmptyFrame(rpc::Opcode::kStmtClosed, frame.request_id);
     }
+
+    case rpc::Opcode::kStats:
+      // Loopback path; the socket server answers this on the reactor thread
+      // without entering the session at all.
+      return StatsFrame(frame);
 
     case rpc::Opcode::kPing:
       return EmptyFrame(rpc::Opcode::kPong, frame.request_id);

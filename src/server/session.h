@@ -35,6 +35,12 @@ class Session {
   /// request (built here so both transports shed with identical bytes).
   static std::string BusyFrame(uint32_t request_id);
 
+  /// The STATS response: a metrics-registry snapshot as a kResult frame
+  /// (payload of the request = substring filter). Static and lock-free with
+  /// respect to session and statement state, so the server answers it on
+  /// the reactor thread even when every worker is wedged.
+  static std::string StatsFrame(const rpc::FrameView& frame);
+
   size_t num_prepared() const;
 
  private:

@@ -79,7 +79,7 @@ struct VacuumStmt {};
 /// reports the current setting. Knobs: wal_sync (every_commit | group_commit
 /// | never), group_commit_interval, wal_checkpoint_bytes,
 /// wal_checkpoint_seconds, checkpoint_daemon (on | off), bg_writer
-/// (on | off), writer_batch_pages.
+/// (on | off), writer_batch_pages, slow_statement_ms.
 struct PragmaStmt {
   std::string name;
   /// Integers arrive as int64, identifiers/strings as std::string; absent
@@ -87,9 +87,27 @@ struct PragmaStmt {
   std::optional<storage::Value> value;
 };
 
+/// SHOW METRICS [LIKE 'substring'] — snapshot of the process-wide metrics
+/// registry as (name, labels, kind, value) rows.
+struct ShowMetricsStmt {
+  std::string like;  ///< empty = everything; else substring filter on name
+};
+
+/// SHOW TRACE — the span breakdown of the previous traced statement on this
+/// executor (what remote \timing fetches after the statement itself).
+struct ShowTraceStmt {};
+
+/// EXPLAIN TRACE <stmt> — runs the inner statement under a fresh trace and
+/// returns its span tree instead of its result. The inner statement is kept
+/// as raw SQL (not a nested Statement) so the variant stays copyable.
+struct ExplainTraceStmt {
+  std::string sql;
+};
+
 using Statement = std::variant<CreateTableStmt, CreateViewStmt, InsertStmt,
                                SelectStmt, DeleteStmt, UpdateStmt, CheckpointStmt,
-                               VacuumStmt, PragmaStmt>;
+                               VacuumStmt, PragmaStmt, ShowMetricsStmt,
+                               ShowTraceStmt, ExplainTraceStmt>;
 
 /// Where a '?' placeholder sits inside a parsed statement. Slots are recorded
 /// in left-to-right SQL order, so parameter i of an EXEC binds to slot i.

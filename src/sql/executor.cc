@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/logging.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 #include "persist/checkpoint.h"
+#include "sql/metrics_result.h"
 #include "sql/parser.h"
 
 namespace hazy::sql {
@@ -35,8 +38,58 @@ StatusOr<bool> MatchesPredicate(const storage::Schema& schema, const Row& row,
 }
 
 StatusOr<ResultSet> Executor::Execute(const std::string& sql) {
-  HAZY_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
-  return Execute(stmt);
+  if (obs::CurrentTrace() != nullptr) {
+    // Already under a trace (EXPLAIN TRACE's inner statement, or a caller
+    // that installed its own context): contribute spans, don't re-root.
+    StatusOr<Statement> stmt = Status::InvalidArgument("not parsed");
+    {
+      obs::TraceScope parse_span(obs::SpanKind::kParse);
+      stmt = Parse(sql);
+    }
+    HAZY_RETURN_NOT_OK(stmt.status());
+    obs::TraceScope exec_span(obs::SpanKind::kExecute);
+    return Execute(*stmt);
+  }
+
+  trace_.Clear();
+  obs::ScopedTraceInstall install(&trace_);
+  const int root = trace_.OpenSpan(obs::SpanKind::kStatement);
+  StatusOr<Statement> stmt = Status::InvalidArgument("not parsed");
+  {
+    obs::TraceScope parse_span(obs::SpanKind::kParse);
+    stmt = Parse(sql);
+  }
+  StatusOr<ResultSet> result = Status::InvalidArgument("not executed");
+  if (stmt.ok()) {
+    obs::TraceScope exec_span(obs::SpanKind::kExecute);
+    result = Execute(*stmt);
+  } else {
+    result = stmt.status();
+  }
+  trace_.CloseSpan(root);
+  // SHOW TRACE must keep returning the *previous* statement's spans, and
+  // EXPLAIN TRACE already stored its inner trace.
+  const bool save = stmt.ok() &&
+                    std::get_if<ShowTraceStmt>(&*stmt) == nullptr &&
+                    std::get_if<ExplainTraceStmt>(&*stmt) == nullptr;
+  FinishStatementTrace(sql, save);
+  return result;
+}
+
+void Executor::FinishStatementTrace(const std::string& sql, bool save_last_trace) {
+  if (save_last_trace) last_trace_rows_ = trace_.Flatten();
+  const double total_ms = static_cast<double>(trace_.root_duration_ns()) / 1e6;
+  // Registered lazily on first statement, so the family only exists once
+  // it has observations (dead-metric lint invariant).
+  static obs::Histogram* stmt_hist =
+      obs::Registry::Global().GetHistogram("hazy_statement_us");
+  stmt_hist->Observe(static_cast<double>(trace_.root_duration_ns()) / 1000.0);
+  const int64_t threshold_ms = db_->slow_statement_ms();
+  if (threshold_ms >= 0 && total_ms >= static_cast<double>(threshold_ms)) {
+    obs::Registry::Global().GetCounter("hazy_slow_statements_total")->Increment();
+    HAZY_LOG(Warning) << "slow statement (" << total_ms << " ms): " << sql
+                      << "\n" << trace_.ToTreeString();
+  }
 }
 
 StatusOr<ResultSet> Executor::Execute(const PreparedStatement& prepared,
@@ -60,7 +113,44 @@ StatusOr<ResultSet> Executor::Execute(const Statement& stmt) {
   if (std::get_if<CheckpointStmt>(&stmt) != nullptr) return ExecCheckpoint();
   if (std::get_if<VacuumStmt>(&stmt) != nullptr) return ExecVacuum();
   if (const auto* s = std::get_if<PragmaStmt>(&stmt)) return ExecPragma(*s);
+  if (const auto* s = std::get_if<ShowMetricsStmt>(&stmt)) return ExecShowMetrics(*s);
+  if (std::get_if<ShowTraceStmt>(&stmt) != nullptr) return ExecShowTrace();
+  if (const auto* s = std::get_if<ExplainTraceStmt>(&stmt)) return ExecExplainTrace(*s);
   return Status::Internal("unhandled statement kind");
+}
+
+StatusOr<ResultSet> Executor::ExecShowMetrics(const ShowMetricsStmt& stmt) {
+  return MetricsResultSet(stmt.like);
+}
+
+StatusOr<ResultSet> Executor::ExecShowTrace() {
+  return TraceResultSet(last_trace_rows_);
+}
+
+StatusOr<ResultSet> Executor::ExecExplainTrace(const ExplainTraceStmt& stmt) {
+  // The inner statement runs under its own fresh context (replacing any
+  // outer trace for the scope) so the reported tree measures it alone.
+  obs::TraceContext trace;
+  StatusOr<ResultSet> result = Status::InvalidArgument("not executed");
+  {
+    obs::ScopedTraceInstall install(&trace);
+    const int root = trace.OpenSpan(obs::SpanKind::kStatement);
+    StatusOr<Statement> inner = Status::InvalidArgument("not parsed");
+    {
+      obs::TraceScope parse_span(obs::SpanKind::kParse);
+      inner = Parse(stmt.sql);
+    }
+    if (inner.ok()) {
+      obs::TraceScope exec_span(obs::SpanKind::kExecute);
+      result = Execute(*inner);
+    } else {
+      result = inner.status();
+    }
+    trace.CloseSpan(root);
+  }
+  HAZY_RETURN_NOT_OK(result.status());
+  last_trace_rows_ = trace.Flatten();
+  return TraceResultSet(last_trace_rows_);
 }
 
 namespace {
@@ -185,6 +275,13 @@ StatusOr<ResultSet> Executor::ExecPragma(const PragmaStmt& stmt) {
     }
     return PragmaRow(
         name, std::string(db_->buffer_pool()->background_writer_running() ? "on" : "off"));
+  }
+  if (EqualsIgnoreCase(name, "slow_statement_ms")) {
+    if (has_value) {
+      HAZY_ASSIGN_OR_RETURN(int64_t n, PragmaInt(stmt));
+      db_->set_slow_statement_ms(n);
+    }
+    return PragmaRow(name, db_->slow_statement_ms());
   }
   if (EqualsIgnoreCase(name, "writer_batch_pages")) {
     if (has_value) {

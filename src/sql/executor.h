@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "engine/database.h"
+#include "obs/trace.h"
 #include "sql/ast.h"
 #include "sql/parser.h"
 #include "sql/result_set.h"
@@ -29,7 +30,11 @@ class Executor {
  public:
   explicit Executor(engine::Database* db) : db_(db) {}
 
-  /// Parses and executes one statement (Parse + Execute).
+  /// Parses and executes one statement (Parse + Execute). When no trace is
+  /// already installed on this thread, the whole statement runs under the
+  /// executor's own TraceContext: parse/execute spans, subsystem events,
+  /// the statement latency histogram, and the slow-statement log. The
+  /// resulting span rows are kept for SHOW TRACE.
   StatusOr<ResultSet> Execute(const std::string& sql);
 
   /// Executes an already-parsed statement.
@@ -39,6 +44,11 @@ class Executor {
   /// (BindParams + Execute).
   StatusOr<ResultSet> Execute(const PreparedStatement& prepared,
                               const std::vector<storage::Value>& params);
+
+  /// Span rows of the last traced statement (what SHOW TRACE returns).
+  const std::vector<obs::TraceRow>& last_trace() const {
+    return last_trace_rows_;
+  }
 
  private:
   StatusOr<ResultSet> ExecCreateTable(const CreateTableStmt& stmt);
@@ -51,8 +61,18 @@ class Executor {
   StatusOr<ResultSet> ExecCheckpoint();
   StatusOr<ResultSet> ExecVacuum();
   StatusOr<ResultSet> ExecPragma(const PragmaStmt& stmt);
+  StatusOr<ResultSet> ExecShowMetrics(const ShowMetricsStmt& stmt);
+  StatusOr<ResultSet> ExecShowTrace();
+  StatusOr<ResultSet> ExecExplainTrace(const ExplainTraceStmt& stmt);
+
+  /// Statement-latency histogram, SHOW TRACE bookkeeping, and the slow log
+  /// for one completed trace (`sql` only for the log line).
+  void FinishStatementTrace(const std::string& sql, bool save_last_trace);
 
   engine::Database* db_;
+  /// Reused across statements (Clear keeps allocations).
+  obs::TraceContext trace_;
+  std::vector<obs::TraceRow> last_trace_rows_;
 };
 
 /// True if `row` satisfies `pred` under `schema`.

@@ -1,0 +1,36 @@
+#include "sql/metrics_result.h"
+
+#include "obs/metrics.h"
+
+namespace hazy::sql {
+
+ResultSet MetricsResultSet(const std::string& like) {
+  ResultSet rs;
+  rs.columns = {{"metric", storage::ColumnType::kText},
+                {"labels", storage::ColumnType::kText},
+                {"kind", storage::ColumnType::kText},
+                {"value", storage::ColumnType::kDouble}};
+  for (const obs::Sample& s : obs::Registry::Global().Snapshot()) {
+    if (!like.empty() && s.name.find(like) == std::string::npos) continue;
+    rs.rows.push_back(storage::Row{s.name, s.labels,
+                                   std::string(obs::SampleKindName(s.kind)),
+                                   s.value});
+  }
+  return rs;
+}
+
+ResultSet TraceResultSet(const std::vector<obs::TraceRow>& rows) {
+  ResultSet rs;
+  rs.columns = {{"depth", storage::ColumnType::kInt64},
+                {"span", storage::ColumnType::kText},
+                {"count", storage::ColumnType::kInt64},
+                {"total_ms", storage::ColumnType::kDouble}};
+  for (const obs::TraceRow& row : rows) {
+    rs.rows.push_back(storage::Row{static_cast<int64_t>(row.depth), row.span,
+                                   static_cast<int64_t>(row.count),
+                                   row.total_ms});
+  }
+  return rs;
+}
+
+}  // namespace hazy::sql

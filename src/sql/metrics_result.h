@@ -1,0 +1,28 @@
+// Builders for the observability ResultSets. Shared between the SQL
+// executor (SHOW METRICS / SHOW TRACE / EXPLAIN TRACE) and the server's
+// STATS opcode, which answers on the reactor thread without ever taking the
+// statement path.
+
+#ifndef HAZY_SQL_METRICS_RESULT_H_
+#define HAZY_SQL_METRICS_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "sql/result_set.h"
+
+namespace hazy::sql {
+
+/// Snapshot of the global metrics registry as rows of
+/// (metric TEXT, labels TEXT, kind TEXT, value DOUBLE). `like` filters by
+/// substring on the metric name ("" = everything).
+ResultSet MetricsResultSet(const std::string& like);
+
+/// Flattened trace rows as (depth INT, span TEXT, count INT, total_ms
+/// DOUBLE); the schema SHOW TRACE and EXPLAIN TRACE share.
+ResultSet TraceResultSet(const std::vector<obs::TraceRow>& rows);
+
+}  // namespace hazy::sql
+
+#endif  // HAZY_SQL_METRICS_RESULT_H_

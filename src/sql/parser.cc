@@ -377,8 +377,39 @@ StatusOr<Statement> ParseUpdate(Cursor* c) {
   return Statement(std::move(stmt));
 }
 
+// SHOW METRICS [LIKE 'substring'] | SHOW TRACE
+StatusOr<Statement> ParseShow(Cursor* c) {
+  if (c->AcceptKeyword("METRICS")) {
+    ShowMetricsStmt stmt;
+    if (c->AcceptKeyword("LIKE")) {
+      const Token& t = c->Peek();
+      if (t.type != TokenType::kString) {
+        return Status::InvalidArgument("LIKE expects a quoted string");
+      }
+      stmt.like = t.text;
+      c->Advance();
+    }
+    return Statement(std::move(stmt));
+  }
+  if (c->AcceptKeyword("TRACE")) return Statement(ShowTraceStmt{});
+  return Status::InvalidArgument("expected METRICS or TRACE after SHOW");
+}
+
 StatusOr<Statement> ParseImpl(const std::string& sql, std::vector<ParamSlot>* slots) {
   HAZY_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  // EXPLAIN TRACE wraps a whole statement: keep the inner text verbatim (by
+  // byte offset of the third token) instead of re-assembling it from tokens.
+  if (tokens.size() >= 2 && tokens[0].type == TokenType::kIdentifier &&
+      EqualsIgnoreCase(tokens[0].text, "EXPLAIN")) {
+    if (tokens[1].type != TokenType::kIdentifier ||
+        !EqualsIgnoreCase(tokens[1].text, "TRACE")) {
+      return Status::InvalidArgument("expected TRACE after EXPLAIN");
+    }
+    if (tokens.size() < 3 || tokens[2].type == TokenType::kEnd) {
+      return Status::InvalidArgument("EXPLAIN TRACE expects a statement");
+    }
+    return Statement(ExplainTraceStmt{sql.substr(tokens[2].offset)});
+  }
   Cursor c(std::move(tokens));
   if (slots != nullptr) c.EnableParams(slots);
 
@@ -406,6 +437,8 @@ StatusOr<Statement> ParseImpl(const std::string& sql, std::vector<ParamSlot>* sl
     result = Statement(VacuumStmt{});
   } else if (c.AcceptKeyword("PRAGMA")) {
     result = ParsePragma(&c);
+  } else if (c.AcceptKeyword("SHOW")) {
+    result = ParseShow(&c);
   } else {
     return Status::InvalidArgument(
         StrFormat("unknown statement '%s'", c.Peek().text.c_str()));

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "storage/bg_writer.h"
 #include "storage/page.h"
 
@@ -70,6 +71,9 @@ BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
 BufferPool::~BufferPool() { StopBackgroundWriter(); }
 
 void BufferPool::ResetStats() {
+  // Per-field relaxed stores: a concurrent fetch may bump a counter between
+  // two of these zeroings, so post-reset values are independently consistent
+  // per field (the BufferPoolStats contract), never torn within a field.
   stats_.hits.store(0, std::memory_order_relaxed);
   stats_.misses.store(0, std::memory_order_relaxed);
   stats_.evictions.store(0, std::memory_order_relaxed);
@@ -229,7 +233,11 @@ StatusOr<PageHandle> BufferPool::Fetch(uint32_t page_id) {
     // io_pending.
     char* dest = frame.data.get();
     lock.unlock();
-    Status s = pager_->Read(page_id, dest);
+    Status s;
+    {
+      obs::TraceEventTimer miss_timer(obs::SpanKind::kPoolMiss);
+      s = pager_->Read(page_id, dest);
+    }
     lock.lock();
     frame.io_pending = false;
     if (!s.ok()) {
@@ -610,6 +618,7 @@ StatusOr<size_t> BufferPool::GetVictim(std::unique_lock<std::mutex>& lock) {
     if (frame.dirty) {
       // Synchronous mode: image + fsync + write inline (the pre-writer
       // behavior, kept as the bench baseline).
+      obs::TraceEventTimer evict_timer(obs::SpanKind::kPoolEvict);
       HAZY_RETURN_NOT_OK(WriteBack(frame));
     }
     page_table_.erase(frame.page_id);

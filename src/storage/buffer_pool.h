@@ -49,23 +49,47 @@
 
 namespace hazy::storage {
 
+/// Plain-value snapshot of the pool counters. Each field is one relaxed
+/// load taken independently: fields are internally exact but carry no
+/// cross-field atomicity (hits may already include a fetch whose miss the
+/// same snapshot missed). That is the documented contract for every stats
+/// consumer — monitoring and benches never need a fenced multi-field view.
+struct BufferPoolStatsSnapshot {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+  }
+};
+
 /// Hit/miss/eviction counters (reported by the experiment harnesses).
 /// Atomic: the background writer completes write-backs concurrently with
-/// foreground fetch accounting.
+/// foreground fetch accounting. Readers that look at more than one field
+/// must go through Snapshot() so every field is loaded exactly once.
 struct BufferPoolStats {
   std::atomic<uint64_t> hits{0};
   std::atomic<uint64_t> misses{0};
   std::atomic<uint64_t> evictions{0};
   std::atomic<uint64_t> dirty_writebacks{0};
 
-  double HitRate() const {
-    uint64_t total = hits.load(std::memory_order_relaxed) +
-                     misses.load(std::memory_order_relaxed);
-    return total == 0
-               ? 0.0
-               : static_cast<double>(hits.load(std::memory_order_relaxed)) /
-                     static_cast<double>(total);
+  BufferPoolStatsSnapshot Snapshot() const {
+    BufferPoolStatsSnapshot s;
+    s.hits = hits.load(std::memory_order_relaxed);
+    s.misses = misses.load(std::memory_order_relaxed);
+    s.evictions = evictions.load(std::memory_order_relaxed);
+    s.dirty_writebacks = dirty_writebacks.load(std::memory_order_relaxed);
+    return s;
   }
+
+  // Loads `hits` once via Snapshot: the old inline version read it twice,
+  // so a concurrent bump between the reads produced a rate > 1.0.
+  double HitRate() const { return Snapshot().HitRate(); }
 };
 
 /// Tuning for the background write-back thread (storage/bg_writer.h).

@@ -21,6 +21,8 @@
 #include <shared_mutex>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace hazy::storage {
 
 class StatementGate {
@@ -37,7 +39,11 @@ class StatementGate {
       if (gate_ != nullptr &&
           gate_->exclusive_owner_.load(std::memory_order_relaxed) !=
               std::this_thread::get_id()) {
+        // Time spent here is a statement stalled behind a checkpoint commit
+        // section — the ROADMAP item-2 (MVCC-lite) justification metric.
+        const int64_t t0 = NowNanos();
         gate_->mu_.lock_shared();
+        RecordWait(/*exclusive=*/false, t0);
         locked_ = true;
       }
     }
@@ -57,7 +63,11 @@ class StatementGate {
    public:
     explicit ExclusiveGuard(StatementGate* gate) : gate_(gate) {
       if (gate_ != nullptr) {
+        // The exclusive wait is the checkpoint daemon stalled behind live
+        // statements (the dual starvation signal).
+        const int64_t t0 = NowNanos();
         gate_->mu_.lock();
+        RecordWait(/*exclusive=*/true, t0);
         gate_->exclusive_owner_.store(std::this_thread::get_id(),
                                       std::memory_order_relaxed);
       }
@@ -76,6 +86,22 @@ class StatementGate {
   };
 
  private:
+  // Always-on wait accounting: the registry histogram fills even for gate
+  // holders with no trace installed (the checkpoint daemon thread), and the
+  // current statement's trace — when there is one — gets the event too.
+  static void RecordWait(bool exclusive, int64_t start_ns) {
+    static obs::Histogram* shared_hist = obs::Registry::Global().GetHistogram(
+        "hazy_gate_wait_us", "mode=\"shared\"");
+    static obs::Histogram* exclusive_hist =
+        obs::Registry::Global().GetHistogram("hazy_gate_wait_us",
+                                             "mode=\"exclusive\"");
+    const uint64_t dur_ns = static_cast<uint64_t>(NowNanos() - start_ns);
+    (exclusive ? exclusive_hist : shared_hist)
+        ->Observe(static_cast<double>(dur_ns) / 1000.0);
+    obs::TraceContext* trace = obs::CurrentTrace();
+    if (trace != nullptr) trace->AddEvent(obs::SpanKind::kGateWait, dur_ns);
+  }
+
   std::shared_mutex mu_;
   std::atomic<std::thread::id> exclusive_owner_{};
 };

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "storage/coding.h"
 
 namespace hazy::storage {
@@ -266,6 +267,7 @@ Status Wal::FlushBufferLocked() {
 
 Status Wal::AppendRecordLocked(WalRecordType type, std::string_view payload,
                                uint64_t* lsn) {
+  obs::TraceEventTimer append_timer(obs::SpanKind::kWalAppend);
   if (fd_ < 0) return Status::InvalidArgument("wal not open");
   if (payload.size() > kMaxPayload) {
     // Fail the statement rather than write a record recovery would reject.
@@ -382,6 +384,7 @@ Status Wal::EnsureDurable(uint64_t lsn) {
 }
 
 Status Wal::SyncLocked() {
+  obs::TraceEventTimer sync_timer(obs::SpanKind::kWalFsync);
   if (fd_ < 0) return Status::InvalidArgument("wal not open");
   HAZY_RETURN_NOT_OK(FlushBufferLocked());
   if (fault_hook_ && fault_hook_("wal_sync", kInvalidPageId) != kFaultNone) {

@@ -1,0 +1,289 @@
+// Metrics-registry unit tests: log-bucket boundaries, quantile
+// interpolation, histogram merge, concurrent-writer accuracy (every
+// observation lands: relaxed atomics lose ordering, never increments), the
+// registry's snapshot/render surfaces, and retired-counter folding when a
+// collector unregisters. Plus the trace layer: span-tree shape, event
+// aggregation, and the thread-local install discipline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hazy::obs {
+namespace {
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds [0,1); bucket i (i>=1) holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(0.5), 0);
+  EXPECT_EQ(Histogram::BucketIndex(0.999), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1.0), 1);
+  EXPECT_EQ(Histogram::BucketIndex(1.999), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2.0), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3.999), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4.0), 3);
+  EXPECT_EQ(Histogram::BucketIndex(1024.0), 11);
+  EXPECT_EQ(Histogram::BucketIndex(1025.0), 11);
+  EXPECT_EQ(Histogram::BucketIndex(2047.0), 11);
+  EXPECT_EQ(Histogram::BucketIndex(2048.0), 12);
+  // Degenerate inputs all land in bucket 0 rather than indexing garbage.
+  EXPECT_EQ(Histogram::BucketIndex(-5.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(std::nan("")), 0);
+  // The top bucket absorbs everything at and beyond 2^63.
+  EXPECT_EQ(Histogram::BucketIndex(1e19), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(1e300), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, CountSumAndBuckets) {
+  Histogram h;
+  h.Observe(0.5);
+  h.Observe(3.0);
+  h.Observe(3.5);
+  h.Observe(100.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+  auto b = h.BucketCounts();
+  EXPECT_EQ(b[0], 1u);  // 0.5
+  EXPECT_EQ(b[2], 2u);  // 3.0, 3.5 in [2,4)
+  EXPECT_EQ(b[7], 1u);  // 100 in [64,128)
+}
+
+TEST(HistogramTest, QuantileInterpolation) {
+  Histogram h;
+  // 100 observations uniformly placed in bucket [64,128).
+  for (int i = 0; i < 100; ++i) h.Observe(64.0);
+  // All mass in one bucket: quantiles interpolate linearly across [64,128).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 64.0);
+  EXPECT_NEAR(h.Quantile(0.5), 96.0, 1.0);
+  EXPECT_NEAR(h.Quantile(1.0), 128.0, 1.0);
+  // Out-of-range q clamps instead of exploding.
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), h.Quantile(1.0));
+}
+
+TEST(HistogramTest, QuantileEmptyIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileSplitsAcrossBuckets) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Observe(2.0);    // bucket [2,4)
+  for (int i = 0; i < 10; ++i) h.Observe(1000.0);  // bucket [512,1024)
+  double p50 = h.Quantile(0.50);
+  EXPECT_GE(p50, 2.0);
+  EXPECT_LT(p50, 4.0);
+  double p99 = h.Quantile(0.99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+}
+
+TEST(HistogramTest, MergeFrom) {
+  Histogram a, b;
+  a.Observe(1.0);
+  a.Observe(10.0);
+  b.Observe(100.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 111.0);
+  auto counts = a.BucketCounts();
+  EXPECT_EQ(counts[Histogram::BucketIndex(100.0)], 1u);
+}
+
+TEST(HistogramTest, ConcurrentWritersLoseNothing) {
+  // Relaxed atomics may reorder, but every observation must land exactly
+  // once: count, bucket totals, and sum all reconcile.
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<double>((t * 37 + i) % 1000));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : h.BucketCounts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(RegistryTest, InstrumentsAreStableAndKeyed) {
+  Registry& r = Registry::Global();
+  Counter* a = r.GetCounter("obs_test_keyed_total", "k=\"a\"");
+  Counter* b = r.GetCounter("obs_test_keyed_total", "k=\"b\"");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, r.GetCounter("obs_test_keyed_total", "k=\"a\""));
+  a->Add(3);
+  b->Increment();
+  bool saw_a = false, saw_b = false;
+  for (const Sample& s : r.Snapshot()) {
+    if (s.name != "obs_test_keyed_total") continue;
+    if (s.labels == "k=\"a\"") {
+      saw_a = true;
+      EXPECT_EQ(s.kind, SampleKind::kCounter);
+      EXPECT_GE(s.value, 3.0);
+    }
+    if (s.labels == "k=\"b\"") saw_b = true;
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(RegistryTest, SnapshotExpandsHistograms) {
+  Registry& r = Registry::Global();
+  Histogram* h = r.GetHistogram("obs_test_latency_us");
+  h->Observe(10.0);
+  h->Observe(20.0);
+  bool count = false, sum = false, p50 = false, p95 = false, p99 = false;
+  for (const Sample& s : r.Snapshot()) {
+    if (s.name == "obs_test_latency_us_count") count = true;
+    if (s.name == "obs_test_latency_us_sum") sum = true;
+    if (s.name == "obs_test_latency_us_p50") p50 = true;
+    if (s.name == "obs_test_latency_us_p95") p95 = true;
+    if (s.name == "obs_test_latency_us_p99") p99 = true;
+  }
+  EXPECT_TRUE(count && sum && p50 && p95 && p99);
+}
+
+TEST(RegistryTest, UnregisterFoldsCountersIntoRetiredTotals) {
+  Registry& r = Registry::Global();
+  double base = 0;
+  for (const Sample& s : r.Snapshot()) {
+    if (s.name == "obs_test_retired_total") base = s.value;
+  }
+  uint64_t id = r.RegisterCollector([](SampleList* out) {
+    out->Counter("obs_test_retired_total", "", 42.0);
+    out->Gauge("obs_test_retired_level", "", 7.0);
+  });
+  r.UnregisterCollector(id);
+  double after = -1;
+  bool gauge_gone = true;
+  for (const Sample& s : r.Snapshot()) {
+    if (s.name == "obs_test_retired_total") after = s.value;
+    if (s.name == "obs_test_retired_level") gauge_gone = false;
+  }
+  // The counter survives teardown; the gauge (an instantaneous level of a
+  // dead subsystem) does not.
+  EXPECT_DOUBLE_EQ(after, base + 42.0);
+  EXPECT_TRUE(gauge_gone);
+}
+
+TEST(RegistryTest, RenderPrometheusFormat) {
+  Registry& r = Registry::Global();
+  r.GetCounter("obs_test_prom_total", "src=\"unit\"")->Add(5);
+  r.GetGauge("obs_test_prom_level")->Set(9);
+  r.GetHistogram("obs_test_prom_us")->Observe(33.0);
+  std::string text = r.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE obs_test_prom_total counter"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_total{src=\"unit\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_prom_level gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_prom_us summary"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_us{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_us_count"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_us_sum"), std::string::npos);
+  // Every non-comment line is "name[{labels}] value".
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+TEST(TraceTest, SpanTreeShape) {
+  TraceContext trace;
+  ScopedTraceInstall install(&trace);
+  ASSERT_EQ(CurrentTrace(), &trace);
+  int root = trace.OpenSpan(SpanKind::kStatement);
+  {
+    TraceScope parse(SpanKind::kParse);
+  }
+  {
+    TraceScope exec(SpanKind::kExecute);
+    TraceScope scan(SpanKind::kLazyScan);
+  }
+  trace.CloseSpan(root);
+
+  std::vector<TraceRow> rows = trace.Flatten();
+  ASSERT_GE(rows.size(), 4u);
+  EXPECT_EQ(rows[0].span, "statement");
+  EXPECT_EQ(rows[0].depth, 0);
+  bool saw_parse = false, saw_exec = false, saw_scan = false;
+  for (const TraceRow& row : rows) {
+    if (row.span == "parse") {
+      saw_parse = true;
+      EXPECT_EQ(row.depth, 1);
+    }
+    if (row.span == "execute") {
+      saw_exec = true;
+      EXPECT_EQ(row.depth, 1);
+    }
+    if (row.span == "view.lazy_scan") {
+      saw_scan = true;
+      EXPECT_EQ(row.depth, 2);
+    }
+    // No child can report more time than the whole statement.
+    EXPECT_LE(row.total_ms, rows[0].total_ms + 1e-6);
+  }
+  EXPECT_TRUE(saw_parse && saw_exec && saw_scan);
+}
+
+TEST(TraceTest, EventsAggregateUnderOpenSpan) {
+  TraceContext trace;
+  ScopedTraceInstall install(&trace);
+  int root = trace.OpenSpan(SpanKind::kStatement);
+  trace.AddEvent(SpanKind::kPoolMiss, 1000);
+  trace.AddEvent(SpanKind::kPoolMiss, 3000);
+  trace.AddEvent(SpanKind::kWalFsync, 500);
+  trace.CloseSpan(root);
+  bool saw_miss = false, saw_fsync = false;
+  for (const TraceRow& row : trace.Flatten()) {
+    if (row.span == "pool.miss") {
+      saw_miss = true;
+      EXPECT_EQ(row.count, 2u);
+      EXPECT_NEAR(row.total_ms, 0.004, 1e-9);
+    }
+    if (row.span == "wal.fsync") {
+      saw_fsync = true;
+      EXPECT_EQ(row.count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_miss && saw_fsync);
+}
+
+TEST(TraceTest, NoInstalledTraceIsANoOp) {
+  ASSERT_EQ(CurrentTrace(), nullptr);
+  // RAII helpers must be safe to drop on any code path with no trace.
+  TraceScope scope(SpanKind::kLazyScan);
+  TraceEventTimer timer(SpanKind::kWalFsync);
+  SUCCEED();
+}
+
+TEST(TraceTest, ClearResetsForReuse) {
+  TraceContext trace;
+  {
+    ScopedTraceInstall install(&trace);
+    int root = trace.OpenSpan(SpanKind::kStatement);
+    trace.CloseSpan(root);
+  }
+  EXPECT_FALSE(trace.Flatten().empty());
+  trace.Clear();
+  EXPECT_TRUE(trace.Flatten().empty());
+}
+
+}  // namespace
+}  // namespace hazy::obs
