@@ -153,6 +153,18 @@ class ClassificationView {
   virtual const ViewStats& stats() const = 0;
   virtual ViewStats* mutable_stats() = 0;
 
+  /// Appends every entity (id + features) to `out`, in an unspecified but
+  /// deterministic order. This is the epoch-snapshot seeding path
+  /// (core/epoch.h): after a bulk load, restore, or retrain-from-scratch
+  /// the engine re-exports the entity set into the immutable snapshot
+  /// store. Architectures that cannot expose a linear-model-scorable entity
+  /// set (e.g. kernelized views) return NotSupported; their reads stay on
+  /// the gated path.
+  virtual Status ExportEntities(std::vector<Entity>* out) const {
+    (void)out;
+    return Status::NotSupported("view does not export its entity set");
+  }
+
   /// Approximate resident main-memory footprint in bytes.
   virtual size_t MemoryBytes() const = 0;
 

@@ -448,4 +448,10 @@ size_t HazyMMView::MemoryBytes() const {
   return b;
 }
 
+Status HazyMMView::ExportEntities(std::vector<Entity>* out) const {
+  out->reserve(out->size() + rows_.size());
+  for (const auto& r : rows_) out->push_back(Entity{r.id, r.features});
+  return Status::OK();
+}
+
 }  // namespace hazy::core

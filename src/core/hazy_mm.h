@@ -41,6 +41,7 @@ class HazyMMView : public ViewBase {
   }
   Status SaveState(persist::StateWriter* w) const override;
   Status LoadState(persist::StateReader* r) override;
+  Status ExportEntities(std::vector<Entity>* out) const override;
 
   /// Current water lines (exposed for experiments like Fig 13).
   const WaterLineTracker& water() const { return water_; }

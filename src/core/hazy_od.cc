@@ -464,4 +464,19 @@ Status HazyODView::LoadState(persist::StateReader* r) {
 
 size_t HazyODView::MemoryBytes() const { return id_index_.ApproxBytes(); }
 
+Status HazyODView::ExportEntities(std::vector<Entity>* out) const {
+  out->reserve(out->size() + num_rows_);
+  Status inner;
+  HAZY_RETURN_NOT_OK(heap_->Scan([&](storage::Rid, std::string_view bytes) {
+    auto rec = DecodeEntityRecord(bytes);
+    if (!rec.ok()) {
+      inner = rec.status();
+      return false;
+    }
+    out->push_back(Entity{rec->id, std::move(rec->features)});
+    return true;
+  }));
+  return inner;
+}
+
 }  // namespace hazy::core

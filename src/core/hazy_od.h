@@ -57,6 +57,9 @@ class HazyODView : public ViewBase {
 
   Status SaveState(persist::StateWriter* w) const override;
   Status LoadState(persist::StateReader* r) override;
+  /// Heap export shared with HybridView (the buffer/ε-map are caches over
+  /// the same records).
+  Status ExportEntities(std::vector<Entity>* out) const override;
 
   const WaterLineTracker& water() const { return water_; }
 

@@ -177,4 +177,10 @@ size_t NaiveMMView::MemoryBytes() const {
   return b;
 }
 
+Status NaiveMMView::ExportEntities(std::vector<Entity>* out) const {
+  out->reserve(out->size() + rows_.size());
+  for (const auto& r : rows_) out->push_back(Entity{r.id, r.features});
+  return Status::OK();
+}
+
 }  // namespace hazy::core

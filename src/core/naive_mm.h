@@ -32,6 +32,7 @@ class NaiveMMView : public ViewBase {
   }
   Status SaveState(persist::StateWriter* w) const override;
   Status LoadState(persist::StateReader* r) override;
+  Status ExportEntities(std::vector<Entity>* out) const override;
 
  protected:
   Status SyncToModel() override {

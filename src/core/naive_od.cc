@@ -213,4 +213,19 @@ Status NaiveODView::LoadState(persist::StateReader* r) {
 
 size_t NaiveODView::MemoryBytes() const { return id_index_.ApproxBytes(); }
 
+Status NaiveODView::ExportEntities(std::vector<Entity>* out) const {
+  out->reserve(out->size() + num_rows_);
+  Status inner;
+  HAZY_RETURN_NOT_OK(heap_.Scan([&](storage::Rid, std::string_view bytes) {
+    auto rec = DecodeEntityRecord(bytes);
+    if (!rec.ok()) {
+      inner = rec.status();
+      return false;
+    }
+    out->push_back(Entity{rec->id, std::move(rec->features)});
+    return true;
+  }));
+  return inner;
+}
+
 }  // namespace hazy::core

@@ -4,7 +4,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -41,7 +43,27 @@ Status ManagedView::Flush() {
   // examples into the model before any fallible I/O, so a retry would
   // double-train. The examples stay in example_log_, which any later
   // rebuild (delete/update triggers) replays.
-  return view_->UpdateBatch(batch);
+  HAZY_RETURN_NOT_OK(view_->UpdateBatch(batch));
+  // The batch boundary is the epoch boundary: snapshot readers switch to
+  // the post-batch model here, atomically across all their queries.
+  return PublishEpoch();
+}
+
+Status ManagedView::PublishEpoch() {
+  if (!adopted_ || !snapshots_supported_) return Status::OK();
+  if (store_reset_pending_) {
+    std::vector<core::Entity> ents;
+    Status s = view_->ExportEntities(&ents);
+    if (s.IsNotSupported()) {
+      snapshots_supported_ = false;
+      return Status::OK();
+    }
+    HAZY_RETURN_NOT_OK(s);
+    store_builder_.ReplaceAll(std::move(ents));
+    store_reset_pending_ = false;
+  }
+  epochs_.Publish(view_->model(), store_builder_.Seal());
+  return Status::OK();
 }
 
 StatusOr<std::string> ManagedView::LabelOf(int64_t id) {
@@ -286,6 +308,13 @@ Status Database::SetBackgroundWriterEnabled(bool enabled) {
 StatusOr<uint64_t> Database::Checkpoint() {
   if (!pager_) return Status::InvalidArgument("database not open");
   obs::TraceScope ckpt_span(obs::SpanKind::kCheckpoint);
+  // Snapshot-then-serialize, phase 1 (off-gate): write the bulk of the
+  // dirty page set out while statements keep running, so the exclusive
+  // commit section below only has to flush the residue dirtied since. The
+  // serialization itself must stay under the gate — before-image WAL
+  // rollback could not distinguish a checkpoint's own system-table writes
+  // from a statement's.
+  HAZY_RETURN_NOT_OK(pool_->FlushUnpinned());
   // The commit section excludes foreground statements (the background
   // checkpointer's "short pause"); its own system-table writes re-enter the
   // gate as the exclusive owner.
@@ -442,7 +471,8 @@ StatusOr<ManagedView*> Database::CreateClassificationView(
 
   HAZY_RETURN_NOT_OK(ArmTriggers(raw));
 
-  views_.push_back(std::move(mv));
+  AdoptView(std::move(mv));
+  HAZY_RETURN_NOT_OK(raw->PublishEpoch());
   // During recovery replay the collectors are not yet registered;
   // RegisterStatsCollectors picks the view up once the database is live.
   if (!stats_collectors_.empty()) {
@@ -461,6 +491,15 @@ StatusOr<ManagedView*> Database::CreateClassificationView(
     HAZY_RETURN_NOT_OK(wal_->AppendLogical(payload));
     HAZY_RETURN_NOT_OK(wal_->AutoCommit());
   }
+  return raw;
+}
+
+ManagedView* Database::AdoptView(std::unique_ptr<ManagedView> mv) {
+  ManagedView* raw = mv.get();
+  raw->epochs_.SetMetricLabels(ViewLabel(raw->def()));
+  raw->adopted_ = true;
+  std::lock_guard<std::mutex> lock(views_mu_);
+  views_.push_back(std::move(mv));
   return raw;
 }
 
@@ -549,7 +588,14 @@ Status Database::OnEntityInsert(ManagedView* mv, const Row& row) {
   HAZY_ASSIGN_OR_RETURN(std::string doc, EntityDocument(*mv, row));
   HAZY_RETURN_NOT_OK(mv->feature_fn_->ComputeStatsInc(doc));
   HAZY_ASSIGN_OR_RETURN(ml::FeatureVector f, mv->feature_fn_->ComputeFeature(doc));
-  return mv->view_->AddEntity(core::Entity{std::get<int64_t>(kv), std::move(f)});
+  core::Entity ent{std::get<int64_t>(kv), std::move(f)};
+  HAZY_RETURN_NOT_OK(mv->view_->AddEntity(ent));
+  // Mirror the append into the snapshot store builder (sealed into a chunk
+  // at the next publish); a pending reset re-exports everything anyway.
+  if (mv->snapshots_supported_ && !mv->store_reset_pending_) {
+    mv->store_builder_.Append(ent);
+  }
+  return mv->PublishEpoch();
 }
 
 Status Database::OnExampleInsert(ManagedView* mv, const Row& row) {
@@ -580,7 +626,9 @@ Status Database::OnExampleInsert(ManagedView* mv, const Row& row) {
     mv->pending_.push_back(ml::LabeledExample{id, std::move(f), sign});
     return Status::OK();
   }
-  return mv->view_->Update(ml::LabeledExample{id, std::move(f), sign});
+  HAZY_RETURN_NOT_OK(mv->view_->Update(ml::LabeledExample{id, std::move(f), sign}));
+  // An unbatched update is its own batch: publish the post-update epoch.
+  return mv->PublishEpoch();
 }
 
 Status Database::OnExampleDelete(ManagedView* mv, const Row& row) {
@@ -676,8 +724,14 @@ Status Database::RebuildFromScratch(ManagedView* mv) {
     replay.push_back(ml::LabeledExample{id, *fit->second, sign});
   }
   HAZY_RETURN_NOT_OK(fresh->UpdateBatch(replay));
-  mv->view_ = std::move(fresh);
-  return Status::OK();
+  // Swap atomically: concurrent snapshot readers may hold a SharedView
+  // handle to the old object (it stays alive until they drop it).
+  std::atomic_store(&mv->view_,
+                    std::shared_ptr<core::ClassificationView>(std::move(fresh)));
+  // The entity set may have changed identity-wise; re-seed the snapshot
+  // store from the rebuilt view at the next publish.
+  mv->store_reset_pending_ = true;
+  return mv->PublishEpoch();
 }
 
 Status Database::ApplyWalOp(std::string_view payload) {
@@ -854,7 +908,10 @@ void Database::ResetHandles() {
   if (ckpt_daemon_) ckpt_daemon_->Stop();
   ckpt_daemon_.reset();
   if (pool_) pool_->StopBackgroundWriter();
-  views_.clear();
+  {
+    std::lock_guard<std::mutex> lock(views_mu_);
+    views_.clear();
+  }
   catalog_.reset();
   if (wal_ && wal_->is_open()) wal_->Close().ok();
   wal_.reset();
@@ -904,6 +961,14 @@ Status Database::Compact() {
   // the old complete database or the new complete one at path_; worst case
   // we come back up on whichever it is.
   const bool owns_temp = owns_temp_file_;
+  // Refuse new snapshot reads and drain the in-flight ones: they hold
+  // ManagedView pointers ResetHandles is about to free. Refused readers
+  // serialize behind the statement mutex (held by our caller for SQL
+  // VACUUM) and re-resolve the view afterwards.
+  compacting_.store(true);
+  while (snapshot_readers_.load() != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
   ResetHandles();
   Status s;
   if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
@@ -924,10 +989,24 @@ Status Database::Compact() {
     if (!OpenImpl().ok()) ResetHandles();
   }
   owns_temp_file_ = owns_temp;
+  compacting_.store(false);
   return s;
 }
 
+bool Database::TryEnterSnapshotRead() {
+  snapshot_readers_.fetch_add(1);
+  if (compacting_.load()) {
+    // Raced a VACUUM swap; back out so its drain does not wait on us.
+    snapshot_readers_.fetch_sub(1);
+    return false;
+  }
+  return true;
+}
+
+void Database::LeaveSnapshotRead() { snapshot_readers_.fetch_sub(1); }
+
 StatusOr<ManagedView*> Database::GetView(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(views_mu_);
   for (const auto& v : views_) {
     if (EqualsIgnoreCase(v->name(), name)) return v.get();
   }
@@ -935,6 +1014,7 @@ StatusOr<ManagedView*> Database::GetView(const std::string& name) const {
 }
 
 bool Database::HasView(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(views_mu_);
   for (const auto& v : views_) {
     if (EqualsIgnoreCase(v->name(), name)) return true;
   }
@@ -942,6 +1022,7 @@ bool Database::HasView(const std::string& name) const {
 }
 
 std::vector<std::string> Database::ViewNames() const {
+  std::lock_guard<std::mutex> lock(views_mu_);
   std::vector<std::string> out;
   out.reserve(views_.size());
   for (const auto& v : views_) out.push_back(v->name());

@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "core/classifier_view.h"
+#include "core/epoch.h"
 #include "core/view_factory.h"
 #include "features/feature_function.h"
 #include "ml/loss.h"
@@ -66,6 +67,13 @@ class ManagedView {
   core::ClassificationView* view() { return view_.get(); }
   const core::ClassificationView* view() const { return view_.get(); }
 
+  /// The live core view as a shared handle, for snapshot readers that
+  /// attribute stats/trace to it concurrently with the write side: the
+  /// handle keeps the object alive across a racing retrain swap.
+  std::shared_ptr<core::ClassificationView> SharedView() const {
+    return std::atomic_load(&view_);
+  }
+
   /// Label string of one entity under the current model.
   StatusOr<std::string> LabelOf(int64_t id);
 
@@ -94,12 +102,34 @@ class ManagedView {
   /// Trigger updates queued and not yet applied to the core view.
   size_t pending_updates() const { return pending_.size(); }
 
+  /// True once a read epoch has been published. Monotonic for the lifetime
+  /// of the view object: a caller seeing true can Pin without re-checking.
+  bool HasSnapshot() const { return epochs_.HasPublished(); }
+
+  /// Pins the latest published epoch for lock-free snapshot reads (empty
+  /// when none published — architectures that cannot export their entity
+  /// set never publish, and their reads stay on the gated path).
+  core::SnapshotPin PinSnapshot() { return epochs_.Pin(); }
+
+  /// The view's epoch machinery (tests and introspection).
+  const core::EpochManager& epochs() const { return epochs_; }
+
  private:
   friend class Database;
   friend class persist::ViewCheckpointer;
+
+  /// Publishes the current (model, entity set) as a new read epoch. Called
+  /// by the write side at batch boundaries — after Flush, a non-batched
+  /// trigger update, a retrain, or a checkpoint restore. No-op until the
+  /// view is adopted into the database and for architectures without
+  /// ExportEntities support.
+  Status PublishEpoch();
+
   ClassificationViewDef def_;
   std::unique_ptr<features::FeatureFunction> feature_fn_;
-  std::unique_ptr<core::ClassificationView> view_;
+  /// Shared (not unique) so SharedView readers survive the swap a
+  /// retrain-from-scratch performs; the swap itself uses std::atomic_store.
+  std::shared_ptr<core::ClassificationView> view_;
   std::vector<std::string> labels_;  // [0] = positive, [1] = negative
   /// Replay log of (entity id, label sign) training examples, kept so
   /// deletes can retrain from scratch (paper footnote 2).
@@ -108,6 +138,20 @@ class ManagedView {
   /// drained by Flush() as one UpdateBatch.
   std::vector<ml::LabeledExample> pending_;
   Database* db_ = nullptr;
+  /// Epoch publication state (write side only; readers touch epochs_ alone).
+  core::EpochManager epochs_;
+  core::EpochStoreBuilder store_builder_;
+  /// True when the builder must be re-seeded from the core view (initial
+  /// adoption, retrain-from-scratch, checkpoint restore) before sealing.
+  bool store_reset_pending_ = true;
+  /// Cleared on the first ExportEntities NotSupported; stops both publish
+  /// attempts and builder appends for kernel-style architectures.
+  bool snapshots_supported_ = true;
+  /// Set by Database::AdoptView; publications before adoption are skipped
+  /// (creation replays one trigger per pre-existing example — per-example
+  /// full exports there would be quadratic, and no reader can see the view
+  /// yet).
+  bool adopted_ = false;
 };
 
 /// \brief Configuration for a Database instance.
@@ -254,6 +298,14 @@ class Database {
     return batch_depth_.load(std::memory_order_relaxed) > 0;
   }
 
+  /// Registers a snapshot read that runs without the statement mutex.
+  /// Returns false while a VACUUM swap is in progress — the caller must
+  /// fall back to the serialized path (Compact invalidates the ManagedView
+  /// pointers a snapshot read holds, and it drains registered readers
+  /// before doing so). Prefer SnapshotReadScope.
+  bool TryEnterSnapshotRead();
+  void LeaveSnapshotRead();
+
  private:
   friend class persist::ViewCheckpointer;
 
@@ -288,6 +340,11 @@ class Database {
   /// Registers the insert/update/delete triggers that keep `mv` maintained
   /// (shared by view creation and checkpoint recovery).
   Status ArmTriggers(ManagedView* mv);
+
+  /// Installs a fully built view into views_ (under views_mu_, so lock-free
+  /// readers resolving names never race the vector growing) and wires its
+  /// epoch metric labels. Returns the stable raw pointer.
+  ManagedView* AdoptView(std::unique_ptr<ManagedView> mv);
 
   /// The core-view options a definition resolves to (defaults + DDL).
   core::ViewOptions EffectiveViewOptions(const ClassificationViewDef& def) const;
@@ -342,7 +399,38 @@ class Database {
   std::unique_ptr<storage::Wal> wal_;
   std::unique_ptr<storage::Catalog> catalog_;
   std::unique_ptr<persist::CheckpointDaemon> ckpt_daemon_;
+  /// Guards views_ itself (the vector) against concurrent name resolution
+  /// from snapshot readers while DDL appends. The ManagedViews pointed to
+  /// are not covered — their mutable state stays under the statement
+  /// serialization, and snapshot reads touch only their epoch machinery.
+  mutable std::mutex views_mu_;
   std::vector<std::unique_ptr<ManagedView>> views_;
+  /// Snapshot reads currently in flight outside the statement mutex, and
+  /// the VACUUM-in-progress flag that refuses new ones. seq_cst: the
+  /// enter/check on the reader and the set/drain on the compactor form a
+  /// store-load handshake.
+  std::atomic<int64_t> snapshot_readers_{0};
+  std::atomic<bool> compacting_{false};
+};
+
+/// \brief RAII registration of one snapshot read (see
+/// Database::TryEnterSnapshotRead). While active(), VACUUM cannot tear down
+/// the view objects the read is scanning.
+class SnapshotReadScope {
+ public:
+  explicit SnapshotReadScope(Database* db)
+      : db_(db), active_(db != nullptr && db->TryEnterSnapshotRead()) {}
+  ~SnapshotReadScope() {
+    if (active_) db_->LeaveSnapshotRead();
+  }
+  SnapshotReadScope(const SnapshotReadScope&) = delete;
+  SnapshotReadScope& operator=(const SnapshotReadScope&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  Database* db_;
+  bool active_;
 };
 
 }  // namespace hazy::engine

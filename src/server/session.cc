@@ -65,13 +65,25 @@ size_t Session::num_prepared() const {
 }
 
 StatusOr<sql::ResultSet> Session::RunQuery(const std::string& sql) {
+  // Snapshot reads (SELECT over a view with a published epoch) answer from
+  // immutable state and skip the whole-statement mutex entirely — they never
+  // queue behind an ingest statement. Everything else serializes as before.
+  auto stmt = sql::Parse(sql);
+  if (stmt.ok() && sql::IsSnapshotRead(db_, *stmt)) {
+    return executor_.Execute(*stmt);
+  }
   std::lock_guard<std::mutex> stmt_lock(*db_->statement_mutex());
+  // Re-run from text so the executor traces the statement (parse span,
+  // latency histogram, slow log) exactly as before.
   return executor_.Execute(sql);
 }
 
 StatusOr<sql::ResultSet> Session::RunPrepared(
     const sql::PreparedStatement& stmt,
     const std::vector<storage::Value>& params) {
+  if (sql::IsSnapshotRead(db_, stmt.stmt)) {
+    return executor_.Execute(stmt, params);
+  }
   std::lock_guard<std::mutex> stmt_lock(*db_->statement_mutex());
   return executor_.Execute(stmt, params);
 }

@@ -404,8 +404,160 @@ StatusOr<ResultSet> Executor::ExecInsert(const InsertStmt& stmt) {
   return rs;
 }
 
+bool IsSnapshotRead(engine::Database* db, const Statement& stmt) {
+  const auto* sel = std::get_if<SelectStmt>(&stmt);
+  if (sel == nullptr) return false;
+  auto view = db->GetView(sel->table);
+  return view.ok() && (*view)->HasSnapshot();
+}
+
 StatusOr<ResultSet> Executor::ExecSelectView(const SelectStmt& stmt,
                                              engine::ManagedView* view) {
+  {
+    engine::SnapshotReadScope scope(db_);
+    if (scope.active() && view->HasSnapshot()) {
+      // The read's only synchronization is the pin acquisition — a lock-free
+      // shared_ptr load. Its latency lands in the mode="read" gate histogram
+      // so the before/after against mode="shared" is one SHOW METRICS away.
+      static obs::Histogram* read_wait = obs::Registry::Global().GetHistogram(
+          "hazy_gate_wait_us", "mode=\"read\"");
+      const int64_t t0 = NowNanos();
+      core::SnapshotPin snap = view->PinSnapshot();
+      read_wait->Observe(static_cast<double>(NowNanos() - t0) / 1000.0);
+      if (snap) return ExecSelectViewSnapshot(stmt, view, *snap);
+    }
+    if (scope.active()) return ExecSelectViewGated(stmt, view);
+  }
+  // A VACUUM swap is in progress: snapshot reads are refused, and the gated
+  // path would race the teardown. Serialize behind the VACUUM and re-resolve
+  // the view — the swap invalidated the pointer we were handed.
+  std::lock_guard<std::mutex> stmt_lock(*db_->statement_mutex());
+  HAZY_ASSIGN_OR_RETURN(engine::ManagedView * fresh, db_->GetView(stmt.table));
+  return ExecSelectView(stmt, fresh);
+}
+
+StatusOr<ResultSet> Executor::ExecSelectViewSnapshot(
+    const SelectStmt& stmt, engine::ManagedView* view,
+    const core::EpochSnapshot& snap) {
+  ResultSet rs;
+  const std::string key_col = view->def().entity_key;
+  // The answers come from the pinned epoch, but the work is still this
+  // view's read traffic: feed its stats (relaxed cells, safe concurrent
+  // with the writer) and the statement trace exactly as the gated path
+  // would, so SHOW METRICS / EXPLAIN TRACE see one coherent story.
+  std::shared_ptr<core::ClassificationView> live = view->SharedView();
+  core::ViewStats* vstats = live->mutable_stats();
+
+  std::vector<std::string> proj = stmt.columns;
+  if (proj.empty() && !stmt.count_star) proj = {key_col, "class"};
+  for (const auto& col : proj) {
+    if (!EqualsIgnoreCase(col, key_col) && !EqualsIgnoreCase(col, "class")) {
+      return Status::InvalidArgument(StrFormat(
+          "view %s has columns (%s, class); no column '%s'",
+          view->name().c_str(), key_col.c_str(), col.c_str()));
+    }
+  }
+
+  auto emit = [&](int64_t id, const std::string& label) {
+    Row row;
+    for (const auto& col : proj) {
+      if (EqualsIgnoreCase(col, key_col)) {
+        row.emplace_back(id);
+      } else {
+        row.emplace_back(label);
+      }
+    }
+    rs.rows.push_back(std::move(row));
+  };
+
+  if (stmt.where.has_value() && EqualsIgnoreCase(stmt.where->column, key_col) &&
+      stmt.where->op == CompareOp::kEq) {
+    // Single Entity read.
+    if (!std::holds_alternative<int64_t>(stmt.where->value)) {
+      return Status::InvalidArgument("key predicate must compare to an integer");
+    }
+    int64_t id = std::get<int64_t>(stmt.where->value);
+    ++vstats->single_reads;
+    auto sign = snap.SingleEntityRead(id);
+    if (sign.status().IsNotFound()) {
+      // Empty result, not an error.
+    } else {
+      HAZY_RETURN_NOT_OK(sign.status());
+      if (stmt.count_star) {
+        rs.columns = {{"count", storage::ColumnType::kInt64}};
+        rs.rows.push_back(Row{static_cast<int64_t>(1)});
+        return rs;
+      }
+      emit(id, view->LabelString(*sign));
+    }
+  } else if (stmt.where.has_value() && EqualsIgnoreCase(stmt.where->column, "class") &&
+             stmt.where->op == CompareOp::kEq) {
+    // All Members.
+    if (!std::holds_alternative<std::string>(stmt.where->value)) {
+      return Status::InvalidArgument("class predicate must compare to a string label");
+    }
+    const std::string& label = std::get<std::string>(stmt.where->value);
+    HAZY_ASSIGN_OR_RETURN(int member_sign, view->LabelSign(label));
+    obs::TraceScope scan_span(obs::SpanKind::kLazyScan);
+    ++vstats->all_members_queries;
+    vstats->tuples_scanned += snap.num_entities();
+    if (stmt.count_star) {
+      HAZY_ASSIGN_OR_RETURN(uint64_t n, snap.AllMembersCount(member_sign));
+      rs.columns = {{"count", storage::ColumnType::kInt64}};
+      rs.rows.push_back(Row{static_cast<int64_t>(n)});
+      return rs;
+    }
+    HAZY_ASSIGN_OR_RETURN(std::vector<int64_t> ids, snap.AllMembers(member_sign));
+    for (int64_t id : ids) {
+      emit(id, label);
+      if (stmt.limit.has_value() &&
+          rs.rows.size() >= static_cast<size_t>(*stmt.limit)) {
+        break;
+      }
+    }
+  } else if (!stmt.where.has_value()) {
+    // Full view scan: both classes.
+    obs::TraceScope scan_span(obs::SpanKind::kLazyScan);
+    std::vector<std::pair<int64_t, std::string>> all;
+    for (int sign : {1, -1}) {
+      ++vstats->all_members_queries;
+      vstats->tuples_scanned += snap.num_entities();
+      HAZY_ASSIGN_OR_RETURN(std::vector<int64_t> ids, snap.AllMembers(sign));
+      for (int64_t id : ids) all.emplace_back(id, view->LabelString(sign));
+    }
+    std::sort(all.begin(), all.end());
+    if (stmt.count_star) {
+      rs.columns = {{"count", storage::ColumnType::kInt64}};
+      rs.rows.push_back(Row{static_cast<int64_t>(all.size())});
+      return rs;
+    }
+    for (const auto& [id, label] : all) {
+      emit(id, label);
+      if (stmt.limit.has_value() &&
+          rs.rows.size() >= static_cast<size_t>(*stmt.limit)) {
+        break;
+      }
+    }
+  } else {
+    return Status::NotSupported(
+        "view predicates must be '<key> = n' or \"class = 'label'\"");
+  }
+
+  if (stmt.count_star) {
+    rs.columns = {{"count", storage::ColumnType::kInt64}};
+    rs.rows = {Row{static_cast<int64_t>(rs.rows.size())}};
+    return rs;
+  }
+  for (const auto& col : proj) {
+    rs.columns.push_back({col, EqualsIgnoreCase(col, key_col)
+                                   ? storage::ColumnType::kInt64
+                                   : storage::ColumnType::kText});
+  }
+  return rs;
+}
+
+StatusOr<ResultSet> Executor::ExecSelectViewGated(const SelectStmt& stmt,
+                                                  engine::ManagedView* view) {
   ResultSet rs;
   const std::string key_col = view->def().entity_key;
 

@@ -55,7 +55,19 @@ class Executor {
   StatusOr<ResultSet> ExecCreateView(const CreateViewStmt& stmt);
   StatusOr<ResultSet> ExecInsert(const InsertStmt& stmt);
   StatusOr<ResultSet> ExecSelect(const SelectStmt& stmt);
+  /// Routes a view SELECT: epoch-snapshot path when one is published (reads
+  /// never wait on ingest), gated legacy path otherwise.
   StatusOr<ResultSet> ExecSelectView(const SelectStmt& stmt, engine::ManagedView* view);
+  /// The lock-free read path: answers from a pinned epoch snapshot without
+  /// taking the statement gate or folding pending trigger updates (readers
+  /// see the last published batch boundary — MVCC semantics).
+  StatusOr<ResultSet> ExecSelectViewSnapshot(const SelectStmt& stmt,
+                                             engine::ManagedView* view,
+                                             const core::EpochSnapshot& snap);
+  /// The legacy path: reads under the statement gate with read-your-writes
+  /// (pending trigger updates fold first).
+  StatusOr<ResultSet> ExecSelectViewGated(const SelectStmt& stmt,
+                                          engine::ManagedView* view);
   StatusOr<ResultSet> ExecDelete(const DeleteStmt& stmt);
   StatusOr<ResultSet> ExecUpdate(const UpdateStmt& stmt);
   StatusOr<ResultSet> ExecCheckpoint();
@@ -78,6 +90,13 @@ class Executor {
 /// True if `row` satisfies `pred` under `schema`.
 StatusOr<bool> MatchesPredicate(const storage::Schema& schema, const storage::Row& row,
                                 const Predicate& pred);
+
+/// True when `stmt` is a SELECT over a classification view with a published
+/// epoch snapshot. Such statements read immutable state and may run without
+/// the whole-statement mutex (server/session.cc uses this to let reads
+/// bypass a saturating update stream). HasSnapshot is monotonic, so a true
+/// answer cannot be invalidated by concurrent ingest.
+bool IsSnapshotRead(engine::Database* db, const Statement& stmt);
 
 }  // namespace hazy::sql
 

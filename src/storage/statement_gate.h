@@ -1,25 +1,37 @@
 // Statement-level reader/writer gate between foreground mutations and the
 // background checkpointer.
 //
-// The engine's write side is single-threaded by contract, but the checkpoint
-// daemon (persist/checkpoint_daemon.h) introduced a second thread that must
-// observe the database at a statement boundary: a checkpoint serializes view
-// state and snapshots heap metadata, which must not interleave with a
-// half-applied INSERT. Every mutating statement entry point holds the gate
-// shared (statements never block each other — the engine contract already
-// serializes them); a checkpoint holds it exclusive for its commit section.
+// Mutating statement entry points hold the gate shared (statements never
+// block each other — the engine contract already serializes them); a
+// checkpoint holds it exclusive for its commit section. Read statements do
+// NOT take this gate at all: they pin an epoch snapshot (core/epoch.h) and
+// scan immutable state, so with MVCC-lite the gate is writers-vs-checkpoint
+// only.
 //
-// The exclusive owner is recorded so work the checkpoint itself performs
-// through the same entry points (system-table row writes, WAL bookkeeping)
-// re-enters without self-deadlock — a shared acquisition from the exclusive
-// owner's thread is a no-op.
+// Fairness: the PR 5 implementation sat on std::shared_mutex, whose
+// acquisition order is unspecified — under a saturating shared stream the
+// checkpoint's exclusive acquisition could starve indefinitely (the hazard
+// flagged in PR 5). This implementation blocks NEW shared entrants while an
+// exclusive acquisition is pending, so the checkpoint gets in as soon as
+// the in-flight statements drain. Two re-entry paths keep that safe:
+//
+//   - The exclusive owner is recorded, so work the checkpoint itself
+//     performs through the same entry points (system-table row writes, WAL
+//     bookkeeping) re-enters shared as a no-op.
+//   - A thread already holding the gate shared re-enters shared without
+//     waiting (nested table/trigger entry points inside one statement);
+//     otherwise the no-barging rule would deadlock the statement against
+//     the waiting checkpoint.
 
 #ifndef HAZY_STORAGE_STATEMENT_GATE_H_
 #define HAZY_STORAGE_STATEMENT_GATE_H_
 
 #include <atomic>
-#include <shared_mutex>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
 
 #include "obs/trace.h"
 
@@ -32,51 +44,88 @@ class StatementGate {
   StatementGate& operator=(const StatementGate&) = delete;
 
   /// Shared hold for the duration of one statement. Tolerates a null gate
-  /// (tables used without an engine) and re-entry from the exclusive owner.
+  /// (tables used without an engine) and re-entry from the exclusive owner
+  /// or from a thread already holding the gate shared.
   class SharedGuard {
    public:
     explicit SharedGuard(StatementGate* gate) : gate_(gate) {
-      if (gate_ != nullptr &&
-          gate_->exclusive_owner_.load(std::memory_order_relaxed) !=
+      if (gate_ == nullptr ||
+          gate_->exclusive_owner_.load(std::memory_order_relaxed) ==
               std::this_thread::get_id()) {
-        // Time spent here is a statement stalled behind a checkpoint commit
-        // section — the ROADMAP item-2 (MVCC-lite) justification metric.
-        const int64_t t0 = NowNanos();
-        gate_->mu_.lock_shared();
-        RecordWait(/*exclusive=*/false, t0);
-        locked_ = true;
+        return;
       }
+      int& depth = SharedDepth(gate_);
+      if (depth > 0) {
+        // Nested entry point inside a statement that already holds the
+        // gate: piggyback on the outer hold (waiting here would deadlock
+        // against a pending exclusive waiter).
+        ++depth;
+        held_ = true;
+        return;
+      }
+      // Time spent here is a mutating statement stalled behind a checkpoint
+      // commit section (read statements no longer take the gate at all).
+      const int64_t t0 = NowNanos();
+      {
+        std::unique_lock<std::mutex> lock(gate_->mu_);
+        gate_->cv_.wait(lock, [this] {
+          return !gate_->exclusive_active_ && gate_->exclusive_waiting_ == 0;
+        });
+        ++gate_->active_shared_;
+      }
+      RecordWait(/*exclusive=*/false, t0);
+      depth = 1;
+      held_ = true;
     }
     ~SharedGuard() {
-      if (locked_) gate_->mu_.unlock_shared();
+      if (!held_) return;
+      int& depth = SharedDepth(gate_);
+      if (--depth > 0) return;
+      {
+        std::lock_guard<std::mutex> lock(gate_->mu_);
+        --gate_->active_shared_;
+      }
+      gate_->cv_.notify_all();
     }
     SharedGuard(const SharedGuard&) = delete;
     SharedGuard& operator=(const SharedGuard&) = delete;
 
    private:
     StatementGate* gate_;
-    bool locked_ = false;
+    bool held_ = false;
   };
 
-  /// Exclusive hold for a checkpoint's commit section.
+  /// Exclusive hold for a checkpoint's commit section. Pending exclusive
+  /// acquisition blocks new shared entrants (no starvation under a
+  /// saturating statement stream).
   class ExclusiveGuard {
    public:
     explicit ExclusiveGuard(StatementGate* gate) : gate_(gate) {
-      if (gate_ != nullptr) {
-        // The exclusive wait is the checkpoint daemon stalled behind live
-        // statements (the dual starvation signal).
-        const int64_t t0 = NowNanos();
-        gate_->mu_.lock();
-        RecordWait(/*exclusive=*/true, t0);
-        gate_->exclusive_owner_.store(std::this_thread::get_id(),
-                                      std::memory_order_relaxed);
+      if (gate_ == nullptr) return;
+      // The exclusive wait is the checkpoint stalled behind in-flight
+      // statements (bounded: new ones queue behind us).
+      const int64_t t0 = NowNanos();
+      {
+        std::unique_lock<std::mutex> lock(gate_->mu_);
+        ++gate_->exclusive_waiting_;
+        gate_->cv_.wait(lock, [this] {
+          return !gate_->exclusive_active_ && gate_->active_shared_ == 0;
+        });
+        --gate_->exclusive_waiting_;
+        gate_->exclusive_active_ = true;
       }
+      RecordWait(/*exclusive=*/true, t0);
+      gate_->exclusive_owner_.store(std::this_thread::get_id(),
+                                    std::memory_order_relaxed);
     }
     ~ExclusiveGuard() {
-      if (gate_ != nullptr) {
-        gate_->exclusive_owner_.store(std::thread::id{}, std::memory_order_relaxed);
-        gate_->mu_.unlock();
+      if (gate_ == nullptr) return;
+      gate_->exclusive_owner_.store(std::thread::id{}, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(gate_->mu_);
+        gate_->exclusive_active_ = false;
       }
+      gate_->cv_.notify_all();
     }
     ExclusiveGuard(const ExclusiveGuard&) = delete;
     ExclusiveGuard& operator=(const ExclusiveGuard&) = delete;
@@ -86,6 +135,13 @@ class StatementGate {
   };
 
  private:
+  /// Per-thread shared-hold depth for this gate (supports the nested
+  /// re-entry path without a second mutex acquisition).
+  static int& SharedDepth(const StatementGate* gate) {
+    static thread_local std::unordered_map<const StatementGate*, int> depth;
+    return depth[gate];
+  }
+
   // Always-on wait accounting: the registry histogram fills even for gate
   // holders with no trace installed (the checkpoint daemon thread), and the
   // current statement's trace — when there is one — gets the event too.
@@ -102,7 +158,11 @@ class StatementGate {
     if (trace != nullptr) trace->AddEvent(obs::SpanKind::kGateWait, dur_ns);
   }
 
-  std::shared_mutex mu_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t active_shared_ = 0;
+  uint64_t exclusive_waiting_ = 0;
+  bool exclusive_active_ = false;
   std::atomic<std::thread::id> exclusive_owner_{};
 };
 

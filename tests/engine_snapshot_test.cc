@@ -1,0 +1,310 @@
+// Snapshot-read semantics through the engine, for every architecture in
+// both maintenance modes: at a batch boundary a snapshot SQL read answers
+// bit-identically to the live view; mid-batch readers stay on the pre-batch
+// epoch (MVCC-lite — reads never see a half-applied batch); pinned epochs
+// reclaim only after the last reader unpins; and a checkpoint racing
+// concurrent snapshot readers recovers to bit-identical view state.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "persist/checkpoint.h"
+#include "sql/executor.h"
+#include "storage/table.h"
+#include "test_corpus.h"
+
+namespace hazy::engine {
+namespace {
+
+struct ArchMode {
+  core::Architecture arch;
+  core::Mode mode;
+  const char* name;
+};
+
+constexpr ArchMode kArchModes[] = {
+    {core::Architecture::kNaiveMM, core::Mode::kEager, "NaiveMMEager"},
+    {core::Architecture::kNaiveMM, core::Mode::kLazy, "NaiveMMLazy"},
+    {core::Architecture::kHazyMM, core::Mode::kEager, "HazyMMEager"},
+    {core::Architecture::kHazyMM, core::Mode::kLazy, "HazyMMLazy"},
+    {core::Architecture::kNaiveOD, core::Mode::kEager, "NaiveODEager"},
+    {core::Architecture::kNaiveOD, core::Mode::kLazy, "NaiveODLazy"},
+    {core::Architecture::kHazyOD, core::Mode::kEager, "HazyODEager"},
+    {core::Architecture::kHazyOD, core::Mode::kLazy, "HazyODLazy"},
+    {core::Architecture::kHybrid, core::Mode::kEager, "HybridEager"},
+    {core::Architecture::kHybrid, core::Mode::kLazy, "HybridLazy"},
+};
+
+class EngineSnapshotTest : public ::testing::TestWithParam<ArchMode> {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    ASSERT_TRUE(db_->Open().ok());
+    BuildTestCorpus(db_.get());
+    auto examples = db_->catalog()->GetTable("Example_Papers");
+    ASSERT_TRUE(examples.ok());
+    examples_ = *examples;
+    exec_ = std::make_unique<sql::Executor>(db_.get());
+  }
+
+  ClassificationViewDef Def() {
+    ClassificationViewDef def;
+    def.view_name = "Labeled_Papers";
+    def.entity_table = "Papers";
+    def.entity_key = "id";
+    def.label_table = "Paper_Area";
+    def.label_column = "label";
+    def.example_table = "Example_Papers";
+    def.example_key = "id";
+    def.example_label = "label";
+    def.feature_function = "tf_bag_of_words";
+    def.architecture = GetParam().arch;
+    def.mode = GetParam().mode;
+    return def;
+  }
+
+  ManagedView* MustCreateView() {
+    auto view = db_->CreateClassificationView(Def());
+    EXPECT_TRUE(view.ok()) << view.status().ToString();
+    return view.ok() ? *view : nullptr;
+  }
+
+  void TrainAll() {
+    for (int64_t id = 0; id < 10; ++id) {
+      const char* label = id < 5 ? "DB" : "OTHER";
+      ASSERT_TRUE(examples_->Insert(
+                      storage::Row{id, std::string(label)}).ok());
+    }
+  }
+
+  sql::ResultSet MustExec(const std::string& sql) {
+    auto rs = exec_->Execute(sql);
+    EXPECT_TRUE(rs.ok()) << sql << " -> " << rs.status().ToString();
+    return rs.ok() ? *rs : sql::ResultSet{};
+  }
+
+  std::string Encoded(const sql::ResultSet& rs) {
+    std::string payload;
+    EXPECT_TRUE(rs.Encode(&payload).ok());
+    return payload;
+  }
+
+  std::unique_ptr<Database> db_;
+  storage::Table* examples_ = nullptr;
+  std::unique_ptr<sql::Executor> exec_;
+};
+
+// At a batch boundary every snapshot SQL read shape (single-entity, members,
+// count) answers bit-identically to the live view's engine API — the core
+// invariant that makes skipping the statement gate sound.
+TEST_P(EngineSnapshotTest, SnapshotAnswersMatchLiveViewAtBatchBoundary) {
+  ManagedView* view = MustCreateView();
+  ASSERT_NE(view, nullptr);
+  TrainAll();
+  ASSERT_TRUE(view->HasSnapshot())
+      << "no epoch published; reads would fall back to the gated path";
+
+  for (int64_t id = 0; id < 10; ++id) {
+    auto rs = MustExec("SELECT class FROM Labeled_Papers WHERE id = " +
+                       std::to_string(id));
+    ASSERT_EQ(rs.rows.size(), 1u);
+    auto sql_label = rs.TextAt(0, 0);
+    auto api_label = view->LabelOf(id);
+    ASSERT_TRUE(sql_label.ok() && api_label.ok());
+    EXPECT_EQ(*sql_label, *api_label) << "paper " << id;
+  }
+
+  for (const char* label : {"DB", "OTHER"}) {
+    auto rs = MustExec(std::string("SELECT * FROM Labeled_Papers WHERE class = '") +
+                       label + "'");
+    auto api_members = view->MembersOf(label);
+    ASSERT_TRUE(api_members.ok());
+    std::set<int64_t> sql_ids, api_ids(api_members->begin(), api_members->end());
+    for (size_t i = 0; i < rs.rows.size(); ++i) {
+      auto id = rs.Int64At(i, 0);
+      ASSERT_TRUE(id.ok());
+      sql_ids.insert(*id);
+    }
+    EXPECT_EQ(sql_ids, api_ids) << label;
+
+    auto count = MustExec(
+        std::string("SELECT COUNT(*) FROM Labeled_Papers WHERE class = '") +
+        label + "'");
+    ASSERT_EQ(count.rows.size(), 1u);
+    auto sql_count = count.Int64At(0, 0);
+    auto api_count = view->CountOf(label);
+    ASSERT_TRUE(sql_count.ok() && api_count.ok());
+    EXPECT_EQ(static_cast<uint64_t>(*sql_count), *api_count) << label;
+  }
+}
+
+// MVCC semantics: while an update batch is open, snapshot readers keep
+// answering from the last published epoch — the batch's queued model updates
+// are invisible until EndUpdateBatch publishes, and the whole batch becomes
+// visible atomically.
+TEST_P(EngineSnapshotTest, MidBatchReaderSeesPreBatchEpoch) {
+  ManagedView* view = MustCreateView();
+  ASSERT_NE(view, nullptr);
+  // Partial training so the mid-batch examples would move the model.
+  ASSERT_TRUE(examples_->Insert(storage::Row{int64_t{0}, std::string("DB")}).ok());
+  ASSERT_TRUE(
+      examples_->Insert(storage::Row{int64_t{5}, std::string("OTHER")}).ok());
+  ASSERT_TRUE(view->HasSnapshot());
+
+  const uint64_t epoch_before = view->epochs().latest_epoch();
+  const std::string rows_before = Encoded(MustExec("SELECT * FROM Labeled_Papers"));
+
+  db_->BeginUpdateBatch();
+  for (int64_t id = 1; id < 5; ++id) {
+    ASSERT_TRUE(examples_->Insert(storage::Row{id, std::string("DB")}).ok());
+  }
+  for (int64_t id = 6; id < 10; ++id) {
+    ASSERT_TRUE(examples_->Insert(storage::Row{id, std::string("OTHER")}).ok());
+  }
+  EXPECT_GT(view->pending_updates(), 0u) << "batch did not queue the triggers";
+  // A reader inside the batch: same epoch, byte-identical answers.
+  EXPECT_EQ(view->epochs().latest_epoch(), epoch_before);
+  EXPECT_EQ(Encoded(MustExec("SELECT * FROM Labeled_Papers")), rows_before);
+  ASSERT_TRUE(db_->EndUpdateBatch().ok());
+
+  // The batch boundary published exactly one new epoch with the batch fully
+  // applied.
+  EXPECT_EQ(view->epochs().latest_epoch(), epoch_before + 1);
+  auto rs = MustExec("SELECT * FROM Labeled_Papers");
+  std::set<std::pair<int64_t, std::string>> labeled;
+  for (size_t i = 0; i < rs.rows.size(); ++i) {
+    auto id = rs.Int64At(i, 0);
+    auto label = rs.TextAt(i, 1);
+    ASSERT_TRUE(id.ok() && label.ok());
+    labeled.insert({*id, *label});
+  }
+  // Fully trained on the separable corpus: post-batch answers are exact.
+  for (int64_t id = 0; id < 10; ++id) {
+    EXPECT_TRUE(labeled.count({id, id < 5 ? "DB" : "OTHER"})) << "paper " << id;
+  }
+}
+
+// A pinned epoch stays live across later publications and reclaims only
+// when the last pin releases — through the trigger/publish machinery, not
+// just the core manager.
+TEST_P(EngineSnapshotTest, RetiredEpochReclaimsAfterLastUnpin) {
+  ManagedView* view = MustCreateView();
+  ASSERT_NE(view, nullptr);
+  ASSERT_TRUE(examples_->Insert(storage::Row{int64_t{0}, std::string("DB")}).ok());
+  ASSERT_TRUE(view->HasSnapshot());
+
+  core::SnapshotPin pin = view->PinSnapshot();
+  ASSERT_TRUE(pin);
+  const uint64_t pinned_epoch = pin->epoch();
+  const uint64_t reclaimed_before = view->epochs().reclaimed_total();
+
+  // Each unbatched example insert publishes a new epoch, retiring the
+  // pinned one.
+  ASSERT_TRUE(
+      examples_->Insert(storage::Row{int64_t{5}, std::string("OTHER")}).ok());
+  ASSERT_TRUE(examples_->Insert(storage::Row{int64_t{1}, std::string("DB")}).ok());
+  ASSERT_GT(view->epochs().latest_epoch(), pinned_epoch);
+  EXPECT_TRUE(view->epochs().IsLive(pinned_epoch));
+
+  // The pinned snapshot still answers from its own epoch's model/entity set.
+  auto count = pin->AllMembersCount(+1);
+  ASSERT_TRUE(count.ok());
+
+  pin.Release();
+  EXPECT_FALSE(view->epochs().IsLive(pinned_epoch));
+  EXPECT_GT(view->epochs().reclaimed_total(), reclaimed_before);
+}
+
+// A checkpoint racing concurrent snapshot readers must neither block on
+// them nor corrupt durable state: after the race, recovery rebuilds the
+// view bit-identically (same serialized state blob).
+TEST_P(EngineSnapshotTest, CheckpointRacingReadersRecoversBitIdentical) {
+  const std::string path = ::testing::TempDir() + "hazy_snapshot_race_" +
+                           GetParam().name + ".db";
+  ::unlink(path.c_str());
+  ::unlink((path + "-wal").c_str());
+
+  DatabaseOptions opts;
+  opts.path = path;
+  db_ = std::make_unique<Database>(opts);
+  ASSERT_TRUE(db_->Open().ok());
+  BuildTestCorpus(db_.get());
+  auto examples = db_->catalog()->GetTable("Example_Papers");
+  ASSERT_TRUE(examples.ok());
+  examples_ = *examples;
+  exec_ = std::make_unique<sql::Executor>(db_.get());
+
+  ManagedView* view = MustCreateView();
+  ASSERT_NE(view, nullptr);
+  TrainAll();
+  ASSERT_TRUE(view->HasSnapshot());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      // Snapshot reads hold no statement lock — each thread gets its own
+      // executor and scans freely while the checkpoint commits.
+      sql::Executor exec(db_.get());
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto rs = exec.Execute("SELECT * FROM Labeled_Papers");
+        EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+        if (rs.ok()) {
+          EXPECT_EQ(rs->rows.size(), 10u);
+        }
+        ++reads;
+      }
+    });
+  }
+  while (reads.load() < 20) std::this_thread::yield();
+  for (int i = 0; i < 3; ++i) {
+    auto epoch = db_->Checkpoint();
+    ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  // Persist the final state, capture its serialized form, and recover.
+  ASSERT_TRUE(db_->Checkpoint().ok());
+  std::string blob_live;
+  ASSERT_TRUE(persist::ViewCheckpointer(db_.get())
+                  .SerializeViewState(*view, &blob_live)
+                  .ok());
+  db_.reset();
+
+  DatabaseOptions reopen;
+  reopen.path = path;
+  auto db2 = std::make_unique<Database>(reopen);
+  ASSERT_TRUE(db2->Open().ok());
+  auto recovered = db2->GetView("Labeled_Papers");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE((*recovered)->HasSnapshot())
+      << "recovery must republish a read epoch";
+  std::string blob_recovered;
+  ASSERT_TRUE(persist::ViewCheckpointer(db2.get())
+                  .SerializeViewState(**recovered, &blob_recovered)
+                  .ok());
+  EXPECT_EQ(blob_live, blob_recovered);
+
+  db2.reset();
+  ::unlink(path.c_str());
+  ::unlink((path + "-wal").c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, EngineSnapshotTest,
+                         ::testing::ValuesIn(kArchModes),
+                         [](const ::testing::TestParamInfo<ArchMode>& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace hazy::engine

@@ -1,0 +1,156 @@
+// Regression tests for the statement gate's fairness rewrite: a pending
+// exclusive acquisition (the checkpoint commit section) must not starve
+// behind a saturating stream of shared holders, and the two re-entry paths
+// (exclusive owner, nested shared) must not deadlock against that rule.
+
+#include "storage/statement_gate.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace hazy::storage {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+TEST(StatementGateTest, SharedHoldersDoNotBlockEachOther) {
+  StatementGate gate;
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      StatementGate::SharedGuard guard(&gate);
+      int now = ++inside;
+      int prev = peak.load();
+      while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      --inside;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(peak.load(), 1) << "shared holders serialized against each other";
+}
+
+// The PR 5 hazard: with std::shared_mutex, a continuous stream of shared
+// acquisitions could starve the checkpoint's exclusive acquisition
+// indefinitely. The fair gate blocks new shared entrants once an exclusive
+// waiter is queued, so the wait is bounded by the in-flight holders.
+TEST(StatementGateTest, ExclusiveIsNotStarvedBySaturatingSharedStream) {
+  StatementGate gate;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> shared_acquisitions{0};
+  // A saturating shared stream: each thread re-acquires immediately after
+  // releasing, so without fairness there is never a gap for the writer.
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        StatementGate::SharedGuard guard(&gate);
+        ++shared_acquisitions;
+      }
+    });
+  }
+  // Let the stream saturate before contending.
+  while (shared_acquisitions.load() < 1000) {
+    std::this_thread::yield();
+  }
+  const auto t0 = Clock::now();
+  {
+    StatementGate::ExclusiveGuard guard(&gate);
+  }
+  const auto waited = Clock::now() - t0;
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  // Generous bound: the acquisition only has to outwait the (short-lived)
+  // in-flight holders, not the stream. Starvation shows up as minutes.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited).count(),
+            5000)
+      << "exclusive acquisition starved behind the shared stream";
+}
+
+TEST(StatementGateTest, ExclusiveOwnerReentersSharedWithoutDeadlock) {
+  StatementGate gate;
+  StatementGate::ExclusiveGuard exclusive(&gate);
+  // The checkpoint's own system-table writes re-enter shared on the owner
+  // thread; this must be a no-op, not a self-deadlock.
+  StatementGate::SharedGuard inner(&gate);
+  SUCCEED();
+}
+
+// A statement holding the gate shared re-enters shared from a nested entry
+// point (e.g. EndUpdateBatch's view flush calling a Table operation). Under
+// the no-new-entrants fairness rule a naive implementation would deadlock:
+// the nested acquisition queues behind the pending exclusive waiter, which
+// waits for the outer hold to drain. The nested path must piggyback.
+TEST(StatementGateTest, NestedSharedReentryWhileExclusivePends) {
+  StatementGate gate;
+  std::atomic<bool> outer_held{false};
+  std::atomic<bool> exclusive_queued{false};
+  std::atomic<bool> statement_done{false};
+
+  std::thread statement([&] {
+    StatementGate::SharedGuard outer(&gate);
+    outer_held.store(true);
+    while (!exclusive_queued.load()) std::this_thread::yield();
+    // Give the exclusive thread time to actually enqueue its waiter.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    StatementGate::SharedGuard nested(&gate);  // must not block
+    statement_done.store(true);
+  });
+  std::thread checkpointer([&] {
+    while (!outer_held.load()) std::this_thread::yield();
+    exclusive_queued.store(true);
+    StatementGate::ExclusiveGuard guard(&gate);
+    // Acquired only after the statement (outer + nested) fully released.
+    EXPECT_TRUE(statement_done.load());
+  });
+  statement.join();
+  checkpointer.join();
+}
+
+// New shared entrants queue behind a pending exclusive waiter: the waiter
+// gets the gate before a fresh statement that arrived after it.
+TEST(StatementGateTest, PendingExclusiveBlocksNewSharedEntrants) {
+  StatementGate gate;
+  std::atomic<bool> holder_in{false};
+  std::atomic<bool> release_holder{false};
+  std::atomic<bool> exclusive_done{false};
+  std::atomic<bool> late_reader_in{false};
+
+  std::thread holder([&] {
+    StatementGate::SharedGuard guard(&gate);
+    holder_in.store(true);
+    while (!release_holder.load()) std::this_thread::yield();
+  });
+  std::thread writer([&] {
+    while (!holder_in.load()) std::this_thread::yield();
+    StatementGate::ExclusiveGuard guard(&gate);
+    EXPECT_FALSE(late_reader_in.load())
+        << "a shared entrant barged past the queued exclusive waiter";
+    exclusive_done.store(true);
+  });
+  // Let the writer queue its waiter behind the holder.
+  while (!holder_in.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread late_reader([&] {
+    StatementGate::SharedGuard guard(&gate);
+    late_reader_in.store(true);
+    // Fairness: by the time a post-waiter entrant gets in, the exclusive
+    // section has come and gone.
+    EXPECT_TRUE(exclusive_done.load());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release_holder.store(true);
+  holder.join();
+  writer.join();
+  late_reader.join();
+}
+
+}  // namespace
+}  // namespace hazy::storage
