@@ -114,13 +114,14 @@ PhaseResult RunReaders(hazy::engine::Database* db, size_t threads,
           failed.store(true);
           break;
         }
-        hazy::StatusOr<hazy::sql::ResultSet> rs = hazy::Status::OK();
-        if (!force_gated && hazy::sql::IsSnapshotRead(db, *stmt)) {
-          rs = exec.Execute(*stmt);
-        } else {
-          std::lock_guard<std::mutex> lock(*db->statement_mutex());
-          rs = exec.Execute(*stmt);
-        }
+        // Initialized via lambda: StatusOr rejects a default OK status.
+        auto rs = [&]() -> hazy::StatusOr<hazy::sql::ResultSet> {
+          if (!force_gated && hazy::sql::IsSnapshotRead(db, *stmt)) {
+            return exec.Execute(*stmt);
+          }
+          std::lock_guard<std::recursive_mutex> lock(*db->statement_mutex());
+          return exec.Execute(*stmt);
+        }();
         if (!rs.ok() || rs->rows.size() != 1) {
           failed.store(true);
           break;
@@ -220,7 +221,7 @@ int main(int argc, char** argv) {
       const std::string example = "INSERT INTO Examples VALUES (" +
                                   std::to_string(id) + ", '" +
                                   (IsDbClass(id) ? "DB" : "OTHER") + "')";
-      std::lock_guard<std::mutex> lock(*db.statement_mutex());
+      std::lock_guard<std::recursive_mutex> lock(*db.statement_mutex());
       if (!wexec.Execute(paper).ok() || !wexec.Execute(example).ok()) {
         std::fprintf(stderr, "writer failed at id %lld\n",
                      static_cast<long long>(id));

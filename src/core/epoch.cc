@@ -13,10 +13,12 @@ namespace {
 /// spirit as the scan pipeline's per-page striping thresholds).
 constexpr size_t kMinParallelScan = 2048;
 
-/// Chunk-count bound before the builder compacts the whole run: lookups walk
-/// the chunk list, so it must stay short even under a stream of tiny
-/// append-and-publish batches.
-constexpr size_t kMaxChunks = 16;
+/// Size-tiered merge threshold: a freshly sealed tail chunk is folded into
+/// its neighbor until the neighbor is more than this factor larger. The
+/// resulting invariant (each sealed chunk > kMergeFactor x its successor)
+/// keeps the chunk count logarithmic in the entity count, so lookups stay
+/// flat even under a sustained stream of tiny append-and-publish batches.
+constexpr size_t kMergeFactor = 2;
 
 }  // namespace
 
@@ -101,19 +103,27 @@ std::shared_ptr<const EpochEntityStore> EpochStoreBuilder::Seal() {
   if (!open_.empty()) {
     sealed_.push_back(MakeEpochChunk(std::move(open_)));
     open_.clear();
-  }
-  if (sealed_.size() > kMaxChunks) {
-    // Compact into one chunk. Old stores keep their own chunk references;
-    // only future epochs see the merged run.
-    std::vector<Entity> all;
-    size_t total = 0;
-    for (const auto& c : sealed_) total += c->rows.size();
-    all.reserve(total);
-    for (const auto& c : sealed_) {
-      all.insert(all.end(), c->rows.begin(), c->rows.end());
+    // Size-tiered merge, tail-local: fold the new chunk into its neighbor
+    // while the neighbor is not decisively larger, cascading toward the
+    // head. A chunk grows by at least a third of its size with every merge
+    // it joins, so a sustained single-row append-and-publish stream copies
+    // each row O(log N) times total — full compaction here would copy the
+    // whole store every few publishes, O(N^2) overall. Chunks ahead of the
+    // cascade are untouched and stay shared with earlier epochs. Old stores
+    // keep references to the pre-merge chunks; only future epochs see the
+    // merged runs.
+    while (sealed_.size() > 1) {
+      const auto& prev = sealed_[sealed_.size() - 2];
+      const auto& tail = sealed_.back();
+      if (prev->rows.size() > kMergeFactor * tail->rows.size()) break;
+      std::vector<Entity> merged;
+      merged.reserve(prev->rows.size() + tail->rows.size());
+      merged.insert(merged.end(), prev->rows.begin(), prev->rows.end());
+      merged.insert(merged.end(), tail->rows.begin(), tail->rows.end());
+      sealed_.pop_back();
+      sealed_.pop_back();
+      sealed_.push_back(MakeEpochChunk(std::move(merged)));
     }
-    sealed_.clear();
-    sealed_.push_back(MakeEpochChunk(std::move(all)));
   }
   last_ = std::make_shared<EpochEntityStore>(sealed_);
   return last_;

@@ -121,9 +121,11 @@ class EpochStoreBuilder {
   bool dirty() const { return last_ == nullptr || !open_.empty(); }
 
   /// Seals buffered appends into a chunk and returns the current immutable
-  /// store. Reuses the previous store when nothing changed. Trailing chunk
-  /// runs are compacted once the chunk count exceeds a small bound, so a
-  /// long stream of tiny append batches cannot degrade lookups.
+  /// store. Reuses the previous store when nothing changed. Adjacent runs of
+  /// similar size are merged (size-tiered, geometric invariant) so the chunk
+  /// count stays logarithmic and a long stream of tiny append batches costs
+  /// O(log N) amortized copies per row instead of degrading lookups or
+  /// recopying the whole store.
   std::shared_ptr<const EpochEntityStore> Seal();
 
  private:

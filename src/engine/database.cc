@@ -51,6 +51,14 @@ Status ManagedView::Flush() {
 
 Status ManagedView::PublishEpoch() {
   if (!adopted_ || !snapshots_supported_) return Status::OK();
+  if (db_ != nullptr && db_->in_update_batch()) {
+    // Mid-batch: publishing here would expose a partially applied statement
+    // to snapshot readers (the gated path never allowed that) and would
+    // seal one chunk per row of a multi-row insert. Defer to the outermost
+    // EndUpdateBatch — the real epoch boundary.
+    epoch_publish_pending_ = true;
+    return Status::OK();
+  }
   if (store_reset_pending_) {
     std::vector<core::Entity> ents;
     Status s = view_->ExportEntities(&ents);
@@ -63,6 +71,7 @@ Status ManagedView::PublishEpoch() {
     store_reset_pending_ = false;
   }
   epochs_.Publish(view_->model(), store_builder_.Seal());
+  epoch_publish_pending_ = false;
   return Status::OK();
 }
 
@@ -117,7 +126,9 @@ Database::~Database() {
 Status Database::Open() {
   if (pager_) return Status::InvalidArgument("database already open");
   Status s = OpenImpl();
-  if (!s.ok()) {
+  if (s.ok()) {
+    open_.store(true, std::memory_order_release);
+  } else {
     // Leave the object closed and reusable; never leak a temp file created
     // by a failed open.
     UnregisterStatsCollectors();
@@ -541,8 +552,14 @@ Status Database::EndUpdateBatch() {
     }
     if (--batch_depth_ > 0) return Status::OK();
     outermost = true;
+    // batch_depth_ is back to 0, so the publishes below are real. Flush
+    // publishes when it drains pending examples; an entity-only batch
+    // leaves nothing pending (Flush early-returns), so the epoch its
+    // triggers deferred is published explicitly — exactly one epoch per
+    // outermost batch either way.
     for (const auto& v : views_) {
       Status s = v->Flush();
+      if (s.ok() && v->epoch_publish_pending_) s = v->PublishEpoch();
       if (!s.ok() && first_error.ok()) first_error = s;
     }
     if (wal_) {
@@ -904,6 +921,9 @@ Status Database::CopyCompactInto(Database* fresh) {
 }
 
 void Database::ResetHandles() {
+  // Flip closed before touching any handle: unserialized statement dispatch
+  // (the snapshot-read path) checks is_open() instead of racing catalog_.
+  open_.store(false, std::memory_order_release);
   UnregisterStatsCollectors();
   if (ckpt_daemon_) ckpt_daemon_->Stop();
   ckpt_daemon_.reset();
@@ -922,6 +942,13 @@ void Database::ResetHandles() {
 }
 
 Status Database::Compact() {
+  // The swap below invalidates every handle, and the refused-snapshot
+  // fallback path (sql/executor.cc) waits out the swap on the statement
+  // mutex — so the whole compaction must run under it. Acquired here rather
+  // than assumed of the caller: SQL VACUUM already holds it (recursive
+  // re-entry), and a direct API caller gets the same exclusion instead of
+  // racing concurrent statements.
+  std::lock_guard<std::recursive_mutex> stmt_lock(statement_mu_);
   if (!pager_) return Status::InvalidArgument("database not open");
   if (in_update_batch()) {
     return Status::InvalidArgument("cannot VACUUM inside an update batch");
@@ -963,8 +990,8 @@ Status Database::Compact() {
   const bool owns_temp = owns_temp_file_;
   // Refuse new snapshot reads and drain the in-flight ones: they hold
   // ManagedView pointers ResetHandles is about to free. Refused readers
-  // serialize behind the statement mutex (held by our caller for SQL
-  // VACUUM) and re-resolve the view afterwards.
+  // serialize behind the statement mutex (held for the whole compaction,
+  // see above) and re-resolve the view afterwards.
   compacting_.store(true);
   while (snapshot_readers_.load() != 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(100));
@@ -981,12 +1008,18 @@ Status Database::Compact() {
     ::rename(tmp_wal.c_str(), storage::WalPathFor(path_).c_str());
   }
   if (s.ok()) s = OpenImpl();
-  if (!s.ok()) {
+  if (s.ok()) {
+    open_.store(true, std::memory_order_release);
+  } else {
     // Never leave a half-torn-down handle behind a returned error: recover
     // onto whatever complete database sits at path_, or close out cleanly
     // so every later call reports "database not open" instead of crashing.
     ResetHandles();
-    if (!OpenImpl().ok()) ResetHandles();
+    if (OpenImpl().ok()) {
+      open_.store(true, std::memory_order_release);
+    } else {
+      ResetHandles();
+    }
   }
   owns_temp_file_ = owns_temp;
   compacting_.store(false);

@@ -120,9 +120,11 @@ class ManagedView {
 
   /// Publishes the current (model, entity set) as a new read epoch. Called
   /// by the write side at batch boundaries — after Flush, a non-batched
-  /// trigger update, a retrain, or a checkpoint restore. No-op until the
-  /// view is adopted into the database and for architectures without
-  /// ExportEntities support.
+  /// trigger update, a retrain, or a checkpoint restore. Inside an update
+  /// batch it only records the request (epoch_publish_pending_); the
+  /// outermost EndUpdateBatch performs the actual publish so readers never
+  /// observe a partially applied statement. No-op until the view is adopted
+  /// into the database and for architectures without ExportEntities support.
   Status PublishEpoch();
 
   ClassificationViewDef def_;
@@ -144,6 +146,10 @@ class ManagedView {
   /// True when the builder must be re-seeded from the core view (initial
   /// adoption, retrain-from-scratch, checkpoint restore) before sealing.
   bool store_reset_pending_ = true;
+  /// Set when PublishEpoch is requested inside an update batch: publishing
+  /// mid-batch would let snapshot readers observe a partially applied
+  /// statement, so the publish defers to the outermost EndUpdateBatch.
+  bool epoch_publish_pending_ = false;
   /// Cleared on the first ExportEntities NotSupported; stops both publish
   /// attempts and builder appends for kernel-style architectures.
   bool snapshots_supported_ = true;
@@ -216,6 +222,12 @@ class Database {
   /// Path of the backing file.
   const std::string& path() const { return path_; }
 
+  /// True between a successful Open and teardown (close, or a failed VACUUM
+  /// swap that could not recover). Atomic so statement dispatch can answer
+  /// "database is not open" without the statement mutex — the lock-free
+  /// snapshot-read path must not race ResetHandles by peeking at catalog().
+  bool is_open() const { return open_.load(std::memory_order_acquire); }
+
   storage::Catalog* catalog() { return catalog_.get(); }
   storage::BufferPool* buffer_pool() { return pool_.get(); }
   storage::Wal* wal() { return wal_.get(); }
@@ -231,8 +243,10 @@ class Database {
   /// Serializes whole SQL statements from concurrent sessions. The engine is
   /// single-writer (triggers mutate shared view state), so the server layer
   /// holds this for the duration of each statement; in-process callers that
-  /// never share a Database across threads can ignore it.
-  std::mutex* statement_mutex() { return &statement_mu_; }
+  /// never share a Database across threads can ignore it. Recursive because
+  /// Compact() acquires it internally (so direct API callers get the same
+  /// exclusion SQL VACUUM does) while the SQL path already holds it.
+  std::recursive_mutex* statement_mutex() { return &statement_mu_; }
 
   /// Starts/stops the background checkpointer at runtime (PRAGMA
   /// checkpoint_daemon = on|off). Thresholds come from (and persist in)
@@ -373,7 +387,7 @@ class Database {
   DatabaseOptions options_;
   std::string path_;
   /// See statement_mutex().
-  std::mutex statement_mu_;
+  std::recursive_mutex statement_mu_;
   /// Statement boundary between foreground mutations (shared holds) and the
   /// background checkpointer's commit section (exclusive hold).
   storage::StatementGate gate_;
@@ -394,6 +408,9 @@ class Database {
   /// Advanced under the exclusive gate by checkpoints; atomic so observers
   /// (tests, shell banners) can read it without one.
   std::atomic<uint64_t> checkpoint_epoch_{0};
+  /// See is_open(): flipped true after a successful Open/OpenImpl, false at
+  /// the top of ResetHandles — always before the handles below are touched.
+  std::atomic<bool> open_{false};
   std::unique_ptr<storage::Pager> pager_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<storage::Wal> wal_;

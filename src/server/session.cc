@@ -72,7 +72,7 @@ StatusOr<sql::ResultSet> Session::RunQuery(const std::string& sql) {
   if (stmt.ok() && sql::IsSnapshotRead(db_, *stmt)) {
     return executor_.Execute(*stmt);
   }
-  std::lock_guard<std::mutex> stmt_lock(*db_->statement_mutex());
+  std::lock_guard<std::recursive_mutex> stmt_lock(*db_->statement_mutex());
   // Re-run from text so the executor traces the statement (parse span,
   // latency histogram, slow log) exactly as before.
   return executor_.Execute(sql);
@@ -84,7 +84,7 @@ StatusOr<sql::ResultSet> Session::RunPrepared(
   if (sql::IsSnapshotRead(db_, stmt.stmt)) {
     return executor_.Execute(stmt, params);
   }
-  std::lock_guard<std::mutex> stmt_lock(*db_->statement_mutex());
+  std::lock_guard<std::recursive_mutex> stmt_lock(*db_->statement_mutex());
   return executor_.Execute(stmt, params);
 }
 

@@ -99,10 +99,18 @@ StatusOr<ResultSet> Executor::Execute(const PreparedStatement& prepared,
 }
 
 StatusOr<ResultSet> Executor::Execute(const Statement& stmt) {
-  if (db_->catalog() == nullptr) {
-    // A failed VACUUM swap (or failed Open) leaves the database cleanly
-    // closed; every statement must say so rather than dereference it.
-    return Status::InvalidArgument("database is not open");
+  if (!db_->is_open()) {
+    // The atomic flag (not catalog()) keeps this dispatch safe on the
+    // snapshot-read path, which runs without the statement mutex while a
+    // VACUUM swap may be resetting the catalog handle. But "closed" may be
+    // that very swap mid-rebuild — it runs under the statement mutex, so
+    // one (recursion-safe) acquisition waits it out. Still closed after
+    // that means a failed swap or failed Open left the database genuinely
+    // closed, and every statement must say so rather than dereference it.
+    std::lock_guard<std::recursive_mutex> stmt_lock(*db_->statement_mutex());
+    if (!db_->is_open()) {
+      return Status::InvalidArgument("database is not open");
+    }
   }
   if (const auto* s = std::get_if<CreateTableStmt>(&stmt)) return ExecCreateTable(*s);
   if (const auto* s = std::get_if<CreateViewStmt>(&stmt)) return ExecCreateView(*s);
@@ -407,33 +415,30 @@ StatusOr<ResultSet> Executor::ExecInsert(const InsertStmt& stmt) {
 bool IsSnapshotRead(engine::Database* db, const Statement& stmt) {
   const auto* sel = std::get_if<SelectStmt>(&stmt);
   if (sel == nullptr) return false;
+  // The view must be resolved AND dereferenced under the scope: unregistered,
+  // a concurrent VACUUM drain sees no reader and frees the object between
+  // GetView and HasSnapshot. Inactive scope (swap in progress) means the
+  // statement belongs on the serialized path anyway.
+  engine::SnapshotReadScope scope(db);
+  if (!scope.active()) return false;
   auto view = db->GetView(sel->table);
   return view.ok() && (*view)->HasSnapshot();
 }
 
 StatusOr<ResultSet> Executor::ExecSelectView(const SelectStmt& stmt,
                                              engine::ManagedView* view) {
-  {
-    engine::SnapshotReadScope scope(db_);
-    if (scope.active() && view->HasSnapshot()) {
-      // The read's only synchronization is the pin acquisition — a lock-free
-      // shared_ptr load. Its latency lands in the mode="read" gate histogram
-      // so the before/after against mode="shared" is one SHOW METRICS away.
-      static obs::Histogram* read_wait = obs::Registry::Global().GetHistogram(
-          "hazy_gate_wait_us", "mode=\"read\"");
-      const int64_t t0 = NowNanos();
-      core::SnapshotPin snap = view->PinSnapshot();
-      read_wait->Observe(static_cast<double>(NowNanos() - t0) / 1000.0);
-      if (snap) return ExecSelectViewSnapshot(stmt, view, *snap);
-    }
-    if (scope.active()) return ExecSelectViewGated(stmt, view);
+  if (view->HasSnapshot()) {
+    // The read's only synchronization is the pin acquisition — a lock-free
+    // shared_ptr load. Its latency lands in the mode="read" gate histogram
+    // so the before/after against mode="shared" is one SHOW METRICS away.
+    static obs::Histogram* read_wait = obs::Registry::Global().GetHistogram(
+        "hazy_gate_wait_us", "mode=\"read\"");
+    const int64_t t0 = NowNanos();
+    core::SnapshotPin snap = view->PinSnapshot();
+    read_wait->Observe(static_cast<double>(NowNanos() - t0) / 1000.0);
+    if (snap) return ExecSelectViewSnapshot(stmt, view, *snap);
   }
-  // A VACUUM swap is in progress: snapshot reads are refused, and the gated
-  // path would race the teardown. Serialize behind the VACUUM and re-resolve
-  // the view — the swap invalidated the pointer we were handed.
-  std::lock_guard<std::mutex> stmt_lock(*db_->statement_mutex());
-  HAZY_ASSIGN_OR_RETURN(engine::ManagedView * fresh, db_->GetView(stmt.table));
-  return ExecSelectView(stmt, fresh);
+  return ExecSelectViewGated(stmt, view);
 }
 
 StatusOr<ResultSet> Executor::ExecSelectViewSnapshot(
@@ -665,10 +670,29 @@ StatusOr<ResultSet> Executor::ExecSelectViewGated(const SelectStmt& stmt,
 }
 
 StatusOr<ResultSet> Executor::ExecSelect(const SelectStmt& stmt) {
-  if (db_->HasView(stmt.table)) {
-    HAZY_ASSIGN_OR_RETURN(engine::ManagedView * view, db_->GetView(stmt.table));
-    return ExecSelectView(stmt, view);
+  {
+    // Resolve the target only while registered as a snapshot reader: a
+    // concurrent VACUUM drains registered readers before ResetHandles frees
+    // the view/table objects, so a pointer resolved before registering is a
+    // use-after-free window. The scope also covers the gated and base-table
+    // paths — the handles they scan die in the same teardown.
+    engine::SnapshotReadScope scope(db_);
+    if (scope.active()) {
+      if (!db_->HasView(stmt.table)) return ExecSelectTable(stmt);
+      HAZY_ASSIGN_OR_RETURN(engine::ManagedView * view, db_->GetView(stmt.table));
+      return ExecSelectView(stmt, view);
+    }
   }
+  // A VACUUM swap is in progress: registration is refused and the handles
+  // are about to be invalidated. Serialize behind the VACUUM (it holds the
+  // statement mutex for the whole compaction) and resolve fresh handles.
+  std::lock_guard<std::recursive_mutex> stmt_lock(*db_->statement_mutex());
+  if (!db_->HasView(stmt.table)) return ExecSelectTable(stmt);
+  HAZY_ASSIGN_OR_RETURN(engine::ManagedView * view, db_->GetView(stmt.table));
+  return ExecSelectView(stmt, view);
+}
+
+StatusOr<ResultSet> Executor::ExecSelectTable(const SelectStmt& stmt) {
   HAZY_ASSIGN_OR_RETURN(storage::Table * table, db_->catalog()->GetTable(stmt.table));
   const storage::Schema& schema = table->schema();
 

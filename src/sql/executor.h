@@ -54,9 +54,17 @@ class Executor {
   StatusOr<ResultSet> ExecCreateTable(const CreateTableStmt& stmt);
   StatusOr<ResultSet> ExecCreateView(const CreateViewStmt& stmt);
   StatusOr<ResultSet> ExecInsert(const InsertStmt& stmt);
+  /// Dispatches a SELECT. Resolves the target name to a view/table pointer
+  /// only while registered as a snapshot reader (SnapshotReadScope) or,
+  /// when a VACUUM swap refuses registration, behind the statement mutex —
+  /// a pointer resolved unprotected could be freed by the swap's teardown
+  /// before the read registers (use-after-free).
   StatusOr<ResultSet> ExecSelect(const SelectStmt& stmt);
+  /// Scans a base table (caller holds the protection ExecSelect describes).
+  StatusOr<ResultSet> ExecSelectTable(const SelectStmt& stmt);
   /// Routes a view SELECT: epoch-snapshot path when one is published (reads
-  /// never wait on ingest), gated legacy path otherwise.
+  /// never wait on ingest), gated legacy path otherwise. The caller keeps
+  /// `view` valid (ExecSelect's scope or statement-mutex hold).
   StatusOr<ResultSet> ExecSelectView(const SelectStmt& stmt, engine::ManagedView* view);
   /// The lock-free read path: answers from a pinned epoch snapshot without
   /// taking the statement gate or folding pending trigger updates (readers
@@ -94,8 +102,11 @@ StatusOr<bool> MatchesPredicate(const storage::Schema& schema, const storage::Ro
 /// True when `stmt` is a SELECT over a classification view with a published
 /// epoch snapshot. Such statements read immutable state and may run without
 /// the whole-statement mutex (server/session.cc uses this to let reads
-/// bypass a saturating update stream). HasSnapshot is monotonic, so a true
-/// answer cannot be invalidated by concurrent ingest.
+/// bypass a saturating update stream). The check registers itself as a
+/// snapshot reader for its duration (and answers false while a VACUUM swap
+/// refuses registration), so it never dereferences a view a concurrent
+/// VACUUM is tearing down. HasSnapshot is monotonic, so a true answer
+/// cannot be invalidated by concurrent ingest.
 bool IsSnapshotRead(engine::Database* db, const Statement& stmt);
 
 }  // namespace hazy::sql

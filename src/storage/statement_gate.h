@@ -54,7 +54,7 @@ class StatementGate {
               std::this_thread::get_id()) {
         return;
       }
-      int& depth = SharedDepth(gate_);
+      int& depth = DepthMap()[gate_];
       if (depth > 0) {
         // Nested entry point inside a statement that already holds the
         // gate: piggyback on the outer hold (waiting here would deadlock
@@ -79,8 +79,13 @@ class StatementGate {
     }
     ~SharedGuard() {
       if (!held_) return;
-      int& depth = SharedDepth(gate_);
-      if (--depth > 0) return;
+      auto& depths = DepthMap();
+      auto it = depths.find(gate_);
+      if (--it->second > 0) return;
+      // Erase the slot, not just zero it: gates are destroyed and recreated
+      // (VACUUM cycles), and a dead address must not pin a map entry for the
+      // life of the thread.
+      depths.erase(it);
       {
         std::lock_guard<std::mutex> lock(gate_->mu_);
         --gate_->active_shared_;
@@ -135,11 +140,13 @@ class StatementGate {
   };
 
  private:
-  /// Per-thread shared-hold depth for this gate (supports the nested
-  /// re-entry path without a second mutex acquisition).
-  static int& SharedDepth(const StatementGate* gate) {
-    static thread_local std::unordered_map<const StatementGate*, int> depth;
-    return depth[gate];
+  /// Per-thread shared-hold depths keyed by gate address (supports the
+  /// nested re-entry path without a second mutex acquisition). Entries are
+  /// erased when the outermost hold releases, so the map holds only the
+  /// gates this thread is inside right now — never stale addresses.
+  static std::unordered_map<const StatementGate*, int>& DepthMap() {
+    static thread_local std::unordered_map<const StatementGate*, int> depths;
+    return depths;
   }
 
   // Always-on wait accounting: the registry histogram fills even for gate

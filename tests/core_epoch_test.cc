@@ -79,7 +79,11 @@ TEST(EpochSnapshotTest, AnswersMatchHandModel) {
 
 TEST(EpochStoreBuilderTest, SealReusesStoreWhenClean) {
   EpochStoreBuilder builder;
+  // Seed a chunk big enough that the tiered-merge policy leaves it alone
+  // when a small append follows (3 > kMergeFactor x 1).
   builder.Append(Ent(1, 1.0));
+  builder.Append(Ent(2, 2.0));
+  builder.Append(Ent(3, 3.0));
   EXPECT_TRUE(builder.dirty());
   auto s1 = builder.Seal();
   EXPECT_FALSE(builder.dirty());
@@ -87,12 +91,12 @@ TEST(EpochStoreBuilderTest, SealReusesStoreWhenClean) {
   auto s2 = builder.Seal();
   EXPECT_EQ(s1.get(), s2.get());
   // A new append produces a new store sharing the earlier chunk.
-  builder.Append(Ent(2, 2.0));
+  builder.Append(Ent(4, 4.0));
   EXPECT_TRUE(builder.dirty());
   auto s3 = builder.Seal();
   EXPECT_NE(s3.get(), s1.get());
-  EXPECT_EQ(s3->size(), 2u);
-  ASSERT_GE(s3->chunks().size(), 1u);
+  EXPECT_EQ(s3->size(), 4u);
+  ASSERT_GE(s3->chunks().size(), 2u);
   EXPECT_EQ(s3->chunks()[0].get(), s1->chunks()[0].get())
       << "append batches must share earlier sealed chunks, not copy them";
 }
@@ -110,7 +114,7 @@ TEST(EpochStoreBuilderTest, ReplaceAllDropsHistory) {
 
 TEST(EpochStoreBuilderTest, LongAppendStreamCompactsChunks) {
   EpochStoreBuilder builder;
-  // 64 one-entity batches: without compaction the store would accumulate 64
+  // 64 one-entity batches: without merging the store would accumulate 64
   // chunks and per-lookup cost would degrade linearly in batch count.
   for (int i = 0; i < 64; ++i) {
     builder.Append(Ent(i, static_cast<double>(i)));
@@ -122,6 +126,30 @@ TEST(EpochStoreBuilderTest, LongAppendStreamCompactsChunks) {
   for (int i = 0; i < 64; ++i) {
     ASSERT_NE(s->Find(i), nullptr) << "lost entity " << i << " in compaction";
   }
+}
+
+TEST(EpochStoreBuilderTest, SingleRowStreamNeverRecopiesLargeHeadChunk) {
+  // Regression for the O(N^2) full-compaction policy: a big sealed run must
+  // stay shared while a stream of single-row publishes merges only among
+  // the small tail chunks (geometric size invariant).
+  EpochStoreBuilder builder;
+  std::vector<Entity> bulk;
+  for (int i = 0; i < 4096; ++i) bulk.push_back(Ent(i, static_cast<double>(i)));
+  builder.ReplaceAll(std::move(bulk));
+  auto base = builder.Seal();
+  auto head = base->chunks()[0];
+  for (int i = 4096; i < 4096 + 512; ++i) {
+    builder.Append(Ent(i, static_cast<double>(i)));
+    auto s = builder.Seal();
+    ASSERT_EQ(s->chunks()[0].get(), head.get())
+        << "publish " << i - 4096 << " recopied the 4096-row head chunk";
+    // Chunk count stays logarithmic in the appended rows, not linear.
+    ASSERT_LE(s->chunks().size(), 16u);
+  }
+  auto s = builder.Seal();
+  EXPECT_EQ(s->size(), 4096u + 512u);
+  EXPECT_NE(s->Find(4096 + 511), nullptr);
+  EXPECT_NE(s->Find(0), nullptr);
 }
 
 TEST(EpochManagerTest, PinBeforePublishIsEmpty) {

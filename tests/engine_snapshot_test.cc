@@ -192,6 +192,47 @@ TEST_P(EngineSnapshotTest, MidBatchReaderSeesPreBatchEpoch) {
   }
 }
 
+// Regression: a multi-row INSERT into the entity table publishes exactly
+// one epoch, at the batch boundary. Per-row publication would let snapshot
+// readers observe a partially applied statement (which the gated path never
+// allowed) and would seal one store chunk per row.
+TEST_P(EngineSnapshotTest, EntityBatchPublishesOneEpochAtBoundary) {
+  ManagedView* view = MustCreateView();
+  ASSERT_NE(view, nullptr);
+  TrainAll();
+  ASSERT_TRUE(view->HasSnapshot());
+  auto papers = db_->catalog()->GetTable("Papers");
+  ASSERT_TRUE(papers.ok());
+
+  const uint64_t epoch_before = view->epochs().latest_epoch();
+  const std::string count_before =
+      Encoded(MustExec("SELECT COUNT(*) FROM Labeled_Papers"));
+
+  db_->BeginUpdateBatch();
+  for (int64_t id = 10; id < 18; ++id) {
+    ASSERT_TRUE(
+        (*papers)
+            ->Insert(storage::Row{
+                id, std::string("database transactions and query processing")})
+            .ok());
+    EXPECT_EQ(view->epochs().latest_epoch(), epoch_before)
+        << "entity insert published mid-batch at id " << id;
+  }
+  // A reader inside the batch stays on the pre-batch epoch: none of the new
+  // entities are visible yet.
+  EXPECT_EQ(Encoded(MustExec("SELECT COUNT(*) FROM Labeled_Papers")),
+            count_before);
+  ASSERT_TRUE(db_->EndUpdateBatch().ok());
+
+  EXPECT_EQ(view->epochs().latest_epoch(), epoch_before + 1)
+      << "an entity-only batch must publish exactly one epoch at its boundary";
+  auto rs = MustExec("SELECT COUNT(*) FROM Labeled_Papers");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  auto n = rs.Int64At(0, 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, kTestCorpusSize + 8);
+}
+
 // A pinned epoch stays live across later publications and reclaims only
 // when the last pin releases — through the trigger/publish machinery, not
 // just the core manager.
@@ -296,6 +337,90 @@ TEST_P(EngineSnapshotTest, CheckpointRacingReadersRecoversBitIdentical) {
   EXPECT_EQ(blob_live, blob_recovered);
 
   db2.reset();
+  ::unlink(path.c_str());
+  ::unlink((path + "-wal").c_str());
+}
+
+// Readers running the server session's exact sequence — parse, then
+// IsSnapshotRead, then Execute — while VACUUM repeatedly swaps the backing
+// file and frees every ManagedView. Regression for a use-after-free: the
+// view pointer used to be resolved (and dereferenced by HasSnapshot) before
+// the reader registered in a SnapshotReadScope, so the swap's drain could
+// miss the reader and tear the view down under it. ASan/TSan runs of this
+// test catch any reintroduction.
+TEST(SnapshotVacuumRaceTest, ReadersRacingVacuumNeverCrash) {
+  const std::string path =
+      ::testing::TempDir() + "hazy_snapshot_vacuum_race.db";
+  ::unlink(path.c_str());
+  ::unlink((path + "-wal").c_str());
+
+  DatabaseOptions opts;
+  opts.path = path;
+  Database db(opts);
+  ASSERT_TRUE(db.Open().ok());
+  BuildTestCorpus(&db);
+  ClassificationViewDef def;
+  def.view_name = "Labeled_Papers";
+  def.entity_table = "Papers";
+  def.entity_key = "id";
+  def.label_table = "Paper_Area";
+  def.label_column = "label";
+  def.example_table = "Example_Papers";
+  def.example_key = "id";
+  def.example_label = "label";
+  def.feature_function = "tf_bag_of_words";
+  def.architecture = core::Architecture::kHazyMM;
+  def.mode = core::Mode::kLazy;
+  ASSERT_TRUE(db.CreateClassificationView(def).ok());
+  auto examples = db.catalog()->GetTable("Example_Papers");
+  ASSERT_TRUE(examples.ok());
+  for (int64_t id = 0; id < kTestCorpusSize; ++id) {
+    ASSERT_TRUE(
+        (*examples)
+            ->Insert(storage::Row{id, std::string(TestCorpusLabel(id))})
+            .ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      sql::Executor exec(&db);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto stmt = sql::Parse("SELECT class FROM Labeled_Papers WHERE id = 3");
+        ASSERT_TRUE(stmt.ok());
+        auto rs = [&]() -> StatusOr<sql::ResultSet> {
+          if (sql::IsSnapshotRead(&db, *stmt)) return exec.Execute(*stmt);
+          std::lock_guard<std::recursive_mutex> lock(*db.statement_mutex());
+          return exec.Execute(*stmt);
+        }();
+        EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+        if (rs.ok()) {
+          EXPECT_EQ(rs->rows.size(), 1u);
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (int i = 0; i < 4; ++i) {
+    // Let the readers re-resolve fresh handles between swaps so every cycle
+    // races registration against the drain, not just the first.
+    const uint64_t before = reads.load(std::memory_order_relaxed);
+    while (reads.load(std::memory_order_relaxed) < before + 20) {
+      std::this_thread::yield();
+    }
+    ASSERT_TRUE(db.Compact().ok());
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  // The last swap recovered a live, snapshot-capable view.
+  auto view = db.GetView("Labeled_Papers");
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE((*view)->HasSnapshot());
+
   ::unlink(path.c_str());
   ::unlink((path + "-wal").c_str());
 }
