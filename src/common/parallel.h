@@ -11,11 +11,10 @@
 #ifndef HAZY_COMMON_PARALLEL_H_
 #define HAZY_COMMON_PARALLEL_H_
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "obs/trace.h"
 
@@ -59,9 +58,10 @@ void RunChunks(size_t n, size_t chunks, Fn&& fn) {
   size_t chunk = (n + chunks - 1) / chunks;
 
   // Per-call completion latch: overlapping parallel loops sharing the pool
-  // must not wait on each other's tasks.
-  std::mutex mu;
-  std::condition_variable done_cv;
+  // must not wait on each other's tasks. (Locals cannot be GUARDED_BY, but
+  // the annotated Mutex still checks acquisition balance.)
+  Mutex mu;
+  CondVar done_cv;
   size_t outstanding = 0;
   ThreadPool* pool = SharedThreadPool();
   // Propagate the caller's statement trace into the workers so events they
@@ -72,18 +72,18 @@ void RunChunks(size_t n, size_t chunks, Fn&& fn) {
   for (size_t begin = 0; begin < n; begin += chunk, ++index) {
     size_t end = begin + chunk < n ? begin + chunk : n;
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       ++outstanding;
     }
     pool->Submit([&, index, begin, end, parent_trace] {
       obs::ScopedTraceInstall install(parent_trace);
       fn(index, begin, end);
-      std::lock_guard<std::mutex> lock(mu);
-      if (--outstanding == 0) done_cv.notify_all();
+      MutexLock lock(mu);
+      if (--outstanding == 0) done_cv.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(mu);
-  done_cv.wait(lock, [&] { return outstanding == 0; });
+  MutexLock lock(mu);
+  while (outstanding != 0) done_cv.Wait(mu);
 }
 
 /// RunChunks with the default sizing: ParallelChunkCount(n, min_parallel)

@@ -57,7 +57,13 @@ bool StatusCodeFromWire(uint8_t wire, StatusCode* code);
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy (the
 /// message is only allocated on error paths).
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is a compile error (gcc:
+/// -Werror=unused-result, on by default in this build; clang likewise).
+/// A call site that genuinely cannot act on the error must cast to void
+/// WITH a justification comment — tools/lint_invariants.py rejects bare
+/// `(void)` casts of fallible calls without one.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
@@ -125,8 +131,10 @@ class Status {
 ///
 /// Modeled on arrow::Result / absl::StatusOr. Access the value with
 /// ValueOrDie() only after checking ok(); prefer HAZY_ASSIGN_OR_RETURN.
+/// [[nodiscard]] for the same reason as Status: a dropped StatusOr is a
+/// dropped error AND a dropped value.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
     assert(!std::get<Status>(rep_).ok());

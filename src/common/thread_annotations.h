@@ -1,0 +1,112 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// Every mutex-bearing component in the engine annotates its locking contract
+// with these macros so that incorrect lock usage is a COMPILE ERROR under
+// clang (-Wthread-safety, promoted to -Werror=thread-safety by the
+// HAZY_THREAD_SAFETY CMake option and the static-analysis CI job). Under
+// gcc — which has no capability analysis — every macro expands to nothing,
+// so the annotations are free documentation there.
+//
+// Conventions used across the repo:
+//
+//   GUARDED_BY(mu_)      on every field a mutex protects. Reads and writes
+//                        outside a hold are compile errors.
+//   REQUIRES(mu_)        on private *Locked() helpers whose caller must hold
+//                        the mutex.
+//   EXCLUDES(mu_)        on entry points that acquire the mutex themselves
+//                        (calling them while holding it would deadlock), and
+//                        on lock-free fast paths that must never touch it.
+//   ACQUIRE/RELEASE      on the annotated wrapper types in common/mutex.h;
+//                        application code should use hazy::Mutex /
+//                        hazy::MutexLock / hazy::CondVar rather than raw
+//                        std::mutex so the analysis sees every acquisition.
+//   NO_THREAD_SAFETY_ANALYSIS
+//                        the escape hatch. Each use MUST carry a one-line
+//                        comment stating the invariant that makes the
+//                        unchecked code safe; tools/lint_invariants.py
+//                        enforces the comment and CI counts the total
+//                        (budget: < 10 repo-wide).
+//
+// The macro set mirrors the clang documentation / abseil naming so the
+// analysis semantics are exactly the upstream-documented ones.
+
+#ifndef HAZY_COMMON_THREAD_ANNOTATIONS_H_
+#define HAZY_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define HAZY_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef HAZY_THREAD_ANNOTATION__
+#define HAZY_THREAD_ANNOTATION__(x)  // no-op: compiler lacks the analysis
+#endif
+
+// Type annotations -----------------------------------------------------------
+
+/// Marks a type as a lockable capability (e.g. CAPABILITY("mutex")).
+#define CAPABILITY(x) HAZY_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY HAZY_THREAD_ANNOTATION__(scoped_lockable)
+
+// Data annotations -----------------------------------------------------------
+
+/// Field is protected by the given capability; access requires holding it.
+#define GUARDED_BY(x) HAZY_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given capability.
+#define PT_GUARDED_BY(x) HAZY_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// Lock-ordering annotations --------------------------------------------------
+
+#define ACQUIRED_BEFORE(...) HAZY_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) HAZY_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+// Function annotations -------------------------------------------------------
+
+/// Caller must hold the capability exclusively for the call's duration.
+#define REQUIRES(...) \
+  HAZY_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capability at least shared.
+#define REQUIRES_SHARED(...) \
+  HAZY_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (and does not release it).
+#define ACQUIRE(...) HAZY_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  HAZY_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (caller must hold it on entry).
+#define RELEASE(...) HAZY_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  HAZY_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  HAZY_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define TRY_ACQUIRE(...) \
+  HAZY_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  HAZY_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself, or
+/// is a lock-free path that must stay off the mutex).
+#define EXCLUDES(...) HAZY_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define ASSERT_CAPABILITY(x) \
+  HAZY_THREAD_ANNOTATION__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  HAZY_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+/// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) HAZY_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: function body is not analyzed. Every use must carry a
+/// one-line invariant comment (enforced by tools/lint_invariants.py).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  HAZY_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // HAZY_COMMON_THREAD_ANNOTATIONS_H_

@@ -4,12 +4,13 @@
 #ifndef HAZY_COMMON_THREAD_POOL_H_
 #define HAZY_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hazy {
 
@@ -26,23 +27,23 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until all submitted tasks have completed.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // written only by the constructor
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hazy

@@ -160,7 +160,7 @@ void EpochManager::SetMetricLabels(const std::string& labels) {
 
 std::shared_ptr<const EpochSnapshot> EpochManager::Publish(
     ml::LinearModel model, std::shared_ptr<const EpochEntityStore> store) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto snap = std::make_shared<const EpochSnapshot>(
       next_epoch_++, std::move(model), std::move(store));
   ring_.push_back(snap);
@@ -185,7 +185,7 @@ SnapshotPin EpochManager::Pin() {
 void EpochManager::Unpin(const std::shared_ptr<const EpochSnapshot>& snap) {
   snap->pins_.fetch_sub(1, std::memory_order_relaxed);
   if (pinned_gauge_ != nullptr) pinned_gauge_->Add(-1);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ReclaimLocked();
 }
 
@@ -218,7 +218,7 @@ uint64_t EpochManager::latest_epoch() const {
 }
 
 bool EpochManager::IsLive(uint64_t epoch) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& s : ring_) {
     if (s->epoch() == epoch) return true;
   }
@@ -226,12 +226,12 @@ bool EpochManager::IsLive(uint64_t epoch) const {
 }
 
 size_t EpochManager::live_epochs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_.size();
 }
 
 uint64_t EpochManager::reclaimed_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return reclaimed_;
 }
 

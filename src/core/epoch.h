@@ -29,13 +29,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/classifier_view.h"
 #include "ml/model.h"
 #include "obs/metrics.h"
@@ -175,7 +176,8 @@ class EpochManager {
 
   /// Publishes the next epoch. Returns the published snapshot.
   std::shared_ptr<const EpochSnapshot> Publish(
-      ml::LinearModel model, std::shared_ptr<const EpochEntityStore> store);
+      ml::LinearModel model, std::shared_ptr<const EpochEntityStore> store)
+      EXCLUDES(mu_);
 
   /// Pins the latest published epoch (empty pin when none published yet).
   SnapshotPin Pin();
@@ -187,20 +189,23 @@ class EpochManager {
   uint64_t latest_epoch() const;
 
   /// True while `epoch` has not been reclaimed (still in the live ring).
-  bool IsLive(uint64_t epoch) const;
-  size_t live_epochs() const;
-  uint64_t reclaimed_total() const;
+  bool IsLive(uint64_t epoch) const EXCLUDES(mu_);
+  size_t live_epochs() const EXCLUDES(mu_);
+  uint64_t reclaimed_total() const EXCLUDES(mu_);
 
  private:
   friend class SnapshotPin;
-  void Unpin(const std::shared_ptr<const EpochSnapshot>& snap);
-  void ReclaimLocked();
+  void Unpin(const std::shared_ptr<const EpochSnapshot>& snap) EXCLUDES(mu_);
+  void ReclaimLocked() REQUIRES(mu_);
 
-  mutable std::mutex mu_;  // guards ring_/counters; never held by readers
-  std::shared_ptr<const EpochSnapshot> latest_;  // std::atomic_load/store
-  std::vector<std::shared_ptr<const EpochSnapshot>> ring_;  // oldest first
-  uint64_t next_epoch_ = 1;
-  uint64_t reclaimed_ = 0;
+  mutable Mutex mu_;  // guards ring_/counters; never held by readers
+  /// Accessed only through std::atomic_load/store (the reader fast path
+  /// never touches mu_), so deliberately NOT GUARDED_BY.
+  std::shared_ptr<const EpochSnapshot> latest_;
+  std::vector<std::shared_ptr<const EpochSnapshot>> ring_
+      GUARDED_BY(mu_);  // oldest first
+  uint64_t next_epoch_ GUARDED_BY(mu_) = 1;
+  uint64_t reclaimed_ GUARDED_BY(mu_) = 0;
   obs::Gauge* published_gauge_ = nullptr;
   obs::Gauge* pinned_gauge_ = nullptr;
   obs::Gauge* oldest_live_gauge_ = nullptr;

@@ -144,7 +144,10 @@ Status Database::Open() {
       // Never leave a stray -wal next to a file we refused to open.
       ::unlink(storage::WalPathFor(path_).c_str());
     }
-    views_.clear();
+    {
+      MutexLock lock(views_mu_);
+      views_.clear();
+    }
     catalog_.reset();
     wal_.reset();
     pool_.reset();
@@ -257,11 +260,11 @@ void Database::RegisterStatsCollectors() {
   stats_collectors_.push_back(obs::RegisterWalStats(wal_.get(), labels));
   stats_collectors_.push_back(obs::RegisterBufferPoolStats(pool_.get(), labels));
   stats_collectors_.push_back(obs::RegisterPagerStats(pager_.get(), labels));
-  for (const auto& mv : views_) {
+  for (ManagedView* mv : ViewListSnapshot()) {
     // Provider, not pointer: delete/relabel rebuilds swap the inner view
     // object; the ManagedView wrapper is the stable identity.
     view_collectors_.push_back(obs::RegisterViewStats(
-        [p = mv.get()]() { return p->view(); }, ViewLabel(mv->def())));
+        [p = mv]() { return p->view(); }, ViewLabel(mv->def())));
   }
 }
 
@@ -509,7 +512,7 @@ ManagedView* Database::AdoptView(std::unique_ptr<ManagedView> mv) {
   ManagedView* raw = mv.get();
   raw->epochs_.SetMetricLabels(ViewLabel(raw->def()));
   raw->adopted_ = true;
-  std::lock_guard<std::mutex> lock(views_mu_);
+  MutexLock lock(views_mu_);
   views_.push_back(std::move(mv));
   return raw;
 }
@@ -557,7 +560,7 @@ Status Database::EndUpdateBatch() {
     // leaves nothing pending (Flush early-returns), so the epoch its
     // triggers deferred is published explicitly — exactly one epoch per
     // outermost batch either way.
-    for (const auto& v : views_) {
+    for (ManagedView* v : ViewListSnapshot()) {
       Status s = v->Flush();
       if (s.ok() && v->epoch_publish_pending_) s = v->PublishEpoch();
       if (!s.ok() && first_error.ok()) first_error = s;
@@ -912,7 +915,7 @@ Status Database::CopyCompactInto(Database* fresh) {
   // same blobs a checkpoint writes and recovery reads.
   persist::ViewCheckpointer src_ckpt(this);
   persist::ViewCheckpointer dst_ckpt(fresh);
-  for (const auto& mv : views_) {
+  for (ManagedView* mv : ViewListSnapshot()) {
     std::string blob;
     HAZY_RETURN_NOT_OK(src_ckpt.SerializeViewState(*mv, &blob));
     HAZY_RETURN_NOT_OK(dst_ckpt.RestoreViewFromBlob(blob));
@@ -929,7 +932,7 @@ void Database::ResetHandles() {
   ckpt_daemon_.reset();
   if (pool_) pool_->StopBackgroundWriter();
   {
-    std::lock_guard<std::mutex> lock(views_mu_);
+    MutexLock lock(views_mu_);
     views_.clear();
   }
   catalog_.reset();
@@ -1028,8 +1031,11 @@ Status Database::Compact() {
 
 bool Database::TryEnterSnapshotRead() {
   snapshot_readers_.fetch_add(1);
-  if (compacting_.load()) {
-    // Raced a VACUUM swap; back out so its drain does not wait on us.
+  if (compacting_.load() || !is_open()) {
+    // Raced a VACUUM swap, or the database is closed/closing: back out so a
+    // compaction drain does not wait on us. The open_ check closes the
+    // teardown hole — Close flips open_ first, so a reader registering
+    // after that never resolves handles ResetHandles is about to free.
     snapshot_readers_.fetch_sub(1);
     return false;
   }
@@ -1038,8 +1044,16 @@ bool Database::TryEnterSnapshotRead() {
 
 void Database::LeaveSnapshotRead() { snapshot_readers_.fetch_sub(1); }
 
+std::vector<ManagedView*> Database::ViewListSnapshot() const {
+  MutexLock lock(views_mu_);
+  std::vector<ManagedView*> out;
+  out.reserve(views_.size());
+  for (const auto& v : views_) out.push_back(v.get());
+  return out;
+}
+
 StatusOr<ManagedView*> Database::GetView(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(views_mu_);
+  MutexLock lock(views_mu_);
   for (const auto& v : views_) {
     if (EqualsIgnoreCase(v->name(), name)) return v.get();
   }
@@ -1047,7 +1061,7 @@ StatusOr<ManagedView*> Database::GetView(const std::string& name) const {
 }
 
 bool Database::HasView(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(views_mu_);
+  MutexLock lock(views_mu_);
   for (const auto& v : views_) {
     if (EqualsIgnoreCase(v->name(), name)) return true;
   }
@@ -1055,7 +1069,7 @@ bool Database::HasView(const std::string& name) const {
 }
 
 std::vector<std::string> Database::ViewNames() const {
-  std::lock_guard<std::mutex> lock(views_mu_);
+  MutexLock lock(views_mu_);
   std::vector<std::string> out;
   out.reserve(views_.size());
   for (const auto& v : views_) out.push_back(v->name());

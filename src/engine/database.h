@@ -12,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/classifier_view.h"
 #include "core/epoch.h"
 #include "core/view_factory.h"
@@ -246,6 +248,10 @@ class Database {
   /// never share a Database across threads can ignore it. Recursive because
   /// Compact() acquires it internally (so direct API callers get the same
   /// exclusion SQL VACUUM does) while the SQL path already holds it.
+  /// Stays a std::recursive_mutex: clang thread-safety analysis cannot
+  /// model reentrant acquisition without reentrant_capability (too new to
+  /// require), so this one mutex is intentionally outside the annotated
+  /// hazy::Mutex surface.
   std::recursive_mutex* statement_mutex() { return &statement_mu_; }
 
   /// Starts/stops the background checkpointer at runtime (PRAGMA
@@ -283,9 +289,10 @@ class Database {
   StatusOr<ManagedView*> CreateClassificationView(const ClassificationViewDef& def);
 
   /// Looks up a view by name (case-insensitive).
-  StatusOr<ManagedView*> GetView(const std::string& name) const;
-  bool HasView(const std::string& name) const;
-  std::vector<std::string> ViewNames() const;
+  StatusOr<ManagedView*> GetView(const std::string& name) const
+      EXCLUDES(views_mu_);
+  bool HasView(const std::string& name) const EXCLUDES(views_mu_);
+  std::vector<std::string> ViewNames() const EXCLUDES(views_mu_);
 
   /// Enters batched-trigger mode: example-insert triggers queue their
   /// maintenance work instead of applying it per row, and the queue is
@@ -358,7 +365,14 @@ class Database {
   /// Installs a fully built view into views_ (under views_mu_, so lock-free
   /// readers resolving names never race the vector growing) and wires its
   /// epoch metric labels. Returns the stable raw pointer.
-  ManagedView* AdoptView(std::unique_ptr<ManagedView> mv);
+  ManagedView* AdoptView(std::unique_ptr<ManagedView> mv)
+      EXCLUDES(views_mu_);
+
+  /// Stable raw pointers to every installed view, copied under views_mu_.
+  /// Callers iterate the copy so callees may resolve names (GetView) without
+  /// self-deadlock; safe because DDL is statement-serialized and ManagedView
+  /// objects live until close.
+  std::vector<ManagedView*> ViewListSnapshot() const EXCLUDES(views_mu_);
 
   /// The core-view options a definition resolves to (defaults + DDL).
   core::ViewOptions EffectiveViewOptions(const ClassificationViewDef& def) const;
@@ -420,8 +434,8 @@ class Database {
   /// from snapshot readers while DDL appends. The ManagedViews pointed to
   /// are not covered — their mutable state stays under the statement
   /// serialization, and snapshot reads touch only their epoch machinery.
-  mutable std::mutex views_mu_;
-  std::vector<std::unique_ptr<ManagedView>> views_;
+  mutable Mutex views_mu_;
+  std::vector<std::unique_ptr<ManagedView>> views_ GUARDED_BY(views_mu_);
   /// Snapshot reads currently in flight outside the statement mutex, and
   /// the VACUUM-in-progress flag that refuses new ones. seq_cst: the
   /// enter/check on the reader and the set/drain on the compactor form a

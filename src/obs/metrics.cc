@@ -116,14 +116,14 @@ Registry& Registry::Global() {
 
 Counter* Registry::GetCounter(const std::string& name,
                               const std::string& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[{name, labels}];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* Registry::GetGauge(const std::string& name, const std::string& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[{name, labels}];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -131,21 +131,21 @@ Gauge* Registry::GetGauge(const std::string& name, const std::string& labels) {
 
 Histogram* Registry::GetHistogram(const std::string& name,
                                   const std::string& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[{name, labels}];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 uint64_t Registry::RegisterCollector(CollectorFn fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t id = next_collector_id_++;
   collectors_.emplace(id, std::move(fn));
   return id;
 }
 
 void Registry::UnregisterCollector(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = collectors_.find(id);
   if (it == collectors_.end()) return;
   SampleList last;
@@ -159,7 +159,7 @@ void Registry::UnregisterCollector(uint64_t id) {
 }
 
 std::vector<Sample> Registry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Counter samples merge by (name, labels): live collector output plus
   // retired totals from unregistered collectors.
   std::map<Key, double> counter_vals;
@@ -223,7 +223,7 @@ std::string Registry::RenderPrometheus() const {
   };
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::map<Key, double> counter_vals;
     for (const auto& [key, c] : counters_) {
       counter_vals[key] += static_cast<double>(c->value());
@@ -281,7 +281,7 @@ std::string Registry::RenderPrometheus() const {
 }
 
 void Registry::ResetValuesForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& entry : counters_) *entry.second = Counter();
   for (auto& entry : gauges_) entry.second->Set(0);
   for (auto& entry : histograms_) *entry.second = Histogram();

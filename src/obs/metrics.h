@@ -32,10 +32,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hazy::obs {
 
@@ -207,48 +209,50 @@ class Registry {
   /// Returns the named instrument, creating it on first use. The pointer is
   /// stable for the life of the process. (name, labels) identifies the cell;
   /// `name` alone identifies the family.
-  Counter* GetCounter(const std::string& name, const std::string& labels = "");
-  Gauge* GetGauge(const std::string& name, const std::string& labels = "");
+  Counter* GetCounter(const std::string& name, const std::string& labels = "")
+      EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, const std::string& labels = "")
+      EXCLUDES(mu_);
   Histogram* GetHistogram(const std::string& name,
-                          const std::string& labels = "");
+                          const std::string& labels = "") EXCLUDES(mu_);
 
   using CollectorFn = std::function<void(SampleList*)>;
 
   /// Registers `fn` to be polled at snapshot time; returns a handle for
   /// Unregister. Collector callbacks must not call back into the registry.
-  uint64_t RegisterCollector(CollectorFn fn);
+  uint64_t RegisterCollector(CollectorFn fn) EXCLUDES(mu_);
 
   /// Removes the collector, folding its final kCounter samples into
   /// persistent retired totals so lifetime counts survive subsystem
   /// teardown.
-  void UnregisterCollector(uint64_t id);
+  void UnregisterCollector(uint64_t id) EXCLUDES(mu_);
 
   /// One coherent-enough view of everything: native instruments (histograms
   /// expanded into _count/_sum/quantile samples), live collectors, and
   /// retired totals (merged into same-keyed counter samples). Sorted by
   /// (name, labels).
-  std::vector<Sample> Snapshot() const;
+  std::vector<Sample> Snapshot() const EXCLUDES(mu_);
 
   /// Prometheus text exposition format 0.0.4. Histograms render as
   /// summaries with quantile labels.
-  std::string RenderPrometheus() const;
+  std::string RenderPrometheus() const EXCLUDES(mu_);
 
   /// Test hook: zeroes native instrument values and drops retired totals.
   /// Instrument pointers stay valid; registered collectors are untouched.
-  void ResetValuesForTest();
+  void ResetValuesForTest() EXCLUDES(mu_);
 
  private:
   Registry() = default;
 
   using Key = std::pair<std::string, std::string>;  // (name, labels)
 
-  mutable std::mutex mu_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<Histogram>> histograms_;
-  std::map<uint64_t, CollectorFn> collectors_;
-  std::map<Key, double> retired_counters_;
-  uint64_t next_collector_id_ = 1;
+  mutable Mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
+  std::map<uint64_t, CollectorFn> collectors_ GUARDED_BY(mu_);
+  std::map<Key, double> retired_counters_ GUARDED_BY(mu_);
+  uint64_t next_collector_id_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace hazy::obs

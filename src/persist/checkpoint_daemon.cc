@@ -29,37 +29,37 @@ void CheckpointDaemon::Stop() {
     // Taking the mutex before notifying closes the race with a thread that
     // checked stop_ and is about to wait (same discipline as the
     // background writer's Stop).
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   thread_.join();
 }
 
 void CheckpointDaemon::set_wal_checkpoint_bytes(uint64_t bytes) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     options_.wal_checkpoint_bytes = bytes;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void CheckpointDaemon::set_interval_seconds(double seconds) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     options_.interval_seconds = seconds;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 CheckpointDaemonOptions CheckpointDaemon::options() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return options_;
 }
 
-void CheckpointDaemon::Poke() { cv_.notify_all(); }
+void CheckpointDaemon::Poke() { cv_.NotifyAll(); }
 
 Status CheckpointDaemon::last_error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return last_error_;
 }
 
@@ -77,12 +77,12 @@ bool CheckpointDaemon::ShouldCheckpointLocked(double since_last_seconds) const {
 void CheckpointDaemon::ThreadMain() {
   Timer since_last;
   uint64_t last_epoch = db_->checkpoint_epoch();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (!stop_.load(std::memory_order_relaxed)) {
     const auto poll =
         std::chrono::duration<double>(options_.poll_seconds <= 0 ? 0.05
                                                                  : options_.poll_seconds);
-    cv_.wait_for(lock, poll);
+    cv_.WaitFor(mu_, poll);
     if (stop_.load(std::memory_order_relaxed)) break;
     // A checkpoint taken by anyone — manual CHECKPOINT, the batch-boundary
     // hand-off — restarts the interval clock; the daemon must not follow
@@ -93,7 +93,7 @@ void CheckpointDaemon::ThreadMain() {
       since_last.Reset();
     }
     if (!ShouldCheckpointLocked(since_last.ElapsedSeconds())) continue;
-    lock.unlock();
+    lock.Unlock();
 
     // Checkpoints are refused inside an update batch; post the batch-
     // boundary hand-off FIRST (so a long batch checkpoints the moment it
@@ -115,7 +115,7 @@ void CheckpointDaemon::ThreadMain() {
     // statements pause only for this part.
     if (s.ok() && !mid_batch) s = db_->Checkpoint().status();
 
-    lock.lock();
+    lock.Lock();
     if (mid_batch) {
       // Handed off; the boundary runs it. Keep polling in case the batch
       // outlives several trips. A failing pre-flush must still be visible.

@@ -33,12 +33,12 @@
 #define HAZY_PERSIST_CHECKPOINT_DAEMON_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace hazy::engine {
 class Database;
@@ -72,13 +72,13 @@ class CheckpointDaemon {
   CheckpointDaemon& operator=(const CheckpointDaemon&) = delete;
 
   void Start();
-  void Stop();
+  void Stop() EXCLUDES(mu_);
   bool running() const { return thread_.joinable(); }
 
   /// Runtime knobs (PRAGMA).
-  void set_wal_checkpoint_bytes(uint64_t bytes);
-  void set_interval_seconds(double seconds);
-  CheckpointDaemonOptions options() const;
+  void set_wal_checkpoint_bytes(uint64_t bytes) EXCLUDES(mu_);
+  void set_interval_seconds(double seconds) EXCLUDES(mu_);
+  CheckpointDaemonOptions options() const EXCLUDES(mu_);
 
   /// Wakes the daemon to evaluate its triggers now.
   void Poke();
@@ -87,17 +87,17 @@ class CheckpointDaemon {
     return checkpoints_.load(std::memory_order_relaxed);
   }
   /// Last checkpoint failure (sticky until the next success); OK if none.
-  Status last_error() const;
+  Status last_error() const EXCLUDES(mu_);
 
  private:
-  void ThreadMain();
-  bool ShouldCheckpointLocked(double since_last_seconds) const;
+  void ThreadMain() EXCLUDES(mu_);
+  bool ShouldCheckpointLocked(double since_last_seconds) const REQUIRES(mu_);
 
   engine::Database* db_;
-  mutable std::mutex mu_;  // options_ + last_error_
-  std::condition_variable cv_;
-  CheckpointDaemonOptions options_;
-  Status last_error_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  CheckpointDaemonOptions options_ GUARDED_BY(mu_);
+  Status last_error_ GUARDED_BY(mu_);
   std::thread thread_;
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> checkpoints_{0};

@@ -91,7 +91,7 @@ Status Reactor::Open() {
 
 void Reactor::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_requested_ = true;
   }
   Wake();
@@ -99,7 +99,7 @@ void Reactor::Stop() {
 
 void Reactor::Send(uint64_t conn_id, std::string bytes, bool close_after_flush) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pending_sends_.push_back(PendingSend{conn_id, std::move(bytes), close_after_flush});
   }
   Wake();
@@ -107,7 +107,7 @@ void Reactor::Send(uint64_t conn_id, std::string bytes, bool close_after_flush) 
 
 void Reactor::CloseConnection(uint64_t conn_id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pending_closes_.push_back(conn_id);
   }
   Wake();
@@ -124,7 +124,7 @@ void Reactor::Run() {
   epoll_event events[kMaxEvents];
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stop_requested_) break;
     }
     const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
@@ -275,7 +275,7 @@ void Reactor::DrainPending() {
   std::vector<PendingSend> sends;
   std::vector<uint64_t> closes;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     sends.swap(pending_sends_);
     closes.swap(pending_closes_);
   }

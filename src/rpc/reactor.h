@@ -10,12 +10,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "rpc/protocol.h"
 
 namespace hazy::rpc {
@@ -57,7 +58,7 @@ class Reactor {
   void Run();
 
   /// Thread-safe; Run() returns soon after.
-  void Stop();
+  void Stop() EXCLUDES(mu_);
 
   /// Port actually bound (resolves an ephemeral request). Valid after Open().
   uint16_t port() const { return bound_port_; }
@@ -71,10 +72,11 @@ class Reactor {
   /// With `close_after_flush`, the connection closes once the bytes are on
   /// the wire (the GOODBYE handshake). Unknown conn ids are dropped silently:
   /// the peer may have disconnected while its response was being computed.
-  void Send(uint64_t conn_id, std::string bytes, bool close_after_flush = false);
+  void Send(uint64_t conn_id, std::string bytes, bool close_after_flush = false)
+      EXCLUDES(mu_);
 
   /// Thread-safe immediate close (pending output is discarded).
-  void CloseConnection(uint64_t conn_id);
+  void CloseConnection(uint64_t conn_id) EXCLUDES(mu_);
 
  private:
   struct Conn {
@@ -93,7 +95,7 @@ class Reactor {
   };
 
   void Wake();
-  void DrainPending();
+  void DrainPending() EXCLUDES(mu_);
   void AcceptAll();
   void HandleReadable(uint64_t conn_id);
   void HandleWritable(uint64_t conn_id);
@@ -113,10 +115,10 @@ class Reactor {
   std::unordered_map<uint64_t, Conn> conns_;
   std::atomic<size_t> num_connections_{0};
 
-  std::mutex mu_;
-  std::vector<PendingSend> pending_sends_;
-  std::vector<uint64_t> pending_closes_;
-  bool stop_requested_ = false;
+  Mutex mu_;
+  std::vector<PendingSend> pending_sends_ GUARDED_BY(mu_);
+  std::vector<uint64_t> pending_closes_ GUARDED_BY(mu_);
+  bool stop_requested_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hazy::rpc

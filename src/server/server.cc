@@ -50,23 +50,23 @@ void Server::Stop() {
   // serves; Send() drops those harmlessly. Drain so session state is quiet
   // before the maps are torn down.
   dispatcher_.Drain();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sessions_.clear();
 }
 
 std::shared_ptr<Session> Server::FindSession(uint64_t conn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(conn_id);
   return it == sessions_.end() ? nullptr : it->second;
 }
 
 void Server::OnConnect(uint64_t conn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sessions_.emplace(conn_id, std::make_shared<Session>(conn_id, db_));
 }
 
 void Server::OnDisconnect(uint64_t conn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Workers holding the shared_ptr finish their statement; the session is
   // destroyed when the last one lets go.
   sessions_.erase(conn_id);

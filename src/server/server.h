@@ -12,11 +12,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/database.h"
 #include "rpc/reactor.h"
 #include "server/dispatch.h"
@@ -63,11 +64,11 @@ class Server : private rpc::ReactorHandler {
 
  private:
   // rpc::ReactorHandler (reactor thread).
-  void OnConnect(uint64_t conn_id) override;
+  void OnConnect(uint64_t conn_id) override EXCLUDES(mu_);
   void OnFrame(uint64_t conn_id, const rpc::FrameView& frame) override;
-  void OnDisconnect(uint64_t conn_id) override;
+  void OnDisconnect(uint64_t conn_id) override EXCLUDES(mu_);
 
-  std::shared_ptr<Session> FindSession(uint64_t conn_id);
+  std::shared_ptr<Session> FindSession(uint64_t conn_id) EXCLUDES(mu_);
 
   engine::Database* db_;
   ServerOptions options_;
@@ -79,8 +80,9 @@ class Server : private rpc::ReactorHandler {
   /// (registered in Start, unregistered in Stop).
   uint64_t stats_collector_ = 0;
 
-  std::mutex mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+  Mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace hazy::server

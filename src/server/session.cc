@@ -60,7 +60,7 @@ std::string Session::ResultFrame(uint32_t request_id, const sql::ResultSet& rs) 
 }
 
 size_t Session::num_prepared() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return prepared_.size();
 }
 
@@ -90,7 +90,7 @@ StatusOr<sql::ResultSet> Session::RunPrepared(
 
 std::string Session::HandleFrame(const rpc::FrameView& frame, bool* close_after) {
   *close_after = false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return HandleLocked(frame, close_after);
 }
 

@@ -7,10 +7,11 @@
 #define HAZY_SERVER_SESSION_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/database.h"
 #include "rpc/protocol.h"
 #include "sql/executor.h"
@@ -29,7 +30,8 @@ class Session {
   /// Processes one request frame and returns the encoded response frame.
   /// Errors never propagate — they become ERROR frames. `*close_after` is
   /// set for GOODBYE (the transport closes once the ack is flushed).
-  std::string HandleFrame(const rpc::FrameView& frame, bool* close_after);
+  std::string HandleFrame(const rpc::FrameView& frame, bool* close_after)
+      EXCLUDES(mu_);
 
   /// The BUSY response the server sends when admission control sheds a
   /// request (built here so both transports shed with identical bytes).
@@ -41,10 +43,11 @@ class Session {
   /// the reactor thread even when every worker is wedged.
   static std::string StatsFrame(const rpc::FrameView& frame);
 
-  size_t num_prepared() const;
+  size_t num_prepared() const EXCLUDES(mu_);
 
  private:
-  std::string HandleLocked(const rpc::FrameView& frame, bool* close_after);
+  std::string HandleLocked(const rpc::FrameView& frame, bool* close_after)
+      REQUIRES(mu_);
 
   // Frame builders (each returns one fully encoded frame).
   static std::string ErrorFrame(uint32_t request_id, const Status& status);
@@ -61,9 +64,10 @@ class Session {
   engine::Database* db_;
   sql::Executor executor_;
 
-  mutable std::mutex mu_;
-  uint32_t next_stmt_id_ = 1;
-  std::unordered_map<uint32_t, sql::PreparedStatement> prepared_;
+  mutable Mutex mu_;
+  uint32_t next_stmt_id_ GUARDED_BY(mu_) = 1;
+  std::unordered_map<uint32_t, sql::PreparedStatement> prepared_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace hazy::server

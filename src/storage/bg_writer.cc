@@ -18,9 +18,9 @@ void BackgroundWriter::Stop() {
   {
     // Taking the mutex before notifying closes the race with a thread that
     // checked stop_ and is about to wait.
-    std::lock_guard<std::mutex> lock(pool_->mu_);
+    MutexLock lock(pool_->mu_);
   }
-  pool_->writer_cv_.notify_all();
+  pool_->writer_cv_.NotifyAll();
   thread_.join();
 }
 
@@ -46,12 +46,13 @@ void BackgroundWriter::ReplenishFreeFramesLocked() {
 }
 
 void BackgroundWriter::ThreadMain() {
-  std::unique_lock<std::mutex> lock(pool_->mu_);
+  MutexLock lock(pool_->mu_);
   std::vector<std::unique_ptr<BufferPool::PendingWrite>> batch;
   while (true) {
-    pool_->writer_cv_.wait(lock, [&] {
-      return stop_.load(std::memory_order_relaxed) || pool_->WriterHasWorkLocked();
-    });
+    while (!stop_.load(std::memory_order_relaxed) &&
+           !pool_->WriterHasWorkLocked()) {
+      pool_->writer_cv_.Wait(pool_->mu_);
+    }
     if (stop_.load(std::memory_order_relaxed)) break;
 
     ReplenishFreeFramesLocked();
@@ -61,12 +62,12 @@ void BackgroundWriter::ThreadMain() {
     if (batch.empty()) {
       // Replenishment may have freed frames a victim-seeker waits on, and a
       // canceled-only queue still counts as drained.
-      pool_->writeback_cv_.notify_all();
+      pool_->writeback_cv_.NotifyAll();
       continue;
     }
 
     const size_t sync_every = pool_->writer_options_.sync_interval_batches;
-    lock.unlock();
+    lock.Unlock();
     Status s = pool_->WritePendingBatch(&batch);
     const uint64_t batches = batches_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (s.ok() && sync_every > 0 && batches % sync_every == 0) {
@@ -74,9 +75,9 @@ void BackgroundWriter::ThreadMain() {
       // page writes accumulate, so a checkpoint's commit-section fsync
       // finds little left to flush. Best-effort — durability still rests
       // on the WAL + the checkpoint's own fsyncs.
-      pool_->pager_->Sync().ok();
+      (void)pool_->pager_->Sync();
     }
-    lock.lock();
+    lock.Lock();
     pool_->CompleteBatchLocked(&batch, s);
     if (!s.ok()) {
       HAZY_LOG(Warning) << "background write-back stalled: " << s.ToString();
@@ -84,7 +85,7 @@ void BackgroundWriter::ThreadMain() {
   }
   // Exiting: anyone waiting for the queue must not sleep forever on a
   // thread that is gone.
-  pool_->writeback_cv_.notify_all();
+  pool_->writeback_cv_.NotifyAll();
 }
 
 }  // namespace hazy::storage

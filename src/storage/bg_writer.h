@@ -33,6 +33,7 @@
 #include <thread>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/buffer_pool.h"
 
 namespace hazy::storage {
@@ -52,7 +53,7 @@ class BackgroundWriter {
 
   /// Signals the thread and joins it. Idempotent. Entries still queued are
   /// left for the pool (reclaim / FlushAll).
-  void Stop();
+  void Stop() EXCLUDES(pool_->mu_);
 
   /// Batches retired so far (test/bench introspection).
   uint64_t batches_written() const {
@@ -60,12 +61,12 @@ class BackgroundWriter {
   }
 
  private:
-  void ThreadMain();
+  void ThreadMain() EXCLUDES(pool_->mu_);
 
   /// Recycles clean LRU-tail frames (and detaches dirty ones) until the
   /// pool's free-frame stock reaches the low-water target. Holds mu_ —
   /// pointer shuffling only, no I/O.
-  void ReplenishFreeFramesLocked();
+  void ReplenishFreeFramesLocked() REQUIRES(pool_->mu_);
 
   BufferPool* pool_;
   std::thread thread_;

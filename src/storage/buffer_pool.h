@@ -29,21 +29,32 @@
 //                 still queued reclaims the buffer directly (no disk read,
 //                 no lost update); a fetch racing the in-flight write waits
 //                 for it and then reads the file.
+//
+// Lock discipline (checked by clang thread-safety analysis): every container
+// and Frame slot is GUARDED_BY(mu_). Unlocked access to frame *bytes* is
+// legal only through two protocols the analysis cannot see, each funneled
+// through one annotated escape hatch:
+//
+//   - a pinned frame (pin_count > 0) is never victimized, detached, or
+//     moved, so a PageHandle may read data()/page_id() without mu_
+//     (BufferPool::FrameAt);
+//   - a frame marked `flushing` (pinned by the flusher, new fetch pins wait)
+//     has stable bytes for the duration of the unlocked flush write.
 
 #ifndef HAZY_STORAGE_BUFFER_POOL_H_
 #define HAZY_STORAGE_BUFFER_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/pager.h"
 #include "storage/wal.h"
 
@@ -166,10 +177,10 @@ class BufferPool {
   ~BufferPool();
 
   /// Fetches a page, reading it from the pager on a miss. Pins it.
-  StatusOr<PageHandle> Fetch(uint32_t page_id);
+  StatusOr<PageHandle> Fetch(uint32_t page_id) EXCLUDES(mu_);
 
   /// Allocates a fresh zeroed page and pins it.
-  StatusOr<PageHandle> New();
+  StatusOr<PageHandle> New() EXCLUDES(mu_);
 
   /// Writes back all dirty state — the pending write-back queue first, then
   /// every dirty resident frame — with before-image logging batched and the
@@ -177,44 +188,46 @@ class BufferPool {
   /// Includes pinned frames, so it must run at a quiesced point (a
   /// checkpoint under the exclusive statement gate): a pin means the owner
   /// may be mutating the bytes mid-write.
-  Status FlushAll();
+  Status FlushAll() EXCLUDES(mu_, flush_mu_);
 
   /// FlushAll minus user-pinned frames: safe to run concurrently with
   /// foreground statements (the checkpoint daemon's pre-flush). A pinned
   /// frame's bytes may be in the middle of a mutation; skipping it just
   /// leaves it for the next flush.
-  Status FlushUnpinned();
+  Status FlushUnpinned() EXCLUDES(mu_, flush_mu_);
 
   /// Drops a page from the cache (if resident and unpinned) and returns it
   /// to the pager's free list. Cancels any pending write-back of the page.
-  void FreePage(uint32_t page_id);
+  void FreePage(uint32_t page_id) EXCLUDES(mu_);
 
   /// Drops every unpinned frame without freeing pages — simulates a cold
   /// cache for benchmarks. Flushes (FlushAll) first.
-  void EvictAll();
+  void EvictAll() EXCLUDES(mu_, flush_mu_);
 
   /// Starts the asynchronous write-back thread. Evictions detach dirty
   /// buffers to it instead of writing inline.
-  Status StartBackgroundWriter(const BgWriterOptions& options = {});
+  Status StartBackgroundWriter(const BgWriterOptions& options = {})
+      EXCLUDES(mu_);
 
   /// Stops (joins) the writer thread. Buffers still queued are NOT written —
   /// they stay reclaimable by Fetch and are flushed by the next FlushAll,
   /// mirroring crash semantics (the WAL protects their contents).
-  void StopBackgroundWriter();
+  void StopBackgroundWriter() EXCLUDES(mu_);
 
-  bool background_writer_running() const;
+  bool background_writer_running() const EXCLUDES(mu_);
 
   /// Blocks until the pending write-back queue is empty (writing it inline
   /// when no writer thread is running). Surfaces any deferred writer error.
-  Status DrainWriteQueue();
+  Status DrainWriteQueue() EXCLUDES(mu_);
 
   /// Runtime knob (PRAGMA writer_batch_pages).
-  void SetWriterBatchPages(size_t n);
-  BgWriterOptions writer_options() const;
+  void SetWriterBatchPages(size_t n) EXCLUDES(mu_);
+  BgWriterOptions writer_options() const EXCLUDES(mu_);
 
   /// Attaches the write-ahead log (nullptr to detach). The pool logs
   /// first-dirty before-images through it and orders write-backs behind its
-  /// durable horizon.
+  /// durable horizon. Called before concurrency begins (engine open), like
+  /// the constructor.
   void SetWal(Wal* wal) { wal_ = wal; }
   Wal* wal() const { return wal_; }
 
@@ -252,9 +265,15 @@ class BufferPool {
     std::unique_ptr<char[]> data;
   };
 
-  void Unpin(size_t frame);
-  void UnpinLocked(size_t frame);
-  void MarkDirtyFrame(size_t frame);
+  /// The ONE annotated escape hatch for the pin protocol: a caller holding a
+  /// pin (or the flushing latch) on frame `f` may touch it without mu_ —
+  /// pinned frames are never victimized, detached, or moved, so the slot and
+  /// its buffer are stable until the pin drops.
+  Frame& FrameAt(size_t f) NO_THREAD_SAFETY_ANALYSIS { return frames_[f]; }
+
+  void Unpin(size_t frame) EXCLUDES(mu_);
+  void UnpinLocked(size_t frame) REQUIRES(mu_);
+  void MarkDirtyFrame(size_t frame) EXCLUDES(mu_);
 
   /// Logs the page's on-disk (checkpoint-time) image if this epoch hasn't
   /// yet; records the protecting LSN in the frame. The frame must be pinned
@@ -264,65 +283,70 @@ class BufferPool {
 
   /// Synchronous-mode write-back: image + EnsureDurable + pager write of one
   /// dirty frame. Caller holds mu_ (pre-writer legacy path and benches).
-  Status WriteBack(Frame& frame);
+  Status WriteBack(Frame& frame) REQUIRES(mu_);
 
   /// Finds a frame to host a new page: a never-used frame, else LRU victim.
   /// With the writer running, a dirty victim is detached to the write queue
-  /// instead of being written inline (waiting for queue space if the writer
-  /// is behind). Caller holds `lock` on mu_.
-  StatusOr<size_t> GetVictim(std::unique_lock<std::mutex>& lock);
+  /// instead of being written inline (waiting — with mu_ released — for
+  /// queue space if the writer is behind; callers must re-validate state).
+  StatusOr<size_t> GetVictim() REQUIRES(mu_);
 
   /// Detaches the (unpinned, off-LRU) dirty frame's buffer onto the write
   /// queue and leaves the frame empty. Caller holds mu_ and has ensured
   /// queue space.
-  void DetachToWriteQueueLocked(Frame& frame);
+  void DetachToWriteQueueLocked(Frame& frame) REQUIRES(mu_);
 
   /// Writes one popped batch out: before-images for first-dirty pages, ONE
   /// Wal::EnsureDurable over the batch, then the page writes (LSN-stamped).
   /// Runs WITHOUT the pool mutex; marks each entry done as it lands.
-  Status WritePendingBatch(std::vector<std::unique_ptr<PendingWrite>>* batch);
+  Status WritePendingBatch(std::vector<std::unique_ptr<PendingWrite>>* batch)
+      EXCLUDES(mu_);
 
   /// Re-integrates a processed batch under mu_: completed entries leave the
   /// pending map and recycle their buffers; failed ones are re-queued.
   void CompleteBatchLocked(std::vector<std::unique_ptr<PendingWrite>>* batch,
-                           const Status& s);
+                           const Status& s) REQUIRES(mu_);
 
   /// True when the queue holds work or the free-frame stock is low.
-  bool WriterHasWorkLocked() const;
+  bool WriterHasWorkLocked() const REQUIRES(mu_);
 
   /// Pops up to `limit` queue entries into `batch` (skipping canceled
   /// ones), marking them writing. The single pop protocol shared by the
   /// writer thread and the inline drain. Caller holds mu_.
   void PopBatchLocked(size_t limit,
-                      std::vector<std::unique_ptr<PendingWrite>>* batch);
+                      std::vector<std::unique_ptr<PendingWrite>>* batch)
+      REQUIRES(mu_);
 
-  Status FlushImpl(bool include_pinned);
-  Status DrainWriteQueueLocked(std::unique_lock<std::mutex>& lock);
+  Status FlushImpl(bool include_pinned) EXCLUDES(mu_, flush_mu_);
 
-  std::unique_ptr<char[]> TakeBufferLocked();
-  void RecycleBufferLocked(std::unique_ptr<char[]> buf);
+  /// Blocks until the queue drains; may release and re-acquire mu_ around
+  /// inline batch I/O (returns with mu_ held either way).
+  Status DrainWriteQueueLocked() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::mutex flush_mu_;  // serializes FlushAll/EvictAll bodies
-  std::condition_variable io_cv_;
-  std::condition_variable writer_cv_;     // wakes the writer thread
-  std::condition_variable writeback_cv_;  // wakes drain/backpressure/reclaim waiters
+  std::unique_ptr<char[]> TakeBufferLocked() REQUIRES(mu_);
+  void RecycleBufferLocked(std::unique_ptr<char[]> buf) REQUIRES(mu_);
+
+  Mutex flush_mu_ ACQUIRED_BEFORE(mu_);  // serializes FlushAll/EvictAll bodies
+  mutable Mutex mu_;
+  CondVar io_cv_;
+  CondVar writer_cv_;     // wakes the writer thread
+  CondVar writeback_cv_;  // wakes drain/backpressure/reclaim waiters
   Pager* pager_;
-  Wal* wal_ = nullptr;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::list<size_t> lru_;  // front = most recent
-  std::unordered_map<uint32_t, size_t> page_table_;
+  Wal* wal_ = nullptr;  // attached before concurrency begins (SetWal)
+  std::vector<Frame> frames_ GUARDED_BY(mu_);
+  std::vector<size_t> free_frames_ GUARDED_BY(mu_);
+  std::list<size_t> lru_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<uint32_t, size_t> page_table_ GUARDED_BY(mu_);
 
   // Background write-back state (all guarded by mu_ except the thread).
-  std::unique_ptr<BackgroundWriter> writer_;
-  BgWriterOptions writer_options_;
-  std::deque<std::unique_ptr<PendingWrite>> write_queue_;
-  std::unordered_map<uint32_t, PendingWrite*> pending_pages_;
-  std::vector<std::unique_ptr<char[]>> spare_buffers_;
-  size_t writing_count_ = 0;     // entries popped by the writer, not complete
-  bool writer_stalled_ = false;  // writer hit an I/O error; cleared on drain
-  Status writer_error_;
+  std::unique_ptr<BackgroundWriter> writer_ GUARDED_BY(mu_);
+  BgWriterOptions writer_options_ GUARDED_BY(mu_);
+  std::deque<std::unique_ptr<PendingWrite>> write_queue_ GUARDED_BY(mu_);
+  std::unordered_map<uint32_t, PendingWrite*> pending_pages_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<char[]>> spare_buffers_ GUARDED_BY(mu_);
+  size_t writing_count_ GUARDED_BY(mu_) = 0;  // popped, not yet complete
+  bool writer_stalled_ GUARDED_BY(mu_) = false;  // writer hit an I/O error
+  Status writer_error_ GUARDED_BY(mu_);
 
   BufferPoolStats stats_;
 };

@@ -22,22 +22,30 @@
 //     waiting (nested table/trigger entry points inside one statement);
 //     otherwise the no-barging rule would deadlock the statement against
 //     the waiting checkpoint.
+//
+// Thread-safety analysis: the gate itself is a CAPABILITY and the guards
+// are SCOPED_CAPABILITYs acquiring it shared/exclusive, so clang tracks
+// gate holds across scopes (e.g. a function can REQUIRES(gate) its
+// checkpoint-commit helpers). The owner/nested re-entry paths are RUNTIME
+// conditions — the static annotation deliberately claims the hold in every
+// case, which is sound: re-entry means the capability is already held.
+// The internal mu_ protecting the wait state is an ordinary checked mutex.
 
 #ifndef HAZY_STORAGE_STATEMENT_GATE_H_
 #define HAZY_STORAGE_STATEMENT_GATE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/trace.h"
 
 namespace hazy::storage {
 
-class StatementGate {
+class CAPABILITY("statement_gate") StatementGate {
  public:
   StatementGate() = default;
   StatementGate(const StatementGate&) = delete;
@@ -46,9 +54,10 @@ class StatementGate {
   /// Shared hold for the duration of one statement. Tolerates a null gate
   /// (tables used without an engine) and re-entry from the exclusive owner
   /// or from a thread already holding the gate shared.
-  class SharedGuard {
+  class SCOPED_CAPABILITY SharedGuard {
    public:
-    explicit SharedGuard(StatementGate* gate) : gate_(gate) {
+    explicit SharedGuard(StatementGate* gate) ACQUIRE_SHARED(gate)
+        : gate_(gate) {
       if (gate_ == nullptr ||
           gate_->exclusive_owner_.load(std::memory_order_relaxed) ==
               std::this_thread::get_id()) {
@@ -67,17 +76,17 @@ class StatementGate {
       // commit section (read statements no longer take the gate at all).
       const int64_t t0 = NowNanos();
       {
-        std::unique_lock<std::mutex> lock(gate_->mu_);
-        gate_->cv_.wait(lock, [this] {
-          return !gate_->exclusive_active_ && gate_->exclusive_waiting_ == 0;
-        });
+        MutexLock lock(gate_->mu_);
+        while (gate_->exclusive_active_ || gate_->exclusive_waiting_ != 0) {
+          gate_->cv_.Wait(gate_->mu_);
+        }
         ++gate_->active_shared_;
       }
       RecordWait(/*exclusive=*/false, t0);
       depth = 1;
       held_ = true;
     }
-    ~SharedGuard() {
+    ~SharedGuard() RELEASE() {
       if (!held_) return;
       auto& depths = DepthMap();
       auto it = depths.find(gate_);
@@ -87,10 +96,10 @@ class StatementGate {
       // life of the thread.
       depths.erase(it);
       {
-        std::lock_guard<std::mutex> lock(gate_->mu_);
+        MutexLock lock(gate_->mu_);
         --gate_->active_shared_;
       }
-      gate_->cv_.notify_all();
+      gate_->cv_.NotifyAll();
     }
     SharedGuard(const SharedGuard&) = delete;
     SharedGuard& operator=(const SharedGuard&) = delete;
@@ -103,19 +112,19 @@ class StatementGate {
   /// Exclusive hold for a checkpoint's commit section. Pending exclusive
   /// acquisition blocks new shared entrants (no starvation under a
   /// saturating statement stream).
-  class ExclusiveGuard {
+  class SCOPED_CAPABILITY ExclusiveGuard {
    public:
-    explicit ExclusiveGuard(StatementGate* gate) : gate_(gate) {
+    explicit ExclusiveGuard(StatementGate* gate) ACQUIRE(gate) : gate_(gate) {
       if (gate_ == nullptr) return;
       // The exclusive wait is the checkpoint stalled behind in-flight
       // statements (bounded: new ones queue behind us).
       const int64_t t0 = NowNanos();
       {
-        std::unique_lock<std::mutex> lock(gate_->mu_);
+        MutexLock lock(gate_->mu_);
         ++gate_->exclusive_waiting_;
-        gate_->cv_.wait(lock, [this] {
-          return !gate_->exclusive_active_ && gate_->active_shared_ == 0;
-        });
+        while (gate_->exclusive_active_ || gate_->active_shared_ != 0) {
+          gate_->cv_.Wait(gate_->mu_);
+        }
         --gate_->exclusive_waiting_;
         gate_->exclusive_active_ = true;
       }
@@ -123,14 +132,14 @@ class StatementGate {
       gate_->exclusive_owner_.store(std::this_thread::get_id(),
                                     std::memory_order_relaxed);
     }
-    ~ExclusiveGuard() {
+    ~ExclusiveGuard() RELEASE() {
       if (gate_ == nullptr) return;
       gate_->exclusive_owner_.store(std::thread::id{}, std::memory_order_relaxed);
       {
-        std::lock_guard<std::mutex> lock(gate_->mu_);
+        MutexLock lock(gate_->mu_);
         gate_->exclusive_active_ = false;
       }
-      gate_->cv_.notify_all();
+      gate_->cv_.NotifyAll();
     }
     ExclusiveGuard(const ExclusiveGuard&) = delete;
     ExclusiveGuard& operator=(const ExclusiveGuard&) = delete;
@@ -165,11 +174,13 @@ class StatementGate {
     if (trace != nullptr) trace->AddEvent(obs::SpanKind::kGateWait, dur_ns);
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t active_shared_ = 0;
-  uint64_t exclusive_waiting_ = 0;
-  bool exclusive_active_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  uint64_t active_shared_ GUARDED_BY(mu_) = 0;
+  uint64_t exclusive_waiting_ GUARDED_BY(mu_) = 0;
+  bool exclusive_active_ GUARDED_BY(mu_) = false;
+  /// Lock-free: read on the shared fast path before touching mu_; written
+  /// only by the exclusive owner transition under mu_.
   std::atomic<std::thread::id> exclusive_owner_{};
 };
 

@@ -52,6 +52,9 @@ Wal::~Wal() {
 }
 
 Status Wal::Open(const std::string& path, const WalOptions& options) {
+  // Open is single-threaded recovery-phase API, but the locked helpers it
+  // shares with the concurrent appenders REQUIRE mu_, so hold it anyway.
+  MutexLock lock(mu_);
   if (fd_ >= 0) return Status::InvalidArgument("wal already open");
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
@@ -69,7 +72,7 @@ Status Wal::Open(const std::string& path, const WalOptions& options) {
   if (static_cast<size_t>(size) < kWalHeaderSize) {
     // Fresh (or torn-at-birth) log: write an empty epoch-0 header. The
     // database rebases it onto the real checkpoint epoch during Open.
-    return Reset(0);
+    return ResetLocked(0);
   }
   char hdr[kWalHeaderSize];
   if (::pread(fd, hdr, kWalHeaderSize, 0) != static_cast<ssize_t>(kWalHeaderSize)) {
@@ -198,7 +201,7 @@ Status Wal::ScanExisting() {
 }
 
 Status Wal::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (fd_ < 0) return Status::InvalidArgument("wal not open");
   // Flush (no fsync) so a clean close keeps group-commit records the OS
   // page cache would have carried anyway; a crash simply loses the buffered
@@ -310,7 +313,7 @@ Status Wal::AppendRecordLocked(WalRecordType type, std::string_view payload,
 }
 
 StatusOr<uint64_t> Wal::AppendBeforeImage(uint32_t page_id, const char* page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string payload;
   payload.reserve(4 + kPageSize);
   PutFixed32(&payload, page_id);
@@ -324,7 +327,7 @@ StatusOr<uint64_t> Wal::AppendBeforeImage(uint32_t page_id, const char* page) {
 
 Status Wal::AppendLogical(std::string_view payload) {
   if (logical_paused()) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t lsn = 0;
   HAZY_RETURN_NOT_OK(AppendRecordLocked(WalRecordType::kLogical, payload, &lsn));
   group_dirty_ = true;
@@ -358,26 +361,26 @@ Status Wal::CommitLocked(bool batched) {
 }
 
 Status Wal::Commit(bool batched) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return CommitLocked(batched);
 }
 
 Status Wal::AutoCommit() {
   if (logical_paused()) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (in_group_ || !group_dirty_) return Status::OK();
   return CommitLocked(/*batched=*/false);
 }
 
 Status Wal::EndGroup() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   in_group_ = false;
   if (!group_dirty_) return Status::OK();
   return CommitLocked(/*batched=*/true);
 }
 
 Status Wal::EnsureDurable(uint64_t lsn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (fd_ < 0) return Status::InvalidArgument("wal not open");
   if (lsn < durable_lsn_) return Status::OK();
   return SyncLocked();
@@ -400,7 +403,7 @@ Status Wal::SyncLocked() {
 }
 
 Status Wal::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return SyncLocked();
 }
 
@@ -440,7 +443,7 @@ Status Wal::ResetLocked(uint64_t epoch) {
 }
 
 Status Wal::Reset(uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ResetLocked(epoch);
 }
 

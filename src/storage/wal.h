@@ -52,13 +52,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/pager.h"
 
 namespace hazy::storage {
@@ -130,9 +131,10 @@ class Wal {
   /// valid records are retained for recovery (see records()), a torn tail is
   /// truncated, and the logged-page set is rebuilt so pages already
   /// protected this epoch are not re-imaged.
-  Status Open(const std::string& path, const WalOptions& options);
+  Status Open(const std::string& path, const WalOptions& options)
+      EXCLUDES(mu_);
 
-  Status Close();
+  Status Close() EXCLUDES(mu_);
   bool is_open() const { return fd_ >= 0; }
   const std::string& path() const { return path_; }
 
@@ -153,18 +155,19 @@ class Wal {
   /// Logs the page's checkpoint-time image (call before the first in-pool
   /// mutation reaches the file). Returns the record's LSN; the page must not
   /// be written back until the log is durable past it.
-  StatusOr<uint64_t> AppendBeforeImage(uint32_t page_id, const char* page);
+  StatusOr<uint64_t> AppendBeforeImage(uint32_t page_id, const char* page)
+      EXCLUDES(mu_);
 
   /// Marks a page allocated after the base checkpoint: its checkpoint-time
   /// content is irrelevant, so it never needs a before-image this epoch.
-  void NotePageAllocated(uint32_t page_id) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void NotePageAllocated(uint32_t page_id) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     logged_pages_.insert(page_id);
   }
 
   /// True when the page already has (or needs no) before-image this epoch.
-  bool PageLogged(uint32_t page_id) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool PageLogged(uint32_t page_id) const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return logged_pages_.count(page_id) != 0;
   }
 
@@ -173,40 +176,40 @@ class Wal {
   uint64_t tail_bytes() const { return tail_bytes_.load(std::memory_order_relaxed); }
 
   /// Runtime knobs (PRAGMA wal_sync / group_commit_interval).
-  void set_sync_mode(WalOptions::SyncMode mode) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void set_sync_mode(WalOptions::SyncMode mode) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     options_.sync_mode = mode;
   }
-  void set_group_commit_interval(uint32_t n) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void set_group_commit_interval(uint32_t n) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     options_.group_commit_interval = n == 0 ? 1 : n;
   }
-  WalOptions options() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  WalOptions options() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return options_;
   }
 
   /// Appends a logical record; when not inside a group, the caller commits
   /// separately via AutoCommit() once the operation (triggers included) has
   /// fully applied. No-op while logical logging is paused.
-  Status AppendLogical(std::string_view payload);
+  Status AppendLogical(std::string_view payload) EXCLUDES(mu_);
 
   /// Commit marker + fsync per policy. `batched` records whether the group
   /// must be replayed inside BeginUpdateBatch/EndUpdateBatch to reproduce
   /// the live fold boundaries bit-exactly.
-  Status Commit(bool batched);
+  Status Commit(bool batched) EXCLUDES(mu_);
 
   /// Commits the current single-op group unless a batch group is open (or
   /// logical logging is paused, or nothing was logged since the last
   /// commit).
-  Status AutoCommit();
+  Status AutoCommit() EXCLUDES(mu_);
 
   /// Batch-group bracketing, mirroring Database::Begin/EndUpdateBatch.
-  void BeginGroup() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void BeginGroup() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     in_group_ = true;
   }
-  Status EndGroup();
+  Status EndGroup() EXCLUDES(mu_);
 
   /// Suspends logical logging (checkpoint-internal system-table writes and
   /// recovery replay must not re-log themselves). Before-image logging is
@@ -218,19 +221,19 @@ class Wal {
   }
 
   /// Makes the log durable at least up to `lsn` (no-op if already durable).
-  Status EnsureDurable(uint64_t lsn);
+  Status EnsureDurable(uint64_t lsn) EXCLUDES(mu_);
 
   /// Unconditional fsync of everything appended so far.
-  Status Sync();
+  Status Sync() EXCLUDES(mu_);
 
   /// Truncates the log to empty, rebasing it on checkpoint `epoch` — the
   /// atomic hand-off at a checkpoint commit. Clears the logged-page set and
   /// any recovered records.
-  Status Reset(uint64_t epoch);
+  Status Reset(uint64_t epoch) EXCLUDES(mu_);
 
   /// Fault hook for crash-injection tests (ops "wal_append", "wal_sync").
-  void SetFaultHook(FaultHook hook) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void SetFaultHook(FaultHook hook) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     fault_hook_ = std::move(hook);
   }
 
@@ -239,42 +242,46 @@ class Wal {
  private:
   // Unlocked bodies; callers hold mu_.
   Status AppendRecordLocked(WalRecordType type, std::string_view payload,
-                            uint64_t* lsn);
-  Status CommitLocked(bool batched);
-  Status SyncLocked();
-  Status FlushBufferLocked();
-  Status WriteRawLocked(uint64_t offset, const char* data, size_t len);
-  Status ScanExisting();
-  Status WriteHeaderLocked(uint64_t epoch);
-  Status ResetLocked(uint64_t epoch);
+                            uint64_t* lsn) REQUIRES(mu_);
+  Status CommitLocked(bool batched) REQUIRES(mu_);
+  Status SyncLocked() REQUIRES(mu_);
+  Status FlushBufferLocked() REQUIRES(mu_);
+  Status WriteRawLocked(uint64_t offset, const char* data, size_t len)
+      REQUIRES(mu_);
+  Status ScanExisting() REQUIRES(mu_);
+  Status WriteHeaderLocked(uint64_t epoch) REQUIRES(mu_);
+  Status ResetLocked(uint64_t epoch) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  // fd_/path_/base_epoch_/records_ are written only during the
+  // single-threaded open/recovery phase (class contract above); fd_'s
+  // post-open mutations (Close) happen under mu_ after concurrency begins.
   int fd_ = -1;
   std::string path_;
-  WalOptions options_;
+  WalOptions options_ GUARDED_BY(mu_);
   uint64_t base_epoch_ = 0;
-  uint64_t next_lsn_ = 0;     // byte offset of the next record
-  uint64_t durable_lsn_ = 0;  // everything below this offset is fsync'd
+  uint64_t next_lsn_ GUARDED_BY(mu_) = 0;     // byte offset of the next record
+  uint64_t durable_lsn_ GUARDED_BY(mu_) = 0;  // below this offset is fsync'd
   std::atomic<uint64_t> tail_bytes_{0};  // mirror of next_lsn_ for lock-free polls
   /// Append buffer: records accumulate here and reach the file in one
   /// pwrite per flush (at sync points, the size cap, or close) instead of
   /// one syscall per record — a bulk-load batch logs thousands of rows per
   /// commit marker. Invariant: buffer_start_ + buffer_.size() == next_lsn_.
-  std::string buffer_;
-  uint64_t buffer_start_ = 0;  // file offset the buffer's first byte lands at
-  bool buffer_poisoned_ = false;  // holds a failed statement's records
+  std::string buffer_ GUARDED_BY(mu_);
+  uint64_t buffer_start_ GUARDED_BY(mu_) = 0;  // file offset of buffer byte 0
+  bool buffer_poisoned_ GUARDED_BY(mu_) = false;  // failed statement's records
   /// Buffer prefix covered by acknowledged commit markers. When a poisoned
   /// buffer must be dropped at Close, this prefix — every group a caller
   /// was told committed — is still flushable (the failed bytes all sit
   /// after it).
-  size_t acked_len_ = 0;
-  uint32_t commits_since_sync_ = 0;
-  bool in_group_ = false;
-  bool group_dirty_ = false;  // logical records appended since last commit
+  size_t acked_len_ GUARDED_BY(mu_) = 0;
+  uint32_t commits_since_sync_ GUARDED_BY(mu_) = 0;
+  bool in_group_ GUARDED_BY(mu_) = false;
+  bool group_dirty_ GUARDED_BY(mu_) = false;  // appends since last commit
   std::atomic<int> logical_pause_{0};
-  std::unordered_set<uint32_t> logged_pages_;
+  std::unordered_set<uint32_t> logged_pages_ GUARDED_BY(mu_);
   std::vector<Record> records_;
-  FaultHook fault_hook_;
+  FaultHook fault_hook_ GUARDED_BY(mu_);
   WalStats stats_;
 };
 

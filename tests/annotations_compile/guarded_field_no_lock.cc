@@ -1,0 +1,27 @@
+// EXPECT: FAIL clang-only
+//
+// Reading a GUARDED_BY field without holding its mutex must fail the
+// -Werror=thread-safety build. gcc compiles this silently (the annotations
+// are no-ops there), so the driver skips it under non-clang compilers —
+// which is exactly why the CI static-analysis job pins clang.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Racy {
+ public:
+  int Get() { return v_; }  // no lock: thread-safety error
+
+ private:
+  hazy::Mutex mu_;
+  int v_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Racy r;
+  return r.Get();
+}

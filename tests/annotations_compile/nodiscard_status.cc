@@ -1,0 +1,17 @@
+// EXPECT: FAIL
+//
+// Discarding a Status return must not compile: the build runs with
+// -Werror=unused-result (gcc and clang both honor the [[nodiscard]] on the
+// class). This is the error-swallowing bug class — an ignored I/O failure
+// here is a corrupted database later.
+
+#include "common/status.h"
+
+namespace {
+hazy::Status MightFail() { return hazy::Status::OK(); }
+}  // namespace
+
+int main() {
+  MightFail();  // dropped on the floor — must be a compile error
+  return 0;
+}

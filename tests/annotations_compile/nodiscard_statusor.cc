@@ -1,0 +1,15 @@
+// EXPECT: FAIL
+//
+// Same as nodiscard_status.cc but for StatusOr<T>: ignoring a value-or-error
+// return silently loses both the value and the error.
+
+#include "common/status.h"
+
+namespace {
+hazy::StatusOr<int> Compute() { return 42; }
+}  // namespace
+
+int main() {
+  Compute();  // must be a compile error
+  return 0;
+}

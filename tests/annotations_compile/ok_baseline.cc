@@ -1,0 +1,38 @@
+// EXPECT: OK
+//
+// Harness sanity case: correctly locked code using the annotated wrappers
+// must compile cleanly under the same flags that make the negative cases
+// fail. If this breaks, every FAIL result in this directory is meaningless.
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() EXCLUDES(mu_) {
+    hazy::MutexLock lock(mu_);
+    ++v_;
+  }
+  int Get() EXCLUDES(mu_) {
+    hazy::MutexLock lock(mu_);
+    return v_;
+  }
+
+ private:
+  hazy::Mutex mu_;
+  int v_ GUARDED_BY(mu_) = 0;
+};
+
+hazy::Status Make() { return hazy::Status::OK(); }
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  hazy::Status s = Make();  // consumed: bound to a variable
+  return s.ok() ? c.Get() - 1 : 1;
+}

@@ -1,0 +1,31 @@
+// EXPECT: FAIL clang-only
+//
+// Calling a REQUIRES(mu_) function without the mutex held must fail the
+// -Werror=thread-safety build — this is the *Locked-helper protocol every
+// storage component relies on (WAL, buffer pool, epoch manager).
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Store {
+ public:
+  void Mutate() EXCLUDES(mu_) {
+    MutateLocked();  // forgot MutexLock: thread-safety error
+  }
+
+ private:
+  void MutateLocked() REQUIRES(mu_) { ++v_; }
+
+  hazy::Mutex mu_;
+  int v_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Store s;
+  s.Mutate();
+  return 0;
+}

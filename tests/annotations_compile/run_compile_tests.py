@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Negative-compile harness for the thread-safety and nodiscard gates.
+
+Each .cc in this directory declares its expectation in its first line:
+
+    // EXPECT: OK               must compile under every compiler
+    // EXPECT: FAIL             must NOT compile under every compiler
+    // EXPECT: FAIL clang-only  must NOT compile under clang (thread-safety
+                                analysis); SKIPPED under other compilers,
+                                where the annotations are no-ops
+
+The point of the FAIL cases is to keep the gates honest: if someone weakens
+the Status [[nodiscard]] or the annotation macros, these cases start
+compiling and this test fails — the same trick as a "test that the test
+fails without the fix".
+
+Usage: run_compile_tests.py --compiler <cxx> --include <src dir>
+Exit status 0 = all expectations met.
+"""
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+
+def compiler_is_clang(cxx):
+    try:
+        out = subprocess.run([cxx, "--version"], capture_output=True,
+                             text=True, timeout=30).stdout
+    except OSError:
+        return False
+    return "clang" in out.lower()
+
+
+def expectation(path):
+    first = path.read_text().splitlines()[0]
+    if "EXPECT: OK" in first:
+        return "ok"
+    if "EXPECT: FAIL clang-only" in first:
+        return "fail-clang"
+    if "EXPECT: FAIL" in first:
+        return "fail"
+    raise SystemExit(f"{path.name}: missing '// EXPECT:' header")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--compiler", required=True)
+    ap.add_argument("--include", required=True)
+    args = ap.parse_args()
+
+    is_clang = compiler_is_clang(args.compiler)
+    base = [args.compiler, "-std=c++17", "-fsyntax-only",
+            "-I", args.include, "-Wall", "-Werror=unused-result"]
+    if is_clang:
+        base += ["-Wthread-safety", "-Werror=thread-safety"]
+
+    failures = []
+    for case in sorted(HERE.glob("*.cc")):
+        want = expectation(case)
+        if want == "fail-clang" and not is_clang:
+            print(f"SKIP  {case.name} (clang-only; compiler is not clang)")
+            continue
+        r = subprocess.run(base + [str(case)], capture_output=True, text=True)
+        compiled = r.returncode == 0
+        should_compile = want == "ok"
+        if compiled == should_compile:
+            print(f"PASS  {case.name} ({'compiled' if compiled else 'rejected'})")
+        else:
+            verb = "compiled but must be rejected" if compiled \
+                else "rejected but must compile"
+            failures.append(case.name)
+            print(f"FAIL  {case.name}: {verb}\n{r.stderr.strip()}")
+
+    if failures:
+        print(f"\n{len(failures)} expectation(s) violated: {failures}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

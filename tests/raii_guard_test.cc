@@ -1,0 +1,168 @@
+// RAII-misuse tests for the concurrency holders: SnapshotPin /
+// SnapshotReadScope lifetime edges (double release, move-over-live,
+// inactive scopes) and the annotated Mutex/MutexLock/CondVar wrappers'
+// relock and timeout behavior. The happy paths are covered where the
+// holders are used; these tests pin down the edges a refactor would break
+// silently — an extra unpin here corrupts epoch reclaim accounting, an
+// unbalanced relock deadlocks teardown.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/mutex.h"
+#include "core/epoch.h"
+#include "engine/database.h"
+#include "ml/model.h"
+
+namespace hazy {
+namespace {
+
+using core::EpochManager;
+using core::EpochStoreBuilder;
+using core::SnapshotPin;
+
+ml::LinearModel TinyModel() {
+  ml::LinearModel m;
+  m.w = {1.0};
+  m.b = 0.0;
+  return m;
+}
+
+TEST(SnapshotPinMisuseTest, DoubleReleaseIsIdempotent) {
+  EpochManager mgr;
+  EpochStoreBuilder builder;
+  mgr.Publish(TinyModel(), builder.Seal());
+
+  SnapshotPin pin = mgr.Pin();
+  ASSERT_TRUE(pin);
+  EXPECT_EQ(pin->pins(), 1u);
+  pin.Release();
+  EXPECT_FALSE(pin);
+  pin.Release();  // must not underflow the pin count or touch the manager
+  EXPECT_FALSE(pin);
+  EXPECT_EQ(mgr.live_epochs(), 1u);  // latest stays live, not reclaimed
+}
+
+TEST(SnapshotPinMisuseTest, MoveAssignOverLivePinReleasesTheOldOne) {
+  EpochManager mgr;
+  EpochStoreBuilder builder;
+  auto first = mgr.Publish(TinyModel(), builder.Seal());
+
+  SnapshotPin a = mgr.Pin();  // pins epoch 1
+  mgr.Publish(TinyModel(), builder.Seal());
+  SnapshotPin b = mgr.Pin();  // pins epoch 2
+  ASSERT_EQ(a->epoch(), 1u);
+  ASSERT_EQ(b->epoch(), 2u);
+
+  // Overwriting `a` must unpin epoch 1 (its last pin), making it
+  // reclaimable; `a` then guards epoch 2.
+  a = std::move(b);
+  EXPECT_EQ(a->epoch(), 2u);
+  EXPECT_FALSE(mgr.IsLive(1));
+  EXPECT_EQ(first->pins(), 0u);
+}
+
+TEST(SnapshotPinMisuseTest, DestructorOfMovedFromPinDoesNotUnpin) {
+  EpochManager mgr;
+  EpochStoreBuilder builder;
+  mgr.Publish(TinyModel(), builder.Seal());
+
+  SnapshotPin outer = mgr.Pin();
+  {
+    SnapshotPin inner = std::move(outer);
+    ASSERT_TRUE(inner);
+    EXPECT_EQ(inner->pins(), 1u);
+  }  // inner releases the one real pin here
+  EXPECT_FALSE(outer);
+  // outer's destructor at end of test must not drive pins negative;
+  // publish + pin again to observe a sane count.
+  SnapshotPin again = mgr.Pin();
+  EXPECT_EQ(again->pins(), 1u);
+}
+
+TEST(SnapshotReadScopeMisuseTest, NullAndClosedDatabasesYieldInactiveScopes) {
+  {
+    engine::SnapshotReadScope scope(nullptr);
+    EXPECT_FALSE(scope.active());
+  }
+  engine::Database db;  // never opened
+  {
+    engine::SnapshotReadScope scope(&db);
+    EXPECT_FALSE(scope.active());
+  }
+}
+
+TEST(SnapshotReadScopeMisuseTest, ScopesNestAndDrainOnOpenDatabase) {
+  engine::Database db;
+  ASSERT_TRUE(db.Open().ok());
+  {
+    engine::SnapshotReadScope outer(&db);
+    EXPECT_TRUE(outer.active());
+    engine::SnapshotReadScope inner(&db);
+    EXPECT_TRUE(inner.active());
+  }
+  // Both scopes drained: VACUUM must not see a phantom reader (it would
+  // wait forever). Compact on an open, quiet database returns promptly.
+  EXPECT_TRUE(db.Compact().ok());
+}
+
+TEST(MutexLockMisuseTest, ExplicitUnlockSuppressesDestructorUnlock) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    EXPECT_TRUE(lock.held());
+    lock.Unlock();
+    EXPECT_FALSE(lock.held());
+    // Destructor must not unlock again — if it did, the TryLock below
+    // would be on an unlocked-twice mutex (UB); instead we can take it.
+  }
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexLockMisuseTest, RelockCycleRestoresOwnership) {
+  Mutex mu;
+  MutexLock lock(mu);
+  lock.Unlock();
+  lock.Lock();
+  EXPECT_TRUE(lock.held());
+  // Destructor balances the re-acquired hold; a stray hold would make this
+  // TryLock (from another thread) succeed spuriously after scope exit.
+}
+
+TEST(CondVarTest, WaitForTimesOutAndReacquiresTheMutex) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const bool signaled = cv.WaitFor(mu, std::chrono::milliseconds(5));
+  EXPECT_FALSE(signaled);
+  // The mutex must be held again after the timed-out wait: another thread
+  // must not be able to take it until we drop the scope.
+  std::thread contender([&] {
+    EXPECT_FALSE(mu.TryLock());
+  });
+  contender.join();
+}
+
+TEST(CondVarTest, NotifyWakesExplicitWaitLoop) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+  {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace hazy
